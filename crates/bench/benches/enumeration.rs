@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the Figure-7 enumeration matrix:
+//! each path × union algorithm combination, plus the NaiveEnum baseline,
+//! on one representative pair per connectedness group of a small synthetic
+//! knowledge base.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rex_core::enumerate::naive::NaiveEnumerator;
+use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
+use rex_core::EnumConfig;
+use rex_datagen::{generate, sample_pairs, ConnGroup, GeneratorConfig, PairSample};
+use rex_kb::KnowledgeBase;
+
+fn setup() -> (KnowledgeBase, Vec<PairSample>) {
+    let kb = generate(&GeneratorConfig::tiny(2011));
+    let pairs = sample_pairs(&kb, 1, 4, 2011);
+    (kb, pairs)
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let (kb, pairs) = setup();
+    let config = EnumConfig::default().with_instance_cap(2_000);
+    let mut group = c.benchmark_group("fig7_enumeration");
+    group.sample_size(10);
+    for pair in &pairs {
+        let label = pair.group.name();
+        for (name, path_algo, union_algo) in [
+            ("naive_basic", PathAlgo::Naive, UnionAlgo::Basic),
+            ("basic_basic", PathAlgo::Basic, UnionAlgo::Basic),
+            ("prio_basic", PathAlgo::Prioritized, UnionAlgo::Basic),
+            ("prio_prune", PathAlgo::Prioritized, UnionAlgo::Prune),
+        ] {
+            let enumerator =
+                GeneralEnumerator::with_algorithms(config.clone(), path_algo, union_algo);
+            group.bench_with_input(
+                BenchmarkId::new(name, label),
+                pair,
+                |b, p| b.iter(|| enumerator.enumerate(&kb, p.start, p.end)),
+            );
+        }
+        // The gSpan baseline, budgeted so low-connectedness pairs finish.
+        if pair.group == ConnGroup::Low {
+            let baseline = NaiveEnumerator::with_budget(config.clone(), 5_000);
+            group.bench_with_input(BenchmarkId::new("naive_enum", label), pair, |b, p| {
+                b.iter(|| baseline.enumerate(&kb, p.start, p.end))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

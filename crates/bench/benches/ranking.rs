@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for Figures 9/10: monocount ranking with
+//! top-k pruning vs. full enumeration, across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::{MeasureContext, MonocountMeasure};
+use rex_core::ranking::topk::rank_topk_pruned;
+use rex_core::ranking::rank;
+use rex_core::EnumConfig;
+use rex_datagen::{generate, sample_pairs, GeneratorConfig};
+
+fn bench_topk(c: &mut Criterion) {
+    let kb = generate(&GeneratorConfig::tiny(2011));
+    let pairs = sample_pairs(&kb, 1, 4, 2011);
+    let config = EnumConfig::default().with_instance_cap(2_000);
+    let mut group = c.benchmark_group("fig9_10_topk");
+    group.sample_size(10);
+    for pair in &pairs {
+        let label = pair.group.name();
+        group.bench_with_input(BenchmarkId::new("full_rank", label), pair, |b, p| {
+            b.iter(|| {
+                let out =
+                    GeneralEnumerator::new(config.clone()).enumerate(&kb, p.start, p.end);
+                let ctx = MeasureContext::new(&kb, p.start, p.end);
+                rank(&out.explanations, &MonocountMeasure, &ctx, 10)
+            })
+        });
+        for k in [1usize, 10, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pruned_k{k}"), label),
+                pair,
+                |b, p| {
+                    b.iter(|| {
+                        let ctx = MeasureContext::new(&kb, p.start, p.end);
+                        rank_topk_pruned(
+                            &kb,
+                            p.start,
+                            p.end,
+                            &config,
+                            &MonocountMeasure,
+                            &ctx,
+                            k,
+                        )
+                        .expect("anti-monotonic")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

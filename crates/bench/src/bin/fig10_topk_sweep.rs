@@ -1,0 +1,11 @@
+//! Figure 10: average monocount ranking time for different k.
+
+use rex_bench::{experiments, report, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let ks = [1, 5, 10, 20, 50, 100, 200, 400];
+    let table = experiments::fig10(&w, &ks);
+    report::section("Figure 10 — top-k pruning across k (monocount)", &table.render());
+    println!("(`full` ranks the complete enumeration; pruning helps at small k and fades as k grows.)");
+}

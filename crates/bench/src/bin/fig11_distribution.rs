@@ -1,0 +1,21 @@
+//! Figure 11: top-10 ranking time with the distribution-based position
+//! measure — local / global, with and without LIMIT pruning.
+
+use rex_bench::{experiments, report, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let per_group: usize = std::env::var("REX_BENCH_FIG11_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let table = experiments::fig11(&w, per_group, 10);
+    report::section(
+        "Figure 11 — distribution-based top-10 ranking (avg per pair)",
+        &table.render(),
+    );
+    println!(
+        "({} pairs per group; global distribution estimated from {} sampled local distributions.)",
+        per_group, w.global_samples
+    );
+}

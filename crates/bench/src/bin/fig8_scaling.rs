@@ -1,0 +1,10 @@
+//! Figure 8: enumeration time vs. number of explanation instances
+//! (PathEnumPrioritized + PathUnionPrune over all sampled pairs).
+
+use rex_bench::{experiments, report, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let table = experiments::fig8(&w);
+    report::section("Figure 8 — enumeration time vs. explanation instances", &table.render());
+}

@@ -1,0 +1,9 @@
+//! Figure 9: effect of top-k pruning (k = 10) on monocount ranking.
+
+use rex_bench::{experiments, report, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let table = experiments::fig9(&w, 10);
+    report::section("Figure 9 — top-k pruning for monocount (k = 10)", &table.render());
+}

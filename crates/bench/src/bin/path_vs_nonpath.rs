@@ -1,0 +1,9 @@
+//! §5.4.2: path vs. non-path share among top user-judged explanations.
+
+use rex_bench::{experiments, report, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let table = experiments::path_vs_nonpath(&w, 2, 30);
+    report::section("§5.4.2 — path vs. non-path explanations", &table.render());
+}

@@ -1,0 +1,72 @@
+//! Runs the full experiment suite and emits a Markdown report — the
+//! generator for EXPERIMENTS.md. Honors the same environment knobs as the
+//! individual figure binaries.
+
+use rex_bench::{experiments, report::section, workloads::Workload};
+
+fn main() {
+    println!("# REX experiment report\n");
+    let w = Workload::from_env();
+    println!(
+        "Substrate: synthetic entertainment KB — {}; {} sampled pairs; pattern size ≤ {}, instance cap {:?}, seed {}.",
+        rex_kb::stats::summary(&w.kb),
+        w.pairs.len(),
+        w.enum_config.max_pattern_nodes,
+        w.enum_config.instance_cap,
+        w.seed,
+    );
+
+    let budget: usize = std::env::var("REX_BENCH_NAIVE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    section(
+        "Figure 7 — explanation enumeration algorithms (avg time per pair)",
+        &experiments::fig7(&w, budget).render(),
+    );
+    println!("(NaiveEnum times prefixed with `>` hit the {budget}-expansion budget: lower bounds.)");
+
+    section(
+        "Figure 8 — enumeration time vs. explanation instances",
+        &experiments::fig8(&w).render(),
+    );
+
+    section(
+        "Figure 9 — top-k pruning for monocount (k = 10)",
+        &experiments::fig9(&w, 10).render(),
+    );
+
+    section(
+        "Figure 10 — top-k pruning across k (monocount)",
+        &experiments::fig10(&w, &[1, 5, 10, 20, 50, 100, 200, 400]).render(),
+    );
+
+    let fig11_pairs: usize = std::env::var("REX_BENCH_FIG11_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    section(
+        "Figure 11 — distribution-based top-10 ranking (avg per pair)",
+        &experiments::fig11(&w, fig11_pairs, 10).render(),
+    );
+    println!(
+        "({fig11_pairs} pairs per group; global estimated from {} local distributions.)",
+        w.global_samples
+    );
+
+    let (t1, outcome) = experiments::table1(100);
+    section(
+        "Table 1 — comparing interestingness measures (DCG, 10 simulated judges)",
+        &t1.render(),
+    );
+
+    section(
+        "§5.4.2 — path vs. non-path explanations",
+        &experiments::path_vs_nonpath(&w, 2, 30).render(),
+    );
+    println!(
+        "(toy study path share: top-5 {:.0}%, top-10 {:.0}%)",
+        outcome.path_fraction_top5 * 100.0,
+        outcome.path_fraction_top10 * 100.0
+    );
+}

@@ -1,0 +1,313 @@
+//! The experiment implementations behind each figure/table binary.
+//!
+//! Every function returns a rendered [`Table`] (plus any series data) so
+//! the per-figure binaries and the consolidated `report` binary share one
+//! implementation.
+
+use std::time::Duration;
+
+use rex_core::enumerate::naive::NaiveEnumerator;
+use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
+use rex_core::measures::{MeasureContext, MonocountMeasure};
+use rex_core::ranking::distribution::{rank_by_position, Scope};
+use rex_core::ranking::topk::rank_topk_pruned;
+use rex_core::ranking::rank;
+use rex_datagen::ConnGroup;
+use rex_oracle::study::{paper_pairs, run_study};
+use rex_oracle::{StudyConfig, StudyOutcome};
+
+use crate::report::Table;
+use crate::timing::{fmt_duration, mean, time};
+use crate::workloads::Workload;
+
+/// The five algorithm combinations of Figure 7, in the paper's order.
+pub const FIG7_COMBOS: &[(&str, Option<(PathAlgo, UnionAlgo)>)] = &[
+    ("NaiveEnum", None),
+    ("PathEnumNaive + PathUnionBasic", Some((PathAlgo::Naive, UnionAlgo::Basic))),
+    ("PathEnumBasic + PathUnionBasic", Some((PathAlgo::Basic, UnionAlgo::Basic))),
+    ("PathEnumPrioritized + PathUnionBasic", Some((PathAlgo::Prioritized, UnionAlgo::Basic))),
+    ("PathEnumPrioritized + PathUnionPrune", Some((PathAlgo::Prioritized, UnionAlgo::Prune))),
+];
+
+/// Figure 7: average enumeration time per algorithm combination and
+/// connectedness group. `naive_budget` caps the baseline's pattern
+/// expansions; when hit, the reported time is a lower bound (marked `>`).
+pub fn fig7(w: &Workload, naive_budget: usize) -> Table {
+    let mut table = Table::new(["algorithm", "low", "medium", "high"]);
+    for (name, combo) in FIG7_COMBOS {
+        let mut cells = vec![name.to_string()];
+        for group in ConnGroup::ALL {
+            let mut durations = Vec::new();
+            let mut truncated = false;
+            for pair in w.group(group) {
+                match combo {
+                    None => {
+                        let enumerator =
+                            NaiveEnumerator::with_budget(w.enum_config.clone(), naive_budget);
+                        let (out, d) = time(|| enumerator.enumerate(&w.kb, pair.start, pair.end));
+                        truncated |= out.stats.patterns_expanded >= naive_budget;
+                        durations.push(d);
+                    }
+                    Some((path_algo, union_algo)) => {
+                        let enumerator = GeneralEnumerator::with_algorithms(
+                            w.enum_config.clone(),
+                            *path_algo,
+                            *union_algo,
+                        );
+                        let (_, d) = time(|| enumerator.enumerate(&w.kb, pair.start, pair.end));
+                        durations.push(d);
+                    }
+                }
+            }
+            let avg = mean(&durations);
+            let mark = if truncated { ">" } else { "" };
+            cells.push(format!("{mark}{}", fmt_duration(avg)));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 8: enumeration time vs. number of explanation instances for all
+/// sampled pairs (PathEnumPrioritized + PathUnionPrune). Returns the table
+/// sorted by instance count; the paper plots the same series as a scatter.
+pub fn fig8(w: &Workload) -> Table {
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let mut rows: Vec<(usize, usize, Duration, String)> = Vec::new();
+    for pair in &w.pairs {
+        let (out, d) = time(|| enumerator.enumerate(&w.kb, pair.start, pair.end));
+        let instances: usize = out.explanations.iter().map(|e| e.count()).sum();
+        rows.push((instances, out.explanations.len(), d, pair.group.name().to_string()));
+    }
+    rows.sort_by_key(|r| r.0);
+    let mut table = Table::new(["instances", "explanations", "group", "time"]);
+    for (instances, explanations, d, group) in rows {
+        table.row([
+            instances.to_string(),
+            explanations.to_string(),
+            group,
+            fmt_duration(d),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: monocount ranking with top-k pruning (k = 10) vs. full
+/// enumeration + ranking, per connectedness group.
+pub fn fig9(w: &Workload, k: usize) -> Table {
+    let mut table = Table::new(["group", "full enumeration", "top-k pruning", "speedup"]);
+    for group in ConnGroup::ALL {
+        let mut full_times = Vec::new();
+        let mut pruned_times = Vec::new();
+        for pair in w.group(group) {
+            let ctx = MeasureContext::new(&w.kb, pair.start, pair.end);
+            let (_, d_full) = time(|| {
+                let out = GeneralEnumerator::new(w.enum_config.clone())
+                    .enumerate(&w.kb, pair.start, pair.end);
+                rank(&out.explanations, &MonocountMeasure, &ctx, k)
+            });
+            full_times.push(d_full);
+            let (_, d_pruned) = time(|| {
+                rank_topk_pruned(
+                    &w.kb,
+                    pair.start,
+                    pair.end,
+                    &w.enum_config,
+                    &MonocountMeasure,
+                    &ctx,
+                    k,
+                )
+                .expect("monocount is anti-monotonic")
+            });
+            pruned_times.push(d_pruned);
+        }
+        let full = mean(&full_times);
+        let pruned = mean(&pruned_times);
+        let speedup = if pruned.as_nanos() > 0 {
+            full.as_secs_f64() / pruned.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        table.row([
+            group.name().to_string(),
+            fmt_duration(full),
+            fmt_duration(pruned),
+            format!("{speedup:.1}×"),
+        ]);
+    }
+    table
+}
+
+/// Figure 10: average monocount-ranking time for different k, pruned vs.
+/// full, per group.
+pub fn fig10(w: &Workload, ks: &[usize]) -> Table {
+    let mut header: Vec<String> = vec!["group".into(), "full".into()];
+    header.extend(ks.iter().map(|k| format!("k={k}")));
+    let mut table = Table::new(header);
+    for group in ConnGroup::ALL {
+        let pairs = w.group(group);
+        let mut full_times = Vec::new();
+        for pair in &pairs {
+            let ctx = MeasureContext::new(&w.kb, pair.start, pair.end);
+            let (_, d) = time(|| {
+                let out = GeneralEnumerator::new(w.enum_config.clone())
+                    .enumerate(&w.kb, pair.start, pair.end);
+                rank(&out.explanations, &MonocountMeasure, &ctx, usize::MAX)
+            });
+            full_times.push(d);
+        }
+        let mut cells = vec![group.name().to_string(), fmt_duration(mean(&full_times))];
+        for &k in ks {
+            let mut times = Vec::new();
+            for pair in &pairs {
+                let ctx = MeasureContext::new(&w.kb, pair.start, pair.end);
+                let (_, d) = time(|| {
+                    rank_topk_pruned(
+                        &w.kb,
+                        pair.start,
+                        pair.end,
+                        &w.enum_config,
+                        &MonocountMeasure,
+                        &ctx,
+                        k,
+                    )
+                    .expect("monocount is anti-monotonic")
+                });
+                times.push(d);
+            }
+            cells.push(fmt_duration(mean(&times)));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 11: top-10 ranking time under the distribution-based position
+/// measure — local / local+pruning / global / global+pruning — averaged
+/// over `pairs_per_group` pairs per group. Enumeration time is excluded
+/// (it is identical across the four scenarios); the global distribution is
+/// estimated from `w.global_samples` sampled local distributions, as in
+/// §5.3.2.
+pub fn fig11(w: &Workload, pairs_per_group: usize, k: usize) -> Table {
+    let scenarios: [(&str, Scope, bool); 4] = [
+        ("local", Scope::Local, false),
+        ("local + pruning", Scope::Local, true),
+        ("global", Scope::Global, false),
+        ("global + pruning", Scope::Global, true),
+    ];
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    // Pre-enumerate each pair once.
+    let prepared: Vec<(&rex_datagen::PairSample, Vec<rex_core::Explanation>)> = w
+        .truncated(pairs_per_group)
+        .into_iter()
+        .map(|p| {
+            let out = enumerator.enumerate(&w.kb, p.start, p.end);
+            (p, out.explanations)
+        })
+        .collect();
+    let mut table = Table::new(["scenario", "low", "medium", "high"]);
+    for (name, scope, prune) in scenarios {
+        let mut cells = vec![name.to_string()];
+        for group in ConnGroup::ALL {
+            let mut times = Vec::new();
+            for (pair, explanations) in prepared.iter().filter(|(p, _)| p.group == group) {
+                let ctx = MeasureContext::new(&w.kb, pair.start, pair.end)
+                    .with_global_samples(w.global_samples, w.seed);
+                // Warm the shared edge index outside the timed region (the
+                // paper's relational table also pre-exists).
+                let _ = ctx.edge_index();
+                let (_, d) = time(|| rank_by_position(explanations, &ctx, k, scope, prune));
+                times.push(d);
+            }
+            cells.push(fmt_duration(mean(&times)));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Table 1: measure effectiveness (simulated user study) on the paper's
+/// five designated pairs over the toy entertainment KB.
+pub fn table1(global_samples: usize) -> (Table, StudyOutcome) {
+    let kb = rex_kb::toy::entertainment();
+    let cfg = StudyConfig { global_samples, ..Default::default() };
+    let outcome = run_study(&kb, &paper_pairs(&kb), &cfg);
+    let mut table = Table::new(["measure", "P1", "P2", "P3", "P4", "P5", "Avg"]);
+    for m in &outcome.measures {
+        let mut cells = vec![m.name.to_string()];
+        cells.extend(m.per_pair.iter().map(|s| format!("{s:.0}")));
+        cells.push(format!("{:.0}", m.average));
+        table.row(cells);
+    }
+    (table, outcome)
+}
+
+/// §5.4.2: share of path-shaped patterns among the top user-judged
+/// explanations, on the toy KB study plus a synthetic-pair study.
+pub fn path_vs_nonpath(w: &Workload, pairs_per_group: usize, global_samples: usize) -> Table {
+    let mut table = Table::new(["workload", "paths in top-5", "paths in top-10"]);
+    let kb = rex_kb::toy::entertainment();
+    let cfg = StudyConfig { global_samples, ..Default::default() };
+    let toy = run_study(&kb, &paper_pairs(&kb), &cfg);
+    table.row([
+        "toy P1–P5".to_string(),
+        format!("{:.0}%", toy.path_fraction_top5 * 100.0),
+        format!("{:.0}%", toy.path_fraction_top10 * 100.0),
+    ]);
+    let pairs: Vec<_> =
+        w.truncated(pairs_per_group).iter().map(|p| (p.start, p.end)).collect();
+    let cfg = StudyConfig {
+        global_samples,
+        enum_config: w.enum_config.clone(),
+        ..Default::default()
+    };
+    let synth = run_study(&w.kb, &pairs, &cfg);
+    table.row([
+        format!("synthetic ({} pairs)", pairs.len()),
+        format!("{:.0}%", synth.path_fraction_top5 * 100.0),
+        format!("{:.0}%", synth.path_fraction_top10 * 100.0),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::EnumConfig;
+    use rex_datagen::{generate, sample_pairs, GeneratorConfig};
+
+    /// A miniature workload constructed directly (no env-var races with
+    /// other tests).
+    fn tiny_workload() -> Workload {
+        let kb = generate(&GeneratorConfig::tiny(2011));
+        let pairs = sample_pairs(&kb, 1, 4, 2011);
+        assert!(!pairs.is_empty());
+        Workload {
+            kb,
+            pairs,
+            enum_config: EnumConfig::default().with_instance_cap(500),
+            seed: 2011,
+            global_samples: 5,
+        }
+    }
+
+    #[test]
+    fn all_experiments_render_tables() {
+        let w = tiny_workload();
+        let f7 = fig7(&w, 200).render();
+        assert!(f7.contains("NaiveEnum") && f7.contains("PathUnionPrune"));
+        let f8 = fig8(&w).render();
+        assert!(f8.contains("instances"));
+        let f9 = fig9(&w, 5).render();
+        assert!(f9.contains("speedup"));
+        let f10 = fig10(&w, &[1, 5]).render();
+        assert!(f10.contains("k=1") && f10.contains("k=5"));
+        let f11 = fig11(&w, 1, 5).render();
+        assert!(f11.contains("global + pruning"));
+        let (t1, outcome) = table1(5);
+        assert!(t1.render().contains("local-dist"));
+        assert_eq!(outcome.measures.len(), 8);
+        let pnp = path_vs_nonpath(&w, 1, 5).render();
+        assert!(pnp.contains("paths in top-5"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # rex-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the REX paper's evaluation (§5).
+//! Each experiment is a binary under `src/bin/` that prints the same rows
+//! or series the paper reports; `bin/report` runs the full suite and emits
+//! a Markdown report (the source of `EXPERIMENTS.md`). Criterion
+//! micro-benchmarks of the same code paths live under `benches/`.
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 7 (enumeration algorithms) | `fig7_enum_algorithms` |
+//! | Figure 8 (time vs. instances) | `fig8_scaling` |
+//! | Figure 9 (top-k pruning, monocount) | `fig9_topk_monocount` |
+//! | Figure 10 (top-k sweep over k) | `fig10_topk_sweep` |
+//! | Figure 11 (distribution measures) | `fig11_distribution` |
+//! | Table 1 (measure effectiveness) | `table1_measures` |
+//! | §5.4.2 (path vs. non-path) | `path_vs_nonpath` |
+//!
+//! ## Environment knobs
+//!
+//! * `REX_BENCH_SCALE` — `tiny` | `small` (default) | `bench` | `paper`:
+//!   the synthetic KB preset (§5.1's KB is `paper` = 200K nodes / 1.3M
+//!   edges; `small` = 10K/65K keeps the full suite under a few minutes
+//!   while preserving the density that drives the algorithms).
+//! * `REX_BENCH_PAIRS` — pairs per connectedness group (default 10, as in
+//!   the paper).
+//! * `REX_BENCH_SEED` — generator/sampler seed (default 2011).
+//! * `REX_BENCH_GLOBAL_SAMPLES` — local distributions estimating the
+//!   global one (default 100, as in §5.3.2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod timing;
+pub mod workloads;

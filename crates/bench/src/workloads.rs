@@ -1,0 +1,128 @@
+//! Shared experimental setup: the synthetic knowledge base and the
+//! 30-pair workload of §5.1, configured through environment variables and
+//! cached across binaries within a process.
+
+use std::collections::HashMap;
+
+use rex_core::EnumConfig;
+use rex_datagen::{generate, sample_pairs, ConnGroup, GeneratorConfig, PairSample};
+use rex_kb::KnowledgeBase;
+
+/// Reads an environment knob with a default.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The benchmark scale selected by `REX_BENCH_SCALE`.
+pub fn scale_config(seed: u64) -> GeneratorConfig {
+    match std::env::var("REX_BENCH_SCALE").as_deref() {
+        Ok("tiny") => GeneratorConfig::tiny(seed),
+        Ok("bench") => GeneratorConfig::bench(seed),
+        Ok("paper") => GeneratorConfig::paper_scale(seed),
+        _ => GeneratorConfig::small(seed),
+    }
+}
+
+/// Generates the KB, or loads it from the binary snapshot cache under
+/// `target/rex-bench-cache/` when an identical configuration was generated
+/// before (large scales take a while to build; the snapshot decodes in a
+/// fraction of the time).
+fn load_or_generate(config: &GeneratorConfig) -> KnowledgeBase {
+    let cache_dir = std::path::Path::new("target").join("rex-bench-cache");
+    let cache_file = cache_dir.join(format!(
+        "kb-n{}-e{}-l{}-s{}.bin",
+        config.nodes, config.edges, config.labels, config.seed
+    ));
+    if let Ok(bytes) = std::fs::read(&cache_file) {
+        if let Ok(kb) = rex_kb::io::decode_binary(bytes.into()) {
+            eprintln!("[workload] loaded cached KB from {}", cache_file.display());
+            return kb;
+        }
+    }
+    eprintln!(
+        "[workload] generating KB (nodes={}, edges={}, labels={}, seed={})…",
+        config.nodes, config.edges, config.labels, config.seed
+    );
+    let kb = generate(config);
+    if std::fs::create_dir_all(&cache_dir).is_ok() {
+        let _ = std::fs::write(&cache_file, rex_kb::io::encode_binary(&kb));
+    }
+    kb
+}
+
+/// A fully materialized experiment workload.
+pub struct Workload {
+    /// The synthetic knowledge base.
+    pub kb: KnowledgeBase,
+    /// Sampled related pairs, stratified by connectedness.
+    pub pairs: Vec<PairSample>,
+    /// Enumeration configuration (paper defaults + instance cap).
+    pub enum_config: EnumConfig,
+    /// Seed used throughout.
+    pub seed: u64,
+    /// Global-distribution sample count.
+    pub global_samples: usize,
+}
+
+impl Workload {
+    /// Builds the workload from the environment (see crate docs).
+    pub fn from_env() -> Workload {
+        let seed = env_or("REX_BENCH_SEED", 2011u64);
+        let per_group = env_or("REX_BENCH_PAIRS", 10usize);
+        let global_samples = env_or("REX_BENCH_GLOBAL_SAMPLES", 100usize);
+        let config = scale_config(seed);
+        let kb = load_or_generate(&config);
+        eprintln!("[workload] {}", rex_kb::stats::summary(&kb));
+        eprintln!("[workload] sampling {per_group} pairs per connectedness group…");
+        let pairs = sample_pairs(&kb, per_group, 4, seed);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for p in &pairs {
+            *counts.entry(p.group.name()).or_insert(0) += 1;
+        }
+        eprintln!("[workload] sampled pairs: {counts:?}");
+        Workload {
+            kb,
+            pairs,
+            // The paper's settings: pattern size ≤ 5, path length ≤ 4. The
+            // instance cap bounds memory on hub-heavy pairs; §5.2 tops out
+            // around 5,000 instances, which we keep as the cap.
+            enum_config: EnumConfig::default().with_instance_cap(5_000),
+            seed,
+            global_samples,
+        }
+    }
+
+    /// The pairs of one connectedness group.
+    pub fn group(&self, g: ConnGroup) -> Vec<&PairSample> {
+        self.pairs.iter().filter(|p| p.group == g).collect()
+    }
+
+    /// A reduced workload (first `n` pairs per group) for the expensive
+    /// distribution experiments.
+    pub fn truncated(&self, n: usize) -> Vec<&PairSample> {
+        let mut out = Vec::new();
+        for g in ConnGroup::ALL {
+            out.extend(self.group(g).into_iter().take(n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_builds() {
+        std::env::set_var("REX_BENCH_SCALE", "tiny");
+        std::env::set_var("REX_BENCH_PAIRS", "2");
+        let w = Workload::from_env();
+        assert!(w.kb.node_count() > 0);
+        assert!(!w.pairs.is_empty());
+        assert!(w.enum_config.instance_cap.is_some());
+        let truncated = w.truncated(1);
+        assert!(truncated.len() <= 3);
+        std::env::remove_var("REX_BENCH_SCALE");
+        std::env::remove_var("REX_BENCH_PAIRS");
+    }
+}

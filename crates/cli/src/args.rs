@@ -1,0 +1,106 @@
+//! A minimal flag parser: `--flag value`, `--switch`, and positionals.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["toy", "decorate", "quiet"];
+
+impl Args {
+    /// Parses `argv` (without the program/command names).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    out.flags.insert(name.to_string(), value.clone());
+                    i += 1;
+                }
+            } else {
+                out.positionals.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("flag --{name}: cannot parse {v:?}"))
+            }
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// All positionals.
+    #[allow(dead_code)]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn flags_switches_positionals() {
+        let a = parse(&["--kb", "x.tsv", "alice", "--toy", "bob", "--top", "3"]);
+        assert_eq!(a.get("kb"), Some("x.tsv"));
+        assert!(a.has("toy"));
+        assert!(!a.has("decorate"));
+        assert_eq!(a.positional(0), Some("alice"));
+        assert_eq!(a.positional(1), Some("bob"));
+        assert_eq!(a.get_or("top", 10usize).unwrap(), 3);
+        assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
+        assert_eq!(a.positionals().len(), 2);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let argv = vec!["--kb".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = parse(&["--top", "many"]);
+        assert!(a.get_or("top", 1usize).is_err());
+    }
+}

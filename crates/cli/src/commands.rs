@@ -1,0 +1,230 @@
+//! The `rex` subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use rex_core::decorate::decorate;
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::{
+    Combined, CountMeasure, LocalDeviationMeasure, LocalDistMeasure, Measure, MeasureContext,
+    MonocountMeasure, RandomWalkMeasure, SizeMeasure,
+};
+use rex_core::ranking::rank;
+use rex_core::EnumConfig;
+use rex_kb::KnowledgeBase;
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rex — explain why two entities are related (REX, PVLDB 5(3), 2011)
+
+USAGE:
+  rex explain  --kb <kb.tsv> <start> <end> [--top K] [--measure M]
+               [--max-nodes N] [--instance-cap C] [--decorate] [--toy]
+  rex generate --nodes N --edges M [--labels L] [--seed S] --out <kb.tsv>
+  rex stats    --kb <kb.tsv> | --toy
+  rex pairs    --kb <kb.tsv> [--per-group N] [--seed S] [--toy]
+
+MEASURES (for --measure):
+  size, random-walk, count, monocount, local-dist, local-deviation,
+  size+monocount, size+local-dist (default)";
+
+fn load_kb(args: &Args) -> Result<KnowledgeBase, String> {
+    if args.has("toy") {
+        return Ok(rex_kb::toy::entertainment());
+    }
+    let path = args.get("kb").ok_or("need --kb <file.tsv> (or --toy)")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    rex_kb::io::read_tsv(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn measure_by_name(name: &str) -> Result<Box<dyn Measure>, String> {
+    Ok(match name {
+        "size" => Box::new(SizeMeasure),
+        "random-walk" => Box::new(RandomWalkMeasure),
+        "count" => Box::new(CountMeasure),
+        "monocount" => Box::new(MonocountMeasure),
+        "local-dist" => Box::new(LocalDistMeasure::new()),
+        "local-deviation" => Box::new(LocalDeviationMeasure::new()),
+        "size+monocount" => Box::new(Combined::size_monocount()),
+        "size+local-dist" => Box::new(Combined::size_local_dist()),
+        other => return Err(format!("unknown measure {other:?} (see `rex help`)")),
+    })
+}
+
+/// `rex explain`: enumerate and rank explanations for a pair.
+pub fn explain(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let kb = load_kb(&args)?;
+    let start_name = args.positional(0).ok_or("need <start> entity name")?;
+    let end_name = args.positional(1).ok_or("need <end> entity name")?;
+    let start = kb.require_node(start_name).map_err(|e| e.to_string())?;
+    let end = kb.require_node(end_name).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("top", 5)?;
+    let max_nodes: usize = args.get_or("max-nodes", 5)?;
+    let cap: usize = args.get_or("instance-cap", 5_000)?;
+    let measure = measure_by_name(args.get("measure").unwrap_or("size+local-dist"))?;
+
+    let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
+    let t0 = std::time::Instant::now();
+    let out = GeneralEnumerator::new(config).enumerate(&kb, start, end);
+    let elapsed = t0.elapsed();
+    if !args.has("quiet") {
+        println!(
+            "{} minimal explanations for {start_name} ↔ {end_name} in {:.1} ms \
+             ({} path patterns, {} merges)",
+            out.explanations.len(),
+            elapsed.as_secs_f64() * 1e3,
+            out.stats.path_patterns,
+            out.stats.merge_calls,
+        );
+    }
+    let ctx = MeasureContext::new(&kb, start, end);
+    for (i, r) in rank(&out.explanations, measure.as_ref(), &ctx, k).iter().enumerate() {
+        let e = &out.explanations[r.index];
+        println!("{}. {}", i + 1, e.describe(&kb));
+        if args.has("decorate") {
+            for d in decorate(&kb, e, 2) {
+                println!("     + {}", d.describe(&kb));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `rex generate`: write a synthetic entertainment KB as TSV.
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let nodes: usize = args.get_or("nodes", 10_000)?;
+    let edges: usize = args.get_or("edges", nodes * 6)?;
+    let labels: usize = args.get_or("labels", 280)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out_path = args.get("out").ok_or("need --out <file.tsv>")?;
+    let config = rex_datagen::GeneratorConfig {
+        nodes,
+        edges,
+        labels,
+        label_zipf_exponent: 1.1,
+        preferential_attachment: 0.6,
+        seed,
+    };
+    let kb = rex_datagen::generate(&config);
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    rex_kb::io::write_tsv(&kb, &mut writer).map_err(|e| format!("write failed: {e}"))?;
+    println!("wrote {}: {}", out_path, rex_kb::stats::summary(&kb));
+    Ok(())
+}
+
+/// `rex stats`: print knowledge-base statistics.
+pub fn stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let kb = load_kb(&args)?;
+    println!("{}", rex_kb::stats::summary(&kb));
+    let mut labels: Vec<(usize, String)> = rex_kb::stats::label_histogram(&kb)
+        .into_iter()
+        .map(|(l, c)| (c, kb.label_name(l).to_string()))
+        .collect();
+    labels.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top relationship labels:");
+    for (count, label) in labels.into_iter().take(10) {
+        println!("  {count:>8}  {label}");
+    }
+    let mut types: Vec<(usize, String)> = rex_kb::stats::type_histogram(&kb)
+        .into_iter()
+        .map(|(t, c)| (c, kb.type_name(t).to_string()))
+        .collect();
+    types.sort_unstable_by(|a, b| b.cmp(a));
+    println!("entity types:");
+    for (count, ty) in types.into_iter().take(10) {
+        println!("  {count:>8}  {ty}");
+    }
+    Ok(())
+}
+
+/// `rex pairs`: sample related pairs stratified by connectedness (§5.1).
+pub fn pairs(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let kb = load_kb(&args)?;
+    let per_group: usize = args.get_or("per-group", 10)?;
+    let seed: u64 = args.get_or("seed", 2011)?;
+    let sampled = rex_datagen::sample_pairs(&kb, per_group, 4, seed);
+    if sampled.is_empty() {
+        return Err("no related pairs found (KB too sparse?)".into());
+    }
+    println!("{:<28} {:<28} {:>12} {:>8}", "start", "end", "connectedness", "group");
+    for p in sampled {
+        println!(
+            "{:<28} {:<28} {:>12} {:>8}",
+            kb.node_name(p.start),
+            kb.node_name(p.end),
+            p.connectedness,
+            p.group.name()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_stats_pairs_explain_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rex-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let kb_path = dir.join("kb.tsv");
+        let kb_path = kb_path.to_str().unwrap().to_string();
+
+        generate(&argv(&["--nodes", "400", "--edges", "2400", "--seed", "7", "--out", &kb_path]))
+            .expect("generate");
+        stats(&argv(&["--kb", &kb_path])).expect("stats");
+        pairs(&argv(&["--kb", &kb_path, "--per-group", "1", "--seed", "3"])).expect("pairs");
+        // Explain on the toy KB (deterministic entity names).
+        explain(&argv(&["--toy", "brad_pitt", "angelina_jolie", "--top", "3", "--quiet"]))
+            .expect("explain");
+        explain(&argv(&[
+            "--toy",
+            "kate_winslet",
+            "leonardo_dicaprio",
+            "--decorate",
+            "--measure",
+            "local-dist",
+            "--quiet",
+        ]))
+        .expect("explain with decoration");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(explain(&argv(&["--toy"])).is_err()); // missing entities
+        assert!(explain(&argv(&["--toy", "nobody", "brad_pitt"])).is_err());
+        assert!(explain(&argv(&["--toy", "brad_pitt", "angelina_jolie", "--measure", "bogus"]))
+            .is_err());
+        assert!(stats(&argv(&[])).is_err()); // no --kb and no --toy
+        assert!(generate(&argv(&["--nodes", "10"])).is_err()); // no --out
+    }
+
+    #[test]
+    fn measure_registry_is_complete() {
+        for name in [
+            "size",
+            "random-walk",
+            "count",
+            "monocount",
+            "local-dist",
+            "local-deviation",
+            "size+monocount",
+            "size+local-dist",
+        ] {
+            assert!(measure_by_name(name).is_ok(), "{name}");
+        }
+        assert!(measure_by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! `rex` — command-line interface to the REX relationship-explanation
+//! system.
+//!
+//! ```text
+//! rex explain  --kb kb.tsv tom_cruise brad_pitt [--top 5] [--measure size+local-dist]
+//!              [--max-nodes 5] [--decorate] [--toy]
+//! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
+//! rex stats    --kb kb.tsv
+//! rex pairs    --kb kb.tsv --per-group 10 [--seed 2011]
+//! ```
+//!
+//! The knowledge base is the TSV interchange format of `rex_kb::io`
+//! (`N<TAB>name<TAB>type` node lines, `E<TAB>src<TAB>dst<TAB>label<TAB>d|u`
+//! edge lines). `--toy` substitutes the built-in entertainment example.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "explain" => commands::explain(rest),
+        "generate" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "pairs" => commands::pairs(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

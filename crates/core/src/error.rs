@@ -1,0 +1,51 @@
+//! Error type of the core crate.
+
+/// Errors raised by enumeration and ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A pattern failed structural validation.
+    InvalidPattern(String),
+    /// The pattern-size limit is too small to hold any explanation.
+    LimitTooSmall(usize),
+    /// An entity referenced by a query does not exist.
+    UnknownEntity(String),
+    /// An error bubbled up from the relational engine.
+    Relational(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+            CoreError::LimitTooSmall(n) => {
+                write!(f, "pattern-size limit {n} cannot hold an explanation (need ≥ 2)")
+            }
+            CoreError::UnknownEntity(name) => write!(f, "unknown entity: {name}"),
+            CoreError::Relational(msg) => write!(f, "relational engine: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<rex_relstore::RelError> for CoreError {
+    fn from(e: rex_relstore::RelError) -> Self {
+        CoreError::Relational(e.to_string())
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::LimitTooSmall(1).to_string().contains("limit 1"));
+        assert!(CoreError::UnknownEntity("x".into()).to_string().contains('x'));
+        let rel: CoreError = rex_relstore::RelError::UnknownColumn("c".into()).into();
+        assert!(rel.to_string().contains("unknown column"));
+    }
+}

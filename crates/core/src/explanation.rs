@@ -1,0 +1,178 @@
+//! Relationship explanations: a pattern plus its instances.
+
+use rex_kb::KnowledgeBase;
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::instance::{uniq_counts, Instance};
+use crate::pattern::Pattern;
+
+/// A relationship explanation `(p, I_p)` for a fixed entity pair: the
+/// pattern and **all** of its instances (or a capped prefix when the
+/// enumeration ran with an instance cap — see [`Explanation::saturated`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The explanation pattern.
+    pub pattern: Pattern,
+    /// The supporting instances.
+    pub instances: Vec<Instance>,
+    /// Whether the instance list was truncated by an instance cap (counts
+    /// derived from it are then lower bounds).
+    pub saturated: bool,
+    key: CanonicalKey,
+}
+
+impl Explanation {
+    /// Creates an explanation, computing the pattern's canonical key.
+    pub fn new(pattern: Pattern, instances: Vec<Instance>) -> Explanation {
+        let key = canonical_key(&pattern);
+        Explanation { pattern, instances, saturated: false, key }
+    }
+
+    /// Creates an explanation whose instance list hit an enumeration cap.
+    pub fn new_saturated(pattern: Pattern, instances: Vec<Instance>) -> Explanation {
+        let mut e = Explanation::new(pattern, instances);
+        e.saturated = true;
+        e
+    }
+
+    /// The canonical key used for isomorphism-exact deduplication.
+    pub fn key(&self) -> &CanonicalKey {
+        &self.key
+    }
+
+    /// `M_count`: the number of distinct instances (§4.2).
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `M_monocount` (§4.2): the minimum, over non-target variables, of the
+    /// number of distinct entities the variable binds across all instances.
+    /// Defined as 1 for patterns with no non-target variable (the paper's
+    /// direct-edge override).
+    pub fn monocount(&self) -> usize {
+        if self.pattern.var_count() <= 2 {
+            return 1;
+        }
+        let uniq = uniq_counts(&self.pattern, &self.instances);
+        uniq[2..].iter().copied().min().unwrap_or(1)
+    }
+
+    /// Human-readable one-liner: the pattern plus an example instance.
+    pub fn describe(&self, kb: &KnowledgeBase) -> String {
+        let pattern = self.pattern.describe(kb);
+        match self.instances.first() {
+            Some(inst) => {
+                let bindings: Vec<String> = (0..self.pattern.var_count())
+                    .map(|v| {
+                        let var = crate::pattern::VarId(v as u8);
+                        format!("{var}={}", kb.node_name(inst.get(var)))
+                    })
+                    .collect();
+                format!("{pattern}  e.g. {} ({} instances)", bindings.join(", "), self.count())
+            }
+            None => format!("{pattern}  (no instances)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::EdgeDir;
+    use rex_kb::NodeId;
+
+    fn costar(kb: &KnowledgeBase) -> Pattern {
+        let starring = kb.label_by_name("starring").unwrap();
+        Pattern::path(&[(starring, EdgeDir::Forward), (starring, EdgeDir::Backward)]).unwrap()
+    }
+
+    #[test]
+    fn count_and_monocount() {
+        let kb = rex_kb::toy::entertainment();
+        let p = costar(&kb);
+        let e = Explanation::new(
+            p,
+            vec![
+                Instance::new(vec![NodeId(0), NodeId(1), NodeId(20)]),
+                Instance::new(vec![NodeId(0), NodeId(1), NodeId(21)]),
+            ],
+        );
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.monocount(), 2);
+        assert!(!e.saturated);
+    }
+
+    #[test]
+    fn monocount_direct_edge_override() {
+        let kb = rex_kb::toy::entertainment();
+        let spouse = kb.label_by_name("spouse").unwrap();
+        let p = Pattern::path(&[(spouse, EdgeDir::Undirected)]).unwrap();
+        let e = Explanation::new(p, vec![Instance::new(vec![NodeId(0), NodeId(1)])]);
+        assert_eq!(e.monocount(), 1);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn monocount_is_min_over_variables() {
+        // Example 6: v1 binds {sam_mendes}, v2 binds {rev_road, rev_road_2}
+        // → monocount 1 while count is 2.
+        let kb = rex_kb::toy::entertainment();
+        let starring = kb.label_by_name("starring").unwrap();
+        let db = kb.label_by_name("directed_by").unwrap();
+        let p = Pattern::new(
+            4,
+            vec![
+                crate::pattern::PatternEdge::new(
+                    crate::pattern::START_VAR,
+                    crate::pattern::VarId(2),
+                    starring,
+                    true,
+                ),
+                crate::pattern::PatternEdge::new(
+                    crate::pattern::END_VAR,
+                    crate::pattern::VarId(2),
+                    starring,
+                    true,
+                ),
+                crate::pattern::PatternEdge::new(
+                    crate::pattern::VarId(2),
+                    crate::pattern::VarId(3),
+                    db,
+                    true,
+                ),
+            ],
+        )
+        .unwrap();
+        let e = Explanation::new(
+            p,
+            vec![
+                Instance::new(vec![NodeId(0), NodeId(1), NodeId(20), NodeId(30)]),
+                Instance::new(vec![NodeId(0), NodeId(1), NodeId(21), NodeId(30)]),
+            ],
+        );
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.monocount(), 1);
+    }
+
+    #[test]
+    fn saturated_flag() {
+        let kb = rex_kb::toy::entertainment();
+        let e = Explanation::new_saturated(costar(&kb), vec![]);
+        assert!(e.saturated);
+    }
+
+    #[test]
+    fn describe_mentions_pattern_and_instance() {
+        let kb = rex_kb::toy::entertainment();
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let aj = kb.require_node("angelina_jolie").unwrap();
+        let m = kb.require_node("mr_and_mrs_smith").unwrap();
+        let e = Explanation::new(costar(&kb), vec![Instance::new(vec![bp, aj, m])]);
+        let s = e.describe(&kb);
+        assert!(s.contains("starring"));
+        assert!(s.contains("brad_pitt"));
+        assert!(s.contains("1 instances"));
+        let empty = Explanation::new(costar(&kb), vec![]);
+        assert!(empty.describe(&kb).contains("no instances"));
+    }
+}

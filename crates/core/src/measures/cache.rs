@@ -1,0 +1,200 @@
+//! Shared distribution cache — the "amortizing the computation over
+//! different pairs by sharing the computation involved" optimization the
+//! paper sketches in §5.3.2.
+//!
+//! The expensive ingredient of every distribution measure is the *local
+//! count multiset* of a pattern for a start entity: one grouped relational
+//! query. That multiset depends only on the pattern **up to isomorphism**
+//! and the start entity — not on the end entity, not on the aggregate
+//! value being positioned — so it can be shared:
+//!
+//! * across explanations of the same pair whose patterns are isomorphic,
+//! * across *different pairs* with the same start entity,
+//! * across the 100 sampled starts of the global estimate, when several
+//!   explanations share a pattern shape (extremely common: every pair has
+//!   a co-star-shaped explanation).
+//!
+//! The cache is keyed by `(canonical pattern key, start entity)` and holds
+//! the descending count multiset; any position query is then a binary
+//! search. Thread-safe (`parking_lot::RwLock`) so the parallel ranker can
+//! share it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rex_relstore::engine::EdgeIndex;
+
+use crate::canonical::CanonicalKey;
+use crate::explanation::Explanation;
+use crate::measures::distribution::position_in;
+
+/// Cache key: canonical pattern key plus start entity id.
+type CacheKey = (CanonicalKey, u32);
+
+/// Thread-safe cache of local count multisets.
+#[derive(Debug, Default)]
+pub struct DistributionCache {
+    inner: RwLock<HashMap<CacheKey, Arc<Vec<u64>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DistributionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The descending count multiset of `e`'s pattern for `start`,
+    /// computing and caching it on first use.
+    pub fn counts(&self, index: &EdgeIndex, e: &Explanation, start: u32) -> Arc<Vec<u64>> {
+        let key = (e.key().clone(), start);
+        if let Some(hit) = self.inner.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let spec = e.pattern.to_spec();
+        let dist = rex_relstore::engine::local_count_distribution_indexed(
+            index,
+            &spec,
+            start as u64,
+        )
+        .expect("explanation patterns are valid specs");
+        let mut counts: Vec<u64> = dist.into_values().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let counts = Arc::new(counts);
+        // A racing thread may have inserted meanwhile; keep the first.
+        let mut guard = self.inner.write();
+        Arc::clone(guard.entry(key).or_insert(counts))
+    }
+
+    /// Local position of `e` (count aggregate) via the cache.
+    pub fn local_position(&self, index: &EdgeIndex, e: &Explanation, start: u32) -> usize {
+        position_in(&self.counts(index, e, start), e.count() as u64)
+    }
+
+    /// Sampled global position of `e` via the cache.
+    pub fn global_position(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[rex_kb::NodeId],
+    ) -> usize {
+        starts
+            .iter()
+            .map(|s| position_in(&self.counts(index, e, s.0), e.count() as u64))
+            .sum()
+    }
+
+    /// Number of cached multisets.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::measures::distribution::{global_position, local_position};
+    use crate::measures::MeasureContext;
+    use crate::EnumConfig;
+
+    #[test]
+    fn cached_positions_match_uncached() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(10, 3);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        let starts = ctx.global_sample_starts();
+        for e in &out.explanations {
+            assert_eq!(
+                cache.local_position(index, e, a.0),
+                local_position(&ctx, e, usize::MAX),
+                "{}",
+                e.describe(&kb)
+            );
+            assert_eq!(
+                cache.global_position(index, e, &starts),
+                global_position(&ctx, e, usize::MAX),
+                "{}",
+                e.describe(&kb)
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+            .enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        for e in &out.explanations {
+            cache.local_position(index, e, a.0);
+        }
+        let (_, misses_first) = cache.stats();
+        for e in &out.explanations {
+            cache.local_position(index, e, a.0);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_first, "second pass must not miss");
+        assert!(hits >= out.explanations.len());
+        assert!(!cache.is_empty());
+        assert!(cache.len() <= out.explanations.len());
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4))
+            .enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        let serial: Vec<usize> = out
+            .explanations
+            .iter()
+            .map(|e| DistributionCache::new().local_position(index, e, a.0))
+            .collect();
+        let parallel: Vec<usize> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = out
+                .explanations
+                .chunks(2)
+                .map(|chunk| {
+                    let cache = &cache;
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|e| cache.local_position(index, e, a.0))
+                            .collect::<Vec<usize>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("no panic")).collect()
+        })
+        .expect("scope");
+        assert_eq!(serial, parallel);
+    }
+}

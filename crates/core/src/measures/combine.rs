@@ -1,0 +1,138 @@
+//! Combination measures (§5.4.1): a primary comparison index refined by a
+//! secondary one.
+//!
+//! The paper combines the coarse-grained size measure with an aggregate or
+//! distributional measure ("use size as the primary comparison index and
+//! the other as the secondary"), and finds the combinations beat every
+//! individual measure. The combination is lexicographic; we realize it
+//! numerically by scaling the primary and squashing the secondary into
+//! `(-1, 1)` so the secondary can reorder only within a primary tie.
+
+use crate::explanation::Explanation;
+use crate::measures::{
+    Measure, MeasureContext, LocalDistMeasure, MonocountMeasure, SizeMeasure,
+};
+
+/// Lexicographic combination of two measures.
+pub struct Combined {
+    primary: Box<dyn Measure>,
+    secondary: Box<dyn Measure>,
+    name: &'static str,
+}
+
+/// Scale separating primary score steps from squashed secondary scores.
+/// Primary measures in REX take values on integer-ish grids (size ≈ -2…-8,
+/// positions, counts), so 1e4 leaves ample room.
+const PRIMARY_SCALE: f64 = 1e4;
+
+/// Monotone squash into (-1, 1).
+fn squash(x: f64) -> f64 {
+    x / (1.0 + x.abs())
+}
+
+impl Combined {
+    /// Combines two measures lexicographically with a display name.
+    pub fn new(primary: Box<dyn Measure>, secondary: Box<dyn Measure>, name: &'static str) -> Self {
+        Combined { primary, secondary, name }
+    }
+
+    /// `size + monocount` — the anti-monotonic combination recommended when
+    /// efficiency matters (both components prune via Theorem 4).
+    pub fn size_monocount() -> Self {
+        Combined::new(Box::new(SizeMeasure), Box::new(MonocountMeasure), "size+monocount")
+    }
+
+    /// `size + local-dist` — the best-performing combination of Table 1.
+    pub fn size_local_dist() -> Self {
+        Combined::new(Box::new(SizeMeasure), Box::new(LocalDistMeasure::new()), "size+local-dist")
+    }
+}
+
+impl Measure for Combined {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn score(&self, ctx: &MeasureContext<'_>, e: &Explanation) -> f64 {
+        self.primary.score(ctx, e) * PRIMARY_SCALE + squash(self.secondary.score(ctx, e))
+    }
+
+    fn anti_monotonic(&self) -> bool {
+        // The squash is monotone, so the lexicographic combination is
+        // anti-monotonic exactly when both components are.
+        self.primary.anti_monotonic() && self.secondary.anti_monotonic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::EnumConfig;
+
+    #[test]
+    fn squash_is_monotone_and_bounded() {
+        assert!(squash(-100.0) > -1.0);
+        assert!(squash(100.0) < 1.0);
+        assert!(squash(1.0) > squash(0.0));
+        assert!(squash(0.0) > squash(-1.0));
+        assert_eq!(squash(0.0), 0.0);
+    }
+
+    #[test]
+    fn primary_dominates_secondary() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let m = Combined::size_monocount();
+        // Any 2-node explanation must outrank any 3-node one regardless of
+        // monocount.
+        let small = out.explanations.iter().find(|e| e.pattern.var_count() == 2).unwrap();
+        let large = out.explanations.iter().find(|e| e.pattern.var_count() == 3).unwrap();
+        assert!(m.score(&ctx, small) > m.score(&ctx, large));
+    }
+
+    #[test]
+    fn secondary_breaks_primary_ties() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+            .enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let m = Combined::size_local_dist();
+        let spouse = out
+            .explanations
+            .iter()
+            .find(|e| e.pattern.describe(&kb) == "(start)-[spouse]-(end)")
+            .unwrap();
+        // 2-hop co-star: same… no — sizes differ (2 vs 3 nodes). Compare
+        // two 3-node path explanations instead: co-star (position > 0)
+        // vs a rarer 2-hop if present. At minimum verify the tie-break
+        // ordering agrees with local-dist among equal-size patterns.
+        let three: Vec<_> =
+            out.explanations.iter().filter(|e| e.pattern.var_count() == 3).collect();
+        if three.len() >= 2 {
+            let ld = LocalDistMeasure::new();
+            let size = SizeMeasure;
+            for x in &three {
+                for y in &three {
+                    if size.score(&ctx, x) != size.score(&ctx, y) {
+                        continue; // primary differs (edge-count tie-break)
+                    }
+                    let (sx, sy) = (m.score(&ctx, x), m.score(&ctx, y));
+                    let (lx, ly) = (ld.score(&ctx, x), ld.score(&ctx, y));
+                    if lx > ly {
+                        assert!(sx > sy, "tie-break disagreed with local-dist");
+                    }
+                }
+            }
+        }
+        // And spouse (size 2) still dominates everything of size 3.
+        for x in &three {
+            assert!(m.score(&ctx, spouse) > m.score(&ctx, x));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared evaluation context for measures.
+
+use std::cell::OnceCell;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rex_kb::{KnowledgeBase, NodeId};
+use rex_relstore::engine::EdgeIndex;
+
+/// Everything a measure may need besides the explanation itself: the
+/// knowledge base, the target pair, a lazily materialized oriented edge
+/// relation (for the SQL-style distribution queries of §5.3.2), and the
+/// random start-entity sample used to estimate global distributions.
+pub struct MeasureContext<'a> {
+    /// The knowledge base.
+    pub kb: &'a KnowledgeBase,
+    /// Start target entity.
+    pub vstart: NodeId,
+    /// End target entity.
+    pub vend: NodeId,
+    /// Number of sampled local distributions estimating the global one
+    /// (the paper uses 100).
+    pub global_samples: usize,
+    /// Seed for the global sample.
+    pub sample_seed: u64,
+    edge_index: OnceCell<EdgeIndex>,
+}
+
+impl<'a> MeasureContext<'a> {
+    /// Context with the paper's defaults (100 global samples).
+    pub fn new(kb: &'a KnowledgeBase, vstart: NodeId, vend: NodeId) -> Self {
+        MeasureContext {
+            kb,
+            vstart,
+            vend,
+            global_samples: 100,
+            sample_seed: 0xDB9,
+            edge_index: OnceCell::new(),
+        }
+    }
+
+    /// Overrides the global-distribution sample size.
+    pub fn with_global_samples(mut self, samples: usize, seed: u64) -> Self {
+        self.global_samples = samples;
+        self.sample_seed = seed;
+        self
+    }
+
+    /// The label-partitioned edge index, built on first use and shared by
+    /// all distribution-measure evaluations in this context.
+    pub fn edge_index(&self) -> &EdgeIndex {
+        self.edge_index.get_or_init(|| EdgeIndex::build(self.kb))
+    }
+
+    /// The deterministic random start entities for global-distribution
+    /// estimation (excludes the context's own start entity so the local
+    /// distribution is not double counted).
+    pub fn global_sample_starts(&self) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(self.sample_seed);
+        let n = self.kb.node_count() as u32;
+        let mut out = Vec::with_capacity(self.global_samples);
+        if n == 0 {
+            return out;
+        }
+        let mut guard = 0;
+        while out.len() < self.global_samples && guard < self.global_samples * 20 {
+            guard += 1;
+            let candidate = NodeId(rng.gen_range(0..n));
+            if candidate != self.vstart && self.kb.degree(candidate) > 0 {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_index_is_cached() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let ctx = MeasureContext::new(&kb, a, b);
+        let r1 = ctx.edge_index() as *const EdgeIndex;
+        let r2 = ctx.edge_index() as *const EdgeIndex;
+        assert_eq!(r1, r2);
+        assert!(ctx.edge_index().total_rows() >= kb.edge_count());
+    }
+
+    #[test]
+    fn global_samples_deterministic_and_exclude_start() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(10, 7);
+        let s1 = ctx.global_sample_starts();
+        let s2 = ctx.global_sample_starts();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 10);
+        assert!(s1.iter().all(|&x| x != a));
+    }
+}

@@ -1,0 +1,105 @@
+//! Interestingness measures (paper §4).
+//!
+//! A [`Measure`] maps an explanation (pattern + instances, with the
+//! knowledge base and target pair available through [`MeasureContext`]) to
+//! a real score — **higher is more interesting** throughout, so every
+//! ranking sorts descending regardless of measure.
+//!
+//! Three families:
+//!
+//! * **structure-based** (§4.1): [`SizeMeasure`], [`RandomWalkMeasure`];
+//! * **aggregate** (§4.2): [`CountMeasure`], [`MonocountMeasure`];
+//! * **distribution-based** (§4.3): [`LocalDistMeasure`],
+//!   [`GlobalDistMeasure`] — the rarity of the pair's aggregate value
+//!   among alternative target pairs, computed through the relational
+//!   engine exactly as the paper's SQL formulation does.
+//!
+//! [`Combined`] builds the lexicographic combinations evaluated in §5.4.1
+//! (`size + monocount`, `size + local-dist`).
+//!
+//! A measure declares whether it is **anti-monotonic** (Definition 7):
+//! expanding a pattern can only lower the score. Anti-monotonicity is what
+//! licenses the aggressive top-k pruning of Theorem 4
+//! ([`crate::ranking::topk`]).
+
+mod aggregate;
+pub mod cache;
+mod combine;
+mod context;
+pub mod distribution;
+mod structure;
+
+pub use aggregate::{CountMeasure, MonocountMeasure};
+pub use cache::DistributionCache;
+pub use combine::Combined;
+pub use context::MeasureContext;
+pub use distribution::{GlobalDistMeasure, LocalDeviationMeasure, LocalDistMeasure};
+pub use structure::{RandomWalkMeasure, SizeMeasure};
+
+use crate::explanation::Explanation;
+
+/// An interestingness measure (Definition 7). Higher scores mean more
+/// interesting; ties are broken deterministically by the ranking layer.
+pub trait Measure {
+    /// Short name used in reports (matches Table 1 row labels).
+    fn name(&self) -> &'static str;
+
+    /// Scores one explanation.
+    fn score(&self, ctx: &MeasureContext<'_>, explanation: &Explanation) -> f64;
+
+    /// Whether the measure is anti-monotonic: any expansion of a pattern
+    /// scores no higher than the pattern itself. Required by
+    /// [`crate::ranking::topk`].
+    fn anti_monotonic(&self) -> bool {
+        false
+    }
+}
+
+/// The standard measure line-up of Table 1, in row order. The distribution
+/// measures use the context's global-sample configuration.
+pub fn table1_measures() -> Vec<Box<dyn Measure>> {
+    vec![
+        Box::new(SizeMeasure),
+        Box::new(RandomWalkMeasure),
+        Box::new(CountMeasure),
+        Box::new(MonocountMeasure),
+        Box::new(LocalDistMeasure::new()),
+        Box::new(GlobalDistMeasure),
+        Box::new(Combined::size_monocount()),
+        Box::new(Combined::size_local_dist()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lineup_names() {
+        let names: Vec<&str> = table1_measures().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "size",
+                "random-walk",
+                "count",
+                "monocount",
+                "local-dist",
+                "global-dist",
+                "size+monocount",
+                "size+local-dist",
+            ]
+        );
+    }
+
+    #[test]
+    fn anti_monotonic_flags() {
+        assert!(SizeMeasure.anti_monotonic());
+        assert!(MonocountMeasure.anti_monotonic());
+        assert!(!CountMeasure.anti_monotonic());
+        assert!(!RandomWalkMeasure.anti_monotonic());
+        assert!(!LocalDistMeasure::new().anti_monotonic());
+        assert!(Combined::size_monocount().anti_monotonic());
+        assert!(!Combined::size_local_dist().anti_monotonic());
+    }
+}

@@ -1,0 +1,146 @@
+//! Structure-based measures (§4.1): size and random walk.
+
+use rex_linalg::laplacian::ConductanceNetwork;
+
+use crate::explanation::Explanation;
+use crate::measures::{Measure, MeasureContext};
+use crate::pattern::{END_VAR, START_VAR};
+
+/// `M_size`: smaller patterns are more interesting. The score is the
+/// negated node count, with the edge count as a small tie-breaker so that
+/// among equal-sized patterns the sparser one wins.
+///
+/// Anti-monotonic: every expansion adds a node or an edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeMeasure;
+
+impl Measure for SizeMeasure {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn score(&self, _ctx: &MeasureContext<'_>, e: &Explanation) -> f64 {
+        -(e.pattern.var_count() as f64) - 0.001 * e.pattern.edge_count() as f64
+    }
+
+    fn anti_monotonic(&self) -> bool {
+        true
+    }
+}
+
+/// `M_walk`: the random-walk / electrical-current measure. The pattern is
+/// viewed as a network of unit resistors (parallel edges conduct in
+/// parallel, direction is ignored) and the score is the current delivered
+/// from the start target to the end target under a unit potential
+/// difference — i.e. the effective conductance (Faloutsos et al., KDD'04,
+/// lifted from instance graphs to patterns as §4.1 describes).
+///
+/// Not anti-monotonic: adding a parallel branch increases conductance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomWalkMeasure;
+
+impl Measure for RandomWalkMeasure {
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+
+    fn score(&self, _ctx: &MeasureContext<'_>, e: &Explanation) -> f64 {
+        let mut net = ConductanceNetwork::new(e.pattern.var_count());
+        for edge in e.pattern.edges() {
+            net.add_edge(edge.u.index(), edge.v.index(), 1.0);
+        }
+        net.effective_conductance(START_VAR.index(), END_VAR.index())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::pattern::{EdgeDir, Pattern};
+    use rex_kb::{LabelId, NodeId};
+
+    fn ctx(kb: &rex_kb::KnowledgeBase) -> MeasureContext<'_> {
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        MeasureContext::new(kb, a, b)
+    }
+
+    fn expl(p: Pattern) -> Explanation {
+        let n = p.var_count();
+        Explanation::new(p, vec![Instance::new((0..n as u32).map(NodeId).collect())])
+    }
+
+    #[test]
+    fn size_prefers_smaller_patterns() {
+        let kb = rex_kb::toy::entertainment();
+        let c = ctx(&kb);
+        let direct = expl(Pattern::path(&[(LabelId(0), EdgeDir::Undirected)]).unwrap());
+        let two_hop = expl(
+            Pattern::path(&[(LabelId(0), EdgeDir::Forward), (LabelId(0), EdgeDir::Backward)])
+                .unwrap(),
+        );
+        assert!(SizeMeasure.score(&c, &direct) > SizeMeasure.score(&c, &two_hop));
+    }
+
+    #[test]
+    fn size_tie_breaks_on_edges() {
+        let kb = rex_kb::toy::entertainment();
+        let c = ctx(&kb);
+        let sparse = expl(
+            Pattern::path(&[(LabelId(0), EdgeDir::Forward), (LabelId(0), EdgeDir::Backward)])
+                .unwrap(),
+        );
+        let dense = expl(
+            Pattern::new(
+                3,
+                vec![
+                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(0), true),
+                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(2), LabelId(0), true),
+                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(1), true),
+                ],
+            )
+            .unwrap(),
+        );
+        assert!(SizeMeasure.score(&c, &sparse) > SizeMeasure.score(&c, &dense));
+    }
+
+    #[test]
+    fn walk_scores_direct_edge_as_unit() {
+        let kb = rex_kb::toy::entertainment();
+        let c = ctx(&kb);
+        let direct = expl(Pattern::path(&[(LabelId(0), EdgeDir::Undirected)]).unwrap());
+        assert!((RandomWalkMeasure.score(&c, &direct) - 1.0).abs() < 1e-9);
+        // Two-hop path: conductance 1/2.
+        let two_hop = expl(
+            Pattern::path(&[(LabelId(0), EdgeDir::Forward), (LabelId(0), EdgeDir::Backward)])
+                .unwrap(),
+        );
+        assert!((RandomWalkMeasure.score(&c, &two_hop) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walk_rewards_parallel_connections() {
+        let kb = rex_kb::toy::entertainment();
+        let c = ctx(&kb);
+        let two_hop = expl(
+            Pattern::path(&[(LabelId(0), EdgeDir::Forward), (LabelId(0), EdgeDir::Backward)])
+                .unwrap(),
+        );
+        // Diamond: two internally disjoint 2-hop paths.
+        let diamond = expl(
+            Pattern::new(
+                4,
+                vec![
+                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(0), true),
+                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(2), LabelId(0), true),
+                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(3), LabelId(1), true),
+                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(3), LabelId(1), true),
+                ],
+            )
+            .unwrap(),
+        );
+        assert!(RandomWalkMeasure.score(&c, &diamond) > RandomWalkMeasure.score(&c, &two_hop));
+    }
+}

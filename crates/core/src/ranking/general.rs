@@ -1,0 +1,98 @@
+//! The general ranking framework (Algorithm 5).
+
+use crate::explanation::Explanation;
+use crate::measures::{Measure, MeasureContext};
+
+/// One ranked entry: the index of the explanation in the caller's slice
+/// and the measure score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// Index into the explanation slice passed to [`rank`].
+    pub index: usize,
+    /// Measure score (higher = more interesting).
+    pub score: f64,
+}
+
+/// Scores every explanation and returns the top-`k` as `(index, score)`
+/// pairs, ordered best-first. Ties break deterministically on the
+/// canonical pattern key, so equal-scored rankings are reproducible across
+/// runs and platforms.
+pub fn rank(
+    explanations: &[Explanation],
+    measure: &dyn Measure,
+    ctx: &MeasureContext<'_>,
+    k: usize,
+) -> Vec<Ranked> {
+    let scores: Vec<f64> = explanations.iter().map(|e| measure.score(ctx, e)).collect();
+    rank_with_scores(explanations, &scores, k)
+}
+
+/// Ranks pre-computed scores (used by the pruned ranking variants to share
+/// the sort/tie-break policy).
+pub fn rank_with_scores(
+    explanations: &[Explanation],
+    scores: &[f64],
+    k: usize,
+) -> Vec<Ranked> {
+    assert_eq!(explanations.len(), scores.len(), "one score per explanation");
+    let mut order: Vec<usize> = (0..explanations.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("measure scores are never NaN")
+            .then_with(|| explanations[a].key().cmp(explanations[b].key()))
+    });
+    order
+        .into_iter()
+        .take(k)
+        .map(|index| Ranked { index, score: scores[index] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::measures::SizeMeasure;
+    use crate::EnumConfig;
+
+    #[test]
+    fn ranks_descending_with_deterministic_ties() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let top = rank(&out.explanations, &SizeMeasure, &ctx, 5);
+        assert!(top.len() <= 5);
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // Determinism.
+        let again = rank(&out.explanations, &SizeMeasure, &ctx, 5);
+        assert_eq!(top, again);
+        // Best explanation for P1 is the direct spouse edge.
+        assert_eq!(
+            out.explanations[top[0].index].pattern.describe(&kb),
+            "(start)-[spouse]-(end)"
+        );
+    }
+
+    #[test]
+    fn k_larger_than_set_returns_all() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+            .enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        let top = rank(&out.explanations, &SizeMeasure, &ctx, 10_000);
+        assert_eq!(top.len(), out.explanations.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per explanation")]
+    fn score_arity_checked() {
+        let _ = rank_with_scores(&[], &[1.0], 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Explanation ranking (paper §4.4).
+//!
+//! * [`rank`] — Algorithm 5, the general framework: enumerate (done by the
+//!   caller), score every explanation, sort, take `k`. Works for any
+//!   measure.
+//! * [`topk`] — the interleaved enumerate-and-prune algorithm for
+//!   anti-monotonic measures (Theorem 4): expansion proceeds only from the
+//!   current top-k explanations.
+//! * [`distribution`] — `LIMIT`-pruned ranking for the (non-anti-monotonic)
+//!   distribution-based measures (§5.3.2).
+
+pub mod distribution;
+pub mod parallel;
+mod general;
+pub mod topk;
+
+pub use general::{rank, rank_with_scores, Ranked};

@@ -1,0 +1,219 @@
+//! Parallel distribution-based ranking — §5.3.2's observation that
+//! "distributional measures can be computed in parallel as count for
+//! different node pairs can be computed separately", realized with
+//! crossbeam scoped threads over a shared [`DistributionCache`].
+//!
+//! Positions for different explanations are independent, so the
+//! explanation list is strided across workers. With `prune = true`,
+//! workers cooperate through a shared top-k bound: each position query is
+//! limited by the current k-th best position (as in the sequential pruned
+//! ranker), and the bound tightens as results land. Cooperative pruning is
+//! *sound* (a saturated query can never belong to the true top-k) but the
+//! amount pruned depends on scheduling; results are identical either way.
+
+use parking_lot::Mutex;
+use rex_kb::NodeId;
+
+use crate::explanation::Explanation;
+use crate::measures::cache::DistributionCache;
+use crate::measures::distribution::position_in;
+use crate::measures::MeasureContext;
+use crate::ranking::distribution::Scope;
+use crate::ranking::general::{rank_with_scores, Ranked};
+
+/// Shared, thread-safe k-th-best-position bound.
+struct SharedBound {
+    k: usize,
+    best: Mutex<Vec<usize>>,
+}
+
+impl SharedBound {
+    fn new(k: usize) -> SharedBound {
+        SharedBound { k, best: Mutex::new(Vec::new()) }
+    }
+
+    /// The current pruning limit (`usize::MAX` until k results exist).
+    fn limit(&self) -> usize {
+        let best = self.best.lock();
+        if best.len() == self.k {
+            best.last().copied().unwrap_or(usize::MAX).saturating_add(1)
+        } else {
+            usize::MAX
+        }
+    }
+
+    fn record(&self, position: usize) {
+        let mut best = self.best.lock();
+        best.push(position);
+        best.sort_unstable();
+        best.truncate(self.k);
+    }
+}
+
+/// Computes one explanation's position under the given scope, bounded by
+/// `limit`. Uses the shared cache; a bounded query that can be answered
+/// from a cached full multiset is answered exactly (free precision).
+fn position(
+    cache: &DistributionCache,
+    index: &rex_relstore::engine::EdgeIndex,
+    e: &Explanation,
+    vstart: NodeId,
+    sample_starts: &[NodeId],
+    scope: Scope,
+    limit: usize,
+) -> usize {
+    match scope {
+        Scope::Local => {
+            let counts = cache.counts(index, e, vstart.0);
+            position_in(&counts, e.count() as u64).min(limit)
+        }
+        Scope::Global => {
+            let mut total = 0usize;
+            for s in sample_starts {
+                if total >= limit {
+                    break;
+                }
+                let counts = cache.counts(index, e, s.0);
+                total += position_in(&counts, e.count() as u64);
+            }
+            total.min(limit)
+        }
+    }
+}
+
+/// Parallel analogue of
+/// [`rank_by_position`](crate::ranking::distribution::rank_by_position):
+/// same top-k (scores included), computed by `threads` workers sharing a
+/// distribution cache. `k = 0` returns an empty ranking.
+pub fn rank_by_position_parallel(
+    explanations: &[Explanation],
+    ctx: &MeasureContext<'_>,
+    k: usize,
+    scope: Scope,
+    prune: bool,
+    threads: usize,
+) -> Vec<Ranked> {
+    if explanations.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(explanations.len());
+    let cache = DistributionCache::new();
+    let index = ctx.edge_index();
+    let vstart = ctx.vstart;
+    let sample_starts = ctx.global_sample_starts();
+    let bound = SharedBound::new(k);
+
+    let mut positions = vec![0usize; explanations.len()];
+    crossbeam::thread::scope(|scope_| {
+        // Strided partition: worker w takes explanations w, w+T, w+2T, …
+        // `positions` is split per worker and reassembled afterwards.
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let cache = &cache;
+                let bound = &bound;
+                let sample_starts = &sample_starts;
+                scope_.spawn(move |_| {
+                    let mut local: Vec<(usize, usize)> = Vec::new();
+                    let mut i = w;
+                    while i < explanations.len() {
+                        let limit = if prune { bound.limit() } else { usize::MAX };
+                        let p = position(
+                            cache,
+                            index,
+                            &explanations[i],
+                            vstart,
+                            sample_starts,
+                            scope,
+                            limit,
+                        );
+                        if prune {
+                            bound.record(p);
+                        }
+                        local.push((i, p));
+                        i += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, p) in h.join().expect("worker must not panic") {
+                positions[i] = p;
+            }
+        }
+    })
+    .expect("crossbeam scope");
+
+    let scores: Vec<f64> = positions.iter().map(|&p| -(p as f64)).collect();
+    rank_with_scores(explanations, &scores, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::ranking::distribution::rank_by_position;
+    use crate::EnumConfig;
+
+    fn setup() -> (rex_kb::KnowledgeBase, rex_kb::NodeId, rex_kb::NodeId) {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        (kb, a, b)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_local() {
+        let (kb, a, b) = setup();
+        let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b);
+        for threads in [1usize, 2, 4] {
+            for prune in [false, true] {
+                let par = rank_by_position_parallel(
+                    &out.explanations,
+                    &ctx,
+                    5,
+                    Scope::Local,
+                    prune,
+                    threads,
+                );
+                let seq = rank_by_position(&out.explanations, &ctx, 5, Scope::Local, false);
+                let ps: Vec<f64> = par.iter().map(|r| r.score).collect();
+                let ss: Vec<f64> = seq.iter().map(|r| r.score).collect();
+                assert_eq!(ps, ss, "threads={threads} prune={prune}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_global() {
+        let (kb, a, b) = setup();
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+            .enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(8, 5);
+        let par =
+            rank_by_position_parallel(&out.explanations, &ctx, 3, Scope::Global, true, 3);
+        let seq = rank_by_position(&out.explanations, &ctx, 3, Scope::Global, false);
+        let ps: Vec<f64> = par.iter().map(|r| r.score).collect();
+        let ss: Vec<f64> = seq.iter().map(|r| r.score).collect();
+        assert_eq!(ps, ss);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (kb, a, b) = setup();
+        let ctx = MeasureContext::new(&kb, a, b);
+        assert!(rank_by_position_parallel(&[], &ctx, 5, Scope::Local, true, 4).is_empty());
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+            .enumerate(&kb, a, b);
+        assert!(rank_by_position_parallel(
+            &out.explanations,
+            &ctx,
+            0,
+            Scope::Local,
+            true,
+            4
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # rex-datagen — synthetic web-scale entertainment knowledge bases
+//!
+//! The REX paper evaluates on an entertainment knowledge base extracted
+//! from DBpedia: **200K entities, 1.3M primary relationships, 20 entity
+//! types, 2,795 relationship types** (§5.1). That extraction is not
+//! redistributable, so this crate generates synthetic knowledge bases that
+//! reproduce the properties the REX algorithms are actually sensitive to:
+//!
+//! * an entertainment-shaped **type schema** (people, movies, shows, …)
+//!   with type-constrained relationships (`starring: Person → Movie`,
+//!   `spouse: Person — Person`, …);
+//! * a **skewed label universe**: a head of frequent semantic relations
+//!   plus a Zipf long tail of rare labels (DBpedia's 2,795 predicates are
+//!   overwhelmingly rare);
+//! * **heavy-tailed degree distributions** via preferential attachment —
+//!   hubs are what make path enumeration expensive, which is exactly what
+//!   the `PathEnumPrioritized` algorithm exploits (§3.2);
+//! * **deterministic seeding** — every KB is a pure function of its
+//!   [`GeneratorConfig`], so experiments are reproducible.
+//!
+//! The crate also provides the evaluation-pair sampler of §5.1:
+//! [`pairs::sample_pairs`] draws related entity pairs and stratifies them
+//! by *connectedness* (number of simple paths within length 4) into the
+//! paper's low (1–30), medium (31–100), and high (>100) groups.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod generator;
+pub mod labels;
+pub mod pairs;
+pub mod schema;
+
+pub use config::GeneratorConfig;
+pub use generator::generate;
+pub use pairs::{sample_pairs, ConnGroup, PairSample};

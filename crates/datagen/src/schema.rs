@@ -1,0 +1,133 @@
+//! The entertainment type/relationship schema.
+//!
+//! Mirrors the paper's DBpedia extraction: 20 entity types and a core of
+//! semantically meaningful relationship kinds with type constraints. The
+//! long tail of rare labels (DBpedia's 2,795 predicates) is produced by
+//! [`crate::labels`].
+
+/// An entity type with its share of the node population.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSpec {
+    /// Type name (e.g. `Person`).
+    pub name: &'static str,
+    /// Fraction of all nodes carrying this type (fractions sum to 1).
+    pub share: f64,
+}
+
+/// The 20 entity types of the entertainment KB.
+pub const TYPES: &[TypeSpec] = &[
+    TypeSpec { name: "Person", share: 0.32 },
+    TypeSpec { name: "Movie", share: 0.20 },
+    TypeSpec { name: "TvShow", share: 0.07 },
+    TypeSpec { name: "TvEpisode", share: 0.06 },
+    TypeSpec { name: "Album", share: 0.06 },
+    TypeSpec { name: "Song", share: 0.08 },
+    TypeSpec { name: "Band", share: 0.04 },
+    TypeSpec { name: "Character", share: 0.04 },
+    TypeSpec { name: "Studio", share: 0.015 },
+    TypeSpec { name: "RecordLabel", share: 0.01 },
+    TypeSpec { name: "Genre", share: 0.005 },
+    TypeSpec { name: "Award", share: 0.005 },
+    TypeSpec { name: "Festival", share: 0.005 },
+    TypeSpec { name: "Venue", share: 0.01 },
+    TypeSpec { name: "Soundtrack", share: 0.02 },
+    TypeSpec { name: "VideoGame", share: 0.02 },
+    TypeSpec { name: "Book", share: 0.02 },
+    TypeSpec { name: "Play", share: 0.01 },
+    TypeSpec { name: "RadioShow", share: 0.005 },
+    TypeSpec { name: "Website", share: 0.005 },
+];
+
+/// A core relationship kind with type constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct RelSpec {
+    /// Label string.
+    pub label: &'static str,
+    /// Index into [`TYPES`] of the source endpoint's type.
+    pub src_type: usize,
+    /// Index into [`TYPES`] of the destination endpoint's type.
+    pub dst_type: usize,
+    /// Whether the relationship is directed.
+    pub directed: bool,
+    /// Share of all edges carried by this kind (shares of the core schema
+    /// sum to [`CORE_EDGE_SHARE`]; the rest is long tail).
+    pub share: f64,
+}
+
+const PERSON: usize = 0;
+const MOVIE: usize = 1;
+const TVSHOW: usize = 2;
+const TVEPISODE: usize = 3;
+const ALBUM: usize = 4;
+const SONG: usize = 5;
+const BAND: usize = 6;
+const CHARACTER: usize = 7;
+const STUDIO: usize = 8;
+const RECORD_LABEL: usize = 9;
+const GENRE: usize = 10;
+const AWARD: usize = 11;
+const FESTIVAL: usize = 12;
+
+/// Fraction of edges drawn from the core schema; the remaining
+/// `1 - CORE_EDGE_SHARE` is spread over the Zipf long-tail labels.
+pub const CORE_EDGE_SHARE: f64 = 0.85;
+
+/// The core relationship kinds (the "head" of the label distribution).
+pub const RELS: &[RelSpec] = &[
+    RelSpec { label: "starring", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.16 },
+    RelSpec { label: "directed_by", src_type: MOVIE, dst_type: PERSON, directed: true, share: 0.06 },
+    RelSpec { label: "produced", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.04 },
+    RelSpec { label: "wrote", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.03 },
+    RelSpec { label: "spouse", src_type: PERSON, dst_type: PERSON, directed: false, share: 0.02 },
+    RelSpec { label: "genre", src_type: MOVIE, dst_type: GENRE, directed: true, share: 0.05 },
+    RelSpec { label: "won", src_type: PERSON, dst_type: AWARD, directed: true, share: 0.02 },
+    RelSpec { label: "nominated_for", src_type: PERSON, dst_type: AWARD, directed: true, share: 0.03 },
+    RelSpec { label: "cast_member", src_type: PERSON, dst_type: TVSHOW, directed: true, share: 0.05 },
+    RelSpec { label: "episode_of", src_type: TVEPISODE, dst_type: TVSHOW, directed: true, share: 0.06 },
+    RelSpec { label: "guest_star", src_type: PERSON, dst_type: TVEPISODE, directed: true, share: 0.04 },
+    RelSpec { label: "performed", src_type: PERSON, dst_type: SONG, directed: true, share: 0.05 },
+    RelSpec { label: "track_on", src_type: SONG, dst_type: ALBUM, directed: true, share: 0.05 },
+    RelSpec { label: "released", src_type: BAND, dst_type: ALBUM, directed: true, share: 0.03 },
+    RelSpec { label: "member_of", src_type: PERSON, dst_type: BAND, directed: true, share: 0.03 },
+    RelSpec { label: "signed_to", src_type: BAND, dst_type: RECORD_LABEL, directed: true, share: 0.01 },
+    RelSpec { label: "plays_character", src_type: PERSON, dst_type: CHARACTER, directed: true, share: 0.03 },
+    RelSpec { label: "appears_in", src_type: CHARACTER, dst_type: MOVIE, directed: true, share: 0.02 },
+    RelSpec { label: "produced_by_studio", src_type: MOVIE, dst_type: STUDIO, directed: true, share: 0.02 },
+    RelSpec { label: "premiered_at", src_type: MOVIE, dst_type: FESTIVAL, directed: true, share: 0.01 },
+    RelSpec { label: "influenced", src_type: PERSON, dst_type: PERSON, directed: true, share: 0.02 },
+    RelSpec { label: "collaborated_with", src_type: PERSON, dst_type: PERSON, directed: false, share: 0.02 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_twenty_types_summing_to_one() {
+        assert_eq!(TYPES.len(), 20);
+        let total: f64 = TYPES.iter().map(|t| t.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "type shares sum to {total}");
+    }
+
+    #[test]
+    fn rel_shares_sum_to_core_share() {
+        let total: f64 = RELS.iter().map(|r| r.share).sum();
+        assert!((total - CORE_EDGE_SHARE).abs() < 1e-9, "rel shares sum to {total}");
+    }
+
+    #[test]
+    fn rel_type_indices_in_range() {
+        for r in RELS {
+            assert!(r.src_type < TYPES.len());
+            assert!(r.dst_type < TYPES.len());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = RELS.iter().map(|r| r.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), RELS.len());
+    }
+}

@@ -1,0 +1,439 @@
+//! The immutable knowledge-base store.
+//!
+//! [`KnowledgeBase`] is a frozen labeled multigraph in CSR (compressed
+//! sparse row) layout. Every edge — directed or not — contributes an entry
+//! to the adjacency slice of **both** endpoints, because REX's structural
+//! notions (simple paths, essentiality) ignore direction while its pattern
+//! constraints respect it; each entry therefore carries an
+//! [`Orientation`](crate::Orientation) telling how the edge is seen from
+//! that endpoint.
+//!
+//! Per-node adjacency is sorted by `(label, orientation, other)`, so
+//! label-restricted scans — the hot operation of path enumeration and
+//! pattern matching — are a binary search plus a contiguous slice walk.
+
+use std::collections::HashMap;
+
+use crate::ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
+use crate::interner::Interner;
+use crate::{KbError, Result};
+
+/// A node (entity) of the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// Interned entity name (resolve via [`KnowledgeBase::node_name`]).
+    pub name: u32,
+    /// The entity type (e.g. `Person`, `Movie`).
+    pub ty: TypeId,
+}
+
+/// An edge (primary relationship) of the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Source endpoint (arbitrary endpoint for undirected edges).
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Relationship label.
+    pub label: LabelId,
+    /// Whether the relationship is directed (`starring`) or not (`spouse`).
+    pub directed: bool,
+}
+
+/// One adjacency entry: an incident edge seen from a particular endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// Relationship label (first so that derived ordering groups by label).
+    pub label: LabelId,
+    /// How the edge is oriented relative to the owning node.
+    pub orientation: Orientation,
+    /// The opposite endpoint.
+    pub other: NodeId,
+    /// The underlying edge.
+    pub edge: EdgeId,
+}
+
+/// The frozen knowledge base. Construct with [`crate::KbBuilder`].
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    pub(crate) nodes: Vec<NodeRecord>,
+    pub(crate) edges: Vec<EdgeRecord>,
+    pub(crate) names: Interner,
+    pub(crate) types: Interner,
+    pub(crate) labels: Interner,
+    pub(crate) name_to_node: HashMap<u32, NodeId>,
+    /// CSR offsets into `adj`; length is `nodes.len() + 1`.
+    pub(crate) adj_offsets: Vec<u32>,
+    /// Per-node adjacency, sorted by `(label, orientation, other)`.
+    pub(crate) adj: Vec<Neighbor>,
+}
+
+impl KnowledgeBase {
+    /// Number of entities.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary relationships.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct relationship labels.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct entity types.
+    #[inline]
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The node record for `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeRecord {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge record for `id`.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &EdgeRecord {
+        &self.edges[id.index()]
+    }
+
+    /// The entity name of `id`.
+    #[inline]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.names.resolve(self.nodes[id.index()].name)
+    }
+
+    /// The type name of `id`'s entity type.
+    #[inline]
+    pub fn node_type_name(&self, id: NodeId) -> &str {
+        self.types.resolve(self.nodes[id.index()].ty.0)
+    }
+
+    /// The string for a relationship label.
+    #[inline]
+    pub fn label_name(&self, label: LabelId) -> &str {
+        self.labels.resolve(label.0)
+    }
+
+    /// The string for an entity type.
+    #[inline]
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        self.types.resolve(ty.0)
+    }
+
+    /// Looks an entity up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        let nid = self.names.get(name)?;
+        self.name_to_node.get(&nid).copied()
+    }
+
+    /// Looks an entity up by name, erroring when absent.
+    pub fn require_node(&self, name: &str) -> Result<NodeId> {
+        self.node_by_name(name)
+            .ok_or_else(|| KbError::NameNotFound(name.to_string()))
+    }
+
+    /// Looks a relationship label up by string.
+    pub fn label_by_name(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name).map(LabelId)
+    }
+
+    /// Looks an entity type up by string.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.types.get(name).map(TypeId)
+    }
+
+    /// Degree of a node, counting every incident edge once (directed edges
+    /// count regardless of direction; self-loops count once).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// All adjacency entries of `node`, sorted by `(label, orientation,
+    /// other)`.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[Neighbor] {
+        let lo = self.adj_offsets[node.index()] as usize;
+        let hi = self.adj_offsets[node.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Adjacency entries of `node` restricted to `label` (contiguous thanks
+    /// to the sort order; found by binary search).
+    pub fn neighbors_labeled(&self, node: NodeId, label: LabelId) -> &[Neighbor] {
+        let all = self.neighbors(node);
+        let lo = all.partition_point(|n| n.label < label);
+        let hi = all.partition_point(|n| n.label <= label);
+        &all[lo..hi]
+    }
+
+    /// Adjacency entries of `node` restricted to `label` *and* orientation.
+    pub fn neighbors_labeled_oriented(
+        &self,
+        node: NodeId,
+        label: LabelId,
+        orientation: Orientation,
+    ) -> &[Neighbor] {
+        let labeled = self.neighbors_labeled(node, label);
+        let lo = labeled.partition_point(|n| n.orientation < orientation);
+        let hi = labeled.partition_point(|n| n.orientation <= orientation);
+        &labeled[lo..hi]
+    }
+
+    /// Whether there exists at least one edge `(u, v)` with the given label
+    /// and orientation as seen from `u`.
+    pub fn has_edge(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        label: LabelId,
+        orientation: Orientation,
+    ) -> bool {
+        // Scan the smaller endpoint's label slice; slices are sorted by
+        // `other` within (label, orientation), so we can binary-search.
+        let slice = self.neighbors_labeled_oriented(u, label, orientation);
+        slice.binary_search_by(|n| n.other.cmp(&v)).is_ok()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over `(LabelId, &str)` for all labels.
+    pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.labels.iter().map(|(id, s)| (LabelId(id), s))
+    }
+
+    /// Iterates over `(TypeId, &str)` for all entity types.
+    pub fn types(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.types.iter().map(|(id, s)| (TypeId(id), s))
+    }
+
+    /// Counts the simple paths between `a` and `b` of length (edge count) at
+    /// most `max_len`, treating all edges as undirected. This is the
+    /// "connectedness" statistic of §5.1 used to stratify entity pairs into
+    /// low / medium / high groups. Search is capped at `cap` paths so that
+    /// hub-heavy pairs cannot blow up the sampler; the result saturates at
+    /// `cap`.
+    pub fn count_simple_paths(&self, a: NodeId, b: NodeId, max_len: usize, cap: usize) -> usize {
+        if a == b || max_len == 0 {
+            return 0;
+        }
+        let mut on_path = vec![false; self.node_count()];
+        let mut count = 0usize;
+        on_path[a.index()] = true;
+        self.count_paths_rec(a, b, max_len, cap, &mut on_path, &mut count);
+        count
+    }
+
+    fn count_paths_rec(
+        &self,
+        cur: NodeId,
+        target: NodeId,
+        budget: usize,
+        cap: usize,
+        on_path: &mut [bool],
+        count: &mut usize,
+    ) {
+        if *count >= cap {
+            return;
+        }
+        for n in self.neighbors(cur) {
+            if *count >= cap {
+                return;
+            }
+            if n.other == target {
+                *count += 1;
+                continue;
+            }
+            if budget > 1 && !on_path[n.other.index()] {
+                on_path[n.other.index()] = true;
+                self.count_paths_rec(n.other, target, budget - 1, cap, on_path, count);
+                on_path[n.other.index()] = false;
+            }
+        }
+    }
+}
+
+/// Builds the CSR adjacency for a frozen node/edge set. Shared by the
+/// builder and the binary decoder.
+pub(crate) fn build_adjacency(
+    node_count: usize,
+    edges: &[EdgeRecord],
+) -> (Vec<u32>, Vec<Neighbor>) {
+    let mut degrees = vec![0u32; node_count];
+    for e in edges {
+        degrees[e.src.index()] += 1;
+        if e.src != e.dst {
+            degrees[e.dst.index()] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(node_count + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for d in &degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+    let mut adj = vec![
+        Neighbor {
+            label: LabelId(0),
+            orientation: Orientation::Undirected,
+            other: NodeId(0),
+            edge: EdgeId(0),
+        };
+        acc as usize
+    ];
+    for (i, e) in edges.iter().enumerate() {
+        let eid = EdgeId(i as u32);
+        let (fwd, bwd) = if e.directed {
+            (Orientation::Out, Orientation::In)
+        } else {
+            (Orientation::Undirected, Orientation::Undirected)
+        };
+        let slot = cursor[e.src.index()] as usize;
+        adj[slot] = Neighbor { label: e.label, orientation: fwd, other: e.dst, edge: eid };
+        cursor[e.src.index()] += 1;
+        if e.src != e.dst {
+            let slot = cursor[e.dst.index()] as usize;
+            adj[slot] = Neighbor { label: e.label, orientation: bwd, other: e.src, edge: eid };
+            cursor[e.dst.index()] += 1;
+        }
+    }
+    // Sort each node's slice by (label, orientation, other, edge) so that
+    // label scans are contiguous and `has_edge` can binary-search.
+    for v in 0..node_count {
+        let lo = offsets[v] as usize;
+        let hi = offsets[v + 1] as usize;
+        adj[lo..hi].sort_unstable_by_key(|n| (n.label, n.orientation, n.other, n.edge));
+    }
+    (offsets, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::KbBuilder;
+
+    use super::*;
+
+    fn tiny() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "Person");
+        let m = b.add_node("m", "Movie");
+        let c = b.add_node("c", "Person");
+        b.add_directed_edge(a, m, "starring");
+        b.add_directed_edge(c, m, "starring");
+        b.add_undirected_edge(a, c, "spouse");
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let kb = tiny();
+        assert_eq!(kb.node_count(), 3);
+        assert_eq!(kb.edge_count(), 3);
+        assert_eq!(kb.label_count(), 2);
+        assert_eq!(kb.type_count(), 2);
+        let a = kb.require_node("a").unwrap();
+        assert_eq!(kb.node_name(a), "a");
+        assert_eq!(kb.node_type_name(a), "Person");
+        assert!(kb.node_by_name("zzz").is_none());
+        assert!(kb.require_node("zzz").is_err());
+    }
+
+    #[test]
+    fn adjacency_orientations() {
+        let kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let spouse = kb.label_by_name("spouse").unwrap();
+
+        let a_star = kb.neighbors_labeled(a, starring);
+        assert_eq!(a_star.len(), 1);
+        assert_eq!(a_star[0].orientation, Orientation::Out);
+        assert_eq!(a_star[0].other, m);
+
+        let m_star = kb.neighbors_labeled(m, starring);
+        assert_eq!(m_star.len(), 2);
+        assert!(m_star.iter().all(|n| n.orientation == Orientation::In));
+
+        let a_spouse = kb.neighbors_labeled(a, spouse);
+        assert_eq!(a_spouse.len(), 1);
+        assert_eq!(a_spouse[0].orientation, Orientation::Undirected);
+    }
+
+    #[test]
+    fn has_edge_respects_orientation() {
+        let kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        assert!(kb.has_edge(a, m, starring, Orientation::Out));
+        assert!(!kb.has_edge(a, m, starring, Orientation::In));
+        assert!(kb.has_edge(m, a, starring, Orientation::In));
+    }
+
+    #[test]
+    fn degree_counts_incident_edges() {
+        let kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        assert_eq!(kb.degree(a), 2);
+        assert_eq!(kb.degree(m), 2);
+    }
+
+    #[test]
+    fn simple_path_counting() {
+        let kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let c = kb.require_node("c").unwrap();
+        // a-c directly (spouse), and a->m<-c (length 2).
+        assert_eq!(kb.count_simple_paths(a, c, 1, usize::MAX), 1);
+        assert_eq!(kb.count_simple_paths(a, c, 2, usize::MAX), 2);
+        assert_eq!(kb.count_simple_paths(a, c, 4, usize::MAX), 2);
+        // The cap saturates the count.
+        assert_eq!(kb.count_simple_paths(a, c, 4, 1), 1);
+        // Degenerate queries.
+        assert_eq!(kb.count_simple_paths(a, a, 4, usize::MAX), 0);
+        assert_eq!(kb.count_simple_paths(a, c, 0, usize::MAX), 0);
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "T");
+        b.add_undirected_edge(a, a, "self");
+        let kb = b.build();
+        assert_eq!(kb.degree(a), 1);
+    }
+
+    #[test]
+    fn multigraph_parallel_edges() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "T");
+        let c = b.add_node("c", "T");
+        b.add_directed_edge(a, c, "knows");
+        b.add_directed_edge(a, c, "knows");
+        let kb = b.build();
+        let knows = kb.label_by_name("knows").unwrap();
+        assert_eq!(kb.neighbors_labeled(a, knows).len(), 2);
+        assert!(kb.has_edge(a, c, knows, Orientation::Out));
+    }
+}

@@ -1,0 +1,107 @@
+//! A simple string interner.
+//!
+//! The knowledge base interns three string families: entity names,
+//! entity-type names, and relationship labels. Interning turns string
+//! comparisons in the hot enumeration loops into `u32` comparisons and
+//! deduplicates the (heavily repeated) label strings.
+
+use std::collections::HashMap;
+
+/// Append-only string interner with stable `u32` ids.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id. Repeated calls with equal strings
+    /// return the same id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Returns the id of `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an id back to its string. Panics on out-of-range ids, which
+    /// indicate a logic error (ids are only ever produced by this interner).
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_returns_stable_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("starring");
+        let b = i.intern("spouse");
+        let a2 = i.intern("starring");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "starring");
+        assert_eq!(i.resolve(b), "spouse");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let collected: Vec<_> = i.iter().map(|(id, s)| (id, s.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "a".to_string()), (1, "b".to_string()), (2, "c".to_string())]
+        );
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

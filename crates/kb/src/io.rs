@@ -1,0 +1,313 @@
+//! Serialization: TSV interchange and a compact binary snapshot.
+//!
+//! The TSV format mirrors how DBpedia extractions are usually shipped and is
+//! the intended path for loading a *real* knowledge base into REX:
+//!
+//! ```text
+//! # nodes section: one line per entity
+//! N<TAB>name<TAB>type
+//! # edges section: one line per relationship; dir is "d" or "u"
+//! E<TAB>src_name<TAB>dst_name<TAB>label<TAB>dir
+//! ```
+//!
+//! The binary snapshot is a straightforward length-prefixed encoding used to
+//! cache generated benchmark KBs between runs; it is not a stability
+//! guarantee (a magic/version header guards against skew).
+
+use std::io::{BufRead, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::graph::{build_adjacency, EdgeRecord, KnowledgeBase, NodeRecord};
+use crate::ids::{LabelId, NodeId, TypeId};
+use crate::interner::Interner;
+use crate::{KbBuilder, KbError, Result};
+
+const MAGIC: u32 = 0x5245_584B; // "REXK"
+const VERSION: u32 = 1;
+
+/// Writes the knowledge base in TSV interchange form.
+pub fn write_tsv<W: Write>(kb: &KnowledgeBase, out: &mut W) -> std::io::Result<()> {
+    for id in kb.node_ids() {
+        writeln!(out, "N\t{}\t{}", kb.node_name(id), kb.node_type_name(id))?;
+    }
+    for eid in kb.edge_ids() {
+        let e = kb.edge(eid);
+        writeln!(
+            out,
+            "E\t{}\t{}\t{}\t{}",
+            kb.node_name(e.src),
+            kb.node_name(e.dst),
+            kb.label_name(e.label),
+            if e.directed { "d" } else { "u" }
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a knowledge base from TSV interchange form. Blank lines and lines
+/// starting with `#` are ignored. Node lines must precede the edges that
+/// reference them.
+pub fn read_tsv<R: BufRead>(input: R) -> Result<KnowledgeBase> {
+    let mut builder = KbBuilder::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| KbError::Parse(format!("I/O error: {e}")))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().unwrap_or("");
+        match tag {
+            "N" => {
+                let name = fields
+                    .next()
+                    .ok_or_else(|| KbError::Parse(format!("line {}: missing node name", lineno + 1)))?;
+                let ty = fields.next().unwrap_or("Entity");
+                builder.add_node(name, ty);
+            }
+            "E" => {
+                let src = fields
+                    .next()
+                    .ok_or_else(|| KbError::Parse(format!("line {}: missing src", lineno + 1)))?;
+                let dst = fields
+                    .next()
+                    .ok_or_else(|| KbError::Parse(format!("line {}: missing dst", lineno + 1)))?;
+                let label = fields
+                    .next()
+                    .ok_or_else(|| KbError::Parse(format!("line {}: missing label", lineno + 1)))?;
+                let dir = fields.next().unwrap_or("d");
+                let src = builder
+                    .node_by_name(src)
+                    .ok_or_else(|| KbError::NameNotFound(src.to_string()))?;
+                let dst = builder
+                    .node_by_name(dst)
+                    .ok_or_else(|| KbError::NameNotFound(dst.to_string()))?;
+                match dir {
+                    "d" => builder.add_directed_edge(src, dst, label),
+                    "u" => builder.add_undirected_edge(src, dst, label),
+                    other => {
+                        return Err(KbError::Parse(format!(
+                            "line {}: bad direction flag {other:?} (want \"d\" or \"u\")",
+                            lineno + 1
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(KbError::Parse(format!(
+                    "line {}: unknown record tag {other:?}",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(KbError::Parse("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(KbError::Parse("truncated string body".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| KbError::Parse("invalid utf-8".into()))
+}
+
+fn put_interner(buf: &mut BytesMut, i: &Interner) {
+    buf.put_u32_le(i.len() as u32);
+    for (_, s) in i.iter() {
+        put_str(buf, s);
+    }
+}
+
+fn get_interner(buf: &mut Bytes) -> Result<Interner> {
+    if buf.remaining() < 4 {
+        return Err(KbError::Parse("truncated interner".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut i = Interner::new();
+    for _ in 0..n {
+        let s = get_str(buf)?;
+        i.intern(&s);
+    }
+    Ok(i)
+}
+
+/// Encodes the knowledge base as a compact binary snapshot.
+pub fn encode_binary(kb: &KnowledgeBase) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + kb.node_count() * 8 + kb.edge_count() * 16);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_interner(&mut buf, &kb.names);
+    put_interner(&mut buf, &kb.types);
+    put_interner(&mut buf, &kb.labels);
+    buf.put_u32_le(kb.node_count() as u32);
+    for n in &kb.nodes {
+        buf.put_u32_le(n.name);
+        buf.put_u32_le(n.ty.0);
+    }
+    buf.put_u32_le(kb.edge_count() as u32);
+    for e in &kb.edges {
+        buf.put_u32_le(e.src.0);
+        buf.put_u32_le(e.dst.0);
+        buf.put_u32_le(e.label.0);
+        buf.put_u8(u8::from(e.directed));
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary snapshot produced by [`encode_binary`].
+pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
+    if buf.remaining() < 8 {
+        return Err(KbError::Parse("truncated header".into()));
+    }
+    let magic = buf.get_u32_le();
+    let version = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(KbError::Parse("bad magic".into()));
+    }
+    if version != VERSION {
+        return Err(KbError::Parse(format!("unsupported version {version}")));
+    }
+    let names = get_interner(&mut buf)?;
+    let types = get_interner(&mut buf)?;
+    let labels = get_interner(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(KbError::Parse("truncated node count".into()));
+    }
+    let node_count = buf.get_u32_le() as usize;
+    let mut nodes = Vec::with_capacity(node_count);
+    let mut name_to_node = std::collections::HashMap::with_capacity(node_count);
+    for i in 0..node_count {
+        if buf.remaining() < 8 {
+            return Err(KbError::Parse("truncated node record".into()));
+        }
+        let name = buf.get_u32_le();
+        let ty = TypeId(buf.get_u32_le());
+        if ty.index() >= types.len() || (name as usize) >= names.len() {
+            return Err(KbError::Parse("node record out of range".into()));
+        }
+        nodes.push(NodeRecord { name, ty });
+        name_to_node.insert(name, NodeId(i as u32));
+    }
+    if buf.remaining() < 4 {
+        return Err(KbError::Parse("truncated edge count".into()));
+    }
+    let edge_count = buf.get_u32_le() as usize;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        if buf.remaining() < 13 {
+            return Err(KbError::Parse("truncated edge record".into()));
+        }
+        let src = NodeId(buf.get_u32_le());
+        let dst = NodeId(buf.get_u32_le());
+        let label = LabelId(buf.get_u32_le());
+        let directed = buf.get_u8() != 0;
+        if src.index() >= node_count || dst.index() >= node_count {
+            return Err(KbError::UnknownNode(src.0.max(dst.0)));
+        }
+        if label.index() >= labels.len() {
+            return Err(KbError::Parse("edge label out of range".into()));
+        }
+        edges.push(EdgeRecord { src, dst, label, directed });
+    }
+    let (adj_offsets, adj) = build_adjacency(node_count, &edges);
+    Ok(KnowledgeBase {
+        nodes,
+        edges,
+        names,
+        types,
+        labels,
+        name_to_node,
+        adj_offsets,
+        adj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn tsv_round_trip() {
+        let kb = toy::entertainment();
+        let mut out = Vec::new();
+        write_tsv(&kb, &mut out).unwrap();
+        let back = read_tsv(std::io::Cursor::new(out)).unwrap();
+        assert_eq!(back.node_count(), kb.node_count());
+        assert_eq!(back.edge_count(), kb.edge_count());
+        assert_eq!(back.label_count(), kb.label_count());
+        // Same adjacency for a spot-checked node.
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let bp2 = back.require_node("brad_pitt").unwrap();
+        assert_eq!(kb.degree(bp), back.degree(bp2));
+    }
+
+    #[test]
+    fn tsv_rejects_unknown_tag() {
+        let err = read_tsv(std::io::Cursor::new("X\tfoo\n")).unwrap_err();
+        assert!(matches!(err, KbError::Parse(_)));
+    }
+
+    #[test]
+    fn tsv_rejects_edge_before_node() {
+        let err = read_tsv(std::io::Cursor::new("E\ta\tb\tr\td\n")).unwrap_err();
+        assert!(matches!(err, KbError::NameNotFound(_)));
+    }
+
+    #[test]
+    fn tsv_rejects_bad_direction() {
+        let src = "N\ta\tT\nN\tb\tT\nE\ta\tb\tr\tx\n";
+        let err = read_tsv(std::io::Cursor::new(src)).unwrap_err();
+        assert!(matches!(err, KbError::Parse(_)));
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blanks() {
+        let src = "# comment\n\nN\ta\tT\n";
+        let kb = read_tsv(std::io::Cursor::new(src)).unwrap();
+        assert_eq!(kb.node_count(), 1);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let kb = toy::entertainment();
+        let bytes = encode_binary(&kb);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(back.node_count(), kb.node_count());
+        assert_eq!(back.edge_count(), kb.edge_count());
+        for id in kb.node_ids() {
+            assert_eq!(kb.node_name(id), back.node_name(id));
+            assert_eq!(kb.degree(id), back.degree(id));
+        }
+        for eid in kb.edge_ids() {
+            assert_eq!(kb.edge(eid), back.edge(eid));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u32_le(1);
+        assert!(decode_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let kb = toy::entertainment();
+        let bytes = encode_binary(&kb);
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(decode_binary(truncated).is_err());
+    }
+}

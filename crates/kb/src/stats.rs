@@ -1,0 +1,112 @@
+//! Descriptive statistics over a knowledge base.
+//!
+//! Used by the data generator to verify that synthetic KBs reproduce the
+//! density/skew properties that drive REX's enumeration cost (the paper
+//! notes in §5.2 that *density*, not raw size, is what matters), and by the
+//! benchmark report to document each experiment's substrate.
+
+use std::collections::HashMap;
+
+use crate::{KnowledgeBase, LabelId, TypeId};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub p50: usize,
+    /// 90th percentile degree.
+    pub p90: usize,
+    /// 99th percentile degree.
+    pub p99: usize,
+}
+
+/// Computes degree statistics over all nodes.
+pub fn degree_stats(kb: &KnowledgeBase) -> DegreeStats {
+    let mut degrees: Vec<usize> = kb.node_ids().map(|n| kb.degree(n)).collect();
+    if degrees.is_empty() {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, p50: 0, p90: 0, p99: 0 };
+    }
+    degrees.sort_unstable();
+    let sum: usize = degrees.iter().sum();
+    let pct = |p: f64| -> usize {
+        let idx = ((degrees.len() as f64 - 1.0) * p).round() as usize;
+        degrees[idx]
+    };
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().expect("nonempty"),
+        mean: sum as f64 / degrees.len() as f64,
+        p50: pct(0.5),
+        p90: pct(0.9),
+        p99: pct(0.99),
+    }
+}
+
+/// Histogram of edge counts per relationship label.
+pub fn label_histogram(kb: &KnowledgeBase) -> HashMap<LabelId, usize> {
+    let mut hist = HashMap::new();
+    for eid in kb.edge_ids() {
+        *hist.entry(kb.edge(eid).label).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Histogram of node counts per entity type.
+pub fn type_histogram(kb: &KnowledgeBase) -> HashMap<TypeId, usize> {
+    let mut hist = HashMap::new();
+    for nid in kb.node_ids() {
+        *hist.entry(kb.node(nid).ty).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// One-line human-readable summary for benchmark reports.
+pub fn summary(kb: &KnowledgeBase) -> String {
+    let d = degree_stats(kb);
+    format!(
+        "{} nodes, {} edges, {} labels, {} types; degree mean {:.2} p50 {} p90 {} max {}",
+        kb.node_count(),
+        kb.edge_count(),
+        kb.label_count(),
+        kb.type_count(),
+        d.mean,
+        d.p50,
+        d.p90,
+        d.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn stats_on_toy_kb() {
+        let kb = toy::entertainment();
+        let d = degree_stats(&kb);
+        assert!(d.max >= d.p90 && d.p90 >= d.p50 && d.p50 >= d.min);
+        assert!(d.mean > 0.0);
+        let labels = label_histogram(&kb);
+        assert_eq!(labels.len(), kb.label_count());
+        let total: usize = labels.values().sum();
+        assert_eq!(total, kb.edge_count());
+        let types = type_histogram(&kb);
+        let total: usize = types.values().sum();
+        assert_eq!(total, kb.node_count());
+        assert!(summary(&kb).contains("nodes"));
+    }
+
+    #[test]
+    fn stats_on_empty_kb() {
+        let kb = crate::KbBuilder::new().build();
+        let d = degree_stats(&kb);
+        assert_eq!(d, DegreeStats { min: 0, max: 0, mean: 0.0, p50: 0, p90: 0, p99: 0 });
+    }
+}

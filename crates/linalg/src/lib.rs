@@ -1,0 +1,31 @@
+//! # rex-linalg — dense linear algebra for the random-walk measure
+//!
+//! REX's structural *random-walk* interestingness measure (§4.1 of the
+//! paper) views an explanation pattern as an electrical network — each edge
+//! a unit resistor — and scores the pattern by the current delivered from
+//! the start node to the end node under a unit potential difference (the
+//! model of Faloutsos, McCurley & Tomkins, *Fast discovery of connection
+//! subgraphs*, KDD 2004, which the paper extends to the pattern level).
+//!
+//! Computing delivered current requires solving the graph's Laplacian
+//! system for the interior node potentials. Explanation patterns are tiny
+//! (the paper caps them at 5 nodes; we support arbitrary but small sizes),
+//! so a dense partial-pivoting Gaussian elimination is the right tool — no
+//! sparse machinery, no iterative methods, exact-enough arithmetic.
+//!
+//! The crate is self-contained (no dependencies) and consists of:
+//!
+//! * [`Matrix`] — a minimal dense row-major `f64` matrix.
+//! * [`solve`] — `Ax = b` via partial-pivoted Gaussian elimination.
+//! * [`laplacian`] — building Laplacians and computing
+//!   [`laplacian::effective_conductance`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod laplacian;
+mod matrix;
+mod solve;
+
+pub use matrix::Matrix;
+pub use solve::{solve, solve_in_place, SolveError};

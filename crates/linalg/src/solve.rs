@@ -1,0 +1,159 @@
+//! `Ax = b` via Gaussian elimination with partial pivoting.
+
+use crate::Matrix;
+
+/// Failure modes of the linear solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not square or the right-hand side has the wrong length.
+    DimensionMismatch,
+    /// A pivot underflowed: the system is singular (or numerically so).
+    Singular,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+            SolveError::Singular => write!(f, "singular system"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Pivot magnitudes below this are treated as zero. Pattern Laplacians have
+/// entries of magnitude O(degree) ≤ O(tens), so this is far below any
+/// legitimate pivot.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Solves `A x = b`, consuming copies of the inputs.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let mut a = a.clone();
+    let mut b = b.to_vec();
+    solve_in_place(&mut a, &mut b)?;
+    Ok(b)
+}
+
+/// Solves `A x = b` in place: `a` is destroyed, `b` becomes the solution.
+pub fn solve_in_place(a: &mut Matrix, b: &mut [f64]) -> Result<(), SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    // Forward elimination with partial pivoting.
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[(r1, col)]
+                    .abs()
+                    .partial_cmp(&a[(r2, col)].abs())
+                    .expect("pivot magnitudes are never NaN")
+            })
+            .expect("column range is nonempty");
+        if a[(pivot_row, col)].abs() < PIVOT_EPS {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            a.swap_rows(pivot_row, col);
+            b.swap(pivot_row, col);
+        }
+        let pivot = a[(col, col)];
+        for row in col + 1..n {
+            let factor = a[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let v = a[(col, k)];
+                a[(row, k)] -= factor * v;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[(col, k)] * b[k];
+        }
+        b[col] = acc / a[(col, col)];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::identity(3);
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, -1.0]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert_close(&x, &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_close(&x, &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn detects_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::DimensionMismatch));
+        let a = Matrix::identity(2);
+        assert_eq!(solve(&a, &[1.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn residual_is_small_on_random_systems() {
+        // Deterministic pseudo-random well-conditioned systems.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 500.0 - 1.0
+        };
+        for n in [1usize, 2, 3, 5, 8] {
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = next();
+                }
+                a[(r, r)] += n as f64; // diagonal dominance => well-conditioned
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve(&a, &b).unwrap();
+            let r = a.mul_vec(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                assert!((ri - bi).abs() < 1e-9);
+            }
+        }
+    }
+}

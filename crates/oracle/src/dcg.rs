@@ -1,0 +1,82 @@
+//! The DCG-style ranking score of §5.4.1.
+//!
+//! `score(M) = m · Σ_i w_i · s_i` over the top-10 positions, with
+//! `w_i = 1 / log2(i + 1)` and `m` chosen so a ranking of all-2 labels
+//! scores exactly 100.
+
+/// Position weight `w_i` for 1-based rank `i`.
+pub fn position_weight(rank: usize) -> f64 {
+    assert!(rank >= 1, "ranks are 1-based");
+    1.0 / ((rank + 1) as f64).log2()
+}
+
+/// The normalization factor `m` for rankings of length `k` under maximum
+/// label `max_label`, such that a perfect ranking scores 100.
+pub fn normalization(k: usize, max_label: f64) -> f64 {
+    let denom: f64 = (1..=k).map(position_weight).sum::<f64>() * max_label;
+    if denom == 0.0 {
+        0.0
+    } else {
+        100.0 / denom
+    }
+}
+
+/// DCG-style score of a ranked label sequence (`labels[i]` is the average
+/// user label of the explanation at rank `i + 1`), normalized to
+/// `[0, 100]` for rankings of length `k` (shorter rankings are scored as
+/// if padded with zeros).
+pub fn dcg_score(labels: &[f64], k: usize, max_label: f64) -> f64 {
+    let m = normalization(k, max_label);
+    let raw: f64 = labels
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &s)| position_weight(i + 1) * s)
+        .sum();
+    m * raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_decay() {
+        assert!((position_weight(1) - 1.0).abs() < 1e-12);
+        assert!(position_weight(1) > position_weight(2));
+        assert!(position_weight(2) > position_weight(10));
+    }
+
+    #[test]
+    fn perfect_ranking_scores_100() {
+        let labels = vec![2.0; 10];
+        let s = dcg_score(&labels, 10, 2.0);
+        assert!((s - 100.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn all_zero_scores_zero() {
+        assert_eq!(dcg_score(&[0.0; 10], 10, 2.0), 0.0);
+        assert_eq!(dcg_score(&[], 10, 2.0), 0.0);
+    }
+
+    #[test]
+    fn front_loading_scores_higher() {
+        let good_first = [2.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let good_last = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 2.0];
+        assert!(dcg_score(&good_first, 10, 2.0) > dcg_score(&good_last, 10, 2.0));
+    }
+
+    #[test]
+    fn short_rankings_padded() {
+        let s_short = dcg_score(&[2.0, 2.0], 10, 2.0);
+        let s_padded = dcg_score(&[2.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 10, 2.0);
+        assert!((s_short - s_padded).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        position_weight(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulated relevance judges.
+//!
+//! Each judge turns an explanation's *features* into a latent utility and
+//! thresholds it into the paper's three-level label. Judges differ in their
+//! feature weights and thresholds (drawn deterministically from the panel
+//! seed) and add item-specific noise, so the panel behaves like 10
+//! individually noisy-but-correlated humans.
+
+use rex_core::measures::{distribution, MeasureContext};
+use rex_core::Explanation;
+
+/// The §5.4.1 label scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relevance {
+    /// Not relevant (score 0).
+    Not,
+    /// Somewhat relevant (score 1).
+    Somewhat,
+    /// Very relevant (score 2).
+    Very,
+}
+
+impl Relevance {
+    /// Numeric label value.
+    pub fn score(self) -> f64 {
+        match self {
+            Relevance::Not => 0.0,
+            Relevance::Somewhat => 1.0,
+            Relevance::Very => 2.0,
+        }
+    }
+}
+
+/// Judge-visible features of an explanation. Computed once per pooled
+/// explanation by [`features`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Features {
+    /// Local distributional position (0 = nothing rarer).
+    pub position: usize,
+    /// Pattern node count.
+    pub var_count: usize,
+    /// Pattern edge count.
+    pub edge_count: usize,
+    /// Instance count.
+    pub count: usize,
+    /// Stable item hash for noise generation.
+    pub item_hash: u64,
+}
+
+/// Computes judge-visible features for an explanation in context.
+pub fn features(ctx: &MeasureContext<'_>, e: &Explanation) -> Features {
+    let position = distribution_position(ctx, e);
+    Features {
+        position,
+        var_count: e.pattern.var_count(),
+        edge_count: e.pattern.edge_count(),
+        count: e.count(),
+        item_hash: hash_key(e),
+    }
+}
+
+fn distribution_position(ctx: &MeasureContext<'_>, e: &Explanation) -> usize {
+    // Rarity as perceived by users follows the local distribution: "they
+    // are married (and almost nobody is married to him)" vs "they
+    // co-starred once (like 130 other people)".
+    distribution::local_position(ctx, e, usize::MAX)
+}
+
+fn hash_key(e: &Explanation) -> u64 {
+    // FNV-1a over the canonical key: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &word in e.key().as_slice() {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// SplitMix64: deterministic pseudo-random stream from a seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a seed.
+fn unit(seed: u64) -> f64 {
+    (splitmix(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One simulated judge.
+#[derive(Debug, Clone)]
+pub struct Judge {
+    rarity_weight: f64,
+    compact_weight: f64,
+    support_weight: f64,
+    noise_amplitude: f64,
+    threshold_somewhat: f64,
+    threshold_very: f64,
+    seed: u64,
+}
+
+impl Judge {
+    /// Creates judge `index` of a panel with the given seed: base weights
+    /// (rarity 0.50, compactness 0.35, support 0.15) jittered ±20% per
+    /// judge, thresholds jittered ±0.04.
+    pub fn new(panel_seed: u64, index: usize) -> Judge {
+        let s = splitmix(panel_seed ^ (index as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let jitter = |k: u64| 0.8 + 0.4 * unit(s ^ k);
+        Judge {
+            rarity_weight: 0.50 * jitter(1),
+            compact_weight: 0.35 * jitter(2),
+            support_weight: 0.15 * jitter(3),
+            noise_amplitude: 0.08,
+            threshold_somewhat: 0.34 + 0.08 * (unit(s ^ 4) - 0.5),
+            threshold_very: 0.58 + 0.08 * (unit(s ^ 5) - 0.5),
+            seed: s,
+        }
+    }
+
+    /// Labels an explanation from its features.
+    pub fn label(&self, f: &Features) -> Relevance {
+        // Rarity: position 0 → 1.0, large positions → 0.
+        let rarity = 1.0 / (1.0 + f.position as f64);
+        // Compactness: direct edge → 1.0, 5-node pattern → 0.25; a small
+        // penalty for extra edges beyond a tree keeps cluttered patterns
+        // below their path skeletons.
+        let compact = 1.0 / (f.var_count as f64 - 1.0)
+            - 0.03 * (f.edge_count as f64 - (f.var_count as f64 - 1.0));
+        // Support: saturating in the instance count.
+        let support = (f.count.min(10) as f64) / 10.0;
+        let noise = self.noise_amplitude * (unit(self.seed ^ f.item_hash) - 0.5) * 2.0;
+        let utility = self.rarity_weight * rarity
+            + self.compact_weight * compact
+            + self.support_weight * support
+            + noise;
+        if utility >= self.threshold_very {
+            Relevance::Very
+        } else if utility >= self.threshold_somewhat {
+            Relevance::Somewhat
+        } else {
+            Relevance::Not
+        }
+    }
+}
+
+/// A panel of simulated judges (the paper's study had 10 respondents).
+#[derive(Debug, Clone)]
+pub struct JudgePanel {
+    judges: Vec<Judge>,
+}
+
+impl JudgePanel {
+    /// A panel of `n` judges derived from `seed`.
+    pub fn new(n: usize, seed: u64) -> JudgePanel {
+        JudgePanel { judges: (0..n).map(|i| Judge::new(seed, i)).collect() }
+    }
+
+    /// Number of judges.
+    pub fn len(&self) -> usize {
+        self.judges.len()
+    }
+
+    /// Whether the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.judges.is_empty()
+    }
+
+    /// Average label of the panel for an explanation's features.
+    pub fn average_label(&self, f: &Features) -> f64 {
+        if self.judges.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.judges.iter().map(|j| j.label(f).score()).sum();
+        total / self.judges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(position: usize, vars: usize, edges: usize, count: usize) -> Features {
+        Features { position, var_count: vars, edge_count: edges, count, item_hash: 42 }
+    }
+
+    #[test]
+    fn relevance_scores() {
+        assert_eq!(Relevance::Not.score(), 0.0);
+        assert_eq!(Relevance::Somewhat.score(), 1.0);
+        assert_eq!(Relevance::Very.score(), 2.0);
+    }
+
+    #[test]
+    fn rare_compact_explanations_score_high() {
+        let panel = JudgePanel::new(10, 7);
+        // Spouse-like: position 0, 2 nodes, 1 edge, 1 instance.
+        let spouse = panel.average_label(&feat(0, 2, 1, 1));
+        // Common co-star-like: position 20, 3 nodes, 2 edges, 1 instance.
+        let costar = panel.average_label(&feat(20, 3, 2, 1));
+        // Sprawling rare pattern: position 0 but 5 nodes 6 edges.
+        let sprawl = panel.average_label(&feat(0, 5, 6, 1));
+        assert!(spouse > costar, "spouse {spouse} vs costar {costar}");
+        assert!(spouse > sprawl, "spouse {spouse} vs sprawl {sprawl}");
+        assert!(spouse >= 1.5, "spouse-like should be near 'very': {spouse}");
+    }
+
+    #[test]
+    fn support_helps_at_the_margin() {
+        let panel = JudgePanel::new(10, 7);
+        let one = panel.average_label(&feat(5, 3, 2, 1));
+        let many = panel.average_label(&feat(5, 3, 2, 10));
+        assert!(many >= one, "more instances should not hurt: {many} vs {one}");
+    }
+
+    #[test]
+    fn deterministic_panels() {
+        let a = JudgePanel::new(10, 9);
+        let b = JudgePanel::new(10, 9);
+        let f = feat(3, 4, 3, 2);
+        assert_eq!(a.average_label(&f), b.average_label(&f));
+        let c = JudgePanel::new(10, 10);
+        // Different seeds generally differ: scan borderline items (where
+        // thresholds and noise matter) until a disagreement shows up.
+        let differs = (0..200u64).any(|i| {
+            let f = Features {
+                position: (i % 7) as usize,
+                var_count: 3 + (i % 3) as usize,
+                edge_count: 2 + (i % 4) as usize,
+                count: 1 + (i % 5) as usize,
+                item_hash: i.wrapping_mul(0x9e37_79b9),
+            };
+            a.average_label(&f) != c.average_label(&f)
+        });
+        assert!(differs, "panels with different seeds behaved identically");
+    }
+
+    #[test]
+    fn judges_disagree_sometimes() {
+        let panel = JudgePanel::new(10, 11);
+        // A borderline item: average strictly between levels indicates
+        // disagreement.
+        let avgs: Vec<f64> = (0..50)
+            .map(|i| {
+                panel.average_label(&Features {
+                    position: 4,
+                    var_count: 3,
+                    edge_count: 2,
+                    count: 2,
+                    item_hash: i,
+                })
+            })
+            .collect();
+        assert!(avgs.iter().any(|a| a.fract() != 0.0), "no disagreement at all");
+    }
+
+    #[test]
+    fn empty_panel_is_safe() {
+        let p = JudgePanel::new(0, 1);
+        assert!(p.is_empty());
+        assert_eq!(p.average_label(&feat(0, 2, 1, 1)), 0.0);
+    }
+}

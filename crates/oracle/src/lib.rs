@@ -1,0 +1,35 @@
+//! # rex-oracle — simulated user study and DCG scoring
+//!
+//! §5.4 of the REX paper evaluates measure *effectiveness* with a user
+//! study: for five designated entity pairs, the top-10 explanations of
+//! every measure are pooled, shuffled, and shown to 10 users who label each
+//! explanation *very relevant* (2), *somewhat relevant* (1), or *not
+//! relevant* (0); each measure's ranking then receives a DCG-style score
+//! normalized to `[0, 100]` with position weights `1 / log2(i + 1)`.
+//!
+//! Human judges are not available to a reproduction, so this crate
+//! simulates them ([`judge`]). Each simulated judge scores an explanation
+//! from a latent utility combining the three ingredients the paper's
+//! discussion identifies as driving perceived interestingness — **rarity**
+//! (distributional position: a spousal edge beats one co-starred movie),
+//! **compactness** (small patterns are easier to grasp), and **support**
+//! (more instances are more convincing) — plus per-judge noise and
+//! per-judge thresholds. Crucially, the utility is *not* any one of REX's
+//! measures, so no measure is trivially guaranteed to win; the paper's
+//! qualitative finding (distributional > aggregate ≈ structural, and
+//! size-combinations best of all) emerges, rather than being hard-coded.
+//!
+//! [`study`] orchestrates the full §5.4.1 protocol and [`dcg`] implements
+//! the scoring formula.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dcg;
+pub mod judge;
+pub mod learn;
+pub mod study;
+
+pub use judge::{Judge, JudgePanel, Relevance};
+pub use learn::TrainedCombination;
+pub use study::{run_study, StudyConfig, StudyOutcome};

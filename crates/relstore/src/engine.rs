@@ -1,0 +1,250 @@
+//! The distribution queries REX runs against the relational store.
+//!
+//! These functions implement §5.3.2 of the paper: computing a pattern's
+//! aggregate value for *every* candidate end entity in one grouped query
+//! (the local distribution), and computing the *position* of a given
+//! aggregate value within that distribution — optionally pruned with a
+//! `LIMIT` once a position bound is known.
+
+use std::collections::HashMap;
+
+use rex_kb::KnowledgeBase;
+
+use crate::ops::group_count_having_limit;
+use crate::plan::{dir_code, PatternSpec};
+use crate::relation::{Relation, Schema};
+use crate::Result;
+
+/// The oriented edge relation pre-partitioned by `(label, dir)` — the
+/// relational analogue of a composite index on `R(rel)`. Pattern-edge
+/// scans hit exactly their label's partition instead of the full relation,
+/// which is what makes repeated distribution queries (Figure 11) viable.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    groups: HashMap<(u64, u64), Relation>,
+    schema: Schema,
+    total_rows: usize,
+}
+
+impl EdgeIndex {
+    /// Builds the index from a knowledge base.
+    pub fn build(kb: &KnowledgeBase) -> EdgeIndex {
+        let full = oriented_edge_relation(kb);
+        let schema = full.schema().clone();
+        let label_col = schema.index_of("label").expect("oriented schema");
+        let dir_col = schema.index_of("dir").expect("oriented schema");
+        let total_rows = full.len();
+        let mut buckets: HashMap<(u64, u64), Vec<crate::Row>> = HashMap::new();
+        for row in full.into_rows() {
+            buckets.entry((row[label_col], row[dir_col])).or_default().push(row);
+        }
+        let groups = buckets
+            .into_iter()
+            .map(|(k, rows)| {
+                (k, Relation::from_rows(schema.clone(), rows).expect("partition arity"))
+            })
+            .collect();
+        EdgeIndex { groups, schema, total_rows }
+    }
+
+    /// The rows matching a `(label, dir)` pair; empty relation when absent.
+    pub fn scan(&self, label: u64, dir: u64) -> Relation {
+        self.groups
+            .get(&(label, dir))
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(self.schema.clone()))
+    }
+
+    /// The schema shared by all partitions.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total indexed rows (equals the oriented relation's row count).
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+}
+
+/// Materializes the knowledge base's *oriented* edge relation
+/// `R(from, to, label, dir)`:
+///
+/// * each **directed** KB edge `s → d` contributes one row
+///   `(s, d, label, FORWARD)`;
+/// * each **undirected** KB edge `{a, b}` contributes two rows
+///   `(a, b, label, UNDIRECTED)` and `(b, a, label, UNDIRECTED)`, so an
+///   undirected pattern edge can be traversed in either orientation by a
+///   plain equi-join.
+///
+/// This is the analogue of the paper's `R(eid1, eid2, rel)` table.
+pub fn oriented_edge_relation(kb: &KnowledgeBase) -> Relation {
+    let schema = Schema::new(["from", "to", "label", "dir"]);
+    let mut rel = Relation::empty(schema);
+    for eid in kb.edge_ids() {
+        let e = kb.edge(eid);
+        let (s, d, l) = (e.src.0 as u64, e.dst.0 as u64, e.label.0 as u64);
+        if e.directed {
+            rel.push(vec![s, d, l, dir_code::FORWARD].into_boxed_slice())
+                .expect("arity 4");
+        } else {
+            rel.push(vec![s, d, l, dir_code::UNDIRECTED].into_boxed_slice())
+                .expect("arity 4");
+            if s != d {
+                rel.push(vec![d, s, l, dir_code::UNDIRECTED].into_boxed_slice())
+                    .expect("arity 4");
+            }
+        }
+    }
+    rel
+}
+
+/// The local count distribution of a pattern for a fixed start entity:
+/// for every end entity `y` with at least one instance, the number of
+/// distinct instances of the pattern between `start` and `y`.
+///
+/// Equivalent to the paper's
+/// `SELECT v_start, end, count(*) ... GROUP BY v_start, end`.
+pub fn local_count_distribution(
+    edge_rel: &Relation,
+    spec: &PatternSpec,
+    start: u64,
+) -> Result<HashMap<u64, u64>> {
+    let instances = spec.evaluate(edge_rel, Some(start))?;
+    let end_col = spec.end;
+    let grouped = group_count_having_limit(&instances, &[end_col], 0, usize::MAX)?;
+    Ok(grouped.rows().iter().map(|r| (r[0], r[1])).collect())
+}
+
+/// Counts the end entities whose instance count strictly exceeds `c` —
+/// the pattern's *position* in the local distribution (`HAVING count > c`).
+/// `limit` bounds the answer: scanning stops once `limit` qualifying
+/// entities are found (the paper's `LIMIT p` pruning), so the return value
+/// saturates at `limit`.
+pub fn local_position(
+    edge_rel: &Relation,
+    spec: &PatternSpec,
+    start: u64,
+    c: u64,
+    limit: usize,
+) -> Result<usize> {
+    let instances = spec.evaluate(edge_rel, Some(start))?;
+    let grouped = group_count_having_limit(&instances, &[spec.end], c, limit)?;
+    Ok(grouped.len())
+}
+
+/// [`local_count_distribution`] over a prebuilt [`EdgeIndex`].
+pub fn local_count_distribution_indexed(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    start: u64,
+) -> Result<HashMap<u64, u64>> {
+    let instances = spec.evaluate_indexed(index, Some(start))?;
+    let grouped = group_count_having_limit(&instances, &[spec.end], 0, usize::MAX)?;
+    Ok(grouped.rows().iter().map(|r| (r[0], r[1])).collect())
+}
+
+/// [`local_position`] over a prebuilt [`EdgeIndex`]. Bounded queries
+/// (`limit < usize::MAX`) run through the pipelined streaming plan, which
+/// aborts the final join as soon as `limit` qualifying end entities are
+/// known — the heart of the paper's `LIMIT p` pruning.
+pub fn local_position_indexed(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    start: u64,
+    c: u64,
+    limit: usize,
+) -> Result<usize> {
+    if limit < usize::MAX {
+        return spec.streaming_end_position(index, start, c, limit);
+    }
+    let instances = spec.evaluate_indexed(index, Some(start))?;
+    let grouped = group_count_having_limit(&instances, &[spec.end], c, limit)?;
+    Ok(grouped.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SpecEdge;
+    use rex_kb::{toy, KbBuilder};
+
+    #[test]
+    fn oriented_relation_row_counts() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "P");
+        let c = b.add_node("c", "P");
+        b.add_directed_edge(a, c, "r");
+        b.add_undirected_edge(a, c, "s");
+        let kb = b.build();
+        let rel = oriented_edge_relation(&kb);
+        // 1 row for the directed edge + 2 for the undirected one.
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn undirected_self_loop_single_row() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "P");
+        b.add_undirected_edge(a, a, "s");
+        let kb = b.build();
+        assert_eq!(oriented_edge_relation(&kb).len(), 1);
+    }
+
+    #[test]
+    fn costar_distribution_on_toy_kb() {
+        let kb = toy::entertainment();
+        let rel = oriented_edge_relation(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let bp = kb.require_node("brad_pitt").unwrap().0 as u64;
+        let dist = local_count_distribution(&rel, &spec, bp).unwrap();
+        // Brad co-stars with Angelina (1 movie: Mr & Mrs Smith), Tom Cruise
+        // (Interview with the Vampire), Julia Roberts (Ocean's Eleven + The
+        // Mexican = 2), George Clooney (1)... and himself through each of
+        // his own movies.
+        let aj = kb.require_node("angelina_jolie").unwrap().0 as u64;
+        let jr = kb.require_node("julia_roberts").unwrap().0 as u64;
+        let tc = kb.require_node("tom_cruise").unwrap().0 as u64;
+        assert_eq!(dist.get(&aj), Some(&1));
+        assert_eq!(dist.get(&jr), Some(&2));
+        assert_eq!(dist.get(&tc), Some(&1));
+        // Position of count=1: entities with count > 1 — only Julia (2).
+        let pos = local_position(&rel, &spec, bp, 1, usize::MAX).unwrap();
+        assert_eq!(pos, 1);
+        // Position of Julia's count=2: nobody beats it.
+        let pos = local_position(&rel, &spec, bp, 2, usize::MAX).unwrap();
+        assert_eq!(pos, 0);
+        // LIMIT saturates.
+        let pos = local_position(&rel, &spec, bp, 0, 2).unwrap();
+        assert_eq!(pos, 2);
+    }
+
+    #[test]
+    fn spouse_distribution_is_rare() {
+        let kb = toy::entertainment();
+        let rel = oriented_edge_relation(&kb);
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: spouse, directed: false }],
+        };
+        let bp = kb.require_node("brad_pitt").unwrap().0 as u64;
+        let dist = local_count_distribution(&rel, &spec, bp).unwrap();
+        // Exactly one spouse.
+        assert_eq!(dist.len(), 1);
+        // Example 7's punchline: spousal explanation with count 1 has
+        // position 0 (nothing beats it), so it outranks co-starring with
+        // count 1.
+        assert_eq!(local_position(&rel, &spec, bp, 1, usize::MAX).unwrap(), 0);
+    }
+}

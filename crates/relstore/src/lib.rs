@@ -1,0 +1,82 @@
+//! # rex-relstore — a mini relational engine for distributional measures
+//!
+//! §5.3.2 of the REX paper computes *distribution-based* interestingness
+//! measures by storing the knowledge base's primary relationships in a
+//! relational table `R(eid1, eid2, rel)` and evaluating a SQL self-join per
+//! explanation pattern:
+//!
+//! ```sql
+//! SELECT v_start, R2.eid1, count(*) AS count
+//! FROM R AS R1, R AS R2
+//! WHERE v_start = R1.eid1 AND R1.eid2 = R2.eid2
+//!   AND R1.rel = 'starring' AND R2.rel = 'starring'
+//! GROUP BY v_start, R2.eid1
+//! HAVING count > c
+//! -- LIMIT p  (added for top-k pruning)
+//! ```
+//!
+//! The number of result rows is the pattern's *position* in the local
+//! distribution, and the `LIMIT p` clause implements the paper's top-k
+//! pruning: once we know the current k-th best position `p`, positions
+//! provably worse than `p` can be abandoned after `p` rows.
+//!
+//! This crate reproduces exactly that execution stack, built from scratch:
+//!
+//! * [`Relation`] — a schema'd, row-major table of `u64` values.
+//! * [`expr`] — conjunctive predicates over rows.
+//! * [`ops`] — scan/filter, hash equi-join, group-count with
+//!   `HAVING`/`LIMIT`, distinct, projection.
+//! * [`plan`] — compiling a *pattern spec* (the relational shape of an
+//!   explanation pattern) into a join tree over the edge relation.
+//! * [`engine`] — the distribution queries REX needs: per-end-node instance
+//!   counts, and `HAVING`/`LIMIT`-pruned position counts.
+//!
+//! The engine is deliberately *materialized* (operators consume and produce
+//! whole relations): explanation patterns are tiny (≤ 4 joins) and the
+//! intermediate results are small once the start entity is bound, so a
+//! vectorized volcano iterator would add complexity without measurable
+//! benefit at this scale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+mod relation;
+
+pub use relation::{Relation, Row, Schema};
+
+/// Errors raised by relational evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// Arity mismatch between a row and its schema.
+    Arity {
+        /// Expected arity (schema width).
+        expected: usize,
+        /// Provided row width.
+        got: usize,
+    },
+    /// A pattern spec was malformed (bad variable index, disconnected, ...).
+    BadPattern(String),
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            RelError::Arity { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            RelError::BadPattern(msg) => write!(f, "bad pattern spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias for relational evaluation.
+pub type Result<T> = std::result::Result<T, RelError>;

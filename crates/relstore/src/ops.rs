@@ -1,0 +1,273 @@
+//! Relational operators: filter, hash join, group-count, distinct, project.
+//!
+//! All operators are materialized (consume a [`Relation`], produce a
+//! [`Relation`]). The group-count operator supports `HAVING count > c` and
+//! `LIMIT n` in one pass, which is what the paper's distributional-measure
+//! pruning needs (§5.3.2).
+
+use std::collections::HashMap;
+
+use crate::expr::Predicate;
+use crate::relation::{Relation, Row, Schema};
+use crate::Result;
+
+/// Filters rows by a predicate.
+pub fn filter(rel: &Relation, pred: &Predicate) -> Relation {
+    let rows = rel.rows().iter().filter(|r| pred.eval(r)).cloned().collect();
+    Relation::from_rows(rel.schema().clone(), rows).expect("filter preserves arity")
+}
+
+/// Projects onto the given column indices (may repeat / reorder).
+pub fn project(rel: &Relation, cols: &[usize]) -> Relation {
+    let names: Vec<String> =
+        cols.iter().map(|&c| rel.schema().names()[c].clone()).collect();
+    let schema = Schema::new(names);
+    let rows = rel
+        .rows()
+        .iter()
+        .map(|r| cols.iter().map(|&c| r[c]).collect::<Vec<u64>>().into_boxed_slice())
+        .collect();
+    Relation::from_rows(schema, rows).expect("projection arity matches schema")
+}
+
+/// Hash equi-join on `left[left_keys[i]] == right[right_keys[i]]`.
+///
+/// The smaller side is built into the hash table. Output schema is
+/// `left.schema ++ right.schema` (right duplicates suffixed, see
+/// [`Schema::join`]).
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    let schema = left.schema().join(right.schema());
+    let mut out = Relation::empty(schema);
+
+    // Build on the smaller input to bound the hash table.
+    let build_left = left.len() <= right.len();
+    let (build, probe, build_keys, probe_keys) = if build_left {
+        (left, right, left_keys, right_keys)
+    } else {
+        (right, left, right_keys, left_keys)
+    };
+
+    let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, row) in build.rows().iter().enumerate() {
+        let key: Vec<u64> = build_keys.iter().map(|&k| row[k]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut key_buf: Vec<u64> = Vec::with_capacity(probe_keys.len());
+    for probe_row in probe.rows() {
+        key_buf.clear();
+        key_buf.extend(probe_keys.iter().map(|&k| probe_row[k]));
+        if let Some(matches) = table.get(key_buf.as_slice()) {
+            for &i in matches {
+                let build_row = &build.rows()[i];
+                let (l, r): (&Row, &Row) =
+                    if build_left { (build_row, probe_row) } else { (probe_row, build_row) };
+                let mut row = Vec::with_capacity(l.len() + r.len());
+                row.extend_from_slice(l);
+                row.extend_from_slice(r);
+                out.push(row.into_boxed_slice()).expect("join arity matches schema");
+            }
+        }
+    }
+    out
+}
+
+/// Removes duplicate rows (exact equality).
+pub fn distinct(rel: &Relation) -> Relation {
+    let mut seen: HashMap<&[u64], ()> = HashMap::with_capacity(rel.len());
+    let mut rows = Vec::new();
+    for r in rel.rows() {
+        if seen.insert(r, ()).is_none() {
+            rows.push(r.clone());
+        }
+    }
+    Relation::from_rows(rel.schema().clone(), rows).expect("distinct preserves arity")
+}
+
+/// `GROUP BY key_cols` with `count(*)`, then `HAVING count > having_gt`,
+/// then `LIMIT limit`. Pass `having_gt = 0` and `limit = usize::MAX` for the
+/// unpruned query. The output schema is the key columns plus `count`.
+///
+/// The LIMIT applies *after* HAVING, matching SQL semantics; because the
+/// caller (distribution position counting) only needs `min(limit, total)`
+/// qualifying groups, the operator stops scanning groups early once the
+/// limit is reached.
+pub fn group_count_having_limit(
+    rel: &Relation,
+    key_cols: &[usize],
+    having_gt: u64,
+    limit: usize,
+) -> Result<Relation> {
+    let mut names: Vec<String> =
+        key_cols.iter().map(|&c| rel.schema().names()[c].clone()).collect();
+    names.push("count".to_string());
+    let schema = Schema::new(names);
+
+    let mut groups: HashMap<Vec<u64>, u64> = HashMap::new();
+    for row in rel.rows() {
+        let key: Vec<u64> = key_cols.iter().map(|&c| row[c]).collect();
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    let mut out = Relation::empty(schema);
+    for (key, count) in groups {
+        if out.len() >= limit {
+            break;
+        }
+        if count > having_gt {
+            let mut row = key;
+            row.push(count);
+            out.push(row.into_boxed_slice())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: unrestricted `GROUP BY … count(*)`.
+pub fn group_count(rel: &Relation, key_cols: &[usize]) -> Result<Relation> {
+    group_count_having_limit(rel, key_cols, 0, usize::MAX)
+}
+
+/// Streaming hash equi-join: like [`hash_join`], but instead of
+/// materializing the output, invokes `on_row(left_row, right_row)` for
+/// every match and stops as soon as the callback returns `false`.
+///
+/// This is the pipelined execution a SQL engine uses to make `LIMIT`
+/// clauses abort upstream work early (§5.3.2's pruning); the materialized
+/// operators above cannot stop mid-join.
+pub fn hash_join_streaming<F: FnMut(&[u64], &[u64]) -> bool>(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    mut on_row: F,
+) {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    // Build on the left (assumed smaller by the caller), probe the right;
+    // streaming order follows the probe side.
+    let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(left.len());
+    for (i, row) in left.rows().iter().enumerate() {
+        let key: Vec<u64> = left_keys.iter().map(|&k| row[k]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut key_buf: Vec<u64> = Vec::with_capacity(right_keys.len());
+    for probe_row in right.rows() {
+        key_buf.clear();
+        key_buf.extend(right_keys.iter().map(|&k| probe_row[k]));
+        if let Some(matches) = table.get(key_buf.as_slice()) {
+            for &i in matches {
+                if !on_row(&left.rows()[i], probe_row) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(names: &[&str], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(
+            Schema::new(names.iter().copied()),
+            rows.iter().map(|r| r.to_vec().into_boxed_slice()).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20], &[1, 30]]);
+        let f = filter(&r, &Predicate::ColEqConst { col: 0, value: 1 });
+        assert_eq!(f.len(), 2);
+        let p = project(&f, &[1]);
+        assert_eq!(p.schema().names(), &["b"]);
+        let vals: Vec<u64> = p.rows().iter().map(|r| r[0]).collect();
+        assert_eq!(vals, vec![10, 30]);
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let l = rel(&["a", "b"], &[&[1, 2], &[3, 4], &[1, 9]]);
+        let r = rel(&["c", "d"], &[&[2, 100], &[4, 200], &[2, 300]]);
+        let j = hash_join(&l, &r, &[1], &[0]);
+        // Nested-loop reference.
+        let mut expected = Vec::new();
+        for lr in l.rows() {
+            for rr in r.rows() {
+                if lr[1] == rr[0] {
+                    expected.push(vec![lr[0], lr[1], rr[0], rr[1]]);
+                }
+            }
+        }
+        let mut got: Vec<Vec<u64>> = j.rows().iter().map(|r| r.to_vec()).collect();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+        assert_eq!(j.schema().names(), &["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_same_result() {
+        let small = rel(&["a"], &[&[1]]);
+        let large = rel(&["b"], &[&[1], &[1], &[2]]);
+        let j1 = hash_join(&small, &large, &[0], &[0]);
+        assert_eq!(j1.len(), 2);
+        // Column order must follow (left, right) regardless of build side.
+        assert_eq!(j1.schema().names(), &["a", "b"]);
+        let j2 = hash_join(&large, &small, &[0], &[0]);
+        assert_eq!(j2.len(), 2);
+        assert_eq!(j2.schema().names(), &["b", "a"]);
+    }
+
+    #[test]
+    fn join_name_collision_gets_suffix() {
+        let l = rel(&["a", "x"], &[&[1, 2]]);
+        let r = rel(&["x", "b"], &[&[2, 3]]);
+        let j = hash_join(&l, &r, &[1], &[0]);
+        assert_eq!(j.schema().names(), &["a", "x", "x.r", "b"]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[1, 2], &[3, 4]]);
+        assert_eq!(distinct(&r).len(), 2);
+    }
+
+    #[test]
+    fn group_count_basic() {
+        let r = rel(&["g", "v"], &[&[1, 0], &[1, 0], &[2, 0], &[1, 0]]);
+        let g = group_count(&r, &[0]).unwrap();
+        let mut got: Vec<(u64, u64)> = g.rows().iter().map(|r| (r[0], r[1])).collect();
+        got.sort();
+        assert_eq!(got, vec![(1, 3), (2, 1)]);
+        assert_eq!(g.schema().names(), &["g", "count"]);
+    }
+
+    #[test]
+    fn having_and_limit() {
+        let r = rel(&["g"], &[&[1], &[1], &[1], &[2], &[2], &[3]]);
+        let g = group_count_having_limit(&r, &[0], 1, usize::MAX).unwrap();
+        // groups with count > 1: {1:3, 2:2}
+        assert_eq!(g.len(), 2);
+        let g = group_count_having_limit(&r, &[0], 1, 1).unwrap();
+        assert_eq!(g.len(), 1);
+        let g = group_count_having_limit(&r, &[0], 10, usize::MAX).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = rel(&["a"], &[]);
+        assert!(filter(&e, &Predicate::always()).is_empty());
+        assert!(distinct(&e).is_empty());
+        assert!(group_count(&e, &[0]).unwrap().is_empty());
+        let r = rel(&["b"], &[&[1]]);
+        assert!(hash_join(&e, &r, &[0], &[0]).is_empty());
+    }
+}

@@ -1,0 +1,663 @@
+//! Compiling explanation-pattern shapes into relational join plans.
+//!
+//! A [`PatternSpec`] is the relational shadow of an explanation pattern: a
+//! set of variables (two of which are the start and end targets) and a
+//! multiset of labeled, optionally-directed edges between them. The paper
+//! encodes each pattern edge as one occurrence of the edge table in the
+//! `FROM` clause and the connectivity as `WHERE` equalities; we do the same,
+//! producing a left-deep hash-join tree whose output has one column per
+//! pattern variable.
+
+use crate::expr::Predicate;
+use crate::ops::{distinct, filter, hash_join, project};
+use crate::relation::{Relation, Schema};
+use crate::{RelError, Result};
+
+/// Orientation code of rows in the oriented edge relation (see
+/// [`crate::engine::oriented_edge_relation`]).
+pub mod dir_code {
+    /// A directed KB edge traversed source → destination.
+    pub const FORWARD: u64 = 0;
+    /// An undirected KB edge (present in both orientations).
+    pub const UNDIRECTED: u64 = 2;
+}
+
+/// One pattern edge: variable `u` connects to variable `v` with `label`.
+/// When `directed`, the underlying KB edge must point from `u`'s binding to
+/// `v`'s binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecEdge {
+    /// Tail variable index.
+    pub u: usize,
+    /// Head variable index.
+    pub v: usize,
+    /// Interned KB label id (widened).
+    pub label: u64,
+    /// Whether the KB edge must be directed `u → v`.
+    pub directed: bool,
+}
+
+/// The relational shape of an explanation pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSpec {
+    /// Number of variables (including the two targets).
+    pub var_count: usize,
+    /// Index of the start target variable.
+    pub start: usize,
+    /// Index of the end target variable.
+    pub end: usize,
+    /// The pattern edges.
+    pub edges: Vec<SpecEdge>,
+}
+
+impl PatternSpec {
+    /// Validates variable indices and connectivity.
+    pub fn validate(&self) -> Result<()> {
+        if self.start >= self.var_count || self.end >= self.var_count {
+            return Err(RelError::BadPattern("target variable out of range".into()));
+        }
+        if self.start == self.end {
+            return Err(RelError::BadPattern("start and end coincide".into()));
+        }
+        if self.edges.is_empty() {
+            return Err(RelError::BadPattern("no edges".into()));
+        }
+        for e in &self.edges {
+            if e.u >= self.var_count || e.v >= self.var_count {
+                return Err(RelError::BadPattern("edge endpoint out of range".into()));
+            }
+        }
+        if self.join_order().is_none() {
+            return Err(RelError::BadPattern("pattern is not connected".into()));
+        }
+        Ok(())
+    }
+
+    /// A join order in which every edge (after the first) shares a variable
+    /// with the part already joined, starting from an edge incident to the
+    /// start variable. `None` when the pattern is disconnected.
+    fn join_order(&self) -> Option<Vec<usize>> {
+        let n = self.edges.len();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut bound = vec![false; self.var_count];
+        bound[self.start] = true;
+        for _ in 0..n {
+            let next = (0..n)
+                .find(|&i| !used[i] && (bound[self.edges[i].u] || bound[self.edges[i].v]))?;
+            used[next] = true;
+            bound[self.edges[next].u] = true;
+            bound[self.edges[next].v] = true;
+            order.push(next);
+        }
+        Some(order)
+    }
+
+    /// Materializes every edge's filtered `(from, to)` scan: label and
+    /// direction via `scan_for`, plus the self-loop and start-binding
+    /// predicates.
+    fn filtered_scans<F: Fn(&SpecEdge) -> Relation>(
+        &self,
+        schema: &Schema,
+        start_binding: Option<u64>,
+        scan_for: F,
+    ) -> Result<Vec<Relation>> {
+        let from = schema.index_of("from")?;
+        let to = schema.index_of("to")?;
+        Ok(self
+            .edges
+            .iter()
+            .map(|e| {
+                let base = scan_for(e);
+                let mut preds = Vec::new();
+                if e.u == e.v {
+                    preds.push(Predicate::ColEqCol { a: from, b: to });
+                }
+                if let Some(start_val) = start_binding {
+                    if e.u == self.start {
+                        preds.push(Predicate::ColEqConst { col: from, value: start_val });
+                    } else {
+                        preds.push(Predicate::ColNeConst { col: from, value: start_val });
+                    }
+                    if e.v == self.start {
+                        preds.push(Predicate::ColEqConst { col: to, value: start_val });
+                    } else {
+                        preds.push(Predicate::ColNeConst { col: to, value: start_val });
+                    }
+                }
+                let filtered =
+                    if preds.is_empty() { base } else { filter(&base, &Predicate::And(preds)) };
+                project(&filtered, &[from, to])
+            })
+            .collect())
+    }
+
+    /// A cost-based join order: the globally smallest scan first, then —
+    /// keeping the joined part connected — the smallest remaining adjacent
+    /// scan. Equivalent output to any other connected order; far smaller
+    /// intermediates on skewed data.
+    fn join_order_by_cost(&self, scans: &[Relation]) -> Vec<usize> {
+        let n = self.edges.len();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut bound = vec![false; self.var_count];
+        for step in 0..n {
+            let candidate = (0..n)
+                .filter(|&i| !used[i])
+                .filter(|&i| {
+                    step == 0 || bound[self.edges[i].u] || bound[self.edges[i].v]
+                })
+                .min_by_key(|&i| (scans[i].len(), i))
+                .expect("validated patterns are connected");
+            used[candidate] = true;
+            bound[self.edges[candidate].u] = true;
+            bound[self.edges[candidate].v] = true;
+            order.push(candidate);
+        }
+        order
+    }
+
+    /// Evaluates the pattern over the oriented edge relation, returning a
+    /// relation with one column per variable (named `v0..`, in variable
+    /// order) and one row per **distinct** variable assignment (instance).
+    ///
+    /// `start_binding`, when provided, pins the start variable to a constant
+    /// entity id — this is the `v_start = R1.eid1` predicate of the paper's
+    /// SQL. Non-target variables are excluded from binding to the pinned
+    /// start (Definition 2's target-exclusion), mirroring instance
+    /// semantics.
+    pub fn evaluate(&self, edge_rel: &Relation, start_binding: Option<u64>) -> Result<Relation> {
+        let label_col = edge_rel.schema().index_of("label")?;
+        let dir_col = edge_rel.schema().index_of("dir")?;
+        self.evaluate_scanned(edge_rel.schema(), start_binding, |e| {
+            let mut preds = vec![Predicate::ColEqConst { col: label_col, value: e.label }];
+            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            preds.push(Predicate::ColEqConst { col: dir_col, value: dir });
+            filter(edge_rel, &Predicate::And(preds))
+        })
+    }
+
+    /// Like [`PatternSpec::evaluate`], but scans hit the `(label, dir)`
+    /// partitions of a prebuilt [`crate::engine::EdgeIndex`] instead of
+    /// filtering the full relation — the workhorse for repeated
+    /// distribution queries.
+    pub fn evaluate_indexed(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        start_binding: Option<u64>,
+    ) -> Result<Relation> {
+        self.evaluate_scanned(index.schema(), start_binding, |e| {
+            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            index.scan(e.label, dir)
+        })
+    }
+
+    /// Streaming position query: counts end entities whose **distinct**
+    /// instance count strictly exceeds `c`, stopping the final join as
+    /// soon as `limit` qualifying entities are known — the pipelined
+    /// `LIMIT` execution a SQL engine performs (§5.3.2). All but the last
+    /// (largest) scan are joined as usual; the last join streams through
+    /// [`crate::ops::hash_join_streaming`] with an early-abort callback.
+    ///
+    /// Counting per end entity is monotone (distinct assignments only
+    /// accumulate), so an entity can be declared *qualifying* the moment
+    /// its count crosses `c` — no grouping barrier is needed. Returns
+    /// `min(limit, true position)`.
+    pub fn streaming_end_position(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        start: u64,
+        c: u64,
+        limit: usize,
+    ) -> Result<usize> {
+        self.validate()?;
+        if limit == 0 {
+            return Ok(0);
+        }
+        let schema = index.schema().clone();
+        let scans = self.filtered_scans(&schema, Some(start), |e| {
+            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            index.scan(e.label, dir)
+        })?;
+        let order = self.join_order_by_cost(&scans);
+        let (&last, head) = order.split_last().expect("validated patterns have edges");
+
+        // Join every edge except the last with the materialized pipeline.
+        let mut current: Option<Relation> = None;
+        let mut var_col: Vec<Option<usize>> = vec![None; self.var_count];
+        for &ei in head {
+            let e = self.edges[ei];
+            let scan = scans[ei].clone();
+            current = Some(match current.take() {
+                None => {
+                    let mut rel = scan;
+                    if e.u == e.v {
+                        rel = project(&rel, &[0]);
+                        var_col[e.u] = Some(0);
+                    } else {
+                        var_col[e.u] = Some(0);
+                        var_col[e.v] = Some(1);
+                    }
+                    rel
+                }
+                Some(cur) => {
+                    let mut cur_keys = Vec::new();
+                    let mut scan_keys = Vec::new();
+                    if let Some(col) = var_col[e.u] {
+                        cur_keys.push(col);
+                        scan_keys.push(0);
+                    }
+                    if e.u != e.v {
+                        if let Some(col) = var_col[e.v] {
+                            cur_keys.push(col);
+                            scan_keys.push(1);
+                        }
+                    }
+                    let joined = hash_join(&cur, &scan, &cur_keys, &scan_keys);
+                    let base = cur.schema().arity();
+                    if var_col[e.u].is_none() {
+                        var_col[e.u] = Some(base);
+                    }
+                    if e.u != e.v && var_col[e.v].is_none() {
+                        var_col[e.v] = Some(base + 1);
+                    }
+                    joined
+                }
+            });
+        }
+
+        // Column positions of each variable in the streamed row space:
+        // `cur`'s columns first, then the last scan's (from, to).
+        let last_edge = self.edges[last];
+        let cur_arity = current.as_ref().map_or(0, |r| r.schema().arity());
+        let mut stream_col: Vec<Option<usize>> = var_col.clone();
+        if stream_col[last_edge.u].is_none() {
+            stream_col[last_edge.u] = Some(cur_arity);
+        }
+        if last_edge.u != last_edge.v && stream_col[last_edge.v].is_none() {
+            stream_col[last_edge.v] = Some(cur_arity + 1);
+        }
+        let cols: Vec<usize> = (0..self.var_count)
+            .map(|v| stream_col[v].expect("connected pattern binds every variable"))
+            .collect();
+
+        // Stream the final join, qualifying ends as their counts cross c.
+        let mut per_end: std::collections::HashMap<u64, std::collections::HashSet<Vec<u64>>> =
+            std::collections::HashMap::new();
+        let mut qualified = 0usize;
+        let mut emit = |combined: &dyn Fn(usize) -> u64| -> bool {
+            let assignment: Vec<u64> = cols.iter().map(|&i| combined(i)).collect();
+            // Injective instance semantics.
+            for i in 0..assignment.len() {
+                for j in i + 1..assignment.len() {
+                    if assignment[i] == assignment[j] {
+                        return true;
+                    }
+                }
+            }
+            let end_val = assignment[self.end];
+            let set = per_end.entry(end_val).or_default();
+            if set.insert(assignment) && set.len() as u64 == c + 1 {
+                qualified += 1;
+                if qualified >= limit {
+                    return false;
+                }
+            }
+            true
+        };
+        match current {
+            None => {
+                // Single-edge pattern: stream the lone scan.
+                for row in scans[last].rows() {
+                    if !emit(&|i: usize| row[i]) {
+                        break;
+                    }
+                }
+            }
+            Some(cur) => {
+                let mut cur_keys = Vec::new();
+                let mut scan_keys = Vec::new();
+                if let Some(col) = var_col[last_edge.u] {
+                    cur_keys.push(col);
+                    scan_keys.push(0);
+                }
+                if last_edge.u != last_edge.v {
+                    if let Some(col) = var_col[last_edge.v] {
+                        cur_keys.push(col);
+                        scan_keys.push(1);
+                    }
+                }
+                crate::ops::hash_join_streaming(
+                    &cur,
+                    &scans[last],
+                    &cur_keys,
+                    &scan_keys,
+                    |l, r| {
+                        emit(&|i: usize| if i < l.len() { l[i] } else { r[i - l.len()] })
+                    },
+                );
+            }
+        }
+        Ok(qualified)
+    }
+
+    /// Shared join pipeline: `scan_for` must return the rows matching an
+    /// edge's label/direction; binding and self-loop predicates are applied
+    /// here.
+    ///
+    /// Join ordering follows the Discover-style heuristic the paper cites
+    /// (§3.2: "the optimizer iteratively chooses the … 'small' relations to
+    /// evaluate"): all per-edge scans are materialized (with residual
+    /// predicates applied) first, then edges are joined greedily —
+    /// smallest connected scan next — so highly selective edges (the bound
+    /// start, rare labels) shrink intermediates early.
+    fn evaluate_scanned<F: Fn(&SpecEdge) -> Relation>(
+        &self,
+        schema: &Schema,
+        start_binding: Option<u64>,
+        scan_for: F,
+    ) -> Result<Relation> {
+        self.validate()?;
+        let scans = self.filtered_scans(schema, start_binding, scan_for)?;
+        let order = self.join_order_by_cost(&scans);
+
+        let mut current: Option<Relation> = None;
+        // Which variables are bound by the relation built so far, and at
+        // which column position.
+        let mut var_col: Vec<Option<usize>> = vec![None; self.var_count];
+
+        for ei in order {
+            let e = self.edges[ei];
+            let scan = scans[ei].clone();
+
+            match current.take() {
+                None => {
+                    // First edge: initialize variable bindings.
+                    let mut rel = scan;
+                    if e.u == e.v {
+                        rel = project(&rel, &[0]);
+                        var_col[e.u] = Some(0);
+                    } else {
+                        var_col[e.u] = Some(0);
+                        var_col[e.v] = Some(1);
+                    }
+                    current = Some(rel);
+                }
+                Some(cur) => {
+                    // Join keys: shared variables between `cur` and the scan.
+                    let mut cur_keys = Vec::new();
+                    let mut scan_keys = Vec::new();
+                    if let Some(c) = var_col[e.u] {
+                        cur_keys.push(c);
+                        scan_keys.push(0);
+                    }
+                    if e.u != e.v {
+                        if let Some(c) = var_col[e.v] {
+                            cur_keys.push(c);
+                            scan_keys.push(1);
+                        }
+                    }
+                    debug_assert!(!cur_keys.is_empty(), "join order keeps patterns connected");
+                    let joined = hash_join(&cur, &scan, &cur_keys, &scan_keys);
+                    // Record columns for newly bound variables; scan columns
+                    // sit after cur's columns.
+                    let base = cur.schema().arity();
+                    if var_col[e.u].is_none() {
+                        var_col[e.u] = Some(base);
+                    }
+                    if e.u != e.v && var_col[e.v].is_none() {
+                        var_col[e.v] = Some(base + 1);
+                    }
+                    current = Some(joined);
+                }
+            }
+        }
+
+        let current = current.expect("at least one edge was joined");
+        // Project one column per variable, in variable order, then dedup:
+        // parallel KB edges with the same label would otherwise multiply
+        // join rows without adding distinct instances.
+        let cols: Vec<usize> = (0..self.var_count)
+            .map(|v| var_col[v].expect("connected pattern binds every variable"))
+            .collect();
+        let projected = project(&current, &cols);
+        // REX instance semantics are injective (see DESIGN.md): distinct
+        // variables must bind distinct entities. Filter non-injective rows.
+        let rows = projected
+            .into_rows()
+            .into_iter()
+            .filter(|r| {
+                for i in 0..r.len() {
+                    for j in i + 1..r.len() {
+                        if r[i] == r[j] {
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+            .collect();
+        let renamed = Relation::from_rows(
+            Schema::new((0..self.var_count).map(|v| format!("v{v}"))),
+            rows,
+        )?;
+        Ok(distinct(&renamed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::oriented_edge_relation;
+    use rex_kb::KbBuilder;
+
+    /// a --r--> m <--r-- b, plus spouse(a, b).
+    fn kb() -> rex_kb::KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "P");
+        let m = b.add_node("m", "M");
+        let c = b.add_node("c", "P");
+        b.add_directed_edge(a, m, "starring");
+        b.add_directed_edge(c, m, "starring");
+        b.add_undirected_edge(a, c, "spouse");
+        b.build()
+    }
+
+    fn costar_spec(kb: &rex_kb::KnowledgeBase) -> PatternSpec {
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn costar_join_finds_instance() {
+        let kb = kb();
+        let rel = oriented_edge_relation(&kb);
+        let spec = costar_spec(&kb);
+        let a = kb.require_node("a").unwrap().0 as u64;
+        let out = spec.evaluate(&rel, Some(a)).unwrap();
+        // One instance: start=a, end=c, v2=m.
+        assert_eq!(out.len(), 1);
+        let row = &out.rows()[0];
+        assert_eq!(row[0], a);
+        assert_eq!(row[1], kb.require_node("c").unwrap().0 as u64);
+        assert_eq!(row[2], kb.require_node("m").unwrap().0 as u64);
+    }
+
+    #[test]
+    fn unbound_start_enumerates_all_pairs() {
+        let kb = kb();
+        let rel = oriented_edge_relation(&kb);
+        let spec = costar_spec(&kb);
+        let out = spec.evaluate(&rel, None).unwrap();
+        // (a,c,m) and (c,a,m); the non-injective rows (a,a,m) and (c,c,m)
+        // are filtered out by the injective instance semantics.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn undirected_edge_matches_both_ways() {
+        let kb = kb();
+        let rel = oriented_edge_relation(&kb);
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: spouse, directed: false }],
+        };
+        let a = kb.require_node("a").unwrap().0 as u64;
+        let c = kb.require_node("c").unwrap().0 as u64;
+        let out = spec.evaluate(&rel, Some(a)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][1], c);
+        let out = spec.evaluate(&rel, Some(c)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][1], a);
+    }
+
+    #[test]
+    fn directed_edge_does_not_match_reverse() {
+        let kb = kb();
+        let rel = oriented_edge_relation(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        // Pattern: end --starring--> start, evaluated from a: no movie
+        // stars in `a`.
+        let spec = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 1, v: 0, label: starring, directed: true }],
+        };
+        let a = kb.require_node("a").unwrap().0 as u64;
+        let out = spec.evaluate(&rel, Some(a)).unwrap();
+        assert!(out.is_empty());
+        // But from m's perspective there are two.
+        let m = kb.require_node("m").unwrap().0 as u64;
+        let out = spec.evaluate(&rel, Some(m)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let e = SpecEdge { u: 0, v: 1, label: 0, directed: true };
+        assert!(PatternSpec { var_count: 2, start: 0, end: 0, edges: vec![e] }
+            .validate()
+            .is_err());
+        assert!(PatternSpec { var_count: 1, start: 0, end: 5, edges: vec![e] }
+            .validate()
+            .is_err());
+        assert!(PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![] }
+            .validate()
+            .is_err());
+        // Disconnected: edge between v2,v3 unreachable from start.
+        let spec = PatternSpec {
+            var_count: 4,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 1, label: 0, directed: true },
+                SpecEdge { u: 2, v: 3, label: 0, directed: true },
+            ],
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn parallel_edges_do_not_double_count() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "P");
+        let m = b.add_node("m", "M");
+        b.add_directed_edge(a, m, "r");
+        b.add_directed_edge(a, m, "r");
+        let kb = b.build();
+        let rel = oriented_edge_relation(&kb);
+        let spec = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: 0, directed: true }],
+        };
+        let out = spec.evaluate(&rel, Some(0)).unwrap();
+        // One distinct mapping even though two parallel edges match.
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod cost_order_tests {
+    use super::*;
+    use crate::engine::{local_count_distribution_indexed, EdgeIndex};
+    use rex_kb::KbBuilder;
+
+    /// On skewed data the cost-based order must start from the smallest
+    /// filtered scan — here the bound-start edge — and the result must be
+    /// identical to the definitional evaluation regardless of order.
+    #[test]
+    fn cost_order_prefers_selective_scans() {
+        let mut b = KbBuilder::new();
+        // A hub pattern: `common` has thousands of rows, `rare` a handful.
+        let hub = b.add_node("hub", "T");
+        let start = b.add_node("start", "T");
+        for i in 0..300 {
+            let x = b.add_node(&format!("x{i}"), "T");
+            b.add_directed_edge(x, hub, "common");
+        }
+        let mid = b.add_node("mid", "T");
+        b.add_directed_edge(start, mid, "rare");
+        b.add_directed_edge(mid, hub, "common");
+        let kb = b.build();
+        let rare = kb.label_by_name("rare").unwrap().0 as u64;
+        let common = kb.label_by_name("common").unwrap().0 as u64;
+        // start -rare-> v2 -common-> end
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: rare, directed: true },
+                SpecEdge { u: 2, v: 1, label: common, directed: true },
+            ],
+        };
+        let index = EdgeIndex::build(&kb);
+        let dist =
+            local_count_distribution_indexed(&index, &spec, start.0 as u64).unwrap();
+        assert_eq!(dist.len(), 1);
+        assert_eq!(dist.get(&(hub.0 as u64)), Some(&1));
+    }
+
+    /// The greedy order is itself size-sorted at each connected step.
+    #[test]
+    fn order_is_greedy_smallest_connected() {
+        let spec = PatternSpec {
+            var_count: 4,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: 0, directed: true },
+                SpecEdge { u: 2, v: 3, label: 1, directed: true },
+                SpecEdge { u: 3, v: 1, label: 2, directed: true },
+            ],
+        };
+        let schema = Schema::new(["from", "to", "label", "dir"]);
+        let sized = |n: usize| {
+            Relation::from_rows(
+                schema.clone(),
+                (0..n).map(|i| vec![i as u64, i as u64 + 1, 0, 0].into_boxed_slice()).collect(),
+            )
+            .unwrap()
+        };
+        // Edge sizes 10, 1, 5: the middle edge is smallest overall, then
+        // its neighbors by size (5 before 10).
+        let scans = vec![sized(10), sized(1), sized(5)];
+        let order = spec.join_order_by_cost(&scans);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Relations: schemas and row storage.
+
+use crate::{RelError, Result};
+
+/// A row of `u64` values (node ids, label ids, orientation codes, counts —
+/// everything REX stores relationally fits in `u64`).
+pub type Row = Box<[u64]>;
+
+/// Ordered, named columns of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Schema { columns: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The index of a named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| RelError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Concatenates two schemas (used by joins). Right-side duplicates get a
+    /// `.r` suffix so every column name stays unique.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            if columns.iter().any(|x| x == c) {
+                columns.push(format!("{c}.r"));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        Schema { columns }
+    }
+}
+
+/// A materialized relation: a schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Creates a relation from rows, validating arity.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let arity = schema.arity();
+        for r in &rows {
+            if r.len() != arity {
+                return Err(RelError::Arity { expected: arity, got: r.len() });
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, validating arity.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(RelError::Arity { expected: self.schema.arity(), got: row.len() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Consumes the relation, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["a", "b", "c"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("z"), Err(RelError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn schema_join_dedups_names() {
+        let l = Schema::new(["a", "b"]);
+        let r = Schema::new(["b", "c"]);
+        let j = l.join(&r);
+        assert_eq!(j.names(), &["a", "b", "b.r", "c"]);
+    }
+
+    #[test]
+    fn relation_arity_checked() {
+        let s = Schema::new(["a", "b"]);
+        let mut r = Relation::empty(s.clone());
+        assert!(r.push(vec![1, 2].into_boxed_slice()).is_ok());
+        assert!(r.push(vec![1].into_boxed_slice()).is_err());
+        assert_eq!(r.len(), 1);
+        assert!(Relation::from_rows(s, vec![vec![1].into_boxed_slice()]).is_err());
+    }
+}

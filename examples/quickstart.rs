@@ -1,0 +1,45 @@
+//! Quickstart: explain why two entities are related, in ~20 lines.
+//!
+//! ```text
+//! cargo run -p rex-examples --bin quickstart [start] [end]
+//! ```
+//!
+//! Defaults to the paper's running example, `tom_cruise` / `brad_pitt`,
+//! over the built-in entertainment toy knowledge base (Figure 3).
+
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::{Combined, MeasureContext};
+use rex_core::ranking::rank;
+use rex_core::EnumConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let start_name = args.get(1).map(String::as_str).unwrap_or("tom_cruise");
+    let end_name = args.get(2).map(String::as_str).unwrap_or("brad_pitt");
+
+    // 1. Load a knowledge base. Swap in `rex_kb::io::read_tsv` for real
+    //    DBpedia extractions.
+    let kb = rex_kb::toy::entertainment();
+    let start = kb.require_node(start_name).expect("start entity exists");
+    let end = kb.require_node(end_name).expect("end entity exists");
+
+    // 2. Enumerate all minimal explanations with pattern size ≤ 5
+    //    (PathEnumPrioritized + PathUnionPrune, the paper's best combo).
+    let enumerator = GeneralEnumerator::new(EnumConfig::default());
+    let output = enumerator.enumerate(&kb, start, end);
+    println!(
+        "{} minimal explanations for {start_name} ↔ {end_name} \
+         ({} path patterns, {} merges)",
+        output.explanations.len(),
+        output.stats.path_patterns,
+        output.stats.merge_calls
+    );
+
+    // 3. Rank with the paper's best measure (size + local distribution)
+    //    and show the top 5.
+    let ctx = MeasureContext::new(&kb, start, end);
+    let measure = Combined::size_local_dist();
+    for (i, r) in rank(&output.explanations, &measure, &ctx, 5).iter().enumerate() {
+        println!("{}. {}", i + 1, output.explanations[r.index].describe(&kb));
+    }
+}

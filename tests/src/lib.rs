@@ -1,0 +1,1 @@
+//! Integration test crate (tests live in tests/).

@@ -1,0 +1,134 @@
+//! End-to-end integration: generate → enumerate → rank → judge.
+
+use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
+use rex_core::measures::{table1_measures, Combined, MeasureContext, SizeMeasure};
+use rex_core::ranking::distribution::{rank_by_position, Scope};
+use rex_core::ranking::topk::rank_topk_pruned;
+use rex_core::ranking::rank;
+use rex_core::measures::MonocountMeasure;
+use rex_core::EnumConfig;
+use rex_datagen::{generate, sample_pairs, GeneratorConfig};
+use rex_oracle::study::{paper_pairs, run_study};
+use rex_oracle::StudyConfig;
+
+#[test]
+fn toy_kb_full_pipeline() {
+    let kb = rex_kb::toy::entertainment();
+    let a = kb.require_node("brad_pitt").unwrap();
+    let b = kb.require_node("angelina_jolie").unwrap();
+    let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
+    assert!(out.explanations.len() >= 5, "got {}", out.explanations.len());
+    let ctx = MeasureContext::new(&kb, a, b);
+    // Every Table-1 measure must produce a full ranking without panicking.
+    for m in table1_measures() {
+        let top = rank(&out.explanations, m.as_ref(), &ctx, 10);
+        assert!(!top.is_empty(), "{} produced no ranking", m.name());
+    }
+    // The best explanation under the paper's recommended combination is
+    // the marriage.
+    let top = rank(&out.explanations, &Combined::size_local_dist(), &ctx, 1);
+    assert_eq!(
+        out.explanations[top[0].index].pattern.describe(&kb),
+        "(start)-[spouse]-(end)"
+    );
+}
+
+#[test]
+fn synthetic_kb_full_pipeline() {
+    let kb = generate(&GeneratorConfig::tiny(77));
+    let pairs = sample_pairs(&kb, 2, 4, 7);
+    assert!(!pairs.is_empty(), "sampler found no pairs");
+    let enumerator = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4));
+    for p in &pairs {
+        let out = enumerator.enumerate(&kb, p.start, p.end);
+        assert!(
+            !out.explanations.is_empty(),
+            "connected pair {:?} produced no explanations",
+            (p.start, p.end)
+        );
+        // Ranking with an anti-monotonic measure through the pruned path
+        // agrees with the general framework on scores.
+        let ctx = MeasureContext::new(&kb, p.start, p.end);
+        let config = EnumConfig::default().with_max_nodes(4);
+        let pruned =
+            rank_topk_pruned(&kb, p.start, p.end, &config, &MonocountMeasure, &ctx, 5).unwrap();
+        let full = rank(&out.explanations, &MonocountMeasure, &ctx, 5);
+        let ps: Vec<f64> = pruned.ranking.iter().map(|r| r.score).collect();
+        let fs: Vec<f64> = full.iter().map(|r| r.score).collect();
+        assert_eq!(ps, fs);
+    }
+}
+
+#[test]
+fn all_algorithm_combinations_agree_on_synthetic_pairs() {
+    let kb = generate(&GeneratorConfig::tiny(123));
+    let pairs = sample_pairs(&kb, 1, 4, 3);
+    assert!(!pairs.is_empty());
+    let config = EnumConfig::default().with_max_nodes(4);
+    for p in pairs.iter().take(2) {
+        let mut signatures = Vec::new();
+        for path_algo in [PathAlgo::Naive, PathAlgo::Basic, PathAlgo::Prioritized] {
+            for union_algo in [UnionAlgo::Basic, UnionAlgo::Prune] {
+                let out = GeneralEnumerator::with_algorithms(config.clone(), path_algo, union_algo)
+                    .enumerate(&kb, p.start, p.end);
+                let mut keys: Vec<Vec<u64>> = out
+                    .explanations
+                    .iter()
+                    .map(|e| e.key().as_slice().to_vec())
+                    .collect();
+                keys.sort_unstable();
+                signatures.push((format!("{path_algo:?}/{union_algo:?}"), keys));
+            }
+        }
+        for w in signatures.windows(2) {
+            assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+}
+
+#[test]
+fn distribution_ranking_consistent_on_synthetic_kb() {
+    let kb = generate(&GeneratorConfig::tiny(55));
+    let pairs = sample_pairs(&kb, 1, 4, 11);
+    assert!(!pairs.is_empty());
+    let p = &pairs[0];
+    let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4))
+        .enumerate(&kb, p.start, p.end);
+    let ctx = MeasureContext::new(&kb, p.start, p.end).with_global_samples(10, 3);
+    for scope in [Scope::Local, Scope::Global] {
+        let exact = rank_by_position(&out.explanations, &ctx, 5, scope, false);
+        let pruned = rank_by_position(&out.explanations, &ctx, 5, scope, true);
+        let es: Vec<f64> = exact.iter().map(|r| r.score).collect();
+        let ps: Vec<f64> = pruned.iter().map(|r| r.score).collect();
+        assert_eq!(es, ps, "{scope:?}");
+    }
+}
+
+#[test]
+fn user_study_runs_end_to_end() {
+    let kb = rex_kb::toy::entertainment();
+    let cfg = StudyConfig { global_samples: 10, ..Default::default() };
+    let outcome = run_study(&kb, &paper_pairs(&kb), &cfg);
+    assert_eq!(outcome.measures.len(), 8);
+    // Scores are meaningful (not all zero) and bounded.
+    assert!(outcome.measures.iter().any(|m| m.average > 10.0));
+    assert!(outcome.measures.iter().all(|m| m.average <= 100.0));
+    // The §5.4.2 claim: non-path explanations appear among the top judged.
+    assert!(outcome.path_fraction_top10 < 1.0);
+}
+
+#[test]
+fn size_measure_never_exceeds_limit_on_ranked_output() {
+    let kb = generate(&GeneratorConfig::tiny(99));
+    let pairs = sample_pairs(&kb, 1, 4, 5);
+    assert!(!pairs.is_empty());
+    let p = &pairs[0];
+    for n in 2..=5 {
+        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(n))
+            .enumerate(&kb, p.start, p.end);
+        let ctx = MeasureContext::new(&kb, p.start, p.end);
+        for r in rank(&out.explanations, &SizeMeasure, &ctx, 100) {
+            assert!(out.explanations[r.index].pattern.var_count() <= n);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the substrate crates: relational operators against
+//! naive reference implementations, and knowledge-base adjacency
+//! invariants.
+
+use proptest::prelude::*;
+use rex_kb::{KbBuilder, Orientation};
+use rex_relstore::expr::Predicate;
+use rex_relstore::ops::{distinct, filter, group_count, hash_join, project};
+use rex_relstore::{Relation, Schema};
+
+fn arb_relation(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u64..6, cols..=cols),
+        0..=max_rows,
+    )
+    .prop_map(move |rows| {
+        Relation::from_rows(
+            Schema::new((0..cols).map(|i| format!("c{i}"))),
+            rows.into_iter().map(|r| r.into_boxed_slice()).collect(),
+        )
+        .expect("arity matches")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Hash join equals the nested-loop reference on random relations.
+    #[test]
+    fn join_matches_nested_loop(l in arb_relation(2, 24), r in arb_relation(2, 24)) {
+        let j = hash_join(&l, &r, &[1], &[0]);
+        let mut expected: Vec<Vec<u64>> = Vec::new();
+        for lr in l.rows() {
+            for rr in r.rows() {
+                if lr[1] == rr[0] {
+                    let mut row = lr.to_vec();
+                    row.extend_from_slice(rr);
+                    expected.push(row);
+                }
+            }
+        }
+        let mut got: Vec<Vec<u64>> = j.rows().iter().map(|x| x.to_vec()).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Filter + project compose like their definitional counterparts.
+    #[test]
+    fn filter_project_reference(rel in arb_relation(3, 32), value in 0u64..6) {
+        let pred = Predicate::ColEqConst { col: 0, value };
+        let f = filter(&rel, &pred);
+        prop_assert!(f.rows().iter().all(|r| r[0] == value));
+        prop_assert_eq!(
+            f.len(),
+            rel.rows().iter().filter(|r| r[0] == value).count()
+        );
+        let p = project(&f, &[2, 0]);
+        prop_assert_eq!(p.schema().names(), &["c2", "c0"]);
+        for (orig, proj) in f.rows().iter().zip(p.rows()) {
+            prop_assert_eq!(proj[0], orig[2]);
+            prop_assert_eq!(proj[1], orig[0]);
+        }
+    }
+
+    /// Group-count totals the relation and distinct is idempotent.
+    #[test]
+    fn group_count_and_distinct(rel in arb_relation(2, 32)) {
+        let g = group_count(&rel, &[0]).expect("valid columns");
+        let total: u64 = g.rows().iter().map(|r| r[1]).sum();
+        prop_assert_eq!(total as usize, rel.len());
+        let d = distinct(&rel);
+        let dd = distinct(&d);
+        prop_assert_eq!(d.rows().len(), dd.rows().len());
+        prop_assert!(d.len() <= rel.len());
+        // Group keys of the relation and its distinct version coincide.
+        let keys = |r: &Relation| {
+            let mut k: Vec<u64> = r.rows().iter().map(|x| x[0]).collect();
+            k.sort_unstable();
+            k.dedup();
+            k
+        };
+        prop_assert_eq!(keys(&rel), keys(&d));
+    }
+}
+
+mod kb_invariants {
+    use super::*;
+
+    fn arb_kb() -> impl Strategy<Value = rex_kb::KnowledgeBase> {
+        (2u32..=8, proptest::collection::vec((0u32..8, 0u32..8, 0u32..4, any::<bool>()), 1..24))
+            .prop_map(|(n, edges)| {
+                let mut b = KbBuilder::new();
+                let ids: Vec<_> = (0..n).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+                for (u, v, l, directed) in edges {
+                    let (u, v) = (ids[(u % n) as usize], ids[(v % n) as usize]);
+                    let label = format!("l{l}");
+                    if directed {
+                        b.add_directed_edge(u, v, &label);
+                    } else {
+                        b.add_undirected_edge(u, v, &label);
+                    }
+                }
+                b.build()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Every edge appears in both endpoints' adjacency with matching
+        /// orientations, and label-restricted adjacency equals filtering.
+        #[test]
+        fn adjacency_is_consistent(kb in arb_kb()) {
+            for eid in kb.edge_ids() {
+                let e = kb.edge(eid);
+                let src_entry = kb
+                    .neighbors(e.src)
+                    .iter()
+                    .find(|nb| nb.edge == eid)
+                    .expect("edge in src adjacency");
+                prop_assert_eq!(src_entry.other, e.dst);
+                let want = if e.directed { Orientation::Out } else { Orientation::Undirected };
+                prop_assert_eq!(src_entry.orientation, want);
+                if e.src != e.dst {
+                    let dst_entry = kb
+                        .neighbors(e.dst)
+                        .iter()
+                        .find(|nb| nb.edge == eid)
+                        .expect("edge in dst adjacency");
+                    prop_assert_eq!(dst_entry.other, e.src);
+                    prop_assert_eq!(dst_entry.orientation, want.reversed());
+                }
+            }
+            // Label slices equal filtered full adjacency.
+            for node in kb.node_ids() {
+                for (label, _) in kb.labels() {
+                    let slice = kb.neighbors_labeled(node, label);
+                    let filtered: Vec<_> =
+                        kb.neighbors(node).iter().filter(|nb| nb.label == label).collect();
+                    prop_assert_eq!(slice.len(), filtered.len());
+                }
+            }
+        }
+
+        /// `has_edge` agrees with scanning the adjacency.
+        #[test]
+        fn has_edge_matches_scan(kb in arb_kb()) {
+            for u in kb.node_ids() {
+                for v in kb.node_ids() {
+                    for (label, _) in kb.labels() {
+                        for orient in [Orientation::Out, Orientation::In, Orientation::Undirected] {
+                            let fast = kb.has_edge(u, v, label, orient);
+                            let slow = kb.neighbors(u).iter().any(|nb| {
+                                nb.other == v && nb.label == label && nb.orientation == orient
+                            });
+                            prop_assert_eq!(fast, slow);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The degree sum equals twice the non-loop edge count plus loops.
+        #[test]
+        fn degree_sum_identity(kb in arb_kb()) {
+            let degree_sum: usize = kb.node_ids().map(|n| kb.degree(n)).sum();
+            let loops = kb
+                .edge_ids()
+                .filter(|&e| kb.edge(e).src == kb.edge(e).dst)
+                .count();
+            prop_assert_eq!(degree_sum, 2 * (kb.edge_count() - loops) + loops);
+        }
+    }
+}
