@@ -13,14 +13,15 @@ use rex_core::canonical::{are_isomorphic, canonical_key};
 use rex_core::enumerate::union::{merge, merge_nested};
 use rex_core::enumerate::{EnumStats, GeneralEnumerator};
 use rex_core::measures::cache::DistributionCache;
-use rex_core::measures::distribution::global_position;
+use rex_core::measures::distribution::global_position_per_start;
 use rex_core::measures::MeasureContext;
 use rex_core::ranking::distribution::Scope;
 use rex_core::ranking::parallel::rank_by_position_parallel;
 use rex_core::{EnumConfig, Explanation};
 use rex_datagen::{generate, sample_pairs, GeneratorConfig};
 
-fn explanations_for_bench() -> (rex_kb::KnowledgeBase, rex_kb::NodeId, rex_kb::NodeId, Vec<Explanation>) {
+fn explanations_for_bench(
+) -> (rex_kb::KnowledgeBase, rex_kb::NodeId, rex_kb::NodeId, Vec<Explanation>) {
     let kb = generate(&GeneratorConfig::tiny(2011));
     let pairs = sample_pairs(&kb, 1, 4, 2011);
     let pair = pairs.iter().max_by_key(|p| p.connectedness).expect("pairs sampled");
@@ -86,13 +87,13 @@ fn bench_cache_and_parallel(c: &mut Criterion) {
     let explanations = &explanations[..explanations.len().min(20)];
     let mut group = c.benchmark_group("ablation_distribution");
     group.sample_size(10);
-    group.bench_function("global_uncached", |b| {
+    group.bench_function("global_per_start", |b| {
         b.iter(|| {
             let ctx = MeasureContext::new(&kb, start, end).with_global_samples(10, 7);
             let _ = ctx.edge_index();
             explanations
                 .iter()
-                .map(|e| global_position(&ctx, e, usize::MAX))
+                .map(|e| global_position_per_start(&ctx, e, usize::MAX))
                 .sum::<usize>()
         })
     });
@@ -102,10 +103,7 @@ fn bench_cache_and_parallel(c: &mut Criterion) {
             let index = ctx.edge_index();
             let starts = ctx.global_sample_starts();
             let cache = DistributionCache::new();
-            explanations
-                .iter()
-                .map(|e| cache.global_position(index, e, &starts))
-                .sum::<usize>()
+            explanations.iter().map(|e| cache.global_position(index, e, &starts)).sum::<usize>()
         })
     });
     for threads in [1usize, 4] {

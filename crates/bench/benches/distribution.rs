@@ -29,8 +29,8 @@ fn bench_distribution(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new(name, pair.group.name()), |b| {
             b.iter(|| {
-                let ctx = MeasureContext::new(&kb, pair.start, pair.end)
-                    .with_global_samples(20, 2011);
+                let ctx =
+                    MeasureContext::new(&kb, pair.start, pair.end).with_global_samples(20, 2011);
                 let _ = ctx.edge_index();
                 rank_by_position(&explanations, &ctx, 10, scope, prune)
             })

@@ -31,11 +31,9 @@ fn bench_enumeration(c: &mut Criterion) {
         ] {
             let enumerator =
                 GeneralEnumerator::with_algorithms(config.clone(), path_algo, union_algo);
-            group.bench_with_input(
-                BenchmarkId::new(name, label),
-                pair,
-                |b, p| b.iter(|| enumerator.enumerate(&kb, p.start, p.end)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, label), pair, |b, p| {
+                b.iter(|| enumerator.enumerate(&kb, p.start, p.end))
+            });
         }
         // The gSpan baseline, budgeted so low-connectedness pairs finish.
         if pair.group == ConnGroup::Low {

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rex_core::enumerate::GeneralEnumerator;
 use rex_core::measures::{MeasureContext, MonocountMeasure};
-use rex_core::ranking::topk::rank_topk_pruned;
 use rex_core::ranking::rank;
+use rex_core::ranking::topk::rank_topk_pruned;
 use rex_core::EnumConfig;
 use rex_datagen::{generate, sample_pairs, GeneratorConfig};
 
@@ -19,8 +19,7 @@ fn bench_topk(c: &mut Criterion) {
         let label = pair.group.name();
         group.bench_with_input(BenchmarkId::new("full_rank", label), pair, |b, p| {
             b.iter(|| {
-                let out =
-                    GeneralEnumerator::new(config.clone()).enumerate(&kb, p.start, p.end);
+                let out = GeneralEnumerator::new(config.clone()).enumerate(&kb, p.start, p.end);
                 let ctx = MeasureContext::new(&kb, p.start, p.end);
                 rank(&out.explanations, &MonocountMeasure, &ctx, 10)
             })
@@ -32,16 +31,8 @@ fn bench_topk(c: &mut Criterion) {
                 |b, p| {
                     b.iter(|| {
                         let ctx = MeasureContext::new(&kb, p.start, p.end);
-                        rank_topk_pruned(
-                            &kb,
-                            p.start,
-                            p.end,
-                            &config,
-                            &MonocountMeasure,
-                            &ctx,
-                            k,
-                        )
-                        .expect("anti-monotonic")
+                        rank_topk_pruned(&kb, p.start, p.end, &config, &MonocountMeasure, &ctx, k)
+                            .expect("anti-monotonic")
                     })
                 },
             );

@@ -1,0 +1,21 @@
+//! Emits `BENCH_ranking.json` — the machine-readable baseline comparing
+//! per-start and batched global-distribution ranking — without running
+//! the rest of the experiment suite (`bin/report` includes the same
+//! section). Honors the usual workload knobs plus `REX_BENCH_JSON_PATH`.
+
+use rex_bench::{experiments, workloads::Workload};
+
+fn main() {
+    let w = Workload::from_env();
+    let pairs: usize =
+        std::env::var("REX_BENCH_FIG11_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let bench = experiments::ranking_bench(&w, pairs, 10);
+    let json = bench.to_json();
+    print!("{json}");
+    let path =
+        std::env::var("REX_BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_ranking.json".to_string());
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("[bench_ranking] wrote {path}"),
+        Err(e) => eprintln!("[bench_ranking] could not write {path}: {e}"),
+    }
+}

@@ -14,9 +14,7 @@ use rex_bench::report::{section, Table};
 use rex_core::decorate::decorate;
 use rex_core::enumerate::GeneralEnumerator;
 use rex_core::measures::cache::DistributionCache;
-use rex_core::measures::{
-    table1_measures, LocalDeviationMeasure, Measure, MeasureContext,
-};
+use rex_core::measures::{table1_measures, LocalDeviationMeasure, Measure, MeasureContext};
 use rex_core::ranking::distribution::{rank_by_position, Scope};
 use rex_core::ranking::parallel::rank_by_position_parallel;
 use rex_core::ranking::rank;
@@ -41,8 +39,8 @@ fn main() {
         let mut total = 0.0;
         for &(a, b) in eval_pairs {
             let out = GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(&kb, a, b);
-            let ctx = MeasureContext::new(&kb, a, b)
-                .with_global_samples(cfg.global_samples, cfg.seed);
+            let ctx =
+                MeasureContext::new(&kb, a, b).with_global_samples(cfg.global_samples, cfg.seed);
             let ranking = rank(&out.explanations, m, &ctx, cfg.k);
             let labels: Vec<f64> = ranking
                 .iter()
@@ -55,7 +53,10 @@ fn main() {
     for m in table1_measures() {
         table.row([m.name().to_string(), format!("{:.1}", evaluate(m.as_ref()))]);
     }
-    table.row(["local-deviation".to_string(), format!("{:.1}", evaluate(&LocalDeviationMeasure::new()))]);
+    table.row([
+        "local-deviation".to_string(),
+        format!("{:.1}", evaluate(&LocalDeviationMeasure::new())),
+    ]);
     table.row(["learned (ridge LS)".to_string(), format!("{:.1}", evaluate(&model))]);
     section("Learned combination vs. Table-1 measures (held-out pairs)", &table.render());
     println!(
@@ -82,8 +83,7 @@ fn main() {
     let skb = rex_datagen::generate(&rex_datagen::GeneratorConfig::tiny(2011));
     let spairs = rex_datagen::sample_pairs(&skb, 1, 4, 2011);
     if let Some(p) = spairs.iter().max_by_key(|p| p.connectedness) {
-        let out = GeneralEnumerator::new(cfg.enum_config.clone())
-            .enumerate(&skb, p.start, p.end);
+        let out = GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(&skb, p.start, p.end);
         let sctx = MeasureContext::new(&skb, p.start, p.end).with_global_samples(20, 7);
         let _ = sctx.edge_index();
         let t0 = Instant::now();

@@ -7,5 +7,7 @@ fn main() {
     let ks = [1, 5, 10, 20, 50, 100, 200, 400];
     let table = experiments::fig10(&w, &ks);
     report::section("Figure 10 — top-k pruning across k (monocount)", &table.render());
-    println!("(`full` ranks the complete enumeration; pruning helps at small k and fades as k grows.)");
+    println!(
+        "(`full` ranks the complete enumeration; pruning helps at small k and fades as k grows.)"
+    );
 }

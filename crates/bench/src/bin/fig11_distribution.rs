@@ -5,10 +5,8 @@ use rex_bench::{experiments, report, workloads::Workload};
 
 fn main() {
     let w = Workload::from_env();
-    let per_group: usize = std::env::var("REX_BENCH_FIG11_PAIRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let per_group: usize =
+        std::env::var("REX_BENCH_FIG11_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
     let table = experiments::fig11(&w, per_group, 10);
     report::section(
         "Figure 11 — distribution-based top-10 ranking (avg per pair)",

@@ -5,14 +5,14 @@ use rex_bench::{experiments, report, workloads::Workload};
 
 fn main() {
     let w = Workload::from_env();
-    let budget: usize = std::env::var("REX_BENCH_NAIVE_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5_000);
+    let budget: usize =
+        std::env::var("REX_BENCH_NAIVE_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(5_000);
     let table = experiments::fig7(&w, budget);
     report::section(
         "Figure 7 — explanation enumeration algorithms (avg time per pair)",
         &table.render(),
     );
-    println!("(NaiveEnum times prefixed with `>` hit the {budget}-expansion budget: lower bounds.)");
+    println!(
+        "(NaiveEnum times prefixed with `>` hit the {budget}-expansion budget: lower bounds.)"
+    );
 }

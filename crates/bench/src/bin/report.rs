@@ -16,35 +16,30 @@ fn main() {
         w.seed,
     );
 
-    let budget: usize = std::env::var("REX_BENCH_NAIVE_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5_000);
+    let budget: usize =
+        std::env::var("REX_BENCH_NAIVE_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(5_000);
     section(
         "Figure 7 — explanation enumeration algorithms (avg time per pair)",
         &experiments::fig7(&w, budget).render(),
     );
-    println!("(NaiveEnum times prefixed with `>` hit the {budget}-expansion budget: lower bounds.)");
+    println!(
+        "(NaiveEnum times prefixed with `>` hit the {budget}-expansion budget: lower bounds.)"
+    );
 
     section(
         "Figure 8 — enumeration time vs. explanation instances",
         &experiments::fig8(&w).render(),
     );
 
-    section(
-        "Figure 9 — top-k pruning for monocount (k = 10)",
-        &experiments::fig9(&w, 10).render(),
-    );
+    section("Figure 9 — top-k pruning for monocount (k = 10)", &experiments::fig9(&w, 10).render());
 
     section(
         "Figure 10 — top-k pruning across k (monocount)",
         &experiments::fig10(&w, &[1, 5, 10, 20, 50, 100, 200, 400]).render(),
     );
 
-    let fig11_pairs: usize = std::env::var("REX_BENCH_FIG11_PAIRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let fig11_pairs: usize =
+        std::env::var("REX_BENCH_FIG11_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
     section(
         "Figure 11 — distribution-based top-10 ranking (avg per pair)",
         &experiments::fig11(&w, fig11_pairs, 10).render(),
@@ -52,6 +47,34 @@ fn main() {
     println!(
         "({fig11_pairs} pairs per group; global estimated from {} local distributions.)",
         w.global_samples
+    );
+
+    // Machine-readable perf baseline: per-start vs batched global ranking.
+    let bench = experiments::ranking_bench(&w, fig11_pairs, 10);
+    let json_path =
+        std::env::var("REX_BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_ranking.json".to_string());
+    match std::fs::write(&json_path, bench.to_json()) {
+        Ok(()) => eprintln!("[report] wrote {json_path}"),
+        Err(e) => eprintln!("[report] could not write {json_path}: {e}"),
+    }
+    section(
+        "Ranking baseline — per-start vs batched global distribution engine",
+        &format!(
+            "per-start: {:.1} ms, {} full + {} streaming evaluations\n\
+             batched:   {:.1} ms, {} full + {} streaming evaluations \
+             ({} distinct shapes, {} explanations, {} pairs)\n\
+             speedup:   {:.1}× (also written to {json_path})",
+            bench.per_start.wall.as_secs_f64() * 1e3,
+            bench.per_start.full_evals,
+            bench.per_start.streaming_evals,
+            bench.batched.wall.as_secs_f64() * 1e3,
+            bench.batched.full_evals,
+            bench.batched.streaming_evals,
+            bench.distinct_shapes,
+            bench.explanations,
+            bench.pairs,
+            bench.speedup(),
+        ),
     );
 
     let (t1, outcome) = experiments::table1(100);

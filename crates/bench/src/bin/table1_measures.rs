@@ -3,12 +3,13 @@
 use rex_bench::{experiments, report};
 
 fn main() {
-    let samples: usize = std::env::var("REX_BENCH_GLOBAL_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100);
+    let samples: usize =
+        std::env::var("REX_BENCH_GLOBAL_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
     let (table, outcome) = experiments::table1(samples);
-    report::section("Table 1 — comparing interestingness measures (DCG, 10 simulated judges)", &table.render());
+    report::section(
+        "Table 1 — comparing interestingness measures (DCG, 10 simulated judges)",
+        &table.render(),
+    );
     println!(
         "path share among top user-judged explanations: top-5 {:.0}%, top-10 {:.0}%",
         outcome.path_fraction_top5 * 100.0,

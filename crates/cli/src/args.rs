@@ -24,9 +24,8 @@ impl Args {
                 if SWITCHES.contains(&name) {
                     out.switches.push(name.to_string());
                 } else {
-                    let value = argv
-                        .get(i + 1)
-                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    let value =
+                        argv.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
                     out.flags.insert(name.to_string(), value.clone());
                     i += 1;
                 }
@@ -47,9 +46,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| format!("flag --{name}: cannot parse {v:?}"))
-            }
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
         }
     }
 

@@ -248,9 +248,7 @@ mod tests {
             .unwrap()
         };
         let reference = canonical_key(&base(2, 3, 4));
-        for (a, b, c) in
-            [(2, 3, 4), (2, 4, 3), (3, 2, 4), (3, 4, 2), (4, 2, 3), (4, 3, 2)]
-        {
+        for (a, b, c) in [(2, 3, 4), (2, 4, 3), (3, 2, 4), (3, 4, 2), (4, 2, 3), (4, 3, 2)] {
             assert_eq!(canonical_key(&base(a, b, c)), reference, "perm ({a},{b},{c})");
         }
     }
@@ -326,14 +324,8 @@ mod iso_tests {
         assert!(are_isomorphic(&p1, &p2));
         assert!(are_isomorphic(&p2, &p1));
         assert!(!are_isomorphic(&p1, &p3));
-        assert_eq!(
-            are_isomorphic(&p1, &p2),
-            canonical_key(&p1) == canonical_key(&p2)
-        );
-        assert_eq!(
-            are_isomorphic(&p1, &p3),
-            canonical_key(&p1) == canonical_key(&p3)
-        );
+        assert_eq!(are_isomorphic(&p1, &p2), canonical_key(&p1) == canonical_key(&p2));
+        assert_eq!(are_isomorphic(&p1, &p3), canonical_key(&p1) == canonical_key(&p3));
     }
 
     #[test]

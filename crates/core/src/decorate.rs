@@ -156,8 +156,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("kate_winslet").unwrap();
         let b = kb.require_node("leonardo_dicaprio").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let costar = out
             .explanations
             .iter()

@@ -98,7 +98,11 @@ impl GeneralEnumerator {
     /// Enumerator with the default (fastest) algorithms:
     /// `PathEnumPrioritized + PathUnionPrune`.
     pub fn new(config: EnumConfig) -> Self {
-        GeneralEnumerator { config, path_algo: PathAlgo::default(), union_algo: UnionAlgo::default() }
+        GeneralEnumerator {
+            config,
+            path_algo: PathAlgo::default(),
+            union_algo: UnionAlgo::default(),
+        }
     }
 
     /// Enumerator with explicit algorithm choices (used by the Figure-7

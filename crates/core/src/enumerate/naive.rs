@@ -71,10 +71,8 @@ impl NaiveEnumerator {
         }
         let n = self.config.max_pattern_nodes;
         let seed_pattern = Pattern::new(2, Vec::new()).expect("two isolated targets are valid");
-        let seed = Entry {
-            pattern: seed_pattern,
-            instances: vec![Instance::new(vec![vstart, vend])],
-        };
+        let seed =
+            Entry { pattern: seed_pattern, instances: vec![Instance::new(vec![vstart, vend])] };
         let mut seen: HashSet<CanonicalKey> = HashSet::new();
         seen.insert(canonical_key(&seed.pattern));
         let mut queue: Vec<Entry> = vec![seed];
@@ -141,11 +139,7 @@ impl NaiveEnumerator {
                     // Closing edges: neighbor is bound to some variable.
                     for u in 0..var_count as u8 {
                         if inst.get(VarId(u)) == nb.other && u != v {
-                            candidates.insert(Candidate::Closing(edge_from(
-                                var,
-                                VarId(u),
-                                nb,
-                            )));
+                            candidates.insert(Candidate::Closing(edge_from(var, VarId(u), nb)));
                         }
                     }
                     // Opening edges: fresh variable, if the size limit and
@@ -260,10 +254,9 @@ fn edge_holds(kb: &KnowledgeBase, edge: &PatternEdge, instance: &Instance) -> bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::signature;
     use crate::enumerate::GeneralEnumerator;
     use crate::instance::satisfies;
-
+    use crate::testutil::signature;
 
     #[test]
     fn agrees_with_path_union_on_toy_pairs() {

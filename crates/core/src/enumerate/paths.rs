@@ -242,11 +242,7 @@ fn expand_level(
 /// Total degree of a frontier's terminal nodes; the BANKS2-style activation
 /// is its inverse (cheaper frontiers have higher activation).
 fn frontier_cost(kb: &KnowledgeBase, frontier: &[Partial], stop: NodeId) -> usize {
-    frontier
-        .iter()
-        .filter(|p| p.terminal() != stop)
-        .map(|p| kb.degree(p.terminal()))
-        .sum()
+    frontier.iter().filter(|p| p.terminal() != stop).map(|p| kb.degree(p.terminal())).sum()
 }
 
 /// Joins forward and backward partial-path sets into full paths using the
@@ -378,9 +374,9 @@ pub fn enumerate_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::signature;
     use crate::instance::satisfies;
     use crate::properties::is_minimal;
+    use crate::testutil::signature;
 
     fn run(kb: &KnowledgeBase, a: &str, b: &str, algo: PathAlgo, n: usize) -> Vec<Explanation> {
         let mut stats = EnumStats::default();
@@ -394,7 +390,6 @@ mod tests {
             &mut stats,
         )
     }
-
 
     #[test]
     fn all_three_algorithms_agree_on_toy_kb() {
@@ -454,10 +449,7 @@ mod tests {
         let starring = kb.label_by_name("starring").unwrap();
         let costar =
             Pattern::path(&[(starring, EdgeDir::Forward), (starring, EdgeDir::Backward)]).unwrap();
-        let found = expls
-            .iter()
-            .find(|e| e.pattern == costar)
-            .expect("co-star pattern present");
+        let found = expls.iter().find(|e| e.pattern == costar).expect("co-star pattern present");
         // Titanic and Revolutionary Road.
         assert_eq!(found.count(), 2);
     }
@@ -496,14 +488,8 @@ mod tests {
         b.add_directed_edge(s, e, "r");
         let kb = b.build();
         let mut stats = EnumStats::default();
-        let expls = enumerate_paths(
-            &kb,
-            s,
-            e,
-            &EnumConfig::default(),
-            PathAlgo::Prioritized,
-            &mut stats,
-        );
+        let expls =
+            enumerate_paths(&kb, s, e, &EnumConfig::default(), PathAlgo::Prioritized, &mut stats);
         assert_eq!(expls.len(), 1);
         assert_eq!(expls[0].count(), 1);
     }
@@ -538,8 +524,7 @@ mod tests {
         let kb = b.build();
         for algo in [PathAlgo::Naive, PathAlgo::Basic, PathAlgo::Prioritized] {
             let mut stats = EnumStats::default();
-            let expls =
-                enumerate_paths(&kb, s, e, &EnumConfig::default(), algo, &mut stats);
+            let expls = enumerate_paths(&kb, s, e, &EnumConfig::default(), algo, &mut stats);
             assert!(expls.is_empty());
         }
     }

@@ -150,8 +150,7 @@ pub fn merge(
                 stats.instance_pairs += 1;
                 // Injective semantics: unmatched right values must not
                 // collide with any left value.
-                let mut assignment: Vec<rex_kb::NodeId> =
-                    Vec::with_capacity(merged_var_count);
+                let mut assignment: Vec<rex_kb::NodeId> = Vec::with_capacity(merged_var_count);
                 assignment.extend_from_slice(i1.as_slice());
                 for rv in 2..p2.var_count() as u8 {
                     if mapping[(rv - 2) as usize].is_none() {
@@ -249,8 +248,7 @@ pub fn merge_nested(
                         continue 'pair;
                     }
                 }
-                let mut assignment: Vec<rex_kb::NodeId> =
-                    Vec::with_capacity(merged_var_count);
+                let mut assignment: Vec<rex_kb::NodeId> = Vec::with_capacity(merged_var_count);
                 assignment.extend_from_slice(i1.as_slice());
                 for rv in 2..p2.var_count() as u8 {
                     if mapping[(rv - 2) as usize].is_none() {
@@ -420,11 +418,11 @@ pub fn path_union_prune(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::signature;
     use crate::enumerate::paths::enumerate_paths;
     use crate::enumerate::PathAlgo;
     use crate::instance::satisfies;
     use crate::properties::is_minimal;
+    use crate::testutil::signature;
     use rex_kb::KnowledgeBase;
 
     fn paths_for(kb: &KnowledgeBase, a: &str, b: &str, n: usize) -> Vec<Explanation> {
@@ -438,7 +436,6 @@ mod tests {
             &mut stats,
         )
     }
-
 
     #[test]
     fn mappings_enumeration_counts() {
@@ -536,12 +533,7 @@ mod tests {
                 b,
                 crate::matcher::MatchOptions::default(),
             );
-            assert_eq!(
-                e.count(),
-                m.instances.len(),
-                "instance mismatch for {}",
-                e.describe(&kb)
-            );
+            assert_eq!(e.count(), m.instances.len(), "instance mismatch for {}", e.describe(&kb));
         }
     }
 
@@ -551,8 +543,11 @@ mod tests {
         for n in 3..=5 {
             let config = EnumConfig::default().with_max_nodes(n);
             let mut stats = EnumStats::default();
-            let out =
-                path_union_basic(paths_for(&kb, "tom_cruise", "will_smith", n), &config, &mut stats);
+            let out = path_union_basic(
+                paths_for(&kb, "tom_cruise", "will_smith", n),
+                &config,
+                &mut stats,
+            );
             for e in &out {
                 assert!(e.pattern.var_count() <= n);
             }

@@ -74,6 +74,12 @@ struct Search<'a> {
     vstart: NodeId,
     vend: NodeId,
     assignment: Vec<Option<NodeId>>,
+    /// The set of KB nodes currently bound by `assignment` (targets
+    /// included), maintained incrementally on bind/unbind so the
+    /// injectivity check is a set lookup instead of an O(vars) scan of
+    /// the assignment — the scan sat on the innermost loop of every
+    /// extension.
+    bound_nodes: std::collections::HashSet<NodeId>,
     out: Vec<Instance>,
     saturated: bool,
 }
@@ -90,10 +96,19 @@ impl Search<'_> {
         }
         match self.opts.semantics {
             Semantics::Homomorphism => true,
-            Semantics::Injective => {
-                !self.assignment.contains(&Some(node))
-            }
+            Semantics::Injective => !self.bound_nodes.contains(&node),
         }
+    }
+
+    /// Binds `var := node` for the duration of the recursion below it.
+    fn bind(&mut self, var: VarId, node: NodeId) {
+        self.assignment[var.index()] = Some(node);
+        self.bound_nodes.insert(node);
+    }
+
+    fn unbind(&mut self, var: VarId, node: NodeId) {
+        self.assignment[var.index()] = None;
+        self.bound_nodes.remove(&node);
     }
 
     fn edge_holds(&self, e: &PatternEdge, u: NodeId, v: NodeId) -> bool {
@@ -142,9 +157,9 @@ impl Search<'_> {
                     if !self.admissible(e.v, n.other) {
                         continue;
                     }
-                    self.assignment[e.v.index()] = Some(n.other);
+                    self.bind(e.v, n.other);
                     self.go(depth + 1);
-                    self.assignment[e.v.index()] = None;
+                    self.unbind(e.v, n.other);
                 }
             }
             (None, Some(v)) => {
@@ -164,9 +179,9 @@ impl Search<'_> {
                     if !self.admissible(e.u, n.other) {
                         continue;
                     }
-                    self.assignment[e.u.index()] = Some(n.other);
+                    self.bind(e.u, n.other);
                     self.go(depth + 1);
-                    self.assignment[e.u.index()] = None;
+                    self.unbind(e.u, n.other);
                 }
             }
             (None, None) => {
@@ -197,6 +212,9 @@ pub fn find_instances(
     let mut assignment = vec![None; pattern.var_count()];
     assignment[START_VAR.index()] = Some(vstart);
     assignment[END_VAR.index()] = Some(vend);
+    // Targets enter the bound-node set once and never leave it (admissible
+    // rejects them before bind/unbind can touch them).
+    let bound_nodes = [vstart, vend].into_iter().collect();
     let mut search = Search {
         kb,
         pattern,
@@ -205,6 +223,7 @@ pub fn find_instances(
         vstart,
         vend,
         assignment,
+        bound_nodes,
         out: Vec::new(),
         saturated: false,
     };
@@ -271,8 +290,7 @@ mod tests {
         let spouse = kb.label_by_name("spouse").unwrap();
         let p = Pattern::path(&[(spouse, EdgeDir::Undirected)]).unwrap();
         for (a, b) in [("brad_pitt", "angelina_jolie"), ("angelina_jolie", "brad_pitt")] {
-            let r =
-                find_instances(&kb, &p, node(&kb, a), node(&kb, b), MatchOptions::default());
+            let r = find_instances(&kb, &p, node(&kb, a), node(&kb, b), MatchOptions::default());
             assert_eq!(r.instances.len(), 1, "{a} - {b}");
         }
     }
@@ -319,8 +337,8 @@ mod tests {
         // start -spouse- v2 -spouse- end: Kate -spouse- Sam, Sam -spouse-?
         // Kate's only other spouse path would revisit targets; expect none
         // between kate and sam via an intermediate.
-        let p = Pattern::path(&[(spouse, EdgeDir::Undirected), (spouse, EdgeDir::Undirected)])
-            .unwrap();
+        let p =
+            Pattern::path(&[(spouse, EdgeDir::Undirected), (spouse, EdgeDir::Undirected)]).unwrap();
         let r = find_instances(
             &kb,
             &p,

@@ -64,9 +64,7 @@ mod tests {
         for e in out.explanations.iter().filter(|e| !e.pattern.is_path()) {
             let parents: Vec<_> = paths
                 .iter()
-                .filter(|p| {
-                    p.pattern.edges().iter().all(|pe| e.pattern.edges().contains(pe))
-                })
+                .filter(|p| p.pattern.edges().iter().all(|pe| e.pattern.edges().contains(pe)))
                 .collect();
             for p in parents {
                 assert!(
@@ -84,8 +82,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("julia_roberts").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let costar = out
             .explanations

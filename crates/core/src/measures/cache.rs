@@ -1,44 +1,101 @@
 //! Shared distribution cache — the "amortizing the computation over
 //! different pairs by sharing the computation involved" optimization the
-//! paper sketches in §5.3.2.
+//! paper sketches in §5.3.2, taken to its batched conclusion.
 //!
 //! The expensive ingredient of every distribution measure is the *local
-//! count multiset* of a pattern for a start entity: one grouped relational
-//! query. That multiset depends only on the pattern **up to isomorphism**
-//! and the start entity — not on the end entity, not on the aggregate
-//! value being positioned — so it can be shared:
+//! count multiset* of a pattern for a start entity. That multiset depends
+//! only on the pattern **up to isomorphism** and the start entity — not on
+//! the end entity, not on the aggregate value being positioned — and the
+//! global-position estimate needs it for ~100 sampled starts per pattern.
 //!
-//! * across explanations of the same pair whose patterns are isomorphic,
-//! * across *different pairs* with the same start entity,
-//! * across the 100 sampled starts of the global estimate, when several
-//!   explanations share a pattern shape (extremely common: every pair has
-//!   a co-star-shaped explanation).
+//! The cache is therefore keyed **per canonical pattern shape** and holds
+//! an [`AllStartsDistribution`]: one `Arc`'d map from start entity to its
+//! descending count multiset, produced by a *single* batched relational
+//! evaluation ([`rex_relstore::engine::global_count_distributions`]) whose
+//! start variable ranges over the whole requested sample at once. Any
+//! position query against a cached shape is then a hash lookup plus a
+//! binary search — the asymptotics drop from ~`starts` full evaluations
+//! per shape to 1.
 //!
-//! The cache is keyed by `(canonical pattern key, start entity)` and holds
-//! the descending count multiset; any position query is then a binary
-//! search. Thread-safe (`parking_lot::RwLock`) so the parallel ranker can
-//! share it.
+//! A secondary per-`(shape, start)` overlay serves single-start queries
+//! (local distributions, starts outside a cached batch's domain) with the
+//! cheap bound per-start probe, so a purely local workload never pays for
+//! a batched evaluation it does not need.
+//!
+//! Thread-safe (`parking_lot::RwLock`) so the parallel ranker can share
+//! it; hit/miss counters make the sharing observable in tests and
+//! benches.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use rex_kb::NodeId;
 use rex_relstore::engine::EdgeIndex;
 
 use crate::canonical::CanonicalKey;
 use crate::explanation::Explanation;
 use crate::measures::distribution::position_in;
 
-/// Cache key: canonical pattern key plus start entity id.
-type CacheKey = (CanonicalKey, u32);
+/// The batched all-starts distribution of one canonical pattern shape:
+/// for every start entity in `domain`, the descending multiset of per-end
+/// instance counts. Starts in the domain without instances simply have no
+/// entry (empty distribution, position always 0).
+#[derive(Debug)]
+pub struct AllStartsDistribution {
+    counts: HashMap<u64, Arc<Vec<u64>>>,
+    domain: HashSet<u64>,
+}
 
-/// Thread-safe cache of local count multisets.
+impl AllStartsDistribution {
+    /// Whether `start` was covered by the batched evaluation (queries
+    /// outside the domain must fall back to a per-start probe).
+    pub fn covers(&self, start: u64) -> bool {
+        self.domain.contains(&start)
+    }
+
+    /// The descending count multiset of `start`, `None` when `start` is
+    /// outside the evaluated domain.
+    pub fn counts_for(&self, start: u64) -> Option<Arc<Vec<u64>>> {
+        if !self.covers(start) {
+            return None;
+        }
+        Some(self.counts.get(&start).cloned().unwrap_or_default())
+    }
+
+    /// Position of aggregate value `a` in `start`'s distribution, `None`
+    /// when `start` is outside the evaluated domain.
+    pub fn position(&self, start: u64, a: u64) -> Option<usize> {
+        if !self.covers(start) {
+            return None;
+        }
+        Some(self.counts.get(&start).map_or(0, |c| position_in(c, a)))
+    }
+
+    /// Number of starts covered by the evaluation.
+    pub fn domain_len(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Number of covered starts with at least one instance.
+    pub fn nonempty_starts(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The per-`(shape, start)` overlay's key.
+type PerStartKey = (CanonicalKey, u32);
+
+/// Thread-safe cache of distribution multisets, keyed per canonical
+/// pattern shape (batched) with a per-`(shape, start)` fallback overlay.
 #[derive(Debug, Default)]
 pub struct DistributionCache {
-    inner: RwLock<HashMap<CacheKey, Arc<Vec<u64>>>>,
+    batched: RwLock<HashMap<CanonicalKey, Arc<AllStartsDistribution>>>,
+    per_start: RwLock<HashMap<PerStartKey, Arc<Vec<u64>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    batched_evals: AtomicUsize,
 }
 
 impl DistributionCache {
@@ -47,28 +104,91 @@ impl DistributionCache {
         Self::default()
     }
 
-    /// The descending count multiset of `e`'s pattern for `start`,
-    /// computing and caching it on first use.
+    /// The all-starts distribution of `e`'s pattern shape covering (at
+    /// least) `starts`: **one** batched relational evaluation per shape,
+    /// shared by every start in the sample, every explanation with an
+    /// isomorphic pattern, and every thread. If a previously cached batch
+    /// misses some of `starts`, the batch is recomputed over the union of
+    /// domains (rare: the sample is fixed per context).
+    pub fn all_starts(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+    ) -> Arc<AllStartsDistribution> {
+        let key = e.key();
+        if let Some(cached) = self.batched.read().get(key) {
+            if starts.iter().all(|s| cached.covers(s.0 as u64)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(cached);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.batched_evals.fetch_add(1, Ordering::Relaxed);
+        let mut domain: HashSet<u64> = starts.iter().map(|s| s.0 as u64).collect();
+        if let Some(cached) = self.batched.read().get(key) {
+            domain.extend(cached.domain.iter().copied());
+        }
+        let spec = e.pattern.to_spec();
+        let list: Vec<u64> = domain.iter().copied().collect();
+        let dist = rex_relstore::engine::global_count_distributions(index, &spec, Some(&list))
+            .expect("explanation patterns are valid specs");
+        let computed = Arc::new(AllStartsDistribution {
+            counts: dist.into_iter().map(|(s, v)| (s, Arc::new(v))).collect(),
+            domain,
+        });
+        let mut guard = self.batched.write();
+        let entry = guard.entry(key.clone()).or_insert_with(|| Arc::clone(&computed));
+        // A racing thread may have stored a batch meanwhile; keep whichever
+        // covers the requested starts (ours always does).
+        if !starts.iter().all(|s| entry.covers(s.0 as u64)) {
+            *entry = Arc::clone(&computed);
+        }
+        Arc::clone(entry)
+    }
+
+    /// The descending count multiset of `e`'s pattern for `start`. Served
+    /// from a cached batch when one covers `start`; otherwise computed
+    /// with a single bound per-start probe and cached in the overlay —
+    /// the right cost model for local (single-start) queries.
     pub fn counts(&self, index: &EdgeIndex, e: &Explanation, start: u32) -> Arc<Vec<u64>> {
-        let key = (e.key().clone(), start);
-        if let Some(hit) = self.inner.read().get(&key) {
+        let key = e.key();
+        if let Some(batch) = self.batched.read().get(key) {
+            if let Some(counts) = batch.counts_for(start as u64) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return counts;
+            }
+        }
+        let overlay_key = (key.clone(), start);
+        if let Some(hit) = self.per_start.read().get(&overlay_key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let spec = e.pattern.to_spec();
-        let dist = rex_relstore::engine::local_count_distribution_indexed(
-            index,
-            &spec,
-            start as u64,
-        )
-        .expect("explanation patterns are valid specs");
+        let dist =
+            rex_relstore::engine::local_count_distribution_indexed(index, &spec, start as u64)
+                .expect("explanation patterns are valid specs");
         let mut counts: Vec<u64> = dist.into_values().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let counts = Arc::new(counts);
         // A racing thread may have inserted meanwhile; keep the first.
-        let mut guard = self.inner.write();
-        Arc::clone(guard.entry(key).or_insert(counts))
+        let mut guard = self.per_start.write();
+        Arc::clone(guard.entry(overlay_key).or_insert(counts))
+    }
+
+    /// Local position of `e` (count aggregate) for `start`, if the answer
+    /// is already cached — never computes, never counts a hit or miss.
+    /// The pruned rankers use this for free exactness before falling back
+    /// to a bounded streaming probe.
+    pub fn cached_local_position(&self, e: &Explanation, start: u32) -> Option<usize> {
+        let a = e.count() as u64;
+        if let Some(batch) = self.batched.read().get(e.key()) {
+            if let Some(pos) = batch.position(start as u64, a) {
+                return Some(pos);
+            }
+        }
+        self.per_start.read().get(&(e.key().clone(), start)).map(|counts| position_in(counts, a))
     }
 
     /// Local position of `e` (count aggregate) via the cache.
@@ -76,32 +196,38 @@ impl DistributionCache {
         position_in(&self.counts(index, e, start), e.count() as u64)
     }
 
-    /// Sampled global position of `e` via the cache.
-    pub fn global_position(
-        &self,
-        index: &EdgeIndex,
-        e: &Explanation,
-        starts: &[rex_kb::NodeId],
-    ) -> usize {
+    /// Sampled global position of `e` via the cache: the sum of `e`'s
+    /// positions in the local distributions of `starts`, answered from
+    /// one shared batched evaluation per pattern shape.
+    pub fn global_position(&self, index: &EdgeIndex, e: &Explanation, starts: &[NodeId]) -> usize {
+        let batch = self.all_starts(index, e, starts);
+        let a = e.count() as u64;
         starts
             .iter()
-            .map(|s| position_in(&self.counts(index, e, s.0), e.count() as u64))
+            .map(|s| batch.position(s.0 as u64, a).expect("batch covers requested starts"))
             .sum()
     }
 
-    /// Number of cached multisets.
+    /// Number of cached entries (batched shapes + per-start overlays).
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.batched.read().len() + self.per_start.read().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (usize, usize) {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of batched (all-starts) relational evaluations performed —
+    /// the count the tentpole optimization bounds by the number of
+    /// distinct canonical pattern shapes.
+    pub fn batched_evals(&self) -> usize {
+        self.batched_evals.load(Ordering::Relaxed)
     }
 }
 
@@ -109,7 +235,9 @@ impl DistributionCache {
 mod tests {
     use super::*;
     use crate::enumerate::GeneralEnumerator;
-    use crate::measures::distribution::{global_position, local_position};
+    use crate::measures::distribution::{
+        global_position, global_position_per_start, local_position,
+    };
     use crate::measures::MeasureContext;
     use crate::EnumConfig;
 
@@ -136,6 +264,12 @@ mod tests {
                 "{}",
                 e.describe(&kb)
             );
+            assert_eq!(
+                cache.global_position(index, e, &starts),
+                global_position_per_start(&ctx, e, usize::MAX),
+                "per-start baseline disagrees for {}",
+                e.describe(&kb)
+            );
         }
     }
 
@@ -144,8 +278,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let cache = DistributionCache::new();
         let index = ctx.edge_index();
@@ -163,13 +297,75 @@ mod tests {
         assert!(cache.len() <= out.explanations.len());
     }
 
+    /// One batched evaluation per shape serves every sampled start; local
+    /// queries for covered starts are answered from the same batch.
+    #[test]
+    fn batched_entry_serves_all_starts_and_locals() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(12, 5);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        let mut starts = ctx.global_sample_starts();
+        starts.push(a); // cover the pair's own start too
+        for e in &out.explanations {
+            cache.global_position(index, e, &starts);
+        }
+        assert_eq!(cache.batched_evals(), out.explanations.len());
+        let (_, misses) = cache.stats();
+        assert_eq!(misses, out.explanations.len(), "one miss per shape");
+        // Every per-start query against a covered start is now a hit.
+        for e in &out.explanations {
+            for s in &starts {
+                cache.counts(index, e, s.0);
+            }
+            cache.global_position(index, e, &starts);
+        }
+        let (_, misses_after) = cache.stats();
+        assert_eq!(misses_after, misses, "covered starts never miss");
+    }
+
+    /// A start outside the batch's domain falls back to the per-start
+    /// overlay; re-requesting the batch with a larger sample recomputes
+    /// it once and then covers the union.
+    #[test]
+    fn domain_growth_recomputes_once() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(6, 5);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        let starts = ctx.global_sample_starts();
+        let e = &out.explanations[0];
+        let (small, grown) = (&starts[..3], &starts[..]);
+        cache.all_starts(index, e, small);
+        assert_eq!(cache.batched_evals(), 1);
+        // Outside the small domain: overlay probe, not covered by batch.
+        let outside = starts[4];
+        cache.counts(index, e, outside.0);
+        // Growing the domain recomputes the batch once.
+        let batch = cache.all_starts(index, e, grown);
+        assert_eq!(cache.batched_evals(), 2);
+        assert!(batch.covers(outside.0 as u64));
+        // And the grown batch is reused thereafter.
+        cache.all_starts(index, e, grown);
+        cache.all_starts(index, e, small);
+        assert_eq!(cache.batched_evals(), 2);
+    }
+
     #[test]
     fn cache_is_shared_across_threads() {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let cache = DistributionCache::new();
         let index = ctx.edge_index();

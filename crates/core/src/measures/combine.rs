@@ -9,9 +9,7 @@
 //! `(-1, 1)` so the secondary can reorder only within a primary tie.
 
 use crate::explanation::Explanation;
-use crate::measures::{
-    Measure, MeasureContext, LocalDistMeasure, MonocountMeasure, SizeMeasure,
-};
+use crate::measures::{LocalDistMeasure, Measure, MeasureContext, MonocountMeasure, SizeMeasure};
 
 /// Lexicographic combination of two measures.
 pub struct Combined {
@@ -99,8 +97,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let m = Combined::size_local_dist();
         let spouse = out

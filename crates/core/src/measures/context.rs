@@ -1,16 +1,22 @@
 //! Shared evaluation context for measures.
 
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rex_kb::{KnowledgeBase, NodeId};
 use rex_relstore::engine::EdgeIndex;
 
+use crate::measures::cache::DistributionCache;
+
 /// Everything a measure may need besides the explanation itself: the
 /// knowledge base, the target pair, a lazily materialized oriented edge
-/// relation (for the SQL-style distribution queries of §5.3.2), and the
-/// random start-entity sample used to estimate global distributions.
+/// relation (for the SQL-style distribution queries of §5.3.2), the
+/// random start-entity sample used to estimate global distributions, and
+/// the shared [`DistributionCache`] through which every distribution
+/// measure and ranker in this context amortizes its relational
+/// evaluations (§5.3.2's batching).
 pub struct MeasureContext<'a> {
     /// The knowledge base.
     pub kb: &'a KnowledgeBase,
@@ -24,6 +30,7 @@ pub struct MeasureContext<'a> {
     /// Seed for the global sample.
     pub sample_seed: u64,
     edge_index: OnceCell<EdgeIndex>,
+    distributions: OnceCell<Arc<DistributionCache>>,
 }
 
 impl<'a> MeasureContext<'a> {
@@ -36,6 +43,7 @@ impl<'a> MeasureContext<'a> {
             global_samples: 100,
             sample_seed: 0xDB9,
             edge_index: OnceCell::new(),
+            distributions: OnceCell::new(),
         }
     }
 
@@ -46,10 +54,29 @@ impl<'a> MeasureContext<'a> {
         self
     }
 
+    /// Shares a pre-existing distribution cache (e.g. across the contexts
+    /// of many target pairs, where isomorphic pattern shapes recur); by
+    /// default each context lazily creates its own.
+    pub fn with_distribution_cache(self, cache: Arc<DistributionCache>) -> Self {
+        assert!(
+            self.distributions.set(cache).is_ok(),
+            "with_distribution_cache called after the context's cache was initialized"
+        );
+        self
+    }
+
     /// The label-partitioned edge index, built on first use and shared by
     /// all distribution-measure evaluations in this context.
     pub fn edge_index(&self) -> &EdgeIndex {
         self.edge_index.get_or_init(|| EdgeIndex::build(self.kb))
+    }
+
+    /// The shared distribution cache, created on first use. All
+    /// distribution measures and rankers in this context answer position
+    /// queries through it, so a pattern shape's distributions are
+    /// evaluated once and reused everywhere.
+    pub fn distributions(&self) -> &DistributionCache {
+        self.distributions.get_or_init(|| Arc::new(DistributionCache::new()))
     }
 
     /// The deterministic random start entities for global-distribution

@@ -15,17 +15,24 @@
 //! Evaluation runs through the relational engine ([`rex_relstore`]),
 //! mirroring the paper's SQL `GROUP BY … HAVING count > c`.
 
+use std::sync::Arc;
+
 use crate::explanation::Explanation;
 use crate::measures::{Measure, MeasureContext};
 
-/// Computes the local position of `explanation` (aggregate = count) via
-/// the relational engine; `limit` bounds the count for pruned evaluation
-/// (`usize::MAX` = exact).
-pub fn local_position(
-    ctx: &MeasureContext<'_>,
-    explanation: &Explanation,
-    limit: usize,
-) -> usize {
+/// Computes the local position of `explanation` (aggregate = count).
+/// Exact queries (`limit == usize::MAX`) run through the context's shared
+/// [`DistributionCache`](crate::measures::DistributionCache); bounded
+/// queries use the engine's streaming `LIMIT p` plan (§5.3.2's pruning),
+/// which aborts without materializing a cacheable distribution.
+pub fn local_position(ctx: &MeasureContext<'_>, explanation: &Explanation, limit: usize) -> usize {
+    if limit == usize::MAX {
+        return ctx.distributions().local_position(ctx.edge_index(), explanation, ctx.vstart.0);
+    }
+    // Free exactness: a cached distribution answers any bounded query.
+    if let Some(pos) = ctx.distributions().cached_local_position(explanation, ctx.vstart.0) {
+        return pos.min(limit);
+    }
     let spec = explanation.pattern.to_spec();
     let a = explanation.count() as u64;
     rex_relstore::engine::local_position_indexed(
@@ -38,9 +45,25 @@ pub fn local_position(
     .expect("explanation patterns are valid specs")
 }
 
-/// Computes the sampled global position of `explanation`; `limit` bounds
-/// the accumulated position (`usize::MAX` = exact w.r.t. the sample).
-pub fn global_position(
+/// Computes the sampled global position of `explanation` through the
+/// context's shared cache: **one** batched all-starts relational
+/// evaluation per pattern shape covers the whole sample, replacing the
+/// per-start probe loop of [`global_position_per_start`]. `limit` caps
+/// the returned position (the batched evaluation subsumes the paper's
+/// per-start `LIMIT` pruning — sharing the computation beats aborting
+/// it).
+pub fn global_position(ctx: &MeasureContext<'_>, explanation: &Explanation, limit: usize) -> usize {
+    let starts = ctx.global_sample_starts();
+    let pos = ctx.distributions().global_position(ctx.edge_index(), explanation, &starts);
+    pos.min(limit)
+}
+
+/// The pre-batching baseline: estimates the global position with one
+/// bounded relational evaluation **per sampled start** (`LIMIT`-pruned
+/// once the accumulated position reaches `limit`). Kept as the reference
+/// implementation for parity tests and as the "before" side of the
+/// ranking benchmark; production paths use [`global_position`].
+pub fn global_position_per_start(
     ctx: &MeasureContext<'_>,
     explanation: &Explanation,
     limit: usize,
@@ -68,18 +91,10 @@ pub fn global_position(
 /// The full local count distribution of an explanation's pattern: the
 /// multiset of per-end-entity instance counts `{c : count(vstart, y) = c}`
 /// for all end entities with at least one instance. Sorted descending so
-/// `partition_point` gives positions directly.
-pub fn local_count_multiset(ctx: &MeasureContext<'_>, e: &Explanation) -> Vec<u64> {
-    let spec = e.pattern.to_spec();
-    let dist = rex_relstore::engine::local_count_distribution_indexed(
-        ctx.edge_index(),
-        &spec,
-        ctx.vstart.0 as u64,
-    )
-    .expect("explanation patterns are valid specs");
-    let mut counts: Vec<u64> = dist.into_values().collect();
-    counts.sort_unstable_by(|a, b| b.cmp(a));
-    counts
+/// `partition_point` gives positions directly. Served from the context's
+/// shared cache.
+pub fn local_count_multiset(ctx: &MeasureContext<'_>, e: &Explanation) -> Arc<Vec<u64>> {
+    ctx.distributions().counts(ctx.edge_index(), e, ctx.vstart.0)
 }
 
 /// Position of aggregate value `a` within a descending count multiset:
@@ -187,8 +202,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let spouse = out
             .explanations
@@ -222,8 +237,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let costar = out
             .explanations
@@ -235,13 +250,33 @@ mod tests {
         assert!(limited <= exact.min(1));
     }
 
+    /// The batched global position must agree with the per-start baseline
+    /// for every explanation of the pair (the tentpole's parity bar).
+    #[test]
+    fn batched_global_matches_per_start_baseline() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4)).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(7, 11);
+        for e in &out.explanations {
+            assert_eq!(
+                global_position(&ctx, e, usize::MAX),
+                global_position_per_start(&ctx, e, usize::MAX),
+                "{}",
+                e.describe(&kb)
+            );
+        }
+    }
+
     #[test]
     fn global_position_bounded_by_sample_sum() {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b).with_global_samples(5, 3);
         let e = &out.explanations[0];
         let exact = global_position(&ctx, e, usize::MAX);
@@ -264,8 +299,8 @@ mod deviation_tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         for e in &out.explanations {
             let counts = local_count_multiset(&ctx, e);
@@ -285,8 +320,8 @@ mod deviation_tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let m = LocalDeviationMeasure::new();
         let spouse = out
@@ -301,9 +336,7 @@ mod deviation_tests {
                 e.pattern.is_path()
                     && e.pattern.var_count() == 3
                     && e.pattern.describe(&kb).contains("starring")
-                    && e.pattern.edges().iter().all(|pe| {
-                        kb.label_name(pe.label) == "starring"
-                    })
+                    && e.pattern.edges().iter().all(|pe| kb.label_name(pe.label) == "starring")
             })
             .unwrap();
         assert!(

@@ -49,8 +49,7 @@ impl Measure for RandomWalkMeasure {
         for edge in e.pattern.edges() {
             net.add_edge(edge.u.index(), edge.v.index(), 1.0);
         }
-        net.effective_conductance(START_VAR.index(), END_VAR.index())
-            .unwrap_or(0.0)
+        net.effective_conductance(START_VAR.index(), END_VAR.index()).unwrap_or(0.0)
     }
 }
 
@@ -96,9 +95,24 @@ mod tests {
             Pattern::new(
                 3,
                 vec![
-                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(0), true),
-                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(2), LabelId(0), true),
-                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(1), true),
+                    crate::pattern::PatternEdge::new(
+                        START_VAR,
+                        crate::pattern::VarId(2),
+                        LabelId(0),
+                        true,
+                    ),
+                    crate::pattern::PatternEdge::new(
+                        END_VAR,
+                        crate::pattern::VarId(2),
+                        LabelId(0),
+                        true,
+                    ),
+                    crate::pattern::PatternEdge::new(
+                        START_VAR,
+                        crate::pattern::VarId(2),
+                        LabelId(1),
+                        true,
+                    ),
                 ],
             )
             .unwrap(),
@@ -133,10 +147,30 @@ mod tests {
             Pattern::new(
                 4,
                 vec![
-                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(2), LabelId(0), true),
-                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(2), LabelId(0), true),
-                    crate::pattern::PatternEdge::new(START_VAR, crate::pattern::VarId(3), LabelId(1), true),
-                    crate::pattern::PatternEdge::new(END_VAR, crate::pattern::VarId(3), LabelId(1), true),
+                    crate::pattern::PatternEdge::new(
+                        START_VAR,
+                        crate::pattern::VarId(2),
+                        LabelId(0),
+                        true,
+                    ),
+                    crate::pattern::PatternEdge::new(
+                        END_VAR,
+                        crate::pattern::VarId(2),
+                        LabelId(0),
+                        true,
+                    ),
+                    crate::pattern::PatternEdge::new(
+                        START_VAR,
+                        crate::pattern::VarId(3),
+                        LabelId(1),
+                        true,
+                    ),
+                    crate::pattern::PatternEdge::new(
+                        END_VAR,
+                        crate::pattern::VarId(3),
+                        LabelId(1),
+                        true,
+                    ),
                 ],
             )
             .unwrap(),

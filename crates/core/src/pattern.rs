@@ -122,10 +122,8 @@ impl Pattern {
         if var_count < 2 {
             return Err(CoreError::InvalidPattern("need at least the two targets".into()));
         }
-        let mut normalized: Vec<PatternEdge> = edges
-            .into_iter()
-            .map(|e| PatternEdge::new(e.u, e.v, e.label, e.directed))
-            .collect();
+        let mut normalized: Vec<PatternEdge> =
+            edges.into_iter().map(|e| PatternEdge::new(e.u, e.v, e.label, e.directed)).collect();
         for e in &normalized {
             if e.u.0 >= var_count || e.v.0 >= var_count {
                 return Err(CoreError::InvalidPattern(format!(

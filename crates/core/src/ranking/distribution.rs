@@ -6,6 +6,15 @@
 //! whose position is already known to be ≥ the current k-th best position
 //! cannot enter the list — so its position query runs with `LIMIT p`,
 //! aborting as soon as `p` qualifying entities are found.
+//!
+//! Position queries flow through the context's shared
+//! [`DistributionCache`](crate::measures::DistributionCache): local
+//! positions are cached per `(shape, start)`, and **global** positions are
+//! answered from one batched all-starts evaluation per pattern shape —
+//! §5.3.2's amortization — which subsumes per-start `LIMIT` pruning for
+//! the global scope (sharing the evaluation beats aborting it). Bounded
+//! *local* queries still use the streaming `LIMIT p` plan when the
+//! distribution is not already cached.
 
 use crate::explanation::Explanation;
 use crate::measures::distribution::{global_position, local_position};
@@ -96,8 +105,8 @@ mod tests {
     #[test]
     fn pruned_and_unpruned_agree_globally() {
         let (kb, a, b) = setup();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b).with_global_samples(10, 5);
         let exact = rank_by_position(&out.explanations, &ctx, 3, Scope::Global, false);
         let pruned = rank_by_position(&out.explanations, &ctx, 3, Scope::Global, true);
@@ -109,14 +118,11 @@ mod tests {
     #[test]
     fn spouse_tops_local_distribution_ranking() {
         let (kb, a, b) = setup();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let top = rank_by_position(&out.explanations, &ctx, 1, Scope::Local, true);
-        assert_eq!(
-            out.explanations[top[0].index].pattern.describe(&kb),
-            "(start)-[spouse]-(end)"
-        );
+        assert_eq!(out.explanations[top[0].index].pattern.describe(&kb), "(start)-[spouse]-(end)");
         assert_eq!(top[0].score, 0.0); // position 0: nothing rarer
     }
 }

@@ -29,11 +29,7 @@ pub fn rank(
 
 /// Ranks pre-computed scores (used by the pruned ranking variants to share
 /// the sort/tie-break policy).
-pub fn rank_with_scores(
-    explanations: &[Explanation],
-    scores: &[f64],
-    k: usize,
-) -> Vec<Ranked> {
+pub fn rank_with_scores(explanations: &[Explanation], scores: &[f64], k: usize) -> Vec<Ranked> {
     assert_eq!(explanations.len(), scores.len(), "one score per explanation");
     let mut order: Vec<usize> = (0..explanations.len()).collect();
     order.sort_by(|&a, &b| {
@@ -42,11 +38,7 @@ pub fn rank_with_scores(
             .expect("measure scores are never NaN")
             .then_with(|| explanations[a].key().cmp(explanations[b].key()))
     });
-    order
-        .into_iter()
-        .take(k)
-        .map(|index| Ranked { index, score: scores[index] })
-        .collect()
+    order.into_iter().take(k).map(|index| Ranked { index, score: scores[index] }).collect()
 }
 
 #[cfg(test)]
@@ -72,10 +64,7 @@ mod tests {
         let again = rank(&out.explanations, &SizeMeasure, &ctx, 5);
         assert_eq!(top, again);
         // Best explanation for P1 is the direct spouse edge.
-        assert_eq!(
-            out.explanations[top[0].index].pattern.describe(&kb),
-            "(start)-[spouse]-(end)"
-        );
+        assert_eq!(out.explanations[top[0].index].pattern.describe(&kb), "(start)-[spouse]-(end)");
     }
 
     #[test]
@@ -83,8 +72,8 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b);
         let top = rank(&out.explanations, &SizeMeasure, &ctx, 10_000);
         assert_eq!(top.len(), out.explanations.len());

@@ -10,8 +10,8 @@
 //!   distribution-based measures (§5.3.2).
 
 pub mod distribution;
-pub mod parallel;
 mod general;
+pub mod parallel;
 pub mod topk;
 
 pub use general::{rank, rank_with_scores, Ranked};

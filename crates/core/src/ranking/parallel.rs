@@ -1,17 +1,23 @@
 //! Parallel distribution-based ranking — §5.3.2's observation that
 //! "distributional measures can be computed in parallel as count for
-//! different node pairs can be computed separately", realized with
-//! crossbeam scoped threads over a shared [`DistributionCache`].
+//! different node pairs can be computed separately", realized as a rayon
+//! fan-out over the explanations sharing the context's
+//! [`DistributionCache`].
 //!
 //! Positions for different explanations are independent, so the
-//! explanation list is strided across workers. With `prune = true`,
-//! workers cooperate through a shared top-k bound: each position query is
-//! limited by the current k-th best position (as in the sequential pruned
-//! ranker), and the bound tightens as results land. Cooperative pruning is
-//! *sound* (a saturated query can never belong to the true top-k) but the
-//! amount pruned depends on scheduling; results are identical either way.
+//! explanation list is mapped in parallel; each worker answers global
+//! queries from the cache's **batched all-starts** distribution (one
+//! relational evaluation per pattern shape, shared across threads). With
+//! `prune = true`, workers cooperate through a shared top-k bound — a
+//! max-heap of the k best positions seen so far — and each position is
+//! capped by the current bound. Cooperative pruning is *sound* (a
+//! saturated position can never belong to the true top-k) but the amount
+//! pruned depends on scheduling; results are identical either way.
+
+use std::collections::BinaryHeap;
 
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use rex_kb::NodeId;
 
 use crate::explanation::Explanation;
@@ -21,22 +27,24 @@ use crate::measures::MeasureContext;
 use crate::ranking::distribution::Scope;
 use crate::ranking::general::{rank_with_scores, Ranked};
 
-/// Shared, thread-safe k-th-best-position bound.
+/// Shared, thread-safe k-th-best-position bound: a max-heap holding the k
+/// best (smallest) positions recorded so far, so reading the bound is a
+/// `peek` and recording a result is O(log k) — no re-sorting per insert.
 struct SharedBound {
     k: usize,
-    best: Mutex<Vec<usize>>,
+    best: Mutex<BinaryHeap<usize>>,
 }
 
 impl SharedBound {
     fn new(k: usize) -> SharedBound {
-        SharedBound { k, best: Mutex::new(Vec::new()) }
+        SharedBound { k, best: Mutex::new(BinaryHeap::with_capacity(k + 1)) }
     }
 
     /// The current pruning limit (`usize::MAX` until k results exist).
     fn limit(&self) -> usize {
         let best = self.best.lock();
         if best.len() == self.k {
-            best.last().copied().unwrap_or(usize::MAX).saturating_add(1)
+            best.peek().copied().unwrap_or(usize::MAX).saturating_add(1)
         } else {
             usize::MAX
         }
@@ -44,15 +52,18 @@ impl SharedBound {
 
     fn record(&self, position: usize) {
         let mut best = self.best.lock();
-        best.push(position);
-        best.sort_unstable();
-        best.truncate(self.k);
+        if best.len() < self.k {
+            best.push(position);
+        } else if best.peek().is_some_and(|&worst| position < worst) {
+            best.pop();
+            best.push(position);
+        }
     }
 }
 
 /// Computes one explanation's position under the given scope, bounded by
-/// `limit`. Uses the shared cache; a bounded query that can be answered
-/// from a cached full multiset is answered exactly (free precision).
+/// `limit`. Uses the shared cache; a bounded query answered from a cached
+/// or batched distribution is answered exactly (free precision).
 fn position(
     cache: &DistributionCache,
     index: &rex_relstore::engine::EdgeIndex,
@@ -67,24 +78,14 @@ fn position(
             let counts = cache.counts(index, e, vstart.0);
             position_in(&counts, e.count() as u64).min(limit)
         }
-        Scope::Global => {
-            let mut total = 0usize;
-            for s in sample_starts {
-                if total >= limit {
-                    break;
-                }
-                let counts = cache.counts(index, e, s.0);
-                total += position_in(&counts, e.count() as u64);
-            }
-            total.min(limit)
-        }
+        Scope::Global => cache.global_position(index, e, sample_starts).min(limit),
     }
 }
 
 /// Parallel analogue of
 /// [`rank_by_position`](crate::ranking::distribution::rank_by_position):
-/// same top-k (scores included), computed by `threads` workers sharing a
-/// distribution cache. `k = 0` returns an empty ranking.
+/// same top-k (scores included), computed by `threads` workers sharing
+/// the context's distribution cache. `k = 0` returns an empty ranking.
 pub fn rank_by_position_parallel(
     explanations: &[Explanation],
     ctx: &MeasureContext<'_>,
@@ -97,52 +98,29 @@ pub fn rank_by_position_parallel(
         return Vec::new();
     }
     let threads = threads.max(1).min(explanations.len());
-    let cache = DistributionCache::new();
+    let cache = ctx.distributions();
     let index = ctx.edge_index();
     let vstart = ctx.vstart;
     let sample_starts = ctx.global_sample_starts();
     let bound = SharedBound::new(k);
 
-    let mut positions = vec![0usize; explanations.len()];
-    crossbeam::thread::scope(|scope_| {
-        // Strided partition: worker w takes explanations w, w+T, w+2T, …
-        // `positions` is split per worker and reassembled afterwards.
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let cache = &cache;
-                let bound = &bound;
-                let sample_starts = &sample_starts;
-                scope_.spawn(move |_| {
-                    let mut local: Vec<(usize, usize)> = Vec::new();
-                    let mut i = w;
-                    while i < explanations.len() {
-                        let limit = if prune { bound.limit() } else { usize::MAX };
-                        let p = position(
-                            cache,
-                            index,
-                            &explanations[i],
-                            vstart,
-                            sample_starts,
-                            scope,
-                            limit,
-                        );
-                        if prune {
-                            bound.record(p);
-                        }
-                        local.push((i, p));
-                        i += threads;
-                    }
-                    local
-                })
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    let positions: Vec<usize> = pool.install(|| {
+        explanations
+            .par_iter()
+            .map(|e| {
+                let limit = if prune { bound.limit() } else { usize::MAX };
+                let p = position(cache, index, e, vstart, &sample_starts, scope, limit);
+                if prune {
+                    bound.record(p);
+                }
+                p
             })
-            .collect();
-        for h in handles {
-            for (i, p) in h.join().expect("worker must not panic") {
-                positions[i] = p;
-            }
-        }
-    })
-    .expect("crossbeam scope");
+            .collect()
+    });
 
     let scores: Vec<f64> = positions.iter().map(|&p| -(p as f64)).collect();
     rank_with_scores(explanations, &scores, k)
@@ -188,11 +166,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_global() {
         let (kb, a, b) = setup();
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
         let ctx = MeasureContext::new(&kb, a, b).with_global_samples(8, 5);
-        let par =
-            rank_by_position_parallel(&out.explanations, &ctx, 3, Scope::Global, true, 3);
+        let par = rank_by_position_parallel(&out.explanations, &ctx, 3, Scope::Global, true, 3);
         let seq = rank_by_position(&out.explanations, &ctx, 3, Scope::Global, false);
         let ps: Vec<f64> = par.iter().map(|r| r.score).collect();
         let ss: Vec<f64> = seq.iter().map(|r| r.score).collect();
@@ -200,20 +177,29 @@ mod tests {
     }
 
     #[test]
+    fn shared_bound_tracks_kth_best() {
+        let bound = SharedBound::new(3);
+        assert_eq!(bound.limit(), usize::MAX);
+        for p in [9, 4, 7] {
+            bound.record(p);
+        }
+        // Worst of the best three is 9 → limit 10.
+        assert_eq!(bound.limit(), 10);
+        bound.record(2); // evicts 9
+        assert_eq!(bound.limit(), 8);
+        bound.record(100); // worse than all: no change
+        assert_eq!(bound.limit(), 8);
+    }
+
+    #[test]
     fn degenerate_inputs() {
         let (kb, a, b) = setup();
         let ctx = MeasureContext::new(&kb, a, b);
         assert!(rank_by_position_parallel(&[], &ctx, 5, Scope::Local, true, 4).is_empty());
-        let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-            .enumerate(&kb, a, b);
-        assert!(rank_by_position_parallel(
-            &out.explanations,
-            &ctx,
-            0,
-            Scope::Local,
-            true,
-            4
-        )
-        .is_empty());
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        assert!(
+            rank_by_position_parallel(&out.explanations, &ctx, 0, Scope::Local, true, 4).is_empty()
+        );
     }
 }

@@ -126,8 +126,7 @@ mod tests {
         let config = EnumConfig::default();
         let ctx = MeasureContext::new(&kb, a, b);
         for k in [1usize, 3, 10] {
-            let pruned =
-                rank_topk_pruned(&kb, a, b, &config, &MonocountMeasure, &ctx, k).unwrap();
+            let pruned = rank_topk_pruned(&kb, a, b, &config, &MonocountMeasure, &ctx, k).unwrap();
             let full = GeneralEnumerator::new(config.clone()).enumerate(&kb, a, b);
             let full_rank = rank(&full.explanations, &MonocountMeasure, &ctx, k);
             // Scores (and hence the score multiset of the top-k) must
@@ -171,8 +170,7 @@ mod tests {
     fn k_zero_returns_empty() {
         let (kb, a, b) = setup();
         let ctx = MeasureContext::new(&kb, a, b);
-        let r =
-            rank_topk_pruned(&kb, a, b, &EnumConfig::default(), &SizeMeasure, &ctx, 0).unwrap();
+        let r = rank_topk_pruned(&kb, a, b, &EnumConfig::default(), &SizeMeasure, &ctx, 0).unwrap();
         assert!(r.ranking.is_empty());
     }
 }

@@ -72,8 +72,7 @@ pub fn generate(config: &GeneratorConfig) -> KnowledgeBase {
 
     // ---- Preferential-attachment pools ------------------------------------
     let pa = config.preferential_attachment;
-    let mut pools: Vec<PaPool> =
-        type_members.iter().map(|m| PaPool::new(m.clone(), pa)).collect();
+    let mut pools: Vec<PaPool> = type_members.iter().map(|m| PaPool::new(m.clone(), pa)).collect();
     let all_nodes: Vec<NodeId> = type_members.iter().flatten().copied().collect();
     let mut global_pool = PaPool::new(all_nodes, pa);
 
@@ -162,9 +161,7 @@ mod tests {
         let same = a
             .edge_ids()
             .take(100)
-            .filter(|&e| {
-                b.edge_count() > e.index() && a.edge(e) == b.edge(e)
-            })
+            .filter(|&e| b.edge_count() > e.index() && a.edge(e) == b.edge(e))
             .count();
         assert!(same < 100, "seeds produced identical edge prefixes");
     }

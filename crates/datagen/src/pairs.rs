@@ -170,8 +170,7 @@ pub fn sample_pairs(
         if end == start || result.iter().any(|p| p.start == start && p.end == end) {
             continue;
         }
-        let (count, truncated) =
-            bounded_connectedness(kb, start, end, max_len, 1_000, 400_000);
+        let (count, truncated) = bounded_connectedness(kb, start, end, max_len, 1_000, 400_000);
         // A truncated search cannot distinguish buckets below the cap.
         let effective = if truncated && count <= 100 { continue } else { count };
         let Some(group) = ConnGroup::classify(effective) else { continue };

@@ -75,27 +75,99 @@ pub const CORE_EDGE_SHARE: f64 = 0.85;
 /// The core relationship kinds (the "head" of the label distribution).
 pub const RELS: &[RelSpec] = &[
     RelSpec { label: "starring", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.16 },
-    RelSpec { label: "directed_by", src_type: MOVIE, dst_type: PERSON, directed: true, share: 0.06 },
+    RelSpec {
+        label: "directed_by",
+        src_type: MOVIE,
+        dst_type: PERSON,
+        directed: true,
+        share: 0.06,
+    },
     RelSpec { label: "produced", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.04 },
     RelSpec { label: "wrote", src_type: PERSON, dst_type: MOVIE, directed: true, share: 0.03 },
     RelSpec { label: "spouse", src_type: PERSON, dst_type: PERSON, directed: false, share: 0.02 },
     RelSpec { label: "genre", src_type: MOVIE, dst_type: GENRE, directed: true, share: 0.05 },
     RelSpec { label: "won", src_type: PERSON, dst_type: AWARD, directed: true, share: 0.02 },
-    RelSpec { label: "nominated_for", src_type: PERSON, dst_type: AWARD, directed: true, share: 0.03 },
-    RelSpec { label: "cast_member", src_type: PERSON, dst_type: TVSHOW, directed: true, share: 0.05 },
-    RelSpec { label: "episode_of", src_type: TVEPISODE, dst_type: TVSHOW, directed: true, share: 0.06 },
-    RelSpec { label: "guest_star", src_type: PERSON, dst_type: TVEPISODE, directed: true, share: 0.04 },
+    RelSpec {
+        label: "nominated_for",
+        src_type: PERSON,
+        dst_type: AWARD,
+        directed: true,
+        share: 0.03,
+    },
+    RelSpec {
+        label: "cast_member",
+        src_type: PERSON,
+        dst_type: TVSHOW,
+        directed: true,
+        share: 0.05,
+    },
+    RelSpec {
+        label: "episode_of",
+        src_type: TVEPISODE,
+        dst_type: TVSHOW,
+        directed: true,
+        share: 0.06,
+    },
+    RelSpec {
+        label: "guest_star",
+        src_type: PERSON,
+        dst_type: TVEPISODE,
+        directed: true,
+        share: 0.04,
+    },
     RelSpec { label: "performed", src_type: PERSON, dst_type: SONG, directed: true, share: 0.05 },
     RelSpec { label: "track_on", src_type: SONG, dst_type: ALBUM, directed: true, share: 0.05 },
     RelSpec { label: "released", src_type: BAND, dst_type: ALBUM, directed: true, share: 0.03 },
     RelSpec { label: "member_of", src_type: PERSON, dst_type: BAND, directed: true, share: 0.03 },
-    RelSpec { label: "signed_to", src_type: BAND, dst_type: RECORD_LABEL, directed: true, share: 0.01 },
-    RelSpec { label: "plays_character", src_type: PERSON, dst_type: CHARACTER, directed: true, share: 0.03 },
-    RelSpec { label: "appears_in", src_type: CHARACTER, dst_type: MOVIE, directed: true, share: 0.02 },
-    RelSpec { label: "produced_by_studio", src_type: MOVIE, dst_type: STUDIO, directed: true, share: 0.02 },
-    RelSpec { label: "premiered_at", src_type: MOVIE, dst_type: FESTIVAL, directed: true, share: 0.01 },
-    RelSpec { label: "influenced", src_type: PERSON, dst_type: PERSON, directed: true, share: 0.02 },
-    RelSpec { label: "collaborated_with", src_type: PERSON, dst_type: PERSON, directed: false, share: 0.02 },
+    RelSpec {
+        label: "signed_to",
+        src_type: BAND,
+        dst_type: RECORD_LABEL,
+        directed: true,
+        share: 0.01,
+    },
+    RelSpec {
+        label: "plays_character",
+        src_type: PERSON,
+        dst_type: CHARACTER,
+        directed: true,
+        share: 0.03,
+    },
+    RelSpec {
+        label: "appears_in",
+        src_type: CHARACTER,
+        dst_type: MOVIE,
+        directed: true,
+        share: 0.02,
+    },
+    RelSpec {
+        label: "produced_by_studio",
+        src_type: MOVIE,
+        dst_type: STUDIO,
+        directed: true,
+        share: 0.02,
+    },
+    RelSpec {
+        label: "premiered_at",
+        src_type: MOVIE,
+        dst_type: FESTIVAL,
+        directed: true,
+        share: 0.01,
+    },
+    RelSpec {
+        label: "influenced",
+        src_type: PERSON,
+        dst_type: PERSON,
+        directed: true,
+        share: 0.02,
+    },
+    RelSpec {
+        label: "collaborated_with",
+        src_type: PERSON,
+        dst_type: PERSON,
+        directed: false,
+        share: 0.02,
+    },
 ];
 
 #[cfg(test)]

@@ -137,8 +137,7 @@ impl KnowledgeBase {
 
     /// Looks an entity up by name, erroring when absent.
     pub fn require_node(&self, name: &str) -> Result<NodeId> {
-        self.node_by_name(name)
-            .ok_or_else(|| KbError::NameNotFound(name.to_string()))
+        self.node_by_name(name).ok_or_else(|| KbError::NameNotFound(name.to_string()))
     }
 
     /// Looks a relationship label up by string.
@@ -191,13 +190,7 @@ impl KnowledgeBase {
 
     /// Whether there exists at least one edge `(u, v)` with the given label
     /// and orientation as seen from `u`.
-    pub fn has_edge(
-        &self,
-        u: NodeId,
-        v: NodeId,
-        label: LabelId,
-        orientation: Orientation,
-    ) -> bool {
+    pub fn has_edge(&self, u: NodeId, v: NodeId, label: LabelId, orientation: Orientation) -> bool {
         // Scan the smaller endpoint's label slice; slices are sorted by
         // `other` within (label, orientation), so we can binary-search.
         let slice = self.neighbors_labeled_oriented(u, label, orientation);

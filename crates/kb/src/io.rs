@@ -60,9 +60,9 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<KnowledgeBase> {
         let tag = fields.next().unwrap_or("");
         match tag {
             "N" => {
-                let name = fields
-                    .next()
-                    .ok_or_else(|| KbError::Parse(format!("line {}: missing node name", lineno + 1)))?;
+                let name = fields.next().ok_or_else(|| {
+                    KbError::Parse(format!("line {}: missing node name", lineno + 1))
+                })?;
                 let ty = fields.next().unwrap_or("Entity");
                 builder.add_node(name, ty);
             }
@@ -221,16 +221,7 @@ pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
         edges.push(EdgeRecord { src, dst, label, directed });
     }
     let (adj_offsets, adj) = build_adjacency(node_count, &edges);
-    Ok(KnowledgeBase {
-        nodes,
-        edges,
-        names,
-        types,
-        labels,
-        name_to_node,
-        adj_offsets,
-        adj,
-    })
+    Ok(KnowledgeBase { nodes, edges, names, types, labels, name_to_node, adj_offsets, adj })
 }
 
 #[cfg(test)]

@@ -202,9 +202,7 @@ mod tests {
         let movies: Vec<_> = kb
             .neighbors_labeled(bp, starring)
             .iter()
-            .filter(|n| {
-                kb.neighbors_labeled(n.other, starring).iter().any(|m| m.other == aj)
-            })
+            .filter(|n| kb.neighbors_labeled(n.other, starring).iter().any(|m| m.other == aj))
             .collect();
         assert_eq!(movies.len(), 1);
     }

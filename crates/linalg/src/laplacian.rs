@@ -60,8 +60,7 @@ impl ConductanceNetwork {
             return None;
         }
         // Unknowns: all nodes except source and sink.
-        let interior: Vec<usize> =
-            (0..self.n).filter(|&v| v != source && v != sink).collect();
+        let interior: Vec<usize> = (0..self.n).filter(|&v| v != source && v != sink).collect();
         let pos: Vec<Option<usize>> = {
             let mut p = vec![None; self.n];
             for (i, &v) in interior.iter().enumerate() {

@@ -27,12 +27,8 @@ pub fn normalization(k: usize, max_label: f64) -> f64 {
 /// if padded with zeros).
 pub fn dcg_score(labels: &[f64], k: usize, max_label: f64) -> f64 {
     let m = normalization(k, max_label);
-    let raw: f64 = labels
-        .iter()
-        .take(k)
-        .enumerate()
-        .map(|(i, &s)| position_weight(i + 1) * s)
-        .sum();
+    let raw: f64 =
+        labels.iter().take(k).enumerate().map(|(i, &s)| position_weight(i + 1) * s).sum();
     m * raw
 }
 

@@ -11,8 +11,8 @@
 
 use rex_core::enumerate::GeneralEnumerator;
 use rex_core::measures::{
-    CountMeasure, LocalDistMeasure, Measure, MeasureContext, MonocountMeasure,
-    RandomWalkMeasure, SizeMeasure,
+    CountMeasure, LocalDistMeasure, Measure, MeasureContext, MonocountMeasure, RandomWalkMeasure,
+    SizeMeasure,
 };
 use rex_core::Explanation;
 use rex_kb::{KnowledgeBase, NodeId};
@@ -66,8 +66,8 @@ impl TrainedCombination {
         let mut labels: Vec<f64> = Vec::new();
         for &(a, b) in pairs {
             let out = GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(kb, a, b);
-            let ctx = MeasureContext::new(kb, a, b)
-                .with_global_samples(cfg.global_samples, cfg.seed);
+            let ctx =
+                MeasureContext::new(kb, a, b).with_global_samples(cfg.global_samples, cfg.seed);
             for e in &out.explanations {
                 rows.push(base_scores(&ctx, e));
                 labels.push(panel.average_label(&features(&ctx, e)));
@@ -186,8 +186,7 @@ mod tests {
         let score_measure = |m: &dyn Measure| -> f64 {
             let mut total = 0.0;
             for &(a, b) in &pairs {
-                let out =
-                    GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(&kb, a, b);
+                let out = GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(&kb, a, b);
                 let ctx = MeasureContext::new(&kb, a, b)
                     .with_global_samples(cfg.global_samples, cfg.seed);
                 let ranking = rank(&out.explanations, m, &ctx, cfg.k);
@@ -227,20 +226,13 @@ mod tests {
         // with the labels it was fit on.
         let (a, b) = pairs[0];
         let out = GeneralEnumerator::new(cfg.enum_config.clone()).enumerate(&kb, a, b);
-        let ctx =
-            MeasureContext::new(&kb, a, b).with_global_samples(cfg.global_samples, cfg.seed);
-        let preds: Vec<f64> =
-            out.explanations.iter().map(|e| model.predict(&ctx, e)).collect();
-        let labels: Vec<f64> = out
-            .explanations
-            .iter()
-            .map(|e| panel.average_label(&features(&ctx, e)))
-            .collect();
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(cfg.global_samples, cfg.seed);
+        let preds: Vec<f64> = out.explanations.iter().map(|e| model.predict(&ctx, e)).collect();
+        let labels: Vec<f64> =
+            out.explanations.iter().map(|e| panel.average_label(&features(&ctx, e))).collect();
         let n = preds.len() as f64;
-        let (mp, ml) =
-            (preds.iter().sum::<f64>() / n, labels.iter().sum::<f64>() / n);
-        let cov: f64 =
-            preds.iter().zip(&labels).map(|(p, l)| (p - mp) * (l - ml)).sum();
+        let (mp, ml) = (preds.iter().sum::<f64>() / n, labels.iter().sum::<f64>() / n);
+        let cov: f64 = preds.iter().zip(&labels).map(|(p, l)| (p - mp) * (l - ml)).sum();
         assert!(cov > 0.0, "negative correlation on training data");
     }
 }

@@ -75,7 +75,11 @@ pub struct StudyOutcome {
 }
 
 /// Runs the study over the given pairs.
-pub fn run_study(kb: &KnowledgeBase, pairs: &[(NodeId, NodeId)], cfg: &StudyConfig) -> StudyOutcome {
+pub fn run_study(
+    kb: &KnowledgeBase,
+    pairs: &[(NodeId, NodeId)],
+    cfg: &StudyConfig,
+) -> StudyOutcome {
     let panel = JudgePanel::new(cfg.judges, cfg.seed);
     let measures = table1_measures();
     let mut per_measure_scores: Vec<Vec<f64>> = vec![Vec::new(); measures.len()];
@@ -124,8 +128,7 @@ pub fn run_study(kb: &KnowledgeBase, pairs: &[(NodeId, NodeId)], cfg: &StudyConf
         }
 
         // §5.4.2: order the pool by user judgment, keep "interesting" ones.
-        let mut judged: Vec<(usize, f64)> =
-            pooled.iter().map(|&i| (i, labels[&i])).collect();
+        let mut judged: Vec<(usize, f64)> = pooled.iter().map(|&i| (i, labels[&i])).collect();
         judged.sort_by(|x, y| {
             y.1.partial_cmp(&x.1)
                 .expect("labels are finite")

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use rex_kb::KnowledgeBase;
 
 use crate::ops::group_count_having_limit;
-use crate::plan::{dir_code, PatternSpec};
+use crate::plan::{dir_code, PatternSpec, StartBinding};
 use crate::relation::{Relation, Schema};
 use crate::Result;
 
@@ -84,14 +84,11 @@ pub fn oriented_edge_relation(kb: &KnowledgeBase) -> Relation {
         let e = kb.edge(eid);
         let (s, d, l) = (e.src.0 as u64, e.dst.0 as u64, e.label.0 as u64);
         if e.directed {
-            rel.push(vec![s, d, l, dir_code::FORWARD].into_boxed_slice())
-                .expect("arity 4");
+            rel.push(vec![s, d, l, dir_code::FORWARD].into_boxed_slice()).expect("arity 4");
         } else {
-            rel.push(vec![s, d, l, dir_code::UNDIRECTED].into_boxed_slice())
-                .expect("arity 4");
+            rel.push(vec![s, d, l, dir_code::UNDIRECTED].into_boxed_slice()).expect("arity 4");
             if s != d {
-                rel.push(vec![d, s, l, dir_code::UNDIRECTED].into_boxed_slice())
-                    .expect("arity 4");
+                rel.push(vec![d, s, l, dir_code::UNDIRECTED].into_boxed_slice()).expect("arity 4");
             }
         }
     }
@@ -141,6 +138,46 @@ pub fn local_count_distribution_indexed(
     let instances = spec.evaluate_indexed(index, Some(start))?;
     let grouped = group_count_having_limit(&instances, &[spec.end], 0, usize::MAX)?;
     Ok(grouped.rows().iter().map(|r| (r[0], r[1])).collect())
+}
+
+/// The batched all-starts distribution query (§5.3.2's amortization,
+/// done literally): evaluates `spec` **once** — with the start variable
+/// unbound, or restricted to `starts` when provided — then groups the
+/// instance relation by `(start, end)` in a single pass, producing for
+/// every start entity the descending multiset of per-end instance counts.
+///
+/// For any start `s` covered by the evaluation, the returned multiset is
+/// exactly `local_count_distribution_indexed(index, spec, s).values()`
+/// sorted descending; starts with no instances are absent from the map
+/// (their distribution is empty). One call replaces one full relational
+/// evaluation *per start* — the hot path of the global-position estimate,
+/// which samples ~100 starts per pattern — with a single evaluation whose
+/// scan, join, and dedup work is shared across all of them.
+pub fn global_count_distributions(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: Option<&[u64]>,
+) -> Result<HashMap<u64, Vec<u64>>> {
+    let binding = match starts {
+        Some(list) => StartBinding::among(list.iter().copied()),
+        None => StartBinding::Unbound,
+    };
+    let instances = spec.evaluate_indexed_with(index, &binding)?;
+    // GROUP BY v_start, v_end → count(*), in one pass over the (distinct,
+    // injective) instance rows.
+    let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::with_capacity(instances.len());
+    for row in instances.rows() {
+        *pair_counts.entry((row[spec.start], row[spec.end])).or_insert(0) += 1;
+    }
+    // Regroup per start into descending count multisets.
+    let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
+    for ((start, _end), count) in pair_counts {
+        per_start.entry(start).or_default().push(count);
+    }
+    for counts in per_start.values_mut() {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    Ok(per_start)
 }
 
 /// [`local_position`] over a prebuilt [`EdgeIndex`]. Bounded queries
@@ -225,6 +262,70 @@ mod tests {
         // LIMIT saturates.
         let pos = local_position(&rel, &spec, bp, 0, 2).unwrap();
         assert_eq!(pos, 2);
+    }
+
+    /// Batched all-starts distributions must agree with per-start grouped
+    /// queries for every entity in the KB — unbound and sample-restricted.
+    #[test]
+    fn batched_distributions_match_per_start() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let costar = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let spousal = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: spouse, directed: false }],
+        };
+        for spec in [&costar, &spousal] {
+            let batched = global_count_distributions(&index, spec, None).unwrap();
+            for node in 0..kb.node_count() as u64 {
+                let per_start = local_count_distribution_indexed(&index, spec, node).unwrap();
+                let mut expected: Vec<u64> = per_start.into_values().collect();
+                expected.sort_unstable_by(|a, b| b.cmp(a));
+                match batched.get(&node) {
+                    Some(counts) => assert_eq!(counts, &expected, "start {node}"),
+                    None => assert!(expected.is_empty(), "start {node}"),
+                }
+            }
+        }
+    }
+
+    /// A sample-restricted batch covers exactly the requested starts and
+    /// matches the unbound batch on them.
+    #[test]
+    fn among_restricted_batch_matches_unbound() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let full = global_count_distributions(&index, &spec, None).unwrap();
+        let sample: Vec<u64> = (0..kb.node_count() as u64).step_by(2).collect();
+        let restricted = global_count_distributions(&index, &spec, Some(&sample)).unwrap();
+        // No start outside the sample appears.
+        assert!(restricted.keys().all(|s| sample.contains(s)));
+        // Sampled starts agree with the unbound evaluation.
+        for s in &sample {
+            assert_eq!(restricted.get(s), full.get(s), "start {s}");
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod engine;
 pub mod expr;
+pub mod metrics;
 pub mod ops;
 pub mod plan;
 mod relation;

@@ -1,0 +1,79 @@
+//! Process-wide evaluation counters.
+//!
+//! The batched all-starts pipeline exists to change *how many* relational
+//! evaluations a ranking run performs (§5.3.2's amortization), so the
+//! engine counts them: every full pattern evaluation (materialized join
+//! tree) and every streaming `LIMIT`-pruned position query bumps a global
+//! counter. The counters are cheap relaxed atomics, always on.
+//!
+//! Because they are process-global, *differences* between two
+//! [`snapshot`]s taken around a region of interest are only meaningful
+//! when no other thread evaluates patterns concurrently — which holds for
+//! the bench binaries that report them. Tests that need isolation use the
+//! per-instance hit/miss counters of `rex_core`'s `DistributionCache`
+//! instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static FULL_EVALS: AtomicUsize = AtomicUsize::new(0);
+static STREAMING_EVALS: AtomicUsize = AtomicUsize::new(0);
+
+/// A point-in-time reading of the evaluation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Full (materialized) pattern evaluations since process start.
+    pub full: usize,
+    /// Streaming `LIMIT`-pruned position evaluations since process start.
+    pub streaming: usize,
+}
+
+impl EvalCounts {
+    /// Counter increments between `earlier` and `self`.
+    pub fn since(&self, earlier: &EvalCounts) -> EvalCounts {
+        EvalCounts { full: self.full - earlier.full, streaming: self.streaming - earlier.streaming }
+    }
+
+    /// Total evaluations of either kind.
+    pub fn total(&self) -> usize {
+        self.full + self.streaming
+    }
+}
+
+/// Records one full (materialized) pattern evaluation.
+#[inline]
+pub fn record_full_eval() {
+    FULL_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one streaming position evaluation.
+#[inline]
+pub fn record_streaming_eval() {
+    STREAMING_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> EvalCounts {
+    EvalCounts {
+        full: FULL_EVALS.load(Ordering::Relaxed),
+        streaming: STREAMING_EVALS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let before = snapshot();
+        record_full_eval();
+        record_streaming_eval();
+        let after = snapshot();
+        let delta = after.since(&before);
+        // Other tests may run concurrently in this process, so the delta
+        // is at least ours.
+        assert!(delta.full >= 1);
+        assert!(delta.streaming >= 1);
+        assert!(delta.total() >= 2);
+    }
+}

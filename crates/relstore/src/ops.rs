@@ -19,8 +19,7 @@ pub fn filter(rel: &Relation, pred: &Predicate) -> Relation {
 
 /// Projects onto the given column indices (may repeat / reorder).
 pub fn project(rel: &Relation, cols: &[usize]) -> Relation {
-    let names: Vec<String> =
-        cols.iter().map(|&c| rel.schema().names()[c].clone()).collect();
+    let names: Vec<String> = cols.iter().map(|&c| rel.schema().names()[c].clone()).collect();
     let schema = Schema::new(names);
     let rows = rel
         .rows()

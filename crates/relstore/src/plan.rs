@@ -22,6 +22,42 @@ pub mod dir_code {
     pub const UNDIRECTED: u64 = 2;
 }
 
+/// How the start target variable is constrained during evaluation.
+///
+/// Per-start distribution queries pin it to one entity ([`Const`]); the
+/// batched all-starts pipeline evaluates the pattern once for a whole
+/// sample of start entities ([`Among`]) or for every entity ([`Unbound`]),
+/// sharing the scan and join work that per-start probes would repeat —
+/// §5.3.2's "amortizing the computation over different pairs by sharing
+/// the computation involved".
+///
+/// [`Const`]: StartBinding::Const
+/// [`Among`]: StartBinding::Among
+/// [`Unbound`]: StartBinding::Unbound
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartBinding {
+    /// No constraint: the start variable ranges over all entities.
+    Unbound,
+    /// The start variable is pinned to one entity id.
+    Const(u64),
+    /// The start variable ranges over a set of entity ids (sorted).
+    ///
+    /// Only the start variable is restricted; other variables may bind
+    /// set members freely (each row's target-exclusion applies to *its*
+    /// start value only, which the final injectivity filter enforces).
+    Among(Vec<u64>),
+}
+
+impl StartBinding {
+    /// Builds an [`StartBinding::Among`] binding, sorting and deduping.
+    pub fn among<I: IntoIterator<Item = u64>>(starts: I) -> StartBinding {
+        let mut values: Vec<u64> = starts.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        StartBinding::Among(values)
+    }
+}
+
 /// One pattern edge: variable `u` connects to variable `v` with `label`.
 /// When `directed`, the underlying KB edge must point from `u`'s binding to
 /// `v`'s binding.
@@ -83,8 +119,8 @@ impl PatternSpec {
         let mut bound = vec![false; self.var_count];
         bound[self.start] = true;
         for _ in 0..n {
-            let next = (0..n)
-                .find(|&i| !used[i] && (bound[self.edges[i].u] || bound[self.edges[i].v]))?;
+            let next =
+                (0..n).find(|&i| !used[i] && (bound[self.edges[i].u] || bound[self.edges[i].v]))?;
             used[next] = true;
             bound[self.edges[next].u] = true;
             bound[self.edges[next].v] = true;
@@ -99,7 +135,7 @@ impl PatternSpec {
     fn filtered_scans<F: Fn(&SpecEdge) -> Relation>(
         &self,
         schema: &Schema,
-        start_binding: Option<u64>,
+        binding: &StartBinding,
         scan_for: F,
     ) -> Result<Vec<Relation>> {
         let from = schema.index_of("from")?;
@@ -113,16 +149,32 @@ impl PatternSpec {
                 if e.u == e.v {
                     preds.push(Predicate::ColEqCol { a: from, b: to });
                 }
-                if let Some(start_val) = start_binding {
-                    if e.u == self.start {
-                        preds.push(Predicate::ColEqConst { col: from, value: start_val });
-                    } else {
-                        preds.push(Predicate::ColNeConst { col: from, value: start_val });
+                match binding {
+                    StartBinding::Unbound => {}
+                    StartBinding::Const(start_val) => {
+                        if e.u == self.start {
+                            preds.push(Predicate::ColEqConst { col: from, value: *start_val });
+                        } else {
+                            preds.push(Predicate::ColNeConst { col: from, value: *start_val });
+                        }
+                        if e.v == self.start {
+                            preds.push(Predicate::ColEqConst { col: to, value: *start_val });
+                        } else {
+                            preds.push(Predicate::ColNeConst { col: to, value: *start_val });
+                        }
                     }
-                    if e.v == self.start {
-                        preds.push(Predicate::ColEqConst { col: to, value: start_val });
-                    } else {
-                        preds.push(Predicate::ColNeConst { col: to, value: start_val });
+                    StartBinding::Among(values) => {
+                        // Restrict only the start variable's scans; the
+                        // target-exclusion of non-start variables is
+                        // per-row (each row excludes *its own* start
+                        // value) and is enforced by the final injectivity
+                        // filter instead of a scan predicate.
+                        if e.u == self.start {
+                            preds.push(Predicate::ColInSet { col: from, values: values.clone() });
+                        }
+                        if e.v == self.start {
+                            preds.push(Predicate::ColInSet { col: to, values: values.clone() });
+                        }
                     }
                 }
                 let filtered =
@@ -144,9 +196,7 @@ impl PatternSpec {
         for step in 0..n {
             let candidate = (0..n)
                 .filter(|&i| !used[i])
-                .filter(|&i| {
-                    step == 0 || bound[self.edges[i].u] || bound[self.edges[i].v]
-                })
+                .filter(|&i| step == 0 || bound[self.edges[i].u] || bound[self.edges[i].v])
                 .min_by_key(|&i| (scans[i].len(), i))
                 .expect("validated patterns are connected");
             used[candidate] = true;
@@ -167,9 +217,18 @@ impl PatternSpec {
     /// start (Definition 2's target-exclusion), mirroring instance
     /// semantics.
     pub fn evaluate(&self, edge_rel: &Relation, start_binding: Option<u64>) -> Result<Relation> {
+        let binding = match start_binding {
+            Some(v) => StartBinding::Const(v),
+            None => StartBinding::Unbound,
+        };
+        self.evaluate_with(edge_rel, &binding)
+    }
+
+    /// [`PatternSpec::evaluate`] under an arbitrary [`StartBinding`].
+    pub fn evaluate_with(&self, edge_rel: &Relation, binding: &StartBinding) -> Result<Relation> {
         let label_col = edge_rel.schema().index_of("label")?;
         let dir_col = edge_rel.schema().index_of("dir")?;
-        self.evaluate_scanned(edge_rel.schema(), start_binding, |e| {
+        self.evaluate_scanned(edge_rel.schema(), binding, |e| {
             let mut preds = vec![Predicate::ColEqConst { col: label_col, value: e.label }];
             let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
             preds.push(Predicate::ColEqConst { col: dir_col, value: dir });
@@ -186,7 +245,22 @@ impl PatternSpec {
         index: &crate::engine::EdgeIndex,
         start_binding: Option<u64>,
     ) -> Result<Relation> {
-        self.evaluate_scanned(index.schema(), start_binding, |e| {
+        let binding = match start_binding {
+            Some(v) => StartBinding::Const(v),
+            None => StartBinding::Unbound,
+        };
+        self.evaluate_indexed_with(index, &binding)
+    }
+
+    /// [`PatternSpec::evaluate_indexed`] under an arbitrary
+    /// [`StartBinding`] — [`StartBinding::Among`] is the batched
+    /// all-starts evaluation the distribution engine builds on.
+    pub fn evaluate_indexed_with(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+    ) -> Result<Relation> {
+        self.evaluate_scanned(index.schema(), binding, |e| {
             let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
             index.scan(e.label, dir)
         })
@@ -214,8 +288,9 @@ impl PatternSpec {
         if limit == 0 {
             return Ok(0);
         }
+        crate::metrics::record_streaming_eval();
         let schema = index.schema().clone();
-        let scans = self.filtered_scans(&schema, Some(start), |e| {
+        let scans = self.filtered_scans(&schema, &StartBinding::Const(start), |e| {
             let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
             index.scan(e.label, dir)
         })?;
@@ -332,9 +407,7 @@ impl PatternSpec {
                     &scans[last],
                     &cur_keys,
                     &scan_keys,
-                    |l, r| {
-                        emit(&|i: usize| if i < l.len() { l[i] } else { r[i - l.len()] })
-                    },
+                    |l, r| emit(&|i: usize| if i < l.len() { l[i] } else { r[i - l.len()] }),
                 );
             }
         }
@@ -354,11 +427,12 @@ impl PatternSpec {
     fn evaluate_scanned<F: Fn(&SpecEdge) -> Relation>(
         &self,
         schema: &Schema,
-        start_binding: Option<u64>,
+        binding: &StartBinding,
         scan_for: F,
     ) -> Result<Relation> {
         self.validate()?;
-        let scans = self.filtered_scans(schema, start_binding, scan_for)?;
+        crate::metrics::record_full_eval();
+        let scans = self.filtered_scans(schema, binding, scan_for)?;
         let order = self.join_order_by_cost(&scans);
 
         let mut current: Option<Relation> = None;
@@ -437,10 +511,8 @@ impl PatternSpec {
                 true
             })
             .collect();
-        let renamed = Relation::from_rows(
-            Schema::new((0..self.var_count).map(|v| format!("v{v}"))),
-            rows,
-        )?;
+        let renamed =
+            Relation::from_rows(Schema::new((0..self.var_count).map(|v| format!("v{v}"))), rows)?;
         Ok(distinct(&renamed))
     }
 }
@@ -548,15 +620,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_specs() {
         let e = SpecEdge { u: 0, v: 1, label: 0, directed: true };
-        assert!(PatternSpec { var_count: 2, start: 0, end: 0, edges: vec![e] }
-            .validate()
-            .is_err());
-        assert!(PatternSpec { var_count: 1, start: 0, end: 5, edges: vec![e] }
-            .validate()
-            .is_err());
-        assert!(PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![] }
-            .validate()
-            .is_err());
+        assert!(PatternSpec { var_count: 2, start: 0, end: 0, edges: vec![e] }.validate().is_err());
+        assert!(PatternSpec { var_count: 1, start: 0, end: 5, edges: vec![e] }.validate().is_err());
+        assert!(PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![] }.validate().is_err());
         // Disconnected: edge between v2,v3 unreachable from start.
         let spec = PatternSpec {
             var_count: 4,
@@ -627,8 +693,7 @@ mod cost_order_tests {
             ],
         };
         let index = EdgeIndex::build(&kb);
-        let dist =
-            local_count_distribution_indexed(&index, &spec, start.0 as u64).unwrap();
+        let dist = local_count_distribution_indexed(&index, &spec, start.0 as u64).unwrap();
         assert_eq!(dist.len(), 1);
         assert_eq!(dist.get(&(hub.0 as u64)), Some(&1));
     }

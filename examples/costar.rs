@@ -47,19 +47,15 @@ fn main() {
     // Example 7: spouse vs co-star rarity for Brad & Angelina.
     let start = kb.require_node("brad_pitt").unwrap();
     let end = kb.require_node("angelina_jolie").unwrap();
-    let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
-        .enumerate(&kb, start, end);
+    let out =
+        GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, start, end);
     let ctx = MeasureContext::new(&kb, start, end);
     let rarity = LocalDistMeasure::new();
     println!("\nExample 7 — both explanations have count 1, but:");
     for e in &out.explanations {
         let d = e.pattern.describe(&kb);
         if d.contains("spouse") || (d.contains("starring") && e.pattern.var_count() == 3) {
-            println!(
-                "  {}  → local position {}",
-                d,
-                -rarity.score(&ctx, e)
-            );
+            println!("  {}  → local position {}", d, -rarity.score(&ctx, e));
         }
     }
     println!("(lower position = rarer = more interesting)");

@@ -20,10 +20,7 @@ fn main() {
     let b = kb.require_node("leonardo_dicaprio").unwrap();
     let out = GeneralEnumerator::new(EnumConfig::default()).enumerate(&kb, a, b);
     let ctx = MeasureContext::new(&kb, a, b).with_global_samples(30, 7);
-    println!(
-        "kate_winslet ↔ leonardo_dicaprio: {} explanations\n",
-        out.explanations.len()
-    );
+    println!("kate_winslet ↔ leonardo_dicaprio: {} explanations\n", out.explanations.len());
     for measure in table1_measures() {
         let top = rank(&out.explanations, measure.as_ref(), &ctx, 3);
         println!("top-3 by {}:", measure.name());

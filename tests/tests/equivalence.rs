@@ -20,8 +20,7 @@ fn arb_kb() -> impl Strategy<Value = (KnowledgeBase, NodeId, NodeId)> {
         })
         .prop_map(|(n, edges)| {
             let mut b = KbBuilder::new();
-            let ids: Vec<NodeId> =
-                (0..n).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+            let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
             for (u, v, l, directed) in edges {
                 if u == v {
                     continue; // REX semantics never uses self-loops
@@ -40,8 +39,7 @@ fn arb_kb() -> impl Strategy<Value = (KnowledgeBase, NodeId, NodeId)> {
 
 /// Canonical signature (pattern keys only) of an explanation set.
 fn keys(expls: &[rex_core::Explanation]) -> Vec<Vec<u64>> {
-    let mut ks: Vec<Vec<u64>> =
-        expls.iter().map(|e| e.key().as_slice().to_vec()).collect();
+    let mut ks: Vec<Vec<u64>> = expls.iter().map(|e| e.key().as_slice().to_vec()).collect();
     ks.sort_unstable();
     ks
 }

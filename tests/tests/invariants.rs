@@ -14,8 +14,12 @@ use rex_linalg::laplacian::ConductanceNetwork;
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
     (2u8..=5)
         .prop_flat_map(|vars| {
-            let anchor = proptest::collection::vec((0u8..vars, 0u32..3, any::<bool>()), (vars.saturating_sub(2)) as usize);
-            let extra = proptest::collection::vec((0u8..vars, 0u8..vars, 0u32..3, any::<bool>()), 0..4);
+            let anchor = proptest::collection::vec(
+                (0u8..vars, 0u32..3, any::<bool>()),
+                (vars.saturating_sub(2)) as usize,
+            );
+            let extra =
+                proptest::collection::vec((0u8..vars, 0u8..vars, 0u32..3, any::<bool>()), 0..4);
             (Just(vars), anchor, extra)
         })
         .prop_filter_map("pattern must validate", |(vars, anchor, extra)| {
@@ -48,8 +52,11 @@ fn permute(p: &Pattern, perm: &[u8]) -> Pattern {
             VarId(2 + perm[(v.0 - 2) as usize])
         }
     };
-    let edges =
-        p.edges().iter().map(|e| PatternEdge::new(map(e.u), map(e.v), e.label, e.directed)).collect();
+    let edges = p
+        .edges()
+        .iter()
+        .map(|e| PatternEdge::new(map(e.u), map(e.v), e.label, e.directed))
+        .collect();
     Pattern::new(p.var_count() as u8, edges).expect("permutation preserves validity")
 }
 

@@ -1,11 +1,11 @@
 //! End-to-end integration: generate → enumerate → rank → judge.
 
 use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
+use rex_core::measures::MonocountMeasure;
 use rex_core::measures::{table1_measures, Combined, MeasureContext, SizeMeasure};
 use rex_core::ranking::distribution::{rank_by_position, Scope};
-use rex_core::ranking::topk::rank_topk_pruned;
 use rex_core::ranking::rank;
-use rex_core::measures::MonocountMeasure;
+use rex_core::ranking::topk::rank_topk_pruned;
 use rex_core::EnumConfig;
 use rex_datagen::{generate, sample_pairs, GeneratorConfig};
 use rex_oracle::study::{paper_pairs, run_study};
@@ -27,10 +27,7 @@ fn toy_kb_full_pipeline() {
     // The best explanation under the paper's recommended combination is
     // the marriage.
     let top = rank(&out.explanations, &Combined::size_local_dist(), &ctx, 1);
-    assert_eq!(
-        out.explanations[top[0].index].pattern.describe(&kb),
-        "(start)-[spouse]-(end)"
-    );
+    assert_eq!(out.explanations[top[0].index].pattern.describe(&kb), "(start)-[spouse]-(end)");
 }
 
 #[test]
@@ -71,11 +68,8 @@ fn all_algorithm_combinations_agree_on_synthetic_pairs() {
             for union_algo in [UnionAlgo::Basic, UnionAlgo::Prune] {
                 let out = GeneralEnumerator::with_algorithms(config.clone(), path_algo, union_algo)
                     .enumerate(&kb, p.start, p.end);
-                let mut keys: Vec<Vec<u64>> = out
-                    .explanations
-                    .iter()
-                    .map(|e| e.key().as_slice().to_vec())
-                    .collect();
+                let mut keys: Vec<Vec<u64>> =
+                    out.explanations.iter().map(|e| e.key().as_slice().to_vec()).collect();
                 keys.sort_unstable();
                 signatures.push((format!("{path_algo:?}/{union_algo:?}"), keys));
             }

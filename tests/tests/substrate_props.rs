@@ -9,17 +9,14 @@ use rex_relstore::ops::{distinct, filter, group_count, hash_join, project};
 use rex_relstore::{Relation, Schema};
 
 fn arb_relation(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u64..6, cols..=cols),
-        0..=max_rows,
-    )
-    .prop_map(move |rows| {
-        Relation::from_rows(
-            Schema::new((0..cols).map(|i| format!("c{i}"))),
-            rows.into_iter().map(|r| r.into_boxed_slice()).collect(),
-        )
-        .expect("arity matches")
-    })
+    proptest::collection::vec(proptest::collection::vec(0u64..6, cols..=cols), 0..=max_rows)
+        .prop_map(move |rows| {
+            Relation::from_rows(
+                Schema::new((0..cols).map(|i| format!("c{i}"))),
+                rows.into_iter().map(|r| r.into_boxed_slice()).collect(),
+            )
+            .expect("arity matches")
+        })
 }
 
 proptest! {

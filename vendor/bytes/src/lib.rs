@@ -1,0 +1,222 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a consuming read cursor over an owned buffer and
+//! [`BytesMut`] an append-only write buffer — no reference-counted
+//! zero-copy slicing, which this workspace never relies on. The [`Buf`] /
+//! [`BufMut`] traits cover exactly the little-endian codec surface of
+//! `rex_kb::io`.
+
+/// A consuming read cursor over an owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// The bytes not yet consumed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// A fresh `Bytes` over a sub-range of the unconsumed bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(self.as_slice()[range].to_vec())
+    }
+
+    /// Copies the unconsumed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes are consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// An append-only write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Sequential reads from a byte source.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes `len` bytes into a fresh [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32_le past end of buffer");
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end of buffer");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        u64::from_le_bytes(raw)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past end of buffer");
+        let out = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Bytes::from(out)
+    }
+}
+
+/// Sequential writes into a byte sink.
+pub trait BufMut {
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Writes a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u8(7);
+        w.put_slice(b"hi");
+        w.put_u64_le(42);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.copy_to_bytes(2).to_vec(), b"hi".to_vec());
+        assert_eq!(r.get_u64_le(), 42);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn from_vec_and_advance() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.advance(2);
+        assert_eq!(b.as_slice(), &[3, 4]);
+        assert_eq!(b.to_vec(), vec![3, 4]);
+    }
+}

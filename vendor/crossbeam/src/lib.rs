@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only [`thread::scope`] is provided — the one crossbeam API this
+//! workspace uses. Since Rust 1.63, `std::thread::scope` offers the same
+//! structured-concurrency guarantee crossbeam pioneered, so the stub is a
+//! thin adapter: crossbeam's closure receives `&Scope` (to spawn nested
+//! threads) and `scope` returns a `Result` capturing panics; std's scope
+//! propagates panics instead, so an `Ok` wrapper preserves call sites
+//! written against crossbeam (`.expect(...)` on the result).
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type of [`scope`] and of joining a scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope handle again (crossbeam's signature) for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before `scope` returns. Unlike crossbeam, a panicking child
+    /// propagates at the end of the scope rather than surfacing in the
+    /// `Err` variant — equivalent for every caller that `.expect`s the
+    /// result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total: usize = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<usize>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

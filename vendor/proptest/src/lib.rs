@@ -1,0 +1,401 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic random-input testing with the subset of the proptest API
+//! this workspace uses: range/tuple/`Just`/`any::<bool>()` strategies,
+//! `prop_map` / `prop_flat_map` / `prop_filter_map`, `collection::vec`,
+//! the `proptest!` macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index; rerunning is deterministic, so the input is reproducible),
+//! and `prop_assert*` panics immediately instead of returning a
+//! `TestCaseError`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case random source (xoshiro256++, SplitMix64-seeded).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Transforms values, rejecting those mapped to `None` (re-drawing up
+    /// to an attempt budget, like upstream's rejection handling).
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { base: self, f, whence }
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// The `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// The `prop_filter_map` adapter.
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..1024 {
+            if let Some(v) = (self.f)(self.base.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted its attempt budget: {}", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical `any` strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The canonical strategy for `A` (`any::<bool>()` et al.).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    };
+}
+
+impl_range_strategy!(u8);
+impl_range_strategy!(u16);
+impl_range_strategy!(u32);
+impl_range_strategy!(u64);
+impl_range_strategy!(usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Attempt budget for rejection-based strategies (`prop_filter_map`).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each function runs `cases` times over inputs
+/// drawn from its strategies. Deterministic: case `i` of test `name` uses
+/// a seed derived from the test name and `i`, so failures reproduce.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Stable per-test seed: FNV-1a over the test name.
+                let mut seed = 0xCBF2_9CE4_8422_2325u64;
+                for byte in stringify!($name).bytes() {
+                    seed ^= byte as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::seed_from_u64(seed ^ case);
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let run = || { $body };
+                    run();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// The conventional import: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic() {
+        let s = (0u32..10, 5usize..=7).prop_map(|(a, b)| a as usize + b);
+        let mut r1 = super::TestRng::seed_from_u64(1);
+        let mut r2 = super::TestRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let s = super::collection::vec(0u64..4, 2..5);
+        let mut rng = super::TestRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: patterns bind, filters apply, asserts run.
+        #[test]
+        fn macro_round_trip(
+            (n, flag) in (1u32..5, any::<bool>()),
+            v in super::collection::vec(0u32..3, 0..4)
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert_eq!(flag, flag & true);
+            prop_assert!(v.len() < 4, "len {}", v.len());
+        }
+
+        #[test]
+        fn filter_map_keeps_only_some(x in (0u32..100).prop_filter_map("even", |x| {
+            if x % 2 == 0 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

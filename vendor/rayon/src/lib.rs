@@ -1,0 +1,316 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice → `par_iter().map(..).collect()` pipeline plus
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] on top of
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! worker — not work-stealing, but the workloads in this workspace
+//! (per-explanation distribution queries) are coarse enough that static
+//! chunking is within noise of a stealing scheduler, and the output order
+//! is deterministic (identical to sequential evaluation) either way.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] (0 = default).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel iterators will use on this
+/// thread: the installed pool's size, or available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A (virtual) worker pool: threads are spawned per parallel call rather
+/// than kept alive, so the pool only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width governing any parallel iterators
+    /// it drives.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|cell| cell.replace(self.num_threads));
+        let out = f();
+        INSTALLED_THREADS.with(|cell| cell.set(previous));
+        out
+    }
+
+    /// The configured worker count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        }
+    }
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// An indexed parallel pipeline: stages evaluate items by index so
+    /// workers can claim disjoint contiguous ranges without coordination.
+    pub trait ParallelIterator: Sized + Sync {
+        /// The element type produced.
+        type Item: Send;
+
+        /// Number of items.
+        fn par_len(&self) -> usize;
+
+        /// Evaluates the pipeline at `index` (called once per index).
+        fn par_get(&self, index: usize) -> Self::Item;
+
+        /// Maps each item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pairs each item with its index (matching sequential order).
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Drives the pipeline and collects into `C` in index order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter(self)
+        }
+
+        /// Drives the pipeline for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _: Vec<()> = self.map(f).collect();
+        }
+
+        /// Sums the items in parallel.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + Send,
+        {
+            let parts: Vec<Self::Item> = self.collect();
+            parts.into_iter().sum()
+        }
+    }
+
+    /// Conversion from a parallel iterator, mirroring `FromIterator`.
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Collects the pipeline's items in index order.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+            drive(&iter)
+        }
+    }
+
+    /// Evaluates every index of `pipeline` across scoped worker threads,
+    /// returning results in index order.
+    fn drive<I: ParallelIterator>(pipeline: &I) -> Vec<I::Item> {
+        let len = pipeline.par_len();
+        let threads = current_num_threads().clamp(1, len.max(1));
+        if threads <= 1 || len <= 1 {
+            return (0..len).map(|i| pipeline.par_get(i)).collect();
+        }
+        // One contiguous chunk per worker, sized to cover all items.
+        let chunk = len.div_ceil(threads);
+        let mut parts: Vec<Vec<I::Item>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(len);
+                    scope.spawn(move || (lo..hi.max(lo)).map(|i| pipeline.par_get(i)).collect())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(len);
+        for part in &mut parts {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Borrowing conversion into a parallel iterator (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The pipeline type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The element type (a shared reference).
+        type Item: Send;
+        /// Starts a parallel pipeline over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = ParSlice<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = ParSlice<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    /// Parallel pipeline over a slice.
+    pub struct ParSlice<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+        type Item = &'a T;
+
+        fn par_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn par_get(&self, index: usize) -> &'a T {
+            &self.slice[index]
+        }
+    }
+
+    /// The `map` adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn par_get(&self, index: usize) -> R {
+            (self.f)(self.base.par_get(index))
+        }
+    }
+
+    /// The `enumerate` adapter.
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn par_get(&self, index: usize) -> (usize, I::Item) {
+            (index, self.base.par_get(index))
+        }
+    }
+}
+
+/// The rayon prelude: import to get `.par_iter()` and adapters.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_matches_sequential() {
+        let input = ["a", "b", "c"];
+        let out: Vec<(usize, &&str)> = input.par_iter().enumerate().collect();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], (2, &"c"));
+    }
+
+    #[test]
+    fn pool_width_is_honored_and_restored() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        assert_eq!(pool.current_num_threads(), 3);
+        let outside = super::current_num_threads();
+        let (inside, sum) = pool.install(|| {
+            let v: Vec<u64> = (0..100u64).collect::<Vec<_>>().par_iter().map(|&x| x).collect();
+            (super::current_num_threads(), v.into_iter().sum::<u64>())
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(sum, 4950);
+        assert_eq!(super::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn single_item_and_empty() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
