@@ -1,0 +1,197 @@
+//! Validates a `BENCH_ranking.json` document — the CI guard that keeps
+//! the perf-metric plumbing from silently rotting. Checks that every
+//! expected key is present with a numeric value (the emitter is
+//! hand-rolled, so a refactor can drop a field without any type error)
+//! and that the structural invariants of the shared-frame section hold:
+//! the workload-wide evaluation budget is bounded by the distinct shapes
+//! and never exceeds the per-pair batched baseline's.
+//!
+//! Usage: `check_bench_schema [path]` (default `BENCH_ranking.json`);
+//! exits non-zero with a message on the first violation.
+
+use std::process::ExitCode;
+
+/// Extracts the numeric value following `"key":` inside `text`, searching
+/// from `from`. Returns `(value, position_after_key)`.
+fn number_after(text: &str, key: &str, from: usize) -> Result<(f64, usize), String> {
+    let needle = format!("\"{key}\"");
+    let rel = text[from..].find(&needle).ok_or_else(|| format!("missing key {key:?}"))?;
+    let at = from + rel + needle.len();
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    let token = &rest[..end];
+    let value: f64 =
+        token.parse().map_err(|_| format!("key {key:?} has non-numeric value {token:?}"))?;
+    Ok((value, at))
+}
+
+/// Validates the document, returning the human-readable failure if any.
+fn validate(text: &str) -> Result<(), String> {
+    if !text.contains("\"benchmark\"") || !text.contains("global_distribution_ranking") {
+        return Err("not a global_distribution_ranking document".into());
+    }
+    // Top-level numerics.
+    let (pairs, _) = number_after(text, "pairs", 0)?;
+    let (explanations, _) = number_after(text, "explanations", 0)?;
+    let (distinct_shapes, _) = number_after(text, "distinct_shapes", 0)?;
+    let (global_samples, _) = number_after(text, "global_samples", 0)?;
+    let (k, _) = number_after(text, "k", 0)?;
+    for (name, v) in [
+        ("pairs", pairs),
+        ("explanations", explanations),
+        ("distinct_shapes", distinct_shapes),
+        ("global_samples", global_samples),
+        ("k", k),
+    ] {
+        if v <= 0.0 {
+            return Err(format!("{name} must be positive, got {v}"));
+        }
+    }
+
+    // Per-section numerics. Each side is a flat object following its
+    // section key; key searches are bounded to that object's closing
+    // brace, so a field dropped from one section cannot be satisfied by a
+    // same-named key in a later section.
+    let side = |section: &str, keys: &[&str]| -> Result<Vec<f64>, String> {
+        let at = text
+            .find(&format!("\"{section}\""))
+            .ok_or_else(|| format!("missing section {section:?}"))?;
+        let open =
+            text[at..].find('{').ok_or_else(|| format!("section {section:?} has no object"))?;
+        let close = text[at + open..]
+            .find('}')
+            .ok_or_else(|| format!("section {section:?} object is unterminated"))?;
+        let object = &text[at + open..=at + open + close];
+        keys.iter()
+            .map(|key| number_after(object, key, 0).map(|(v, _)| v))
+            .collect::<Result<Vec<f64>, String>>()
+            .map_err(|e| format!("section {section:?}: {e}"))
+    };
+    let per_start = side("per_start", &["wall_ms", "full_evals", "streaming_evals"])?;
+    let batched = side("batched", &["wall_ms", "full_evals", "streaming_evals"])?;
+    let shared = side(
+        "shared_frame",
+        &[
+            "wall_ms",
+            "full_evals",
+            "streaming_evals",
+            "distinct_shapes",
+            "tiles",
+            "peak_rows",
+            "row_ceiling",
+        ],
+    )?;
+    number_after(text, "speedup", 0)?;
+    number_after(text, "shared_frame_speedup", 0)?;
+
+    // Structural invariants of the shared-frame engine.
+    let (shared_evals, shared_shapes, shared_tiles) = (shared[1], shared[3], shared[4]);
+    if shared_shapes != distinct_shapes {
+        return Err(format!(
+            "shared_frame.distinct_shapes {shared_shapes} != top-level {distinct_shapes}"
+        ));
+    }
+    if shared_evals > distinct_shapes {
+        return Err(format!(
+            "shared_frame.full_evals {shared_evals} exceeds distinct shapes {distinct_shapes}"
+        ));
+    }
+    if shared_evals > batched[1] {
+        return Err(format!(
+            "shared_frame.full_evals {shared_evals} exceeds batched baseline {}",
+            batched[1]
+        ));
+    }
+    if shared_tiles < shared_evals {
+        return Err(format!(
+            "shared_frame.tiles {shared_tiles} < full_evals {shared_evals} (every batch is ≥ 1 tile)"
+        ));
+    }
+    if per_start[1] + per_start[2] < batched[1] + batched[2] {
+        return Err("per-start baseline reports less work than the batched engine".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ranking.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench_schema: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&text) {
+        Ok(()) => {
+            println!("check_bench_schema: {path} ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_bench_schema: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "benchmark": "global_distribution_ranking",
+  "scale": "tiny",
+  "pairs": 3,
+  "explanations": 40,
+  "distinct_shapes": 30,
+  "global_samples": 8,
+  "k": 10,
+  "per_start": {"wall_ms": 100.0, "full_evals": 320, "streaming_evals": 10},
+  "batched": {"wall_ms": 10.0, "full_evals": 40, "streaming_evals": 0},
+  "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 123, "row_ceiling": 1048576},
+  "speedup": 10.0,
+  "shared_frame_speedup": 1.25
+}"#;
+
+    #[test]
+    fn good_document_validates() {
+        validate(GOOD).unwrap();
+    }
+
+    #[test]
+    fn missing_section_rejected() {
+        let broken = GOOD.replace("shared_frame", "shared_fame");
+        assert!(validate(&broken).is_err());
+    }
+
+    #[test]
+    fn budget_violation_rejected() {
+        // Shared-frame evals above distinct shapes must fail.
+        let broken = GOOD.replace(
+            "\"full_evals\": 30, \"streaming_evals\": 0, \"distinct_shapes\": 30",
+            "\"full_evals\": 31, \"streaming_evals\": 0, \"distinct_shapes\": 30",
+        );
+        assert!(validate(&broken).is_err());
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let broken = GOOD.replace("\"pairs\": 3", "\"pairs\": \"three\"");
+        assert!(validate(&broken).is_err());
+    }
+
+    /// A field dropped from one section must not be satisfied by the
+    /// same-named key of a later section (the rot this guard exists for).
+    #[test]
+    fn dropped_field_not_borrowed_from_later_section() {
+        let broken = GOOD.replace(
+            "\"per_start\": {\"wall_ms\": 100.0, \"full_evals\": 320, \"streaming_evals\": 10}",
+            "\"per_start\": {\"wall_ms\": 100.0, \"full_evals\": 320}",
+        );
+        assert_ne!(broken, GOOD, "replacement must apply");
+        let err = validate(&broken).unwrap_err();
+        assert!(err.contains("per_start"), "{err}");
+    }
+}

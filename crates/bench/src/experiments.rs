@@ -10,10 +10,11 @@ use std::time::Duration;
 use rex_core::enumerate::naive::NaiveEnumerator;
 use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
 use rex_core::measures::distribution::global_position_per_start;
-use rex_core::measures::{MeasureContext, MonocountMeasure};
+use rex_core::measures::{DistributionCache, MeasureContext, MonocountMeasure, SampleFrame};
 use rex_core::ranking::distribution::{rank_by_position, Scope};
 use rex_core::ranking::rank;
 use rex_core::ranking::topk::rank_topk_pruned;
+use rex_core::ranking::{rank_pairs_with, PairExplanations, RankPairsConfig};
 use rex_datagen::ConnGroup;
 use rex_oracle::study::{paper_pairs, run_study};
 use rex_oracle::{StudyConfig, StudyOutcome};
@@ -235,6 +236,27 @@ pub struct RankingBenchSide {
     pub streaming_evals: usize,
 }
 
+/// The shared-frame workload side: one sample frame + one cache across
+/// all pairs, shapes evaluated cheapest-first under a row ceiling.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedFrameSide {
+    /// Wall time of prewarm + position phases across all pairs.
+    pub wall: Duration,
+    /// Full (batched) relational evaluations — bounded by the distinct
+    /// shapes across the *whole workload*, not Σ per-pair shapes.
+    pub full_evals: usize,
+    /// Streaming evaluations (0: the shared batch answers everything).
+    pub streaming_evals: usize,
+    /// Distinct canonical shapes across all pairs.
+    pub distinct_shapes: usize,
+    /// Start tiles evaluated across all batches.
+    pub tiles: usize,
+    /// Largest intermediate relation (rows) any batch materialized.
+    pub peak_rows: usize,
+    /// The configured intermediate-row ceiling.
+    pub row_ceiling: usize,
+}
+
 /// The machine-readable ranking baseline behind `BENCH_ranking.json`:
 /// global-distribution top-k ranking measured with the pre-batching
 /// per-start engine versus the batched all-starts engine.
@@ -259,8 +281,12 @@ pub struct RankingBench {
     /// The pre-batching baseline: one bounded evaluation per (pattern,
     /// sampled start).
     pub per_start: RankingBenchSide,
-    /// The batched pipeline: one all-starts evaluation per shape.
+    /// The batched pipeline: one all-starts evaluation per shape, but a
+    /// private cache + sample per pair (PR 1's engine).
     pub batched: RankingBenchSide,
+    /// The shared-frame workload driver: one frame + cache for all pairs,
+    /// cost-ordered and memory-bounded (this PR's engine).
+    pub shared_frame: SharedFrameSide,
 }
 
 impl RankingBench {
@@ -269,6 +295,17 @@ impl RankingBench {
         let b = self.batched.wall.as_secs_f64();
         if b > 0.0 {
             self.per_start.wall.as_secs_f64() / b
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Wall-time speedup of the shared-frame driver over the per-pair
+    /// batched baseline (>1 = shared frame faster).
+    pub fn shared_frame_speedup(&self) -> f64 {
+        let s = self.shared_frame.wall.as_secs_f64();
+        if s > 0.0 {
+            self.batched.wall.as_secs_f64() / s
         } else {
             f64::INFINITY
         }
@@ -284,6 +321,20 @@ impl RankingBench {
                 s.streaming_evals
             )
         };
+        let shared = format!(
+            concat!(
+                "{{\"wall_ms\": {:.3}, \"full_evals\": {}, \"streaming_evals\": {}, ",
+                "\"distinct_shapes\": {}, \"tiles\": {}, \"peak_rows\": {}, ",
+                "\"row_ceiling\": {}}}"
+            ),
+            self.shared_frame.wall.as_secs_f64() * 1e3,
+            self.shared_frame.full_evals,
+            self.shared_frame.streaming_evals,
+            self.shared_frame.distinct_shapes,
+            self.shared_frame.tiles,
+            self.shared_frame.peak_rows,
+            self.shared_frame.row_ceiling,
+        );
         format!(
             concat!(
                 "{{\n",
@@ -296,7 +347,9 @@ impl RankingBench {
                 "  \"k\": {},\n",
                 "  \"per_start\": {},\n",
                 "  \"batched\": {},\n",
-                "  \"speedup\": {:.3}\n",
+                "  \"shared_frame\": {},\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"shared_frame_speedup\": {:.3}\n",
                 "}}\n"
             ),
             self.scale,
@@ -307,7 +360,9 @@ impl RankingBench {
             self.k,
             side(&self.per_start),
             side(&self.batched),
-            self.speedup()
+            shared,
+            self.speedup(),
+            self.shared_frame_speedup()
         )
     }
 }
@@ -362,13 +417,55 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         }
     });
 
-    // Batched pipeline: the production ranker over the shared cache (cold
-    // at this point — per_start never touches it).
+    // Batched pipeline: the production per-pair ranker, each pair with its
+    // own private cache (cold at this point — per_start never touches it).
     let batched = side(&mut || {
         for ((_, explanations), ctx) in prepared.iter().zip(&contexts) {
             let _ = rank_by_position(explanations, ctx, k, Scope::Global, false);
         }
     });
+
+    // Shared-frame workload driver: one frame + cache for every pair,
+    // cost-ordered prewarm under a row ceiling. Frame and index are built
+    // outside the timed region (the index is identical to the contexts'
+    // warmed ones; the frame is a few hundred draws).
+    let row_ceiling: usize =
+        std::env::var("REX_BENCH_ROW_CEILING").ok().and_then(|v| v.parse().ok()).unwrap_or(1 << 20);
+    let tasks: Vec<PairExplanations<'_>> = prepared
+        .iter()
+        .map(|(p, explanations)| PairExplanations { start: p.start, end: p.end, explanations })
+        .collect();
+    let cfg = RankPairsConfig {
+        k,
+        global_samples: w.global_samples,
+        seed: w.seed,
+        // One worker: the batched baseline ranks its pairs sequentially,
+        // so a single-threaded shared side isolates the cross-pair
+        // sharing effect instead of conflating it with core count.
+        threads: 1,
+        row_ceiling: Some(row_ceiling),
+    };
+    let frame = std::sync::Arc::new(
+        SampleFrame::sample(&w.kb, w.global_samples, w.seed).expect("workload KB has edges"),
+    );
+    let index = rex_relstore::engine::EdgeIndex::build(&w.kb);
+    let cache = DistributionCache::with_row_ceiling(row_ceiling);
+    let before = metrics::snapshot();
+    let (outcome, wall) = time(|| rank_pairs_with(&tasks, &cfg, &index, &frame, &cache));
+    let delta = metrics::snapshot().since(&before);
+    let shared_frame = SharedFrameSide {
+        wall,
+        // Evaluation counts come from the driver's per-cache counters
+        // (race-free even when other threads evaluate patterns); only the
+        // streaming count — 0 unless the engine regresses — reads the
+        // process-global delta.
+        full_evals: outcome.batched_evals,
+        streaming_evals: delta.streaming,
+        distinct_shapes: outcome.distinct_shapes,
+        tiles: outcome.tiles,
+        peak_rows: outcome.peak_rows,
+        row_ceiling,
+    };
 
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
@@ -379,6 +476,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         k,
         per_start,
         batched,
+        shared_frame,
     }
 }
 
@@ -468,15 +566,32 @@ mod tests {
                 >= b.batched.full_evals + b.batched.streaming_evals,
             "baseline did less work than the batched engine"
         );
+        // The shared-frame driver's budget is the workload's distinct
+        // shapes — never more than the per-pair batched side's budget.
+        assert_eq!(b.shared_frame.distinct_shapes, b.distinct_shapes);
+        assert!(
+            b.shared_frame.full_evals <= b.distinct_shapes,
+            "shared frame {} evals > {} distinct shapes",
+            b.shared_frame.full_evals,
+            b.distinct_shapes
+        );
+        assert!(b.shared_frame.full_evals <= b.batched.full_evals);
+        assert!(b.shared_frame.tiles >= b.shared_frame.full_evals);
+        assert!(b.shared_frame.row_ceiling > 0);
         let json = b.to_json();
         for key in [
             "\"benchmark\"",
             "\"per_start\"",
             "\"batched\"",
+            "\"shared_frame\"",
             "\"wall_ms\"",
             "\"full_evals\"",
             "\"distinct_shapes\"",
+            "\"tiles\"",
+            "\"peak_rows\"",
+            "\"row_ceiling\"",
             "\"speedup\"",
+            "\"shared_frame_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

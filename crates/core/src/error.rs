@@ -11,6 +11,14 @@ pub enum CoreError {
     UnknownEntity(String),
     /// An error bubbled up from the relational engine.
     Relational(String),
+    /// A global-distribution sample frame was requested from a knowledge
+    /// base with no eligible (degree > 0) start entity.
+    EmptySampleFrame {
+        /// The requested sample size.
+        requested: usize,
+        /// Entities in the knowledge base.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -22,6 +30,11 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::UnknownEntity(name) => write!(f, "unknown entity: {name}"),
             CoreError::Relational(msg) => write!(f, "relational engine: {msg}"),
+            CoreError::EmptySampleFrame { requested, nodes } => write!(
+                f,
+                "cannot draw a {requested}-start sample frame: none of the {nodes} entities \
+                 has an incident edge"
+            ),
         }
     }
 }

@@ -46,9 +46,23 @@ use crate::measures::distribution::position_in;
 pub struct AllStartsDistribution {
     counts: HashMap<u64, Arc<Vec<u64>>>,
     domain: HashSet<u64>,
+    tiles: usize,
+    peak_rows: usize,
 }
 
 impl AllStartsDistribution {
+    /// Start tiles the batched evaluation was split into (1 when the
+    /// domain fit under the row ceiling, or no ceiling was set).
+    pub fn eval_tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Largest intermediate relation (rows) the evaluation materialized —
+    /// carried on the batch so consumers can attribute peaks to the
+    /// shapes they actually use, independent of cache lifetime.
+    pub fn peak_rows(&self) -> usize {
+        self.peak_rows
+    }
     /// Whether `start` was covered by the batched evaluation (queries
     /// outside the domain must fall back to a per-start probe).
     pub fn covers(&self, start: u64) -> bool {
@@ -96,12 +110,39 @@ pub struct DistributionCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     batched_evals: AtomicUsize,
+    /// Best-effort ceiling on join-produced intermediate rows per batched
+    /// evaluation; `None` evaluates each batch as a single tile.
+    row_ceiling: Option<usize>,
+    tiles: AtomicUsize,
+    peak_rows: AtomicUsize,
 }
 
 impl DistributionCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache whose batched evaluations are tiled so
+    /// join-produced intermediate rows stay (best-effort) under
+    /// `max_rows` — the memory-bounded evaluation mode of the shared
+    /// workload driver. Tile sizes are derived per shape from the edge
+    /// index's cardinality estimates
+    /// ([`EdgeIndex::tile_size_for_ceiling`]).
+    pub fn with_row_ceiling(max_rows: usize) -> Self {
+        DistributionCache { row_ceiling: Some(max_rows), ..Default::default() }
+    }
+
+    /// The configured intermediate-row ceiling, if any.
+    pub fn row_ceiling(&self) -> Option<usize> {
+        self.row_ceiling
+    }
+
+    /// `(tiles, peak_rows)` across this cache's batched evaluations: how
+    /// many start tiles were evaluated, and the largest intermediate
+    /// relation any of them materialized.
+    pub fn tiling_stats(&self) -> (usize, usize) {
+        (self.tiles.load(Ordering::Relaxed), self.peak_rows.load(Ordering::Relaxed))
     }
 
     /// The all-starts distribution of `e`'s pattern shape covering (at
@@ -131,11 +172,20 @@ impl DistributionCache {
         }
         let spec = e.pattern.to_spec();
         let list: Vec<u64> = domain.iter().copied().collect();
-        let dist = rex_relstore::engine::global_count_distributions(index, &spec, Some(&list))
-            .expect("explanation patterns are valid specs");
+        let tile_size = match self.row_ceiling {
+            Some(ceiling) => index.tile_size_for_ceiling(&spec, list.len(), ceiling),
+            None => list.len().max(1),
+        };
+        let batch =
+            rex_relstore::engine::global_count_distributions_tiled(index, &spec, &list, tile_size)
+                .expect("explanation patterns are valid specs");
+        self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
+        self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
         let computed = Arc::new(AllStartsDistribution {
-            counts: dist.into_iter().map(|(s, v)| (s, Arc::new(v))).collect(),
+            counts: batch.per_start.into_iter().map(|(s, v)| (s, Arc::new(v))).collect(),
             domain,
+            tiles: batch.tiles,
+            peak_rows: batch.peak_rows,
         });
         let mut guard = self.batched.write();
         let entry = guard.entry(key.clone()).or_insert_with(|| Arc::clone(&computed));
@@ -200,10 +250,28 @@ impl DistributionCache {
     /// positions in the local distributions of `starts`, answered from
     /// one shared batched evaluation per pattern shape.
     pub fn global_position(&self, index: &EdgeIndex, e: &Explanation, starts: &[NodeId]) -> usize {
+        self.global_position_excluding(index, e, starts, None)
+    }
+
+    /// [`DistributionCache::global_position`] with per-pair **read-time
+    /// exclusion**: the batched evaluation covers all of `starts` (the
+    /// shared sample frame, identical for every pair of a workload), and
+    /// `exclude` — the pair's own start entity — is simply skipped when
+    /// summing positions. This is what lets one cache serve every pair of
+    /// a workload with zero recomputation: exclusion no longer perturbs
+    /// the evaluated domain.
+    pub fn global_position_excluding(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+        exclude: Option<NodeId>,
+    ) -> usize {
         let batch = self.all_starts(index, e, starts);
         let a = e.count() as u64;
         starts
             .iter()
+            .filter(|&&s| Some(s) != exclude)
             .map(|s| batch.position(s.0 as u64, a).expect("batch covers requested starts"))
             .sum()
     }
@@ -357,6 +425,71 @@ mod tests {
         cache.all_starts(index, e, grown);
         cache.all_starts(index, e, small);
         assert_eq!(cache.batched_evals(), 2);
+    }
+
+    /// Read-time exclusion over one shared batch equals a position sum
+    /// over the pre-filtered start list — without changing the batch
+    /// domain, so no extra evaluation happens.
+    #[test]
+    fn read_time_exclusion_matches_prefiltered_sum() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        // Find (deterministically) a seed whose frame draws the pair's own
+        // start, so the read-time exclusion actually has rows to drop.
+        let seed = (0..64)
+            .find(|&s| crate::measures::frame::SampleFrame::sample(&kb, 40, s).unwrap().contains(a))
+            .expect("some 40-draw frame contains the start");
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(40, seed);
+        let cache = DistributionCache::new();
+        let index = ctx.edge_index();
+        let frame = ctx.sample_frame().clone();
+        assert!(frame.contains(a));
+        let filtered = frame.starts_excluding(a);
+        for e in &out.explanations {
+            let excluded = cache.global_position_excluding(index, e, frame.starts(), Some(a));
+            let evals = cache.batched_evals();
+            // Same batch answers the pre-filtered sum: no new evaluation.
+            let prefiltered: usize = {
+                let batch = cache.all_starts(index, e, frame.starts());
+                filtered.iter().map(|s| batch.position(s.0 as u64, e.count() as u64).unwrap()).sum()
+            };
+            assert_eq!(excluded, prefiltered, "{}", e.describe(&kb));
+            assert_eq!(cache.batched_evals(), evals, "exclusion must not re-evaluate");
+        }
+    }
+
+    /// A row ceiling makes batched evaluations tile without changing any
+    /// answer, and the per-cache tiling counters observe it.
+    #[test]
+    fn row_ceiling_tiles_without_changing_positions() {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let ctx = MeasureContext::new(&kb, a, b).with_global_samples(15, 4);
+        let index = ctx.edge_index();
+        let starts = ctx.sample_frame().starts().to_vec();
+        let plain = DistributionCache::new();
+        let tiled = DistributionCache::with_row_ceiling(1); // degenerate: 1-start tiles
+        assert_eq!(tiled.row_ceiling(), Some(1));
+        for e in &out.explanations {
+            assert_eq!(
+                plain.global_position(index, e, &starts),
+                tiled.global_position(index, e, &starts),
+                "{}",
+                e.describe(&kb)
+            );
+        }
+        let (plain_tiles, _) = plain.tiling_stats();
+        let (tiled_tiles, tiled_peak) = tiled.tiling_stats();
+        assert_eq!(plain_tiles, out.explanations.len(), "untiled: one tile per shape");
+        assert!(tiled_tiles > plain_tiles, "ceiling must split the batches");
+        let (_, plain_peak) = plain.tiling_stats();
+        assert!(tiled_peak <= plain_peak, "tiling must not raise the peak");
     }
 
     #[test]

@@ -47,14 +47,21 @@ pub fn local_position(ctx: &MeasureContext<'_>, explanation: &Explanation, limit
 
 /// Computes the sampled global position of `explanation` through the
 /// context's shared cache: **one** batched all-starts relational
-/// evaluation per pattern shape covers the whole sample, replacing the
-/// per-start probe loop of [`global_position_per_start`]. `limit` caps
-/// the returned position (the batched evaluation subsumes the paper's
-/// per-start `LIMIT` pruning — sharing the computation beats aborting
-/// it).
+/// evaluation per pattern shape covers the whole shared sample frame, and
+/// the pair's own start entity is excluded at *read* time (its rows are
+/// skipped in the position sum), so the evaluated domain — and therefore
+/// the cached batch — is identical for every pair sharing the frame.
+/// `limit` caps the returned position (the batched evaluation subsumes
+/// the paper's per-start `LIMIT` pruning — sharing the computation beats
+/// aborting it).
 pub fn global_position(ctx: &MeasureContext<'_>, explanation: &Explanation, limit: usize) -> usize {
-    let starts = ctx.global_sample_starts();
-    let pos = ctx.distributions().global_position(ctx.edge_index(), explanation, &starts);
+    let frame = ctx.sample_frame();
+    let pos = ctx.distributions().global_position_excluding(
+        ctx.edge_index(),
+        explanation,
+        frame.starts(),
+        Some(ctx.vstart),
+    );
     pos.min(limit)
 }
 

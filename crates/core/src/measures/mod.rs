@@ -27,6 +27,7 @@ pub mod cache;
 mod combine;
 mod context;
 pub mod distribution;
+pub mod frame;
 mod structure;
 
 pub use aggregate::{CountMeasure, MonocountMeasure};
@@ -34,6 +35,7 @@ pub use cache::DistributionCache;
 pub use combine::Combined;
 pub use context::MeasureContext;
 pub use distribution::{GlobalDistMeasure, LocalDeviationMeasure, LocalDistMeasure};
+pub use frame::SampleFrame;
 pub use structure::{RandomWalkMeasure, SizeMeasure};
 
 use crate::explanation::Explanation;

@@ -8,10 +8,15 @@
 //!   current top-k explanations.
 //! * [`distribution`] — `LIMIT`-pruned ranking for the (non-anti-monotonic)
 //!   distribution-based measures (§5.3.2).
+//! * [`pairs`] — the multi-pair workload driver: one shared sample frame
+//!   and distribution cache across all pairs, shapes evaluated
+//!   cheapest-first under a memory ceiling.
 
 pub mod distribution;
 mod general;
+pub mod pairs;
 pub mod parallel;
 pub mod topk;
 
 pub use general::{rank, rank_with_scores, Ranked};
+pub use pairs::{rank_pairs, rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};

@@ -1,0 +1,341 @@
+//! Cross-pair ranking over one shared sample frame — the workload-level
+//! driver for Table 1 / Figure 10 style deployments that rank
+//! explanations for **many** target pairs of the same knowledge base.
+//!
+//! The per-pair pipeline (PR 1) already evaluates each pattern shape once
+//! per pair; this driver takes §5.3.2's amortization across pairs:
+//!
+//! 1. **One shared [`SampleFrame`]** (fixed, seeded start sample per KB)
+//!    with per-pair start exclusion applied at *read* time, so every
+//!    pair's batched evaluation covers the identical domain.
+//! 2. **One shared [`DistributionCache`]**: the batched evaluation budget
+//!    for the workload is the number of *distinct canonical shapes across
+//!    all pairs*, not Σ per-pair shapes.
+//! 3. **Cost-ordered prewarm**: distinct shapes are evaluated
+//!    cheapest-first, the cost estimated from the per-label edge-relation
+//!    sizes ([`EdgeIndex::estimate_eval_cost`], the same label-cardinality
+//!    statistics `rex_kb::stats::label_cardinalities` exposes) — the
+//!    Discover-style "small relations first" lesson the enumerator
+//!    already applies to join ordering, lifted to whole shapes. The
+//!    sorted shapes are dealt round-robin across workers so
+//!    contiguous-chunk schedulers don't hand the whole heavy tail to one
+//!    worker.
+//! 4. **Memory-bounded evaluation**: an intermediate-row ceiling tiles
+//!    each batch's start set ([`DistributionCache::with_row_ceiling`]) so
+//!    peak join intermediates stay bounded regardless of frame size.
+//! 5. **Parallel position phase**: pairs fan out over rayon; every
+//!    position query is a cache hit by then.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use rex_kb::{KnowledgeBase, NodeId};
+use rex_relstore::engine::EdgeIndex;
+
+use crate::canonical::CanonicalKey;
+use crate::error::Result;
+use crate::explanation::Explanation;
+use crate::measures::cache::DistributionCache;
+use crate::measures::frame::SampleFrame;
+use crate::ranking::general::{rank_with_scores, Ranked};
+
+/// One target pair's share of a workload: the pair and its enumerated
+/// explanations (enumeration is pair-local and stays with the caller).
+#[derive(Debug, Clone, Copy)]
+pub struct PairExplanations<'a> {
+    /// Start target entity.
+    pub start: NodeId,
+    /// End target entity.
+    pub end: NodeId,
+    /// The pair's enumerated explanations.
+    pub explanations: &'a [Explanation],
+}
+
+/// Configuration of a [`rank_pairs`] run.
+#[derive(Debug, Clone)]
+pub struct RankPairsConfig {
+    /// Ranking depth per pair.
+    pub k: usize,
+    /// Sample-frame size (the paper's ~100).
+    pub global_samples: usize,
+    /// Sample-frame seed.
+    pub seed: u64,
+    /// Worker threads for the prewarm and position phases (0 = rayon's
+    /// default width).
+    pub threads: usize,
+    /// Best-effort ceiling on join-produced intermediate rows per batched
+    /// evaluation; `None` disables tiling.
+    pub row_ceiling: Option<usize>,
+}
+
+impl Default for RankPairsConfig {
+    fn default() -> Self {
+        RankPairsConfig {
+            k: 10,
+            global_samples: 100,
+            seed: 0xDB9,
+            threads: 0,
+            // Generous default: roughly the intermediate size at which
+            // materialized joins start to dominate memory on commodity
+            // hardware; small enough to split genuinely hub-heavy shapes.
+            row_ceiling: Some(1 << 20),
+        }
+    }
+}
+
+/// The result of a [`rank_pairs`] run: per-pair rankings (parallel to the
+/// input slice) plus the workload-level accounting that makes the sharing
+/// observable.
+#[derive(Debug)]
+pub struct RankPairsOutcome {
+    /// Top-k per input pair, in input order.
+    pub rankings: Vec<Vec<Ranked>>,
+    /// Distinct canonical pattern shapes across the whole workload.
+    pub distinct_shapes: usize,
+    /// Batched relational evaluations performed (≤ `distinct_shapes`).
+    pub batched_evals: usize,
+    /// Start tiles evaluated by this run's batches.
+    pub tiles: usize,
+    /// Largest intermediate relation (rows) materialized by any batch
+    /// *backing this workload's shapes* — carried on the batches
+    /// themselves, so it is attributed correctly even when a reused cache
+    /// answers some shapes without re-evaluating them.
+    pub peak_rows: usize,
+}
+
+/// Ranks every pair of a workload by (negated) global distributional
+/// position through one shared frame, index, and cache. Builds all three;
+/// use [`rank_pairs_with`] to share pre-built ones (e.g. to keep index
+/// construction out of a benchmark's timed region).
+pub fn rank_pairs(
+    kb: &KnowledgeBase,
+    pairs: &[PairExplanations<'_>],
+    cfg: &RankPairsConfig,
+) -> Result<RankPairsOutcome> {
+    let frame = Arc::new(SampleFrame::sample(kb, cfg.global_samples, cfg.seed)?);
+    let index = EdgeIndex::build(kb);
+    let cache = match cfg.row_ceiling {
+        Some(ceiling) => DistributionCache::with_row_ceiling(ceiling),
+        None => DistributionCache::new(),
+    };
+    Ok(rank_pairs_with(pairs, cfg, &index, &frame, &cache))
+}
+
+/// [`rank_pairs`] over caller-provided frame, edge index, and cache (the
+/// KB itself is not needed: its statistics reach the driver through the
+/// edge index). Tiling is governed by the **cache's** row ceiling — set
+/// at construction via [`DistributionCache::with_row_ceiling`] — so the
+/// config's `row_ceiling` must agree with it; a mismatch panics rather
+/// than silently running with a ceiling the caller didn't ask for.
+pub fn rank_pairs_with(
+    pairs: &[PairExplanations<'_>],
+    cfg: &RankPairsConfig,
+    index: &EdgeIndex,
+    frame: &Arc<SampleFrame>,
+    cache: &DistributionCache,
+) -> RankPairsOutcome {
+    assert_eq!(
+        cache.row_ceiling(),
+        cfg.row_ceiling,
+        "rank_pairs_with: the cache's row ceiling disagrees with cfg.row_ceiling; \
+         construct the cache with DistributionCache::with_row_ceiling to match"
+    );
+    // Distinct shapes across the whole workload, one representative each.
+    let mut shapes: HashMap<&CanonicalKey, &Explanation> = HashMap::new();
+    for pair in pairs {
+        for e in pair.explanations {
+            shapes.entry(e.key()).or_insert(e);
+        }
+    }
+    let distinct_shapes = shapes.len();
+
+    // Cost-ordered prewarm: cheapest shapes first (deterministic ties),
+    // cost read from the edge index's per-(label, orientation) relation
+    // sizes — one cost model shared with the tiling estimator.
+    let mut ordered: Vec<(u64, &Explanation)> =
+        shapes.into_values().map(|e| (index.estimate_eval_cost(&e.pattern.to_spec()), e)).collect();
+    ordered.sort_by(|(ca, a), (cb, b)| ca.cmp(cb).then_with(|| a.key().cmp(b.key())));
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    let evals_before = cache.batched_evals();
+    let (tiles_before, _) = cache.tiling_stats();
+    pool.install(|| {
+        // Deal the cost-sorted shapes round-robin into one lane per worker
+        // and concatenate: a contiguous-chunk scheduler (the vendored
+        // rayon) then gives every worker a similar cost mix instead of
+        // handing the entire heavy tail to the last chunk; a
+        // work-stealing scheduler is indifferent to the permutation.
+        let workers = rayon::current_num_threads().max(1);
+        let mut dealt: Vec<&Explanation> = Vec::with_capacity(ordered.len());
+        for lane in 0..workers {
+            dealt.extend(ordered.iter().skip(lane).step_by(workers).map(|(_, e)| *e));
+        }
+        let batches: Vec<_> =
+            dealt.par_iter().map(|e| cache.all_starts(index, e, frame.starts())).collect();
+        let peak_rows = batches.iter().map(|b| b.peak_rows()).max().unwrap_or(0);
+
+        // Position phase: all cache hits; pairs fan out, each applying its
+        // own read-time exclusion to the shared batches.
+        let rankings: Vec<Vec<Ranked>> = pairs
+            .par_iter()
+            .map(|pair| {
+                let scores: Vec<f64> = pair
+                    .explanations
+                    .iter()
+                    .map(|e| {
+                        let pos = cache.global_position_excluding(
+                            index,
+                            e,
+                            frame.starts(),
+                            Some(pair.start),
+                        );
+                        -(pos as f64)
+                    })
+                    .collect();
+                rank_with_scores(pair.explanations, &scores, cfg.k)
+            })
+            .collect();
+
+        let (tiles_after, _) = cache.tiling_stats();
+        RankPairsOutcome {
+            rankings,
+            distinct_shapes,
+            batched_evals: cache.batched_evals() - evals_before,
+            tiles: tiles_after - tiles_before,
+            peak_rows,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::measures::MeasureContext;
+    use crate::ranking::distribution::{rank_by_position, Scope};
+    use crate::EnumConfig;
+
+    fn toy_workload() -> (rex_kb::KnowledgeBase, Vec<(NodeId, NodeId, Vec<Explanation>)>) {
+        let kb = rex_kb::toy::entertainment();
+        let enumerator = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3));
+        let pairs = [
+            ("brad_pitt", "angelina_jolie"),
+            ("kate_winslet", "leonardo_dicaprio"),
+            ("george_clooney", "julia_roberts"),
+        ];
+        let prepared = pairs
+            .iter()
+            .map(|(s, e)| {
+                let a = kb.require_node(s).unwrap();
+                let b = kb.require_node(e).unwrap();
+                let out = enumerator.enumerate(&kb, a, b);
+                (a, b, out.explanations)
+            })
+            .collect();
+        (kb, prepared)
+    }
+
+    /// The shared-frame workload ranking equals each pair ranked alone
+    /// with a private cache over the same frame parameters — the
+    /// cross-pair sharing is a pure optimization.
+    #[test]
+    fn shared_frame_matches_private_per_pair_ranking() {
+        let (kb, prepared) = toy_workload();
+        let tasks: Vec<PairExplanations<'_>> = prepared
+            .iter()
+            .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+            .collect();
+        let cfg = RankPairsConfig {
+            k: 5,
+            global_samples: 20,
+            seed: 11,
+            threads: 2,
+            row_ceiling: Some(64),
+        };
+        let outcome = rank_pairs(&kb, &tasks, &cfg).unwrap();
+        assert_eq!(outcome.rankings.len(), tasks.len());
+        for ((s, e, ex), ranking) in prepared.iter().zip(&outcome.rankings) {
+            let ctx = MeasureContext::new(&kb, *s, *e).with_global_samples(20, 11);
+            let private = rank_by_position(ex, &ctx, 5, Scope::Global, false);
+            let shared_scores: Vec<f64> = ranking.iter().map(|r| r.score).collect();
+            let private_scores: Vec<f64> = private.iter().map(|r| r.score).collect();
+            assert_eq!(shared_scores, private_scores, "pair {s:?}→{e:?}");
+            let shared_idx: Vec<usize> = ranking.iter().map(|r| r.index).collect();
+            let private_idx: Vec<usize> = private.iter().map(|r| r.index).collect();
+            assert_eq!(shared_idx, private_idx, "pair {s:?}→{e:?}");
+        }
+    }
+
+    /// The workload-wide evaluation budget is the number of distinct
+    /// shapes across all pairs — strictly fewer than Σ per-pair shapes
+    /// when shapes recur (they do on the toy KB).
+    #[test]
+    fn workload_evaluates_once_per_distinct_shape() {
+        let (kb, prepared) = toy_workload();
+        let tasks: Vec<PairExplanations<'_>> = prepared
+            .iter()
+            .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+            .collect();
+        let per_pair_shapes: usize = prepared.iter().map(|(_, _, ex)| ex.len()).sum();
+        let cfg =
+            RankPairsConfig { k: 5, global_samples: 12, seed: 3, threads: 1, row_ceiling: None };
+        let outcome = rank_pairs(&kb, &tasks, &cfg).unwrap();
+        assert!(outcome.distinct_shapes > 0);
+        assert!(outcome.batched_evals <= outcome.distinct_shapes);
+        assert!(
+            outcome.distinct_shapes < per_pair_shapes,
+            "toy pairs share shapes ({} vs {per_pair_shapes})",
+            outcome.distinct_shapes
+        );
+        // Untiled: exactly one tile per batch.
+        assert_eq!(outcome.tiles, outcome.batched_evals);
+    }
+
+    /// A tight row ceiling tiles the batches without changing rankings.
+    #[test]
+    fn row_ceiling_changes_tiling_not_results() {
+        let (kb, prepared) = toy_workload();
+        let tasks: Vec<PairExplanations<'_>> = prepared
+            .iter()
+            .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+            .collect();
+        let base =
+            RankPairsConfig { k: 4, global_samples: 16, seed: 6, threads: 2, row_ceiling: None };
+        let tight = RankPairsConfig { row_ceiling: Some(1), ..base.clone() };
+        let untiled = rank_pairs(&kb, &tasks, &base).unwrap();
+        let tiled = rank_pairs(&kb, &tasks, &tight).unwrap();
+        for (u, t) in untiled.rankings.iter().zip(&tiled.rankings) {
+            let us: Vec<(usize, f64)> = u.iter().map(|r| (r.index, r.score)).collect();
+            let ts: Vec<(usize, f64)> = t.iter().map(|r| (r.index, r.score)).collect();
+            assert_eq!(us, ts);
+        }
+        assert!(tiled.tiles > untiled.tiles);
+        assert!(tiled.peak_rows <= untiled.peak_rows.max(1));
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let kb = rex_kb::toy::entertainment();
+        let outcome = rank_pairs(&kb, &[], &RankPairsConfig::default()).unwrap();
+        assert!(outcome.rankings.is_empty());
+        assert_eq!(outcome.distinct_shapes, 0);
+        assert_eq!(outcome.batched_evals, 0);
+    }
+
+    /// A cache whose ceiling disagrees with the config is a configuration
+    /// bug; it must fail loudly, not silently run with the wrong bound.
+    #[test]
+    #[should_panic(expected = "row ceiling disagrees")]
+    fn mismatched_row_ceiling_panics() {
+        let kb = rex_kb::toy::entertainment();
+        let cfg = RankPairsConfig { row_ceiling: Some(4096), ..RankPairsConfig::default() };
+        let frame = Arc::new(SampleFrame::sample(&kb, 4, 1).unwrap());
+        let index = EdgeIndex::build(&kb);
+        let unbounded = DistributionCache::new();
+        let _ = rank_pairs_with(&[], &cfg, &index, &frame, &unbounded);
+    }
+}

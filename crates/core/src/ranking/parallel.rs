@@ -63,13 +63,16 @@ impl SharedBound {
 
 /// Computes one explanation's position under the given scope, bounded by
 /// `limit`. Uses the shared cache; a bounded query answered from a cached
-/// or batched distribution is answered exactly (free precision).
+/// or batched distribution is answered exactly (free precision). Global
+/// positions run over the full shared frame with the pair's start
+/// excluded at read time, so the batch domain matches any other pair
+/// sharing the cache.
 fn position(
     cache: &DistributionCache,
     index: &rex_relstore::engine::EdgeIndex,
     e: &Explanation,
     vstart: NodeId,
-    sample_starts: &[NodeId],
+    frame_starts: &[NodeId],
     scope: Scope,
     limit: usize,
 ) -> usize {
@@ -78,7 +81,9 @@ fn position(
             let counts = cache.counts(index, e, vstart.0);
             position_in(&counts, e.count() as u64).min(limit)
         }
-        Scope::Global => cache.global_position(index, e, sample_starts).min(limit),
+        Scope::Global => {
+            cache.global_position_excluding(index, e, frame_starts, Some(vstart)).min(limit)
+        }
     }
 }
 
@@ -101,7 +106,7 @@ pub fn rank_by_position_parallel(
     let cache = ctx.distributions();
     let index = ctx.edge_index();
     let vstart = ctx.vstart;
-    let sample_starts = ctx.global_sample_starts();
+    let frame_starts = ctx.sample_frame().starts().to_vec();
     let bound = SharedBound::new(k);
 
     let pool = rayon::ThreadPoolBuilder::new()
@@ -113,7 +118,7 @@ pub fn rank_by_position_parallel(
             .par_iter()
             .map(|e| {
                 let limit = if prune { bound.limit() } else { usize::MAX };
-                let p = position(cache, index, e, vstart, &sample_starts, scope, limit);
+                let p = position(cache, index, e, vstart, &frame_starts, scope, limit);
                 if prune {
                     bound.record(p);
                 }

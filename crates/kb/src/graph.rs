@@ -191,10 +191,22 @@ impl KnowledgeBase {
     /// Whether there exists at least one edge `(u, v)` with the given label
     /// and orientation as seen from `u`.
     pub fn has_edge(&self, u: NodeId, v: NodeId, label: LabelId, orientation: Orientation) -> bool {
-        // Scan the smaller endpoint's label slice; slices are sorted by
-        // `other` within (label, orientation), so we can binary-search.
-        let slice = self.neighbors_labeled_oriented(u, label, orientation);
-        slice.binary_search_by(|n| n.other.cmp(&v)).is_ok()
+        // Self-loops live in exactly one adjacency slot; probe it directly.
+        if u == v {
+            let slice = self.neighbors_labeled_oriented(u, label, orientation);
+            return slice.binary_search_by(|n| n.other.cmp(&v)).is_ok();
+        }
+        // The same edge appears in `v`'s adjacency with the reversed
+        // orientation, so probe whichever endpoint has the shorter
+        // `(label, orientation)` slice; slices are sorted by `other`
+        // within it, so either probe is a binary search.
+        let from_u = self.neighbors_labeled_oriented(u, label, orientation);
+        let from_v = self.neighbors_labeled_oriented(v, label, orientation.reversed());
+        if from_u.len() <= from_v.len() {
+            from_u.binary_search_by(|n| n.other.cmp(&v)).is_ok()
+        } else {
+            from_v.binary_search_by(|n| n.other.cmp(&u)).is_ok()
+        }
     }
 
     /// Iterates over all node ids.
@@ -381,6 +393,53 @@ mod tests {
         assert!(kb.has_edge(a, m, starring, Orientation::Out));
         assert!(!kb.has_edge(a, m, starring, Orientation::In));
         assert!(kb.has_edge(m, a, starring, Orientation::In));
+    }
+
+    /// `has_edge` must agree with a linear adjacency scan no matter which
+    /// endpoint's slice is shorter — including when the flipped probe runs
+    /// against a hub endpoint, and for directed self-loops (which occupy a
+    /// single adjacency slot).
+    #[test]
+    fn has_edge_scans_smaller_endpoint() {
+        let mut b = KbBuilder::new();
+        let hub = b.add_node("hub", "T");
+        let lone = b.add_node("lone", "T");
+        let absent = b.add_node("absent", "T");
+        // Hub has a long `r` slice; `lone` a single entry.
+        for i in 0..50 {
+            let x = b.add_node(&format!("x{i}"), "T");
+            b.add_directed_edge(hub, x, "r");
+        }
+        b.add_directed_edge(hub, lone, "r");
+        b.add_undirected_edge(hub, lone, "s");
+        b.add_directed_edge(lone, lone, "r");
+        let kb = b.build();
+        let r = kb.label_by_name("r").unwrap();
+        let s = kb.label_by_name("s").unwrap();
+        // Probing from the hub side must flip to lone's one-entry slice
+        // and still find (or reject) correctly.
+        assert!(kb.has_edge(hub, lone, r, Orientation::Out));
+        assert!(kb.has_edge(lone, hub, r, Orientation::In));
+        assert!(!kb.has_edge(hub, lone, r, Orientation::In));
+        assert!(!kb.has_edge(hub, absent, r, Orientation::Out));
+        assert!(!kb.has_edge(absent, hub, r, Orientation::In));
+        assert!(kb.has_edge(hub, lone, s, Orientation::Undirected));
+        assert!(kb.has_edge(lone, hub, s, Orientation::Undirected));
+        // Directed self-loop: stored once, visible as Out only.
+        assert!(kb.has_edge(lone, lone, r, Orientation::Out));
+        assert!(!kb.has_edge(lone, lone, r, Orientation::In));
+        // Exhaustive agreement with a linear scan over all node pairs.
+        for u in kb.node_ids() {
+            for v in kb.node_ids() {
+                for o in [Orientation::Out, Orientation::In, Orientation::Undirected] {
+                    let expect = kb
+                        .neighbors(u)
+                        .iter()
+                        .any(|n| n.label == r && n.orientation == o && n.other == v);
+                    assert_eq!(kb.has_edge(u, v, r, o), expect, "{u} {v} {o:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,18 @@ pub fn label_histogram(kb: &KnowledgeBase) -> HashMap<LabelId, usize> {
     hist
 }
 
+/// Edge counts per relationship label as a dense vector indexed by
+/// `LabelId` — the O(1)-lookup form of [`label_histogram`] that
+/// cost-based shape ordering consults (every pattern edge's scan size is
+/// proportional to its label's cardinality).
+pub fn label_cardinalities(kb: &KnowledgeBase) -> Vec<usize> {
+    let mut out = vec![0usize; kb.label_count()];
+    for eid in kb.edge_ids() {
+        out[kb.edge(eid).label.index()] += 1;
+    }
+    out
+}
+
 /// Histogram of node counts per entity type.
 pub fn type_histogram(kb: &KnowledgeBase) -> HashMap<TypeId, usize> {
     let mut hist = HashMap::new();
@@ -97,6 +109,12 @@ mod tests {
         assert_eq!(labels.len(), kb.label_count());
         let total: usize = labels.values().sum();
         assert_eq!(total, kb.edge_count());
+        let cards = label_cardinalities(&kb);
+        assert_eq!(cards.len(), kb.label_count());
+        assert_eq!(cards.iter().sum::<usize>(), kb.edge_count());
+        for (label, count) in &labels {
+            assert_eq!(cards[label.index()], *count);
+        }
         let types = type_histogram(&kb);
         let total: usize = types.values().sum();
         assert_eq!(total, kb.node_count());

@@ -24,6 +24,7 @@ pub struct EdgeIndex {
     groups: HashMap<(u64, u64), Relation>,
     schema: Schema,
     total_rows: usize,
+    node_count: usize,
 }
 
 impl EdgeIndex {
@@ -44,7 +45,7 @@ impl EdgeIndex {
                 (k, Relation::from_rows(schema.clone(), rows).expect("partition arity"))
             })
             .collect();
-        EdgeIndex { groups, schema, total_rows }
+        EdgeIndex { groups, schema, total_rows, node_count: kb.node_count() }
     }
 
     /// The rows matching a `(label, dir)` pair; empty relation when absent.
@@ -55,6 +56,12 @@ impl EdgeIndex {
             .unwrap_or_else(|| Relation::empty(self.schema.clone()))
     }
 
+    /// Rows in the `(label, dir)` partition without materializing it —
+    /// the label-cardinality statistic cost-based ordering reads.
+    pub fn scan_len(&self, label: u64, dir: u64) -> usize {
+        self.groups.get(&(label, dir)).map_or(0, Relation::len)
+    }
+
     /// The schema shared by all partitions.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -63,6 +70,67 @@ impl EdgeIndex {
     /// Total indexed rows (equals the oriented relation's row count).
     pub fn total_rows(&self) -> usize {
         self.total_rows
+    }
+
+    /// Entities in the indexed knowledge base (join-selectivity domain).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// System-R style independence estimate of the **unbound** instance
+    /// relation's row count for `spec`: the product of the per-edge scan
+    /// sizes, discounted by the entity-domain size once per join (each
+    /// join after the first equates at least one shared variable).
+    /// A crude but monotone-in-the-right-places estimate — it is used to
+    /// order shapes by cost and to derive tile sizes, never for
+    /// correctness.
+    pub fn estimate_instance_rows(&self, spec: &PatternSpec) -> f64 {
+        let n = (self.node_count.max(1)) as f64;
+        let mut est = 1.0f64;
+        for e in &spec.edges {
+            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            est *= self.scan_len(e.label, dir) as f64;
+        }
+        est / n.powi(spec.edges.len().saturating_sub(1) as i32)
+    }
+
+    /// Estimated evaluation cost of one batched evaluation of `spec`:
+    /// scan rows touched plus estimated join output. Used to order a
+    /// workload's shapes cheapest-first.
+    pub fn estimate_eval_cost(&self, spec: &PatternSpec) -> u64 {
+        let scans: f64 = spec
+            .edges
+            .iter()
+            .map(|e| {
+                let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+                self.scan_len(e.label, dir) as f64
+            })
+            .sum();
+        (scans + self.estimate_instance_rows(spec)).min(u64::MAX as f64) as u64
+    }
+
+    /// The fixed tile size that keeps the *join-produced* intermediate
+    /// rows of an [`StartBinding::Among`] evaluation under `max_rows`,
+    /// assuming rows scale linearly with the number of starts in the tile
+    /// (they do: each instance row carries exactly one start value).
+    /// Clamped to `[1, starts.max(1)]`; the materialized per-edge scans
+    /// are a fixed floor no tile size can lower, so the ceiling is
+    /// best-effort — [`crate::metrics::peak_rows`] reports what actually
+    /// happened.
+    pub fn tile_size_for_ceiling(
+        &self,
+        spec: &PatternSpec,
+        starts: usize,
+        max_rows: usize,
+    ) -> usize {
+        let starts = starts.max(1);
+        let n = (self.node_count.max(1)) as f64;
+        let per_start = self.estimate_instance_rows(spec) / n;
+        if per_start <= f64::EPSILON {
+            return starts;
+        }
+        let tile = (max_rows as f64 / per_start).floor() as usize;
+        tile.clamp(1, starts)
     }
 }
 
@@ -178,6 +246,71 @@ pub fn global_count_distributions(
         counts.sort_unstable_by(|a, b| b.cmp(a));
     }
     Ok(per_start)
+}
+
+/// The result of a tiled batched evaluation: the per-start descending
+/// count multisets plus the tiling it actually performed.
+#[derive(Debug, Clone)]
+pub struct TiledDistributions {
+    /// For every start with at least one instance, the descending multiset
+    /// of per-end instance counts (identical to
+    /// [`global_count_distributions`] over the same starts).
+    pub per_start: HashMap<u64, Vec<u64>>,
+    /// Number of start tiles evaluated (1 when `tile_size ≥ |starts|`).
+    pub tiles: usize,
+    /// Largest intermediate relation (rows) any tile materialized.
+    pub peak_rows: usize,
+}
+
+/// Memory-bounded variant of [`global_count_distributions`]: the start set
+/// is split into fixed-size tiles of at most `tile_size` starts and the
+/// pattern is evaluated once per tile, so join-produced intermediates stay
+/// proportional to the tile instead of the whole sample. Because the
+/// start values partition across tiles and grouping is keyed by start, the
+/// union of per-tile results is exactly the untiled result — tiling trades
+/// repeated non-start scans for a bounded peak, it never changes the
+/// answer.
+///
+/// Accounting: the whole call records **one** full evaluation (it is one
+/// logical batch) and one [`crate::metrics::record_tile`] per tile.
+pub fn global_count_distributions_tiled(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tile_size: usize,
+) -> Result<TiledDistributions> {
+    spec.validate()?;
+    let mut values: Vec<u64> = starts.to_vec();
+    values.sort_unstable();
+    values.dedup();
+    // An empty start set is a no-op, not an evaluation: recording a full
+    // eval here would break the "every batch is ≥ 1 tile" invariant.
+    if values.is_empty() {
+        return Ok(TiledDistributions { per_start: HashMap::new(), tiles: 0, peak_rows: 0 });
+    }
+    crate::metrics::record_full_eval();
+    let tile_size = tile_size.max(1);
+    let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut tiles = 0usize;
+    let mut peak_rows = 0usize;
+    for chunk in values.chunks(tile_size) {
+        let binding = StartBinding::Among(chunk.to_vec());
+        let (instances, peak) = spec.evaluate_indexed_tile(index, &binding)?;
+        crate::metrics::record_tile();
+        tiles += 1;
+        peak_rows = peak_rows.max(peak);
+        let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::with_capacity(instances.len());
+        for row in instances.rows() {
+            *pair_counts.entry((row[spec.start], row[spec.end])).or_insert(0) += 1;
+        }
+        for ((start, _end), count) in pair_counts {
+            per_start.entry(start).or_default().push(count);
+        }
+    }
+    for counts in per_start.values_mut() {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    Ok(TiledDistributions { per_start, tiles, peak_rows })
 }
 
 /// [`local_position`] over a prebuilt [`EdgeIndex`]. Bounded queries
@@ -326,6 +459,87 @@ mod tests {
         for s in &sample {
             assert_eq!(restricted.get(s), full.get(s), "start {s}");
         }
+    }
+
+    /// Tiled evaluation equals the untiled batch for every tile size, and
+    /// the accounting is one full eval per batch plus one tile per chunk.
+    #[test]
+    fn tiled_batch_matches_untiled_for_all_tile_sizes() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let starts: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let untiled = global_count_distributions(&index, &spec, Some(&starts)).unwrap();
+        for tile_size in [1usize, 2, 3, 7, starts.len(), starts.len() + 5] {
+            let tiled =
+                global_count_distributions_tiled(&index, &spec, &starts, tile_size).unwrap();
+            assert_eq!(tiled.per_start, untiled, "tile_size {tile_size}");
+            assert_eq!(tiled.tiles, starts.len().div_ceil(tile_size.min(starts.len())));
+            assert!(tiled.peak_rows > 0);
+        }
+    }
+
+    /// An empty start set is a no-op: no evaluation, no tiles, empty map.
+    #[test]
+    fn tiled_batch_with_no_starts_is_a_noop() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: starring, directed: true }],
+        };
+        let out = global_count_distributions_tiled(&index, &spec, &[], 8).unwrap();
+        assert!(out.per_start.is_empty());
+        assert_eq!(out.tiles, 0);
+        assert_eq!(out.peak_rows, 0);
+        // Invalid specs still error, even with no starts.
+        let bad = PatternSpec { var_count: 2, start: 0, end: 0, edges: vec![] };
+        assert!(global_count_distributions_tiled(&index, &bad, &[], 8).is_err());
+    }
+
+    /// Smaller tiles can only lower (never raise) the peak intermediate
+    /// row count, and the ceiling-derived tile size is within bounds.
+    #[test]
+    fn tiling_bounds_peak_rows() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let starts: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let one_tile =
+            global_count_distributions_tiled(&index, &spec, &starts, starts.len()).unwrap();
+        let many_tiles = global_count_distributions_tiled(&index, &spec, &starts, 2).unwrap();
+        assert!(many_tiles.peak_rows <= one_tile.peak_rows);
+        for ceiling in [1usize, 10, 1_000_000] {
+            let tile = index.tile_size_for_ceiling(&spec, starts.len(), ceiling);
+            assert!((1..=starts.len()).contains(&tile), "ceiling {ceiling} gave tile {tile}");
+        }
+        assert!(index.estimate_eval_cost(&spec) > 0);
+        assert!(index.estimate_instance_rows(&spec) > 0.0);
+        assert_eq!(
+            index.scan_len(starring, dir_code::FORWARD),
+            index.scan(starring, dir_code::FORWARD).len()
+        );
     }
 
     #[test]

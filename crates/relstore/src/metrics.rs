@@ -3,20 +3,27 @@
 //! The batched all-starts pipeline exists to change *how many* relational
 //! evaluations a ranking run performs (§5.3.2's amortization), so the
 //! engine counts them: every full pattern evaluation (materialized join
-//! tree) and every streaming `LIMIT`-pruned position query bumps a global
-//! counter. The counters are cheap relaxed atomics, always on.
+//! tree), every streaming `LIMIT`-pruned position query, and every tile of
+//! a memory-bounded tiled batch bumps a global counter. A tiled batched
+//! evaluation counts as **one** full evaluation regardless of how many
+//! tiles it was split into — the tile counter records the splitting
+//! separately. The peak-rows gauge tracks the largest intermediate
+//! relation any evaluation materialized, which is what the tiling ceiling
+//! bounds. The counters are cheap relaxed atomics, always on.
 //!
 //! Because they are process-global, *differences* between two
 //! [`snapshot`]s taken around a region of interest are only meaningful
 //! when no other thread evaluates patterns concurrently — which holds for
 //! the bench binaries that report them. Tests that need isolation use the
-//! per-instance hit/miss counters of `rex_core`'s `DistributionCache`
-//! instead.
+//! per-instance hit/miss/tile counters of `rex_core`'s
+//! `DistributionCache` instead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static FULL_EVALS: AtomicUsize = AtomicUsize::new(0);
 static STREAMING_EVALS: AtomicUsize = AtomicUsize::new(0);
+static TILES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_ROWS: AtomicUsize = AtomicUsize::new(0);
 
 /// A point-in-time reading of the evaluation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,15 +32,22 @@ pub struct EvalCounts {
     pub full: usize,
     /// Streaming `LIMIT`-pruned position evaluations since process start.
     pub streaming: usize,
+    /// Evaluation tiles since process start (an untiled batch is one
+    /// tile; a tiled batch contributes one per chunk).
+    pub tiles: usize,
 }
 
 impl EvalCounts {
     /// Counter increments between `earlier` and `self`.
     pub fn since(&self, earlier: &EvalCounts) -> EvalCounts {
-        EvalCounts { full: self.full - earlier.full, streaming: self.streaming - earlier.streaming }
+        EvalCounts {
+            full: self.full - earlier.full,
+            streaming: self.streaming - earlier.streaming,
+            tiles: self.tiles - earlier.tiles,
+        }
     }
 
-    /// Total evaluations of either kind.
+    /// Total evaluations of either kind (tiles are not evaluations).
     pub fn total(&self) -> usize {
         self.full + self.streaming
     }
@@ -51,11 +65,37 @@ pub fn record_streaming_eval() {
     STREAMING_EVALS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one evaluation tile of a (possibly tiled) batched evaluation.
+#[inline]
+pub fn record_tile() {
+    TILES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Raises the peak-intermediate-rows gauge to at least `rows`.
+#[inline]
+pub fn record_peak_rows(rows: usize) {
+    PEAK_ROWS.fetch_max(rows, Ordering::Relaxed);
+}
+
+/// The largest intermediate relation (rows) materialized by any pattern
+/// evaluation since process start (or the last [`reset_peak_rows`]).
+pub fn peak_rows() -> usize {
+    PEAK_ROWS.load(Ordering::Relaxed)
+}
+
+/// Resets the peak-rows gauge (a max has no meaningful delta, so regions
+/// of interest reset it instead). Only meaningful when no other thread
+/// evaluates patterns concurrently.
+pub fn reset_peak_rows() {
+    PEAK_ROWS.store(0, Ordering::Relaxed);
+}
+
 /// Reads the current counters.
 pub fn snapshot() -> EvalCounts {
     EvalCounts {
         full: FULL_EVALS.load(Ordering::Relaxed),
         streaming: STREAMING_EVALS.load(Ordering::Relaxed),
+        tiles: TILES.load(Ordering::Relaxed),
     }
 }
 
@@ -68,12 +108,21 @@ mod tests {
         let before = snapshot();
         record_full_eval();
         record_streaming_eval();
+        record_tile();
         let after = snapshot();
         let delta = after.since(&before);
         // Other tests may run concurrently in this process, so the delta
         // is at least ours.
         assert!(delta.full >= 1);
         assert!(delta.streaming >= 1);
+        assert!(delta.tiles >= 1);
         assert!(delta.total() >= 2);
+    }
+
+    #[test]
+    fn peak_rows_is_a_max_gauge() {
+        record_peak_rows(10);
+        record_peak_rows(3);
+        assert!(peak_rows() >= 10);
     }
 }

@@ -236,6 +236,23 @@ impl PatternSpec {
         })
     }
 
+    /// One tile of a memory-bounded batched evaluation: identical join
+    /// pipeline to [`PatternSpec::evaluate_indexed_with`], but does **not**
+    /// count as a full evaluation (the caller accounts once per batch, not
+    /// once per tile) and returns the peak intermediate-relation row count
+    /// alongside the instance relation, so tiled drivers can report the
+    /// memory bound they actually achieved.
+    pub fn evaluate_indexed_tile(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+    ) -> Result<(Relation, usize)> {
+        self.evaluate_scanned_tracked(index.schema(), binding, false, |e| {
+            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            index.scan(e.label, dir)
+        })
+    }
+
     /// Like [`PatternSpec::evaluate`], but scans hit the `(label, dir)`
     /// partitions of a prebuilt [`crate::engine::EdgeIndex`] instead of
     /// filtering the full relation — the workhorse for repeated
@@ -430,9 +447,28 @@ impl PatternSpec {
         binding: &StartBinding,
         scan_for: F,
     ) -> Result<Relation> {
+        self.evaluate_scanned_tracked(schema, binding, true, scan_for).map(|(rel, _)| rel)
+    }
+
+    /// [`PatternSpec::evaluate_scanned`] with explicit eval accounting
+    /// (`record_full_eval = false` for per-tile calls, which are accounted
+    /// once per batch) and the peak intermediate-relation row count in the
+    /// return value. The peak covers the materialized per-edge scans and
+    /// every join output; it is also published to the process-wide
+    /// [`crate::metrics::peak_rows`] gauge.
+    fn evaluate_scanned_tracked<F: Fn(&SpecEdge) -> Relation>(
+        &self,
+        schema: &Schema,
+        binding: &StartBinding,
+        record_full_eval: bool,
+        scan_for: F,
+    ) -> Result<(Relation, usize)> {
         self.validate()?;
-        crate::metrics::record_full_eval();
+        if record_full_eval {
+            crate::metrics::record_full_eval();
+        }
         let scans = self.filtered_scans(schema, binding, scan_for)?;
+        let mut peak = scans.iter().map(Relation::len).max().unwrap_or(0);
         let order = self.join_order_by_cost(&scans);
 
         let mut current: Option<Relation> = None;
@@ -473,6 +509,7 @@ impl PatternSpec {
                     }
                     debug_assert!(!cur_keys.is_empty(), "join order keeps patterns connected");
                     let joined = hash_join(&cur, &scan, &cur_keys, &scan_keys);
+                    peak = peak.max(joined.len());
                     // Record columns for newly bound variables; scan columns
                     // sit after cur's columns.
                     let base = cur.schema().arity();
@@ -513,7 +550,10 @@ impl PatternSpec {
             .collect();
         let renamed =
             Relation::from_rows(Schema::new((0..self.var_count).map(|v| format!("v{v}"))), rows)?;
-        Ok(distinct(&renamed))
+        let out = distinct(&renamed);
+        peak = peak.max(out.len());
+        crate::metrics::record_peak_rows(peak);
+        Ok((out, peak))
     }
 }
 

@@ -1,0 +1,213 @@
+//! Parity and accounting tests for the shared sample frame and the
+//! cost-ordered, memory-bounded workload driver (`rank_pairs`):
+//!
+//! * shared-frame global positions must be **identical** to per-pair
+//!   private-cache positions, including the read-time exclusion semantics
+//!   (a pair whose own start was drawn into the frame skips exactly those
+//!   rows);
+//! * the workload-wide batched-evaluation budget is the number of
+//!   distinct canonical shapes across all pairs — strictly fewer than the
+//!   per-pair-cache baseline's Σ per-pair shapes whenever shapes recur;
+//! * tiled `Among` evaluation matches untiled for random tile sizes
+//!   (property test) and bounds peak intermediate rows.
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::distribution::{global_position, global_position_per_start};
+use rex_core::measures::{DistributionCache, MeasureContext, SampleFrame};
+use rex_core::ranking::distribution::{rank_by_position, Scope};
+use rex_core::ranking::{rank_pairs, rank_pairs_with, PairExplanations, RankPairsConfig};
+use rex_core::{EnumConfig, Explanation};
+use rex_datagen::{generate, sample_pairs, GeneratorConfig};
+use rex_kb::{KnowledgeBase, NodeId};
+use rex_relstore::engine::{
+    global_count_distributions, global_count_distributions_tiled, local_count_distribution_indexed,
+    EdgeIndex,
+};
+
+/// One pair's enumerated explanations in the shared workload.
+type PreparedPair = (NodeId, NodeId, Vec<Explanation>);
+
+/// A seeded synthetic workload shared by the tests in this file.
+fn workload() -> &'static (KnowledgeBase, Vec<PreparedPair>) {
+    static WORKLOAD: OnceLock<(KnowledgeBase, Vec<PreparedPair>)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let kb = generate(&GeneratorConfig::tiny(2027));
+        let pairs = sample_pairs(&kb, 2, 4, 2027);
+        assert!(!pairs.is_empty(), "sampler found no pairs");
+        let enumerator = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(4));
+        let prepared = pairs
+            .iter()
+            .take(4)
+            .map(|p| {
+                let out = enumerator.enumerate(&kb, p.start, p.end);
+                (p.start, p.end, out.explanations)
+            })
+            .filter(|(_, _, ex)| !ex.is_empty())
+            .collect::<Vec<_>>();
+        assert!(prepared.len() >= 2, "need at least two pairs");
+        (kb, prepared)
+    })
+}
+
+/// Shared-frame workload positions equal each pair's private-cache
+/// positions — scores, indices, and the raw global positions — for both
+/// the `rank_pairs` driver and the single-pair batched/per-start paths.
+#[test]
+fn shared_frame_positions_match_private_cache() {
+    let (kb, prepared) = workload();
+    let tasks: Vec<PairExplanations<'_>> = prepared
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+    let cfg = RankPairsConfig {
+        k: usize::MAX, // full ranking: every position compared
+        global_samples: 18,
+        seed: 5,
+        threads: 2,
+        row_ceiling: Some(256),
+    };
+    let outcome = rank_pairs(kb, &tasks, &cfg).unwrap();
+    for ((s, e, ex), shared) in prepared.iter().zip(&outcome.rankings) {
+        // Private context: own cache, lazily derived frame with the same
+        // (size, seed) — deterministic, so the identical frame.
+        let ctx = MeasureContext::new(kb, *s, *e).with_global_samples(18, 5);
+        let private = rank_by_position(ex, &ctx, usize::MAX, Scope::Global, false);
+        let sh: Vec<(usize, f64)> = shared.iter().map(|r| (r.index, r.score)).collect();
+        let pr: Vec<(usize, f64)> = private.iter().map(|r| (r.index, r.score)).collect();
+        assert_eq!(sh, pr, "pair {s} → {e}");
+        // And both equal the per-start reference engine.
+        for expl in ex {
+            assert_eq!(
+                global_position(&ctx, expl, usize::MAX),
+                global_position_per_start(&ctx, expl, usize::MAX),
+                "pair {s} → {e}: {}",
+                expl.describe(kb)
+            );
+        }
+    }
+}
+
+/// Read-time exclusion semantics: a pair whose start entity occurs in the
+/// frame gets positions equal to the sum over the frame *minus its own
+/// start's occurrences*, computed from per-start grouped queries.
+#[test]
+fn read_time_exclusion_drops_own_start_rows() {
+    let kb = rex_kb::toy::entertainment();
+    let a = kb.require_node("brad_pitt").unwrap();
+    let b = kb.require_node("angelina_jolie").unwrap();
+    // 60 draws over the toy KB: find a seed whose frame contains `a`
+    // (deterministic search, so the test cannot rot with RNG changes).
+    let seed = (0..64)
+        .find(|&s| SampleFrame::sample(&kb, 60, s).unwrap().contains(a))
+        .expect("some frame draws the start");
+    let frame = Arc::new(SampleFrame::sample(&kb, 60, seed).unwrap());
+    let occurrences = frame.starts().iter().filter(|&&s| s == a).count();
+    assert!(occurrences >= 1);
+
+    let out = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+    let ctx = MeasureContext::new(&kb, a, b).with_sample_frame(Arc::clone(&frame));
+    let index = EdgeIndex::build(&kb);
+    for e in &out.explanations {
+        let spec = e.pattern.to_spec();
+        let a_val = e.count() as u64;
+        // Reference: per-start grouped queries over the excluded view,
+        // respecting multiplicity.
+        let expected: usize = frame
+            .starts_excluding(a)
+            .iter()
+            .map(|s| {
+                let dist = local_count_distribution_indexed(&index, &spec, s.0 as u64).unwrap();
+                dist.values().filter(|&&c| c > a_val).count()
+            })
+            .sum();
+        assert_eq!(
+            global_position(&ctx, e, usize::MAX),
+            expected,
+            "exclusion mismatch for {}",
+            e.describe(&kb)
+        );
+    }
+}
+
+/// The workload evaluation budget: distinct shapes across all pairs, and
+/// strictly fewer evaluations than per-pair private caches perform.
+#[test]
+fn workload_budget_beats_per_pair_caches() {
+    let (kb, prepared) = workload();
+    // The workload ranks the first pair twice — the cross-pair reuse
+    // scenario (many requests over the same KB hit recurring pairs and
+    // shapes); recurring shapes are what the shared cache amortizes and
+    // what per-pair private caches re-evaluate.
+    let mut tasks: Vec<PairExplanations<'_>> = prepared
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+    tasks.push(tasks[0]);
+    let distinct: HashSet<_> =
+        tasks.iter().flat_map(|t| t.explanations.iter().map(|e| e.key().clone())).collect();
+    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 9, threads: 2, row_ceiling: None };
+    let outcome = rank_pairs(kb, &tasks, &cfg).unwrap();
+    assert_eq!(outcome.distinct_shapes, distinct.len());
+    assert!(outcome.batched_evals <= distinct.len());
+
+    // Per-pair private caches evaluate once per (pair, shape).
+    let per_pair_budget: usize = tasks
+        .iter()
+        .map(|t| {
+            let ctx = MeasureContext::new(kb, t.start, t.end).with_global_samples(12, 9);
+            let _ = rank_by_position(t.explanations, &ctx, 5, Scope::Global, false);
+            ctx.distributions().batched_evals()
+        })
+        .sum();
+    assert!(
+        outcome.batched_evals < per_pair_budget,
+        "shared {} vs per-pair {per_pair_budget}: recurring shapes must be amortized",
+        outcome.batched_evals
+    );
+
+    // Re-ranking through the same shared session is eval-free.
+    let frame = Arc::new(SampleFrame::sample(kb, 12, 9).unwrap());
+    let index = EdgeIndex::build(kb);
+    let cache = DistributionCache::new();
+    let first = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+    let second = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+    assert_eq!(second.batched_evals, 0, "second workload pass must be all cache hits");
+    for (r1, r2) in first.rankings.iter().zip(&second.rankings) {
+        let v1: Vec<(usize, f64)> = r1.iter().map(|r| (r.index, r.score)).collect();
+        let v2: Vec<(usize, f64)> = r2.iter().map(|r| (r.index, r.score)).collect();
+        assert_eq!(v1, v2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Tiled `Among` evaluation equals untiled for random tile sizes and
+    /// random shapes/starts of the synthetic workload, with the tile
+    /// count it promises and a peak no larger than the untiled peak.
+    #[test]
+    fn tiled_among_matches_untiled(
+        pair_idx in 0usize..4,
+        shape_idx in 0usize..16,
+        tile_size in 1usize..40,
+        stride in 1usize..13,
+    ) {
+        let (kb, prepared) = workload();
+        let (_, _, explanations) = &prepared[pair_idx % prepared.len()];
+        let e = &explanations[shape_idx % explanations.len()];
+        let spec = e.pattern.to_spec();
+        static INDEX: OnceLock<EdgeIndex> = OnceLock::new();
+        let index = INDEX.get_or_init(|| EdgeIndex::build(kb));
+        let starts: Vec<u64> = (0..kb.node_count() as u64).step_by(stride).collect();
+        let untiled = global_count_distributions(index, &spec, Some(&starts)).unwrap();
+        let tiled = global_count_distributions_tiled(index, &spec, &starts, tile_size).unwrap();
+        prop_assert_eq!(&tiled.per_start, &untiled);
+        prop_assert_eq!(tiled.tiles, starts.len().div_ceil(tile_size.min(starts.len())));
+        let single = global_count_distributions_tiled(index, &spec, &starts, starts.len()).unwrap();
+        prop_assert!(tiled.peak_rows <= single.peak_rows);
+    }
+}
