@@ -83,8 +83,25 @@ fn validate(text: &str) -> Result<(), String> {
             "row_ceiling",
         ],
     )?;
+    let incremental = side(
+        "incremental",
+        &[
+            "delta_edges",
+            "kb_edges",
+            "full_rerank_wall_ms",
+            "full_rerank_full_evals",
+            "delta_rerank_wall_ms",
+            "delta_rerank_full_evals",
+            "delta_partial_evals",
+            "shapes_patched",
+            "shapes_rebatched",
+            "shapes_untouched",
+            "frame_redrawn",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
+    number_after(text, "incremental_speedup", 0)?;
 
     // Structural invariants of the shared-frame engine.
     let (shared_evals, shared_shapes, shared_tiles) = (shared[1], shared[3], shared[4]);
@@ -111,6 +128,29 @@ fn validate(text: &str) -> Result<(), String> {
     }
     if per_start[1] + per_start[2] < batched[1] + batched[2] {
         return Err("per-start baseline reports less work than the batched engine".into());
+    }
+
+    // Structural invariants of the incremental engine.
+    let (delta_edges, kb_edges) = (incremental[0], incremental[1]);
+    let (full_evals, delta_full_evals) = (incremental[3], incremental[5]);
+    let (patched, partial_evals) = (incremental[7], incremental[6]);
+    if delta_edges < 1.0 {
+        return Err("incremental.delta_edges must be ≥ 1".into());
+    }
+    if delta_edges > kb_edges {
+        return Err(format!("incremental.delta_edges {delta_edges} exceeds kb_edges {kb_edges}"));
+    }
+    if delta_full_evals >= full_evals {
+        return Err(format!(
+            "incremental: delta re-rank issued {delta_full_evals} full evaluations, \
+             not strictly fewer than the cold re-rank's {full_evals}"
+        ));
+    }
+    if (patched > 0.0) != (partial_evals > 0.0) {
+        return Err(format!(
+            "incremental: shapes_patched {patched} and delta_partial_evals \
+             {partial_evals} must be zero or non-zero together"
+        ));
     }
     Ok(())
 }
@@ -151,8 +191,10 @@ mod tests {
   "per_start": {"wall_ms": 100.0, "full_evals": 320, "streaming_evals": 10},
   "batched": {"wall_ms": 10.0, "full_evals": 40, "streaming_evals": 0},
   "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 123, "row_ceiling": 1048576},
+  "incremental": {"delta_edges": 4, "kb_edges": 600, "full_rerank_wall_ms": 9.0, "full_rerank_full_evals": 30, "delta_rerank_wall_ms": 3.0, "delta_rerank_full_evals": 5, "delta_partial_evals": 7, "shapes_patched": 7, "shapes_rebatched": 2, "shapes_untouched": 21, "frame_redrawn": 0},
   "speedup": 10.0,
-  "shared_frame_speedup": 1.25
+  "shared_frame_speedup": 1.25,
+  "incremental_speedup": 3.0
 }"#;
 
     #[test]
@@ -173,6 +215,22 @@ mod tests {
             "\"full_evals\": 30, \"streaming_evals\": 0, \"distinct_shapes\": 30",
             "\"full_evals\": 31, \"streaming_evals\": 0, \"distinct_shapes\": 30",
         );
+        assert!(validate(&broken).is_err());
+    }
+
+    #[test]
+    fn incremental_budget_violation_rejected() {
+        // A delta re-rank as expensive as the cold one must fail.
+        let broken =
+            GOOD.replace("\"delta_rerank_full_evals\": 5", "\"delta_rerank_full_evals\": 30");
+        assert_ne!(broken, GOOD);
+        let err = validate(&broken).unwrap_err();
+        assert!(err.contains("strictly fewer"), "{err}");
+        // Patched shapes without partial evals (or vice versa) is rot.
+        let broken = GOOD.replace("\"delta_partial_evals\": 7", "\"delta_partial_evals\": 0");
+        assert!(validate(&broken).unwrap_err().contains("together"));
+        // A missing incremental section must fail.
+        let broken = GOOD.replace("incremental", "incremendull");
         assert!(validate(&broken).is_err());
     }
 

@@ -7,6 +7,8 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rex_core::enumerate::naive::NaiveEnumerator;
 use rex_core::enumerate::{GeneralEnumerator, PathAlgo, UnionAlgo};
 use rex_core::measures::distribution::global_position_per_start;
@@ -14,8 +16,9 @@ use rex_core::measures::{DistributionCache, MeasureContext, MonocountMeasure, Sa
 use rex_core::ranking::distribution::{rank_by_position, Scope};
 use rex_core::ranking::rank;
 use rex_core::ranking::topk::rank_topk_pruned;
-use rex_core::ranking::{rank_pairs_with, PairExplanations, RankPairsConfig};
+use rex_core::ranking::{rank_pairs_updated, rank_pairs_with, PairExplanations, RankPairsConfig};
 use rex_datagen::ConnGroup;
+use rex_kb::{EdgeId, NodeId};
 use rex_oracle::study::{paper_pairs, run_study};
 use rex_oracle::{StudyConfig, StudyOutcome};
 use rex_relstore::metrics;
@@ -257,6 +260,51 @@ pub struct SharedFrameSide {
     pub row_ceiling: usize,
 }
 
+/// The incremental-maintenance comparison: after a small KB delta, a
+/// full (cold-cache) re-rank of the workload versus the delta re-rank
+/// that keeps the session's index/frame/cache warm through
+/// [`rank_pairs_updated`].
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalBench {
+    /// Edge churn applied (insertions + removals; ≤ 1% of the KB).
+    pub delta_edges: usize,
+    /// KB edge count after the delta.
+    pub kb_edges: usize,
+    /// Wall time of the cold-cache re-rank on the updated KB.
+    pub full_wall: Duration,
+    /// Full (batched) evaluations of the cold re-rank — one per distinct
+    /// shape of the post-update workload.
+    pub full_evals: usize,
+    /// Wall time of the delta re-rank: index refresh + frame policy +
+    /// cache maintenance + ranking, all included.
+    pub delta_wall: Duration,
+    /// Full (whole-domain) evaluations the delta re-rank issued:
+    /// rebatched shapes plus cache misses for genuinely new shapes.
+    pub delta_full_evals: usize,
+    /// Partial evaluations (affected-start re-groups) of the delta path.
+    pub delta_partial_evals: usize,
+    /// Shapes patched with a partial evaluation.
+    pub shapes_patched: usize,
+    /// Shapes fully re-evaluated (blast radius over the rebatch fraction).
+    pub shapes_rebatched: usize,
+    /// Shapes untouched by the delta (epoch bump only).
+    pub shapes_untouched: usize,
+    /// Whether the redraw policy replaced the sample frame.
+    pub frame_redrawn: bool,
+}
+
+impl IncrementalBench {
+    /// Wall-time speedup of the delta re-rank (>1 = incremental faster).
+    pub fn speedup(&self) -> f64 {
+        let d = self.delta_wall.as_secs_f64();
+        if d > 0.0 {
+            self.full_wall.as_secs_f64() / d
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// The machine-readable ranking baseline behind `BENCH_ranking.json`:
 /// global-distribution top-k ranking measured with the pre-batching
 /// per-start engine versus the batched all-starts engine.
@@ -285,8 +333,10 @@ pub struct RankingBench {
     /// private cache + sample per pair (PR 1's engine).
     pub batched: RankingBenchSide,
     /// The shared-frame workload driver: one frame + cache for all pairs,
-    /// cost-ordered and memory-bounded (this PR's engine).
+    /// cost-ordered and memory-bounded.
     pub shared_frame: SharedFrameSide,
+    /// Full vs delta re-rank after a small KB update (this PR's engine).
+    pub incremental: IncrementalBench,
 }
 
 impl RankingBench {
@@ -335,6 +385,27 @@ impl RankingBench {
             self.shared_frame.peak_rows,
             self.shared_frame.row_ceiling,
         );
+        let inc = format!(
+            concat!(
+                "{{\"delta_edges\": {}, \"kb_edges\": {}, ",
+                "\"full_rerank_wall_ms\": {:.3}, \"full_rerank_full_evals\": {}, ",
+                "\"delta_rerank_wall_ms\": {:.3}, \"delta_rerank_full_evals\": {}, ",
+                "\"delta_partial_evals\": {}, \"shapes_patched\": {}, ",
+                "\"shapes_rebatched\": {}, \"shapes_untouched\": {}, ",
+                "\"frame_redrawn\": {}}}"
+            ),
+            self.incremental.delta_edges,
+            self.incremental.kb_edges,
+            self.incremental.full_wall.as_secs_f64() * 1e3,
+            self.incremental.full_evals,
+            self.incremental.delta_wall.as_secs_f64() * 1e3,
+            self.incremental.delta_full_evals,
+            self.incremental.delta_partial_evals,
+            self.incremental.shapes_patched,
+            self.incremental.shapes_rebatched,
+            self.incremental.shapes_untouched,
+            usize::from(self.incremental.frame_redrawn),
+        );
         format!(
             concat!(
                 "{{\n",
@@ -348,8 +419,10 @@ impl RankingBench {
                 "  \"per_start\": {},\n",
                 "  \"batched\": {},\n",
                 "  \"shared_frame\": {},\n",
+                "  \"incremental\": {},\n",
                 "  \"speedup\": {:.3},\n",
-                "  \"shared_frame_speedup\": {:.3}\n",
+                "  \"shared_frame_speedup\": {:.3},\n",
+                "  \"incremental_speedup\": {:.3}\n",
                 "}}\n"
             ),
             self.scale,
@@ -361,8 +434,10 @@ impl RankingBench {
             side(&self.per_start),
             side(&self.batched),
             shared,
+            inc,
             self.speedup(),
-            self.shared_frame_speedup()
+            self.shared_frame_speedup(),
+            self.incremental.speedup()
         )
     }
 }
@@ -375,6 +450,10 @@ impl RankingBench {
 /// pattern evaluation elsewhere in the process, which holds for the bench
 /// binaries.
 pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingBench {
+    // Scope the global evaluation counters: concurrent metric-reading
+    // regions (parallel tests, other bench sections) serialize against
+    // this one, so the per-side deltas below are deterministic.
+    let _scope = metrics::scoped();
     let enumerator = GeneralEnumerator::new(w.enum_config.clone());
     let prepared: Vec<(&rex_datagen::PairSample, Vec<rex_core::Explanation>)> = w
         .truncated(pairs_per_group)
@@ -467,6 +546,8 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         row_ceiling,
     };
 
+    let incremental = incremental_bench(w, pairs_per_group, k, row_ceiling);
+
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
         pairs: prepared.len(),
@@ -477,6 +558,108 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         per_start,
         batched,
         shared_frame,
+        incremental,
+    }
+}
+
+/// Measures full vs delta re-ranking after a small KB update. A clone of
+/// the workload KB is warmed through the shared-frame driver, mutated
+/// with a deterministic ≤ 1% edge churn, and the same workload is then
+/// re-ranked twice against the *updated* KB: once through
+/// [`rank_pairs_updated`] (index refreshed from the delta, frame redraw
+/// policy, cache delta-maintained) and once with a cold cache. Pair
+/// explanations are re-enumerated against the updated KB for both sides,
+/// so the comparison isolates distribution maintenance.
+pub fn incremental_bench(
+    w: &Workload,
+    pairs_per_group: usize,
+    k: usize,
+    row_ceiling: usize,
+) -> IncrementalBench {
+    let mut kb = w.kb.clone();
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let workload_pairs = w.truncated(pairs_per_group);
+    let enumerate =
+        |kb: &rex_kb::KnowledgeBase| -> Vec<(NodeId, NodeId, Vec<rex_core::Explanation>)> {
+            workload_pairs
+                .iter()
+                .map(|p| (p.start, p.end, enumerator.enumerate(kb, p.start, p.end).explanations))
+                .collect()
+        };
+    let cfg = RankPairsConfig {
+        k,
+        global_samples: w.global_samples,
+        seed: w.seed,
+        threads: 1,
+        row_ceiling: Some(row_ceiling),
+    };
+    let mut frame = std::sync::Arc::new(
+        SampleFrame::sample(&kb, w.global_samples, w.seed).expect("workload KB has edges"),
+    );
+    let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+    let cache = DistributionCache::with_row_ceiling(row_ceiling);
+    let prepared = enumerate(&kb);
+    let tasks: Vec<PairExplanations<'_>> = prepared
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+    // Warm the session (untimed: this is the steady state a live system
+    // is already in when updates arrive).
+    let _ = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+
+    // Deterministic churn: paired remove + rewired re-insert, so the
+    // label distribution stays realistic. Sized like one streaming
+    // update transaction — a handful of edges, orders of magnitude under
+    // the 1% acceptance bound. The incremental path's value is that most
+    // shapes are label-disjoint from a small batch; random edges are
+    // frequency-biased (Zipf labels), so every extra churn pair tends to
+    // touch another hot label and a batch of hundreds leaves no
+    // label locality to exploit.
+    let epoch0 = kb.epoch();
+    let churn = (kb.edge_count() / 40_000).clamp(1, 8);
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x1C4E);
+    for _ in 0..churn {
+        let victim = EdgeId(rng.gen_range(0..kb.edge_count()) as u32);
+        kb.remove_edge(victim).expect("edge ids are dense");
+        let template = *kb.edge(EdgeId(rng.gen_range(0..kb.edge_count()) as u32));
+        let other = NodeId(rng.gen_range(0..kb.node_count()) as u32);
+        kb.insert_edge(template.src, other, template.label, template.directed)
+            .expect("template endpoints exist");
+    }
+    let delta = kb.delta_since(epoch0);
+
+    let prepared2 = enumerate(&kb);
+    let tasks2: Vec<PairExplanations<'_>> = prepared2
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+
+    // Delta re-rank against the warm session (timed end to end).
+    let evals_before = cache.batched_evals();
+    let partial_before = cache.delta_evals();
+    let (updated, delta_wall) = time(|| {
+        rank_pairs_updated(&kb, &delta, &tasks2, &cfg, &mut index, &mut frame, &cache)
+            .expect("delta applies to the session it was captured from")
+    });
+    let delta_full_evals = cache.batched_evals() - evals_before;
+    let delta_partial_evals = cache.delta_evals() - partial_before;
+
+    // Full re-rank: cold cache over the same refreshed index and frame.
+    let cold_cache = DistributionCache::with_row_ceiling(row_ceiling);
+    let (cold, full_wall) = time(|| rank_pairs_with(&tasks2, &cfg, &index, &frame, &cold_cache));
+
+    IncrementalBench {
+        delta_edges: delta.edge_churn(),
+        kb_edges: kb.edge_count(),
+        full_wall,
+        full_evals: cold.batched_evals,
+        delta_wall,
+        delta_full_evals,
+        delta_partial_evals,
+        shapes_patched: updated.maintenance.patched,
+        shapes_rebatched: updated.maintenance.rebatched,
+        shapes_untouched: updated.maintenance.untouched,
+        frame_redrawn: updated.frame_redrawn,
     }
 }
 
@@ -578,20 +761,43 @@ mod tests {
         assert!(b.shared_frame.full_evals <= b.batched.full_evals);
         assert!(b.shared_frame.tiles >= b.shared_frame.full_evals);
         assert!(b.shared_frame.row_ceiling > 0);
+        // Incremental side: the delta re-rank must beat the cold re-rank
+        // on full evaluations — the acceptance bar of the incremental
+        // engine — and the delta must stay within its 1% budget.
+        let inc = &b.incremental;
+        assert!(inc.delta_edges >= 1);
+        assert!(inc.delta_edges * 100 <= inc.kb_edges.max(100), "≤ 1% churn");
+        assert!(
+            inc.delta_full_evals < inc.full_evals,
+            "delta re-rank must issue strictly fewer full evaluations \
+             ({} vs {})",
+            inc.delta_full_evals,
+            inc.full_evals
+        );
+        assert_eq!(
+            inc.shapes_patched > 0,
+            inc.delta_partial_evals > 0,
+            "patched shapes and partial evals travel together"
+        );
         let json = b.to_json();
         for key in [
             "\"benchmark\"",
             "\"per_start\"",
             "\"batched\"",
             "\"shared_frame\"",
+            "\"incremental\"",
             "\"wall_ms\"",
             "\"full_evals\"",
             "\"distinct_shapes\"",
             "\"tiles\"",
             "\"peak_rows\"",
             "\"row_ceiling\"",
+            "\"delta_edges\"",
+            "\"delta_rerank_full_evals\"",
+            "\"shapes_patched\"",
             "\"speedup\"",
             "\"shared_frame_speedup\"",
+            "\"incremental_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

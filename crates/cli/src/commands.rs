@@ -10,7 +10,7 @@ use rex_core::measures::{
     MonocountMeasure, RandomWalkMeasure, SizeMeasure,
 };
 use rex_core::ranking::rank;
-use rex_core::ranking::{rank_pairs, PairExplanations, RankPairsConfig};
+use rex_core::ranking::{rank_pairs, rank_pairs_updated, PairExplanations, RankPairsConfig};
 use rex_core::EnumConfig;
 use rex_kb::KnowledgeBase;
 
@@ -26,6 +26,8 @@ USAGE:
   rex rank     --kb <kb.tsv> [<start> <end>]... [--per-group N] [--top K]
                [--samples S] [--seed S] [--max-nodes N] [--instance-cap C]
                [--threads T] [--row-ceiling R] [--toy] [--quiet]
+  rex update   --kb <kb.tsv> --delta <delta.tsv> [<start> <end>]...
+               [--per-group N] [--rebatch-fraction F] [... rank flags]
   rex generate --nodes N --edges M [--labels L] [--seed S] --out <kb.tsv>
   rex stats    --kb <kb.tsv> | --toy
   rex pairs    --kb <kb.tsv> [--per-group N] [--seed S] [--toy]
@@ -35,6 +37,14 @@ sharing one sample frame and one distribution cache across all of them
 (one batched evaluation per distinct pattern shape in the workload).
 Pairs come from positional <start> <end> name pairs, or are sampled per
 connectedness group (--per-group) when none are given.
+
+`rex update` ranks the same workload cold, applies an edge-list delta
+file to the KB, and re-ranks incrementally: the edge index and the
+distribution cache are delta-maintained (per shape: patched, rebatched,
+or untouched) instead of rebuilt. Delta file lines:
+  +<TAB>src<TAB>dst<TAB>label<TAB>d|u    insert edge
+  -<TAB>src<TAB>dst<TAB>label<TAB>d|u    remove one matching edge
+  N<TAB>name<TAB>type                    insert node
 
 MEASURES (for --measure):
   size, random-walk, count, monocount, local-dist, local-deviation,
@@ -103,6 +113,36 @@ pub fn explain(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the workload pairs of `rank`/`update`: explicit positional
+/// `(start, end)` names, or sampled per connectedness group.
+fn resolve_pairs(
+    args: &Args,
+    kb: &KnowledgeBase,
+    seed: u64,
+) -> Result<Vec<(rex_kb::NodeId, rex_kb::NodeId)>, String> {
+    let positionals = args.positionals();
+    if positionals.is_empty() {
+        let per_group: usize = args.get_or("per-group", 2)?;
+        let sampled = rex_datagen::sample_pairs(kb, per_group, 4, seed);
+        if sampled.is_empty() {
+            return Err("no related pairs found (KB too sparse?)".into());
+        }
+        return Ok(sampled.into_iter().map(|p| (p.start, p.end)).collect());
+    }
+    if !positionals.len().is_multiple_of(2) {
+        return Err("pairs must come as <start> <end> name pairs".into());
+    }
+    positionals
+        .chunks(2)
+        .map(|c| {
+            Ok((
+                kb.require_node(&c[0]).map_err(|e| e.to_string())?,
+                kb.require_node(&c[1]).map_err(|e| e.to_string())?,
+            ))
+        })
+        .collect()
+}
+
 /// `rex rank`: rank explanations for many pairs through one shared
 /// sample frame and distribution cache (global distributional position),
 /// evaluating each distinct pattern shape of the workload exactly once.
@@ -116,30 +156,7 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
     let cap: usize = args.get_or("instance-cap", 5_000)?;
     let threads: usize = args.get_or("threads", 0)?;
     let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
-
-    // Pairs: explicit positional (start, end) names, or sampled per group.
-    let positionals = args.positionals();
-    let pairs: Vec<(rex_kb::NodeId, rex_kb::NodeId)> = if positionals.is_empty() {
-        let per_group: usize = args.get_or("per-group", 2)?;
-        let sampled = rex_datagen::sample_pairs(&kb, per_group, 4, seed);
-        if sampled.is_empty() {
-            return Err("no related pairs found (KB too sparse?)".into());
-        }
-        sampled.into_iter().map(|p| (p.start, p.end)).collect()
-    } else {
-        if positionals.len() % 2 != 0 {
-            return Err("pairs must come as <start> <end> name pairs".into());
-        }
-        positionals
-            .chunks(2)
-            .map(|c| {
-                Ok((
-                    kb.require_node(&c[0]).map_err(|e| e.to_string())?,
-                    kb.require_node(&c[1]).map_err(|e| e.to_string())?,
-                ))
-            })
-            .collect::<Result<_, String>>()?
-    };
+    let pairs = resolve_pairs(&args, &kb, seed)?;
 
     let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
     let enumerator = GeneralEnumerator::new(config);
@@ -186,6 +203,167 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
             outcome.tiles,
             outcome.peak_rows,
             row_ceiling,
+        );
+    }
+    Ok(())
+}
+
+/// Parses and applies an edge-list delta file to `kb`. Returns
+/// `(edges_added, edges_removed, nodes_added)`.
+fn apply_delta_file(kb: &mut KnowledgeBase, path: &str) -> Result<(usize, usize, usize), String> {
+    use std::io::BufRead;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (mut added, mut removed, mut nodes) = (0usize, 0usize, 0usize);
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}: I/O error: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: &str| format!("{path} line {}: {msg}", lineno + 1);
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "N" => {
+                let [_, name, ty] = fields[..] else {
+                    return Err(at("node lines are N<TAB>name<TAB>type"));
+                };
+                let before = kb.node_count();
+                kb.insert_node(name, ty);
+                nodes += usize::from(kb.node_count() > before);
+            }
+            op @ ("+" | "-") => {
+                let [_, src, dst, label, dir] = fields[..] else {
+                    return Err(at("edge lines are +/-<TAB>src<TAB>dst<TAB>label<TAB>d|u"));
+                };
+                let directed = match dir {
+                    "d" => true,
+                    "u" => false,
+                    other => return Err(at(&format!("bad direction {other:?} (want d|u)"))),
+                };
+                let src = kb.node_by_name(src).ok_or_else(|| at(&format!("unknown {src:?}")))?;
+                let dst = kb.node_by_name(dst).ok_or_else(|| at(&format!("unknown {dst:?}")))?;
+                if op == "+" {
+                    kb.insert_edge_named(src, dst, label, directed).map_err(|e| e.to_string())?;
+                    added += 1;
+                } else {
+                    let label = kb
+                        .label_by_name(label)
+                        .ok_or_else(|| at(&format!("unknown label {label:?}")))?;
+                    let id = kb
+                        .find_edge(src, dst, label, directed)
+                        .ok_or_else(|| at("no matching edge to remove"))?;
+                    kb.remove_edge(id).map_err(|e| e.to_string())?;
+                    removed += 1;
+                }
+            }
+            other => return Err(at(&format!("unknown record tag {other:?}"))),
+        }
+    }
+    Ok((added, removed, nodes))
+}
+
+/// `rex update`: rank a workload cold, apply an edge-list delta to the
+/// KB, and re-rank incrementally — delta-refreshing the edge index and
+/// delta-maintaining the distribution cache instead of rebuilding them —
+/// reporting which shapes were patched vs re-evaluated.
+pub fn update(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let mut kb = load_kb(&args)?;
+    let delta_path = args.get("delta").ok_or("need --delta <delta.tsv>")?.to_string();
+    let k: usize = args.get_or("top", 5)?;
+    let samples: usize = args.get_or("samples", 100)?;
+    let seed: u64 = args.get_or("seed", 2011)?;
+    let max_nodes: usize = args.get_or("max-nodes", 4)?;
+    let cap: usize = args.get_or("instance-cap", 5_000)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
+    let rebatch_fraction: f64 = args.get_or("rebatch-fraction", 0.25)?;
+    let pairs = resolve_pairs(&args, &kb, seed)?;
+
+    let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
+    let enumerator = GeneralEnumerator::new(config);
+    let cfg = RankPairsConfig {
+        k,
+        global_samples: samples,
+        seed,
+        threads,
+        row_ceiling: Some(row_ceiling),
+    };
+    let enumerate =
+        |kb: &KnowledgeBase| -> Vec<(rex_kb::NodeId, rex_kb::NodeId, Vec<rex_core::Explanation>)> {
+            pairs
+                .iter()
+                .map(|&(s, e)| (s, e, enumerator.enumerate(kb, s, e).explanations))
+                .collect()
+        };
+
+    // Cold session on the pre-delta KB.
+    let mut frame = std::sync::Arc::new(
+        rex_core::measures::SampleFrame::sample(&kb, samples, seed).map_err(|e| e.to_string())?,
+    );
+    let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+    let cache = rex_core::measures::DistributionCache::with_row_ceiling(row_ceiling)
+        .with_rebatch_fraction(rebatch_fraction);
+    let prepared = enumerate(&kb);
+    let tasks: Vec<PairExplanations<'_>> = prepared
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let cold = rex_core::ranking::rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+    let cold_elapsed = t0.elapsed();
+
+    // Apply the delta and re-rank against the warm session.
+    let epoch0 = kb.epoch();
+    let (added, removed, new_nodes) = apply_delta_file(&mut kb, &delta_path)?;
+    let delta = kb.delta_since(epoch0);
+    let prepared2 = enumerate(&kb);
+    let tasks2: Vec<PairExplanations<'_>> = prepared2
+        .iter()
+        .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
+        .collect();
+    let t1 = std::time::Instant::now();
+    let updated = rank_pairs_updated(&kb, &delta, &tasks2, &cfg, &mut index, &mut frame, &cache)
+        .map_err(|e| e.to_string())?;
+    let delta_elapsed = t1.elapsed();
+
+    for ((s, e, explanations), ranking) in prepared2.iter().zip(&updated.outcome.rankings) {
+        println!(
+            "{} ↔ {} ({} explanations):",
+            kb.node_name(*s),
+            kb.node_name(*e),
+            explanations.len()
+        );
+        for (i, r) in ranking.iter().enumerate() {
+            println!("  {}. {}", i + 1, explanations[r.index].describe(&kb));
+        }
+    }
+    if !args.has("quiet") {
+        let m = updated.maintenance;
+        println!(
+            "applied {delta_path}: +{added} -{removed} edges, +{new_nodes} nodes \
+             (epoch {epoch0} → {})",
+            kb.epoch()
+        );
+        println!(
+            "cold rank {:.1} ms ({} full evaluations); delta re-rank {:.1} ms \
+             ({} rebatched + {} cache misses full, {} partial)",
+            cold_elapsed.as_secs_f64() * 1e3,
+            cold.batched_evals,
+            delta_elapsed.as_secs_f64() * 1e3,
+            m.rebatched,
+            updated.outcome.batched_evals,
+            cache.delta_evals(),
+        );
+        println!(
+            "shapes: {} delta-patched ({} affected starts), {} re-evaluated, \
+             {} untouched, {} dropped; frame redrawn: {}",
+            m.patched,
+            m.affected_starts,
+            m.rebatched,
+            m.untouched,
+            m.dropped,
+            if updated.frame_redrawn { "yes" } else { "no" },
         );
     }
     Ok(())
@@ -329,6 +507,64 @@ mod tests {
         // Odd positional count and unknown entities are reported.
         assert!(rank_pairs_cmd(&argv(&["--toy", "brad_pitt"])).is_err());
         assert!(rank_pairs_cmd(&argv(&["--toy", "brad_pitt", "nobody"])).is_err());
+    }
+
+    #[test]
+    fn update_applies_delta_and_reranks() {
+        let dir = std::env::temp_dir().join(format!("rex-cli-update-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let delta_path = dir.join("delta.tsv");
+        // A node insert, an edge insert incident to it, a plain edge
+        // insert, and an edge removal — plus comments and blanks.
+        std::fs::write(
+            &delta_path,
+            "# delta\n\
+             N\tnew_star\tPerson\n\
+             +\tnew_star\toceans_eleven\tstarring\td\n\
+             +\tjulia_roberts\tfight_club\tstarring\td\n\
+             -\tbrad_pitt\tangelina_jolie\tspouse\tu\n",
+        )
+        .unwrap();
+        let delta_path = delta_path.to_str().unwrap().to_string();
+        update(&argv(&[
+            "--toy",
+            "--delta",
+            &delta_path,
+            "brad_pitt",
+            "angelina_jolie",
+            "kate_winslet",
+            "leonardo_dicaprio",
+            "--top",
+            "3",
+            "--samples",
+            "10",
+            "--quiet",
+        ]))
+        .expect("update");
+        // Missing --delta and malformed files are reported.
+        assert!(update(&argv(&["--toy", "brad_pitt", "angelina_jolie"])).is_err());
+        let bad = dir.join("bad.tsv");
+        std::fs::write(&bad, "X\twhat\n").unwrap();
+        assert!(update(&argv(&[
+            "--toy",
+            "--delta",
+            bad.to_str().unwrap(),
+            "brad_pitt",
+            "angelina_jolie"
+        ]))
+        .is_err());
+        // Removing a non-existent edge is an error, not a silent no-op.
+        let phantom = dir.join("phantom.tsv");
+        std::fs::write(&phantom, "-\tbrad_pitt\tkate_winslet\tspouse\tu\n").unwrap();
+        assert!(update(&argv(&[
+            "--toy",
+            "--delta",
+            phantom.to_str().unwrap(),
+            "brad_pitt",
+            "angelina_jolie"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

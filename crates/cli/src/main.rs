@@ -5,6 +5,7 @@
 //! rex explain  --kb kb.tsv tom_cruise brad_pitt [--top 5] [--measure size+local-dist]
 //!              [--max-nodes 5] [--decorate] [--toy]
 //! rex rank     --kb kb.tsv [start end]... [--per-group 2] [--top 5] [--samples 100]
+//! rex update   --kb kb.tsv --delta delta.tsv [start end]... [--rebatch-fraction 0.25]
 //! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
 //! rex stats    --kb kb.tsv
 //! rex pairs    --kb kb.tsv --per-group 10 [--seed 2011]
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "explain" => commands::explain(rest),
         "rank" => commands::rank_pairs_cmd(rest),
+        "update" => commands::update(rest),
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
         "pairs" => commands::pairs(rest),

@@ -22,17 +22,30 @@
 //! cheap bound per-start probe, so a purely local workload never pays for
 //! a batched evaluation it does not need.
 //!
+//! **KB updates.** Every cached batch carries the KB *epoch* it was
+//! computed at; a read against an index at a newer epoch treats the entry
+//! as stale and re-evaluates (the refuse/refresh guarantee). The cheap
+//! path is [`DistributionCache::apply_delta`]: given the [`KbDelta`]
+//! between the cache's epoch and the KB's, each cached shape is either
+//! **untouched** (label set disjoint from the delta — epoch bumped in
+//! place), **patched** (the delta-affected starts inside its domain are
+//! re-grouped with a partial evaluation and overlaid onto the old
+//! multisets), or **rebatched** (the affected fraction exceeded the
+//! configurable threshold, so the whole domain is re-evaluated). Either
+//! way, the next read is a warm hit.
+//!
 //! Thread-safe (`parking_lot::RwLock`) so the parallel ranker can share
 //! it; hit/miss counters make the sharing observable in tests and
 //! benches.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rex_kb::NodeId;
-use rex_relstore::engine::EdgeIndex;
+use rex_kb::{KbDelta, KnowledgeBase, NodeId};
+use rex_relstore::engine::{delta_affected_starts, delta_count_distributions, EdgeIndex};
+use rex_relstore::plan::PatternSpec;
 
 use crate::canonical::CanonicalKey;
 use crate::explanation::Explanation;
@@ -48,9 +61,20 @@ pub struct AllStartsDistribution {
     domain: HashSet<u64>,
     tiles: usize,
     peak_rows: usize,
+    /// The KB epoch the multisets reflect (advanced in place when a delta
+    /// provably does not touch this shape).
+    epoch: AtomicU64,
+    /// The shape's relational spec, retained so delta maintenance can
+    /// re-evaluate without the originating [`Explanation`].
+    spec: PatternSpec,
 }
 
 impl AllStartsDistribution {
+    /// The KB epoch this batch reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// Start tiles the batched evaluation was split into (1 when the
     /// domain fit under the row ceiling, or no ceiling was set).
     pub fn eval_tiles(&self) -> usize {
@@ -101,20 +125,73 @@ impl AllStartsDistribution {
 /// The per-`(shape, start)` overlay's key.
 type PerStartKey = (CanonicalKey, u32);
 
+/// The per-`(shape, start)` overlay's value: the multiset and the KB
+/// epoch it was probed at (stale entries are recomputed on read).
+type PerStartEntry = (u64, Arc<Vec<u64>>);
+
+/// What [`DistributionCache::apply_delta`] did to each cached shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaMaintenance {
+    /// Shapes whose affected starts were re-grouped with a partial
+    /// evaluation and overlaid onto the cached multisets.
+    pub patched: usize,
+    /// Shapes fully re-evaluated because the delta's blast radius
+    /// exceeded the rebatch fraction of their domain.
+    pub rebatched: usize,
+    /// Shapes untouched by the delta (label-disjoint, or no affected
+    /// start inside the domain): epoch bumped in place, counts reused.
+    pub untouched: usize,
+    /// Shapes dropped because their epoch did not match the delta's
+    /// window (skewed bookkeeping); the next read re-evaluates them.
+    pub dropped: usize,
+    /// Total affected starts re-grouped across all patched shapes.
+    pub affected_starts: usize,
+}
+
 /// Thread-safe cache of distribution multisets, keyed per canonical
 /// pattern shape (batched) with a per-`(shape, start)` fallback overlay.
-#[derive(Debug, Default)]
+/// Epoch-aware: see the module docs for the staleness and
+/// delta-maintenance contract.
+#[derive(Debug)]
 pub struct DistributionCache {
     batched: RwLock<HashMap<CanonicalKey, Arc<AllStartsDistribution>>>,
-    per_start: RwLock<HashMap<PerStartKey, Arc<Vec<u64>>>>,
+    per_start: RwLock<HashMap<PerStartKey, PerStartEntry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     batched_evals: AtomicUsize,
     /// Best-effort ceiling on join-produced intermediate rows per batched
     /// evaluation; `None` evaluates each batch as a single tile.
     row_ceiling: Option<usize>,
+    /// When a delta affects more than this fraction of a cached domain,
+    /// patching degrades to a full re-batch of the shape.
+    rebatch_fraction: f64,
     tiles: AtomicUsize,
     peak_rows: AtomicUsize,
+    delta_evals: AtomicUsize,
+    /// Highest KB epoch observed through any index handed to this cache.
+    epoch: AtomicU64,
+}
+
+/// The default share of a domain a delta may touch before patching a
+/// shape costs more than re-batching it.
+const DEFAULT_REBATCH_FRACTION: f64 = 0.25;
+
+impl Default for DistributionCache {
+    fn default() -> Self {
+        DistributionCache {
+            batched: RwLock::default(),
+            per_start: RwLock::default(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            batched_evals: AtomicUsize::new(0),
+            row_ceiling: None,
+            rebatch_fraction: DEFAULT_REBATCH_FRACTION,
+            tiles: AtomicUsize::new(0),
+            peak_rows: AtomicUsize::new(0),
+            delta_evals: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
 }
 
 impl DistributionCache {
@@ -138,6 +215,39 @@ impl DistributionCache {
         self.row_ceiling
     }
 
+    /// Overrides the delta-maintenance rebatch threshold: when a delta
+    /// affects more than `fraction` of a cached shape's domain,
+    /// [`DistributionCache::apply_delta`] re-evaluates the whole shape
+    /// instead of patching. `0.0` always rebatches touched shapes;
+    /// `1.0` (or more) always patches. Chainable at construction.
+    pub fn with_rebatch_fraction(mut self, fraction: f64) -> Self {
+        assert!(fraction >= 0.0, "rebatch fraction must be non-negative");
+        self.rebatch_fraction = fraction;
+        self
+    }
+
+    /// The delta-maintenance rebatch threshold.
+    pub fn rebatch_fraction(&self) -> f64 {
+        self.rebatch_fraction
+    }
+
+    /// The highest KB epoch this cache has observed (through indexes or
+    /// deltas). Entries computed at older epochs are stale: reads refresh
+    /// them, [`DistributionCache::apply_delta`] patches them.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Partial (delta-maintenance) evaluations performed by
+    /// [`DistributionCache::apply_delta`].
+    pub fn delta_evals(&self) -> usize {
+        self.delta_evals.load(Ordering::Relaxed)
+    }
+
+    fn note_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
     /// `(tiles, peak_rows)` across this cache's batched evaluations: how
     /// many start tiles were evaluated, and the largest intermediate
     /// relation any of them materialized.
@@ -145,32 +255,15 @@ impl DistributionCache {
         (self.tiles.load(Ordering::Relaxed), self.peak_rows.load(Ordering::Relaxed))
     }
 
-    /// The all-starts distribution of `e`'s pattern shape covering (at
-    /// least) `starts`: **one** batched relational evaluation per shape,
-    /// shared by every start in the sample, every explanation with an
-    /// isomorphic pattern, and every thread. If a previously cached batch
-    /// misses some of `starts`, the batch is recomputed over the union of
-    /// domains (rare: the sample is fixed per context).
-    pub fn all_starts(
+    /// Evaluates `spec` over `domain` (tiled under the row ceiling) and
+    /// wraps the result as a batch at `epoch`, updating the tiling
+    /// counters.
+    fn eval_batch(
         &self,
         index: &EdgeIndex,
-        e: &Explanation,
-        starts: &[NodeId],
+        spec: PatternSpec,
+        domain: HashSet<u64>,
     ) -> Arc<AllStartsDistribution> {
-        let key = e.key();
-        if let Some(cached) = self.batched.read().get(key) {
-            if starts.iter().all(|s| cached.covers(s.0 as u64)) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(cached);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.batched_evals.fetch_add(1, Ordering::Relaxed);
-        let mut domain: HashSet<u64> = starts.iter().map(|s| s.0 as u64).collect();
-        if let Some(cached) = self.batched.read().get(key) {
-            domain.extend(cached.domain.iter().copied());
-        }
-        let spec = e.pattern.to_spec();
         let list: Vec<u64> = domain.iter().copied().collect();
         let tile_size = match self.row_ceiling {
             Some(ceiling) => index.tile_size_for_ceiling(&spec, list.len(), ceiling),
@@ -181,38 +274,84 @@ impl DistributionCache {
                 .expect("explanation patterns are valid specs");
         self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
         self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
-        let computed = Arc::new(AllStartsDistribution {
+        Arc::new(AllStartsDistribution {
             counts: batch.per_start.into_iter().map(|(s, v)| (s, Arc::new(v))).collect(),
             domain,
             tiles: batch.tiles,
             peak_rows: batch.peak_rows,
-        });
+            epoch: AtomicU64::new(index.epoch()),
+            spec,
+        })
+    }
+
+    /// Whether a cached batch can serve a read against `index` for the
+    /// given starts: current epoch and covering domain.
+    fn batch_serves(batch: &AllStartsDistribution, index: &EdgeIndex, starts: &[NodeId]) -> bool {
+        batch.epoch() == index.epoch() && starts.iter().all(|s| batch.covers(s.0 as u64))
+    }
+
+    /// The all-starts distribution of `e`'s pattern shape covering (at
+    /// least) `starts`: **one** batched relational evaluation per shape,
+    /// shared by every start in the sample, every explanation with an
+    /// isomorphic pattern, and every thread. If a previously cached batch
+    /// misses some of `starts`, the batch is recomputed over the union of
+    /// domains (rare: the sample is fixed per context). A batch computed
+    /// at an older KB epoch than `index`'s is **stale** and likewise
+    /// recomputed — the refuse/refresh half of the epoch contract;
+    /// [`DistributionCache::apply_delta`] is the cheap alternative.
+    pub fn all_starts(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+    ) -> Arc<AllStartsDistribution> {
+        self.note_epoch(index.epoch());
+        let key = e.key();
+        if let Some(cached) = self.batched.read().get(key) {
+            if Self::batch_serves(cached, index, starts) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(cached);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.batched_evals.fetch_add(1, Ordering::Relaxed);
+        let mut domain: HashSet<u64> = starts.iter().map(|s| s.0 as u64).collect();
+        if let Some(cached) = self.batched.read().get(key) {
+            domain.extend(cached.domain.iter().copied());
+        }
+        let computed = self.eval_batch(index, e.pattern.to_spec(), domain);
         let mut guard = self.batched.write();
         let entry = guard.entry(key.clone()).or_insert_with(|| Arc::clone(&computed));
         // A racing thread may have stored a batch meanwhile; keep whichever
-        // covers the requested starts (ours always does).
-        if !starts.iter().all(|s| entry.covers(s.0 as u64)) {
+        // serves the requested read (ours always does).
+        if !Self::batch_serves(entry, index, starts) {
             *entry = Arc::clone(&computed);
         }
         Arc::clone(entry)
     }
 
     /// The descending count multiset of `e`'s pattern for `start`. Served
-    /// from a cached batch when one covers `start`; otherwise computed
-    /// with a single bound per-start probe and cached in the overlay —
-    /// the right cost model for local (single-start) queries.
+    /// from a cached batch when a **current-epoch** one covers `start`;
+    /// otherwise computed with a single bound per-start probe and cached
+    /// in the overlay (also epoch-guarded) — the right cost model for
+    /// local (single-start) queries.
     pub fn counts(&self, index: &EdgeIndex, e: &Explanation, start: u32) -> Arc<Vec<u64>> {
+        self.note_epoch(index.epoch());
         let key = e.key();
         if let Some(batch) = self.batched.read().get(key) {
-            if let Some(counts) = batch.counts_for(start as u64) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return counts;
+            if batch.epoch() == index.epoch() {
+                if let Some(counts) = batch.counts_for(start as u64) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return counts;
+                }
             }
         }
         let overlay_key = (key.clone(), start);
-        if let Some(hit) = self.per_start.read().get(&overlay_key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        if let Some((epoch, hit)) = self.per_start.read().get(&overlay_key) {
+            if *epoch == index.epoch() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let spec = e.pattern.to_spec();
@@ -222,23 +361,145 @@ impl DistributionCache {
         let mut counts: Vec<u64> = dist.into_values().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let counts = Arc::new(counts);
-        // A racing thread may have inserted meanwhile; keep the first.
+        // A racing thread may have inserted meanwhile; keep any entry
+        // that is current, replacing stale ones.
         let mut guard = self.per_start.write();
-        Arc::clone(guard.entry(overlay_key).or_insert(counts))
+        let entry = guard.entry(overlay_key).or_insert((index.epoch(), Arc::clone(&counts)));
+        if entry.0 != index.epoch() {
+            *entry = (index.epoch(), counts);
+        }
+        Arc::clone(&entry.1)
     }
 
     /// Local position of `e` (count aggregate) for `start`, if the answer
-    /// is already cached — never computes, never counts a hit or miss.
-    /// The pruned rankers use this for free exactness before falling back
-    /// to a bounded streaming probe.
+    /// is already cached at the cache's current epoch — never computes,
+    /// never counts a hit or miss. The pruned rankers use this for free
+    /// exactness before falling back to a bounded streaming probe.
     pub fn cached_local_position(&self, e: &Explanation, start: u32) -> Option<usize> {
         let a = e.count() as u64;
+        let epoch = self.current_epoch();
         if let Some(batch) = self.batched.read().get(e.key()) {
-            if let Some(pos) = batch.position(start as u64, a) {
-                return Some(pos);
+            if batch.epoch() == epoch {
+                if let Some(pos) = batch.position(start as u64, a) {
+                    return Some(pos);
+                }
             }
         }
-        self.per_start.read().get(&(e.key().clone(), start)).map(|counts| position_in(counts, a))
+        self.per_start
+            .read()
+            .get(&(e.key().clone(), start))
+            .filter(|(e, _)| *e == epoch)
+            .map(|(_, counts)| position_in(counts, a))
+    }
+
+    /// Incrementally maintains every cached batch across `delta`,
+    /// advancing the cache to `kb`'s epoch. `index` must already be
+    /// refreshed to the same epoch ([`EdgeIndex::apply_delta`]). Per
+    /// shape:
+    ///
+    /// * labels disjoint from the delta, or no affected start inside the
+    ///   domain → counts kept, epoch bumped in place (**untouched**);
+    /// * affected starts ≤ [`rebatch_fraction`] of the domain → one
+    ///   partial evaluation over just those starts, overlaid onto the old
+    ///   multisets (**patched**);
+    /// * otherwise → full re-evaluation of the domain (**rebatched**).
+    ///
+    /// The per-start overlay is pruned (entries are single-start probes;
+    /// re-probing on demand is their cost model). Patched and rebatched
+    /// shapes produce multisets byte-identical to a scratch rebuild at
+    /// the new epoch — the parity the incremental test suite pins down.
+    ///
+    /// [`rebatch_fraction`]: DistributionCache::rebatch_fraction
+    pub fn apply_delta(
+        &self,
+        kb: &KnowledgeBase,
+        index: &EdgeIndex,
+        delta: &KbDelta,
+    ) -> DeltaMaintenance {
+        assert_eq!(
+            index.epoch(),
+            delta.to_epoch,
+            "apply_delta: refresh the EdgeIndex to the delta's target epoch first"
+        );
+        self.note_epoch(delta.to_epoch);
+        let mut outcome = DeltaMaintenance::default();
+        let mut guard = self.batched.write();
+        let old = std::mem::take(&mut *guard);
+        for (key, entry) in old {
+            if entry.epoch() == delta.to_epoch {
+                // Already current — a concurrent reader re-evaluated it
+                // between the index refresh and this pass; keep it.
+                outcome.untouched += 1;
+                guard.insert(key, entry);
+                continue;
+            }
+            if entry.epoch() != delta.from_epoch {
+                // Skewed entry (behind the window): drop it and let the
+                // next read re-evaluate.
+                outcome.dropped += 1;
+                continue;
+            }
+            let affected_in_domain: Vec<u64> = match delta_affected_starts(kb, &entry.spec, delta) {
+                None => Vec::new(),
+                Some(affected) => {
+                    affected.into_iter().filter(|s| entry.domain.contains(s)).collect()
+                }
+            };
+            if affected_in_domain.is_empty() {
+                entry.epoch.store(delta.to_epoch, Ordering::Release);
+                outcome.untouched += 1;
+                guard.insert(key, entry);
+                continue;
+            }
+            let threshold = self.rebatch_fraction * entry.domain.len() as f64;
+            if affected_in_domain.len() as f64 > threshold {
+                // Blast radius too large: re-batch the whole domain.
+                self.batched_evals.fetch_add(1, Ordering::Relaxed);
+                let fresh = self.eval_batch(index, entry.spec.clone(), entry.domain.clone());
+                outcome.rebatched += 1;
+                guard.insert(key, fresh);
+                continue;
+            }
+            // Patch: re-group only the affected starts and overlay.
+            self.delta_evals.fetch_add(1, Ordering::Relaxed);
+            let tile_size = match self.row_ceiling {
+                Some(ceiling) => {
+                    index.tile_size_for_ceiling(&entry.spec, affected_in_domain.len(), ceiling)
+                }
+                None => affected_in_domain.len().max(1),
+            };
+            let partial =
+                delta_count_distributions(index, &entry.spec, &affected_in_domain, tile_size)
+                    .expect("cached batch specs are valid");
+            self.tiles.fetch_add(partial.tiles, Ordering::Relaxed);
+            self.peak_rows.fetch_max(partial.peak_rows, Ordering::Relaxed);
+            let mut counts = entry.counts.clone();
+            for s in &affected_in_domain {
+                counts.remove(s);
+            }
+            for (s, multiset) in partial.per_start {
+                counts.insert(s, Arc::new(multiset));
+            }
+            outcome.patched += 1;
+            outcome.affected_starts += affected_in_domain.len();
+            guard.insert(
+                key,
+                Arc::new(AllStartsDistribution {
+                    counts,
+                    domain: entry.domain.clone(),
+                    tiles: entry.tiles,
+                    peak_rows: entry.peak_rows.max(partial.peak_rows),
+                    epoch: AtomicU64::new(delta.to_epoch),
+                    spec: entry.spec.clone(),
+                }),
+            );
+        }
+        drop(guard);
+        // Overlay entries are stale by definition now; drop them rather
+        // than patch (they are single-start probes — recomputing on the
+        // next access is their cost model).
+        self.per_start.write().retain(|_, (epoch, _)| *epoch == delta.to_epoch);
+        outcome
     }
 
     /// Local position of `e` (count aggregate) via the cache.
@@ -490,6 +751,118 @@ mod tests {
         assert!(tiled_tiles > plain_tiles, "ceiling must split the batches");
         let (_, plain_peak) = plain.tiling_stats();
         assert!(tiled_peak <= plain_peak, "tiling must not raise the peak");
+    }
+
+    /// The epoch contract: a batch computed at epoch N refuses to serve
+    /// an index at epoch N+1 and refreshes instead — and apply_delta is
+    /// the cheap alternative that keeps it serving.
+    #[test]
+    fn stale_epoch_refuses_and_refreshes() {
+        let mut kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let e = &out.explanations[0];
+        let starts: Vec<rex_kb::NodeId> = kb.node_ids().take(8).collect();
+        let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+        let cache = DistributionCache::new();
+
+        let batch0 = cache.all_starts(&index, e, &starts);
+        assert_eq!(cache.batched_evals(), 1);
+        assert_eq!(batch0.epoch(), 0);
+        cache.counts(&index, e, a.0);
+        assert!(cache.cached_local_position(e, a.0).is_some());
+
+        // Mutate the KB; the refreshed index moves to epoch N+1.
+        let epoch0 = kb.epoch();
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(jr, fc, starring, true).unwrap();
+        let delta = kb.delta_since(epoch0);
+        index.apply_delta(&delta).unwrap();
+
+        // Batched read: the epoch-N batch is refused; a fresh evaluation
+        // replaces it.
+        let batch1 = cache.all_starts(&index, e, &starts);
+        assert_eq!(cache.batched_evals(), 2, "stale batch must re-evaluate");
+        assert_eq!(batch1.epoch(), kb.epoch());
+        // The stale batch also stops serving cached_local_position (the
+        // cache-level epoch moved past it)... and the refreshed one
+        // serves again.
+        assert!(cache.cached_local_position(e, a.0).is_some());
+        // A second read is a warm hit — refresh happened exactly once.
+        cache.all_starts(&index, e, &starts);
+        assert_eq!(cache.batched_evals(), 2);
+    }
+
+    /// apply_delta accounting: label-disjoint shapes ride for free,
+    /// touched shapes are patched (or rebatched under a zero fraction),
+    /// and every maintained shape serves warm reads at the new epoch.
+    #[test]
+    fn apply_delta_maintains_batches() {
+        let mut kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let starts: Vec<rex_kb::NodeId> = kb.node_ids().collect();
+        let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+        let cache = DistributionCache::new();
+        for e in &out.explanations {
+            cache.all_starts(&index, e, &starts);
+        }
+        let shapes = cache.batched_evals();
+
+        let epoch0 = kb.epoch();
+        let award = kb.intern_label("awarded");
+        let oscar = kb.insert_node("a_new_award", "Award");
+        kb.insert_edge(a, oscar, award, true).unwrap();
+        let delta = kb.delta_since(epoch0);
+        index.apply_delta(&delta).unwrap();
+
+        // The delta touches only a brand-new label: every cached shape is
+        // label-disjoint → untouched, zero evaluations.
+        let m = cache.apply_delta(&kb, &index, &delta);
+        assert_eq!(m.untouched, shapes);
+        assert_eq!(m.patched + m.rebatched + m.dropped, 0);
+        let evals = cache.batched_evals();
+        for e in &out.explanations {
+            cache.all_starts(&index, e, &starts);
+        }
+        assert_eq!(cache.batched_evals(), evals, "maintained shapes serve warm");
+
+        // Now touch 'starring': shapes over it are patched; with a zero
+        // rebatch fraction they would all rebatch instead.
+        let epoch1 = kb.epoch();
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(jr, fc, starring, true).unwrap();
+        let delta2 = kb.delta_since(epoch1);
+        index.apply_delta(&delta2).unwrap();
+        let m2 = cache.apply_delta(&kb, &index, &delta2);
+        assert_eq!(m2.patched + m2.rebatched + m2.untouched, shapes);
+        assert!(m2.patched + m2.rebatched > 0, "starring shapes are touched");
+        if m2.patched > 0 {
+            assert!(cache.delta_evals() > 0);
+            assert!(m2.affected_starts > 0);
+        }
+        // Maintained counts equal a scratch evaluation at the new epoch.
+        let scratch = DistributionCache::new();
+        for e in &out.explanations {
+            let maintained = cache.all_starts(&index, e, &starts);
+            let fresh = scratch.all_starts(&index, e, &starts);
+            for s in &starts {
+                assert_eq!(
+                    maintained.counts_for(s.0 as u64),
+                    fresh.counts_for(s.0 as u64),
+                    "start {s} of {}",
+                    e.describe(&kb)
+                );
+            }
+        }
     }
 
     #[test]

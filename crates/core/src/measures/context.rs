@@ -83,8 +83,12 @@ impl<'a> MeasureContext<'a> {
     /// many target pairs. With a shared frame **and** a shared cache, the
     /// pairs' global distributions come from one batched evaluation per
     /// distinct shape across all of them. Also aligns `global_samples` /
-    /// `sample_seed` with the frame so a lazily re-derived frame would be
-    /// identical.
+    /// `sample_seed` with the frame, so a lazily re-derived frame is
+    /// identical **when the shared frame was freshly drawn at the KB's
+    /// current state** — a frame carried across KB updates by
+    /// [`SampleFrame::refresh`] keeps (or epoch-mixes) its original draw
+    /// and generally differs from what `SampleFrame::sample` would draw
+    /// from the updated eligible-entity list.
     pub fn with_sample_frame(mut self, frame: Arc<SampleFrame>) -> Self {
         self.global_samples = frame.len();
         self.sample_seed = frame.seed();
@@ -123,14 +127,22 @@ impl<'a> MeasureContext<'a> {
         })
     }
 
-    /// The deterministic random start entities for global-distribution
-    /// estimation: the shared frame with this pair's own start entity
-    /// excluded at read time (so the local distribution is not double
-    /// counted). May hold fewer than `global_samples` entries when the
-    /// start entity was drawn into the frame; the frame itself — and
-    /// hence any shared batched evaluation — is identical across pairs.
+    /// Allocation-free walk of the deterministic random start entities
+    /// for global-distribution estimation: the shared frame with this
+    /// pair's own start entity excluded at read time (so the local
+    /// distribution is not double counted). May yield fewer than
+    /// `global_samples` entries when the start entity was drawn into the
+    /// frame; the frame itself — and hence any shared batched
+    /// evaluation — is identical across pairs.
+    pub fn sample_starts_excluding(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sample_frame().iter_excluding(self.vstart)
+    }
+
+    /// [`MeasureContext::sample_starts_excluding`], collected — for
+    /// callers that need a reusable list (the batched position APIs take
+    /// slices).
     pub fn global_sample_starts(&self) -> Vec<NodeId> {
-        self.sample_frame().starts_excluding(self.vstart)
+        self.sample_starts_excluding().collect()
     }
 }
 

@@ -78,7 +78,7 @@ pub fn global_position_per_start(
     let spec = explanation.pattern.to_spec();
     let a = explanation.count() as u64;
     let mut total = 0usize;
-    for start in ctx.global_sample_starts() {
+    for start in ctx.sample_starts_excluding() {
         let remaining = limit.saturating_sub(total);
         if remaining == 0 {
             break;

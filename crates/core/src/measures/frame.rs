@@ -40,10 +40,18 @@ use crate::error::{CoreError, Result};
 /// One fixed, seeded start-entity sample shared by every target pair of a
 /// workload over the same knowledge base. Immutable once sampled; cheap
 /// to clone behind an `Arc`.
+///
+/// The frame remembers the KB [`epoch`](SampleFrame::epoch) it was drawn
+/// at. Under KB updates, [`SampleFrame::refresh`] applies the **redraw
+/// policy**: the seeded sample is kept as long as every drawn start stays
+/// eligible (degree > 0) — so warm caches over the frame's domain survive
+/// the update — and is redrawn deterministically from
+/// `(kb, seed, size, epoch)` the moment an update invalidates one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleFrame {
     starts: Vec<NodeId>,
     seed: u64,
+    epoch: u64,
 }
 
 impl SampleFrame {
@@ -53,16 +61,50 @@ impl SampleFrame {
     /// eligible start entity — the loud failure the old rejection
     /// sampler's silent under-fill is replaced by.
     pub fn sample(kb: &KnowledgeBase, size: usize, seed: u64) -> Result<SampleFrame> {
+        Self::draw(kb, size, seed, seed)
+    }
+
+    /// Draws a frame with an explicit RNG stream (the redraw path mixes
+    /// the epoch into it; the initial draw uses `seed` itself).
+    fn draw(kb: &KnowledgeBase, size: usize, seed: u64, stream: u64) -> Result<SampleFrame> {
         if size == 0 {
-            return Ok(SampleFrame { starts: Vec::new(), seed });
+            return Ok(SampleFrame { starts: Vec::new(), seed, epoch: kb.epoch() });
         }
         let eligible: Vec<NodeId> = kb.node_ids().filter(|&n| kb.degree(n) > 0).collect();
         if eligible.is_empty() {
             return Err(CoreError::EmptySampleFrame { requested: size, nodes: kb.node_count() });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(stream);
         let starts = (0..size).map(|_| eligible[rng.gen_range(0..eligible.len())]).collect();
-        Ok(SampleFrame { starts, seed })
+        Ok(SampleFrame { starts, seed, epoch: kb.epoch() })
+    }
+
+    /// Applies the redraw policy against the current state of `kb` and
+    /// returns `(frame, redrawn)`:
+    ///
+    /// * every drawn start still eligible → the **same** starts, with the
+    ///   frame's epoch advanced (cached batches over the domain stay
+    ///   reusable);
+    /// * some start lost its last edge → a fresh deterministic draw from
+    ///   `(kb, seed, size, epoch)` (`redrawn = true`), or an error when
+    ///   the KB no longer has any eligible start.
+    pub fn refresh(&self, kb: &KnowledgeBase) -> Result<(SampleFrame, bool)> {
+        if kb.epoch() == self.epoch {
+            return Ok((self.clone(), false));
+        }
+        if self.starts.iter().all(|&s| kb.degree(s) > 0) {
+            let kept =
+                SampleFrame { starts: self.starts.clone(), seed: self.seed, epoch: kb.epoch() };
+            return Ok((kept, false));
+        }
+        let stream = self.seed ^ kb.epoch().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let redrawn = Self::draw(kb, self.starts.len(), self.seed, stream)?;
+        Ok((redrawn, true))
+    }
+
+    /// The KB epoch the frame was drawn at (or last refreshed to).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The sampled starts, in draw order, with multiplicity (a start drawn
@@ -71,13 +113,22 @@ impl SampleFrame {
         &self.starts
     }
 
-    /// The starts with every occurrence of `exclude` dropped — the
-    /// read-time exclusion a pair applies so its own start's local
-    /// distribution is not double counted. Equivalent to the old
+    /// Allocation-free view of the starts with every occurrence of
+    /// `exclude` dropped — the read-time exclusion a pair applies so its
+    /// own start's local distribution is not double counted. The hot call
+    /// sites (position sums inside `DistributionCache`, the context's
+    /// sampled-start walk) iterate this directly; collect with
+    /// [`SampleFrame::starts_excluding`] only when a `Vec` is genuinely
+    /// needed.
+    pub fn iter_excluding(&self, exclude: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.starts.iter().copied().filter(move |&s| s != exclude)
+    }
+
+    /// [`SampleFrame::iter_excluding`], collected. Equivalent to the old
     /// sample-time exclusion for position sums, but leaves the frame (and
     /// hence the cached batch domain) identical across pairs.
     pub fn starts_excluding(&self, exclude: NodeId) -> Vec<NodeId> {
-        self.starts.iter().copied().filter(|&s| s != exclude).collect()
+        self.iter_excluding(exclude).collect()
     }
 
     /// Whether `node` occurs in the frame.
@@ -144,6 +195,79 @@ mod tests {
         let frame = SampleFrame::sample(&kb, 100, 1).unwrap();
         assert_eq!(frame.len(), 100, "direct sampling must fill the frame");
         assert!(frame.starts().iter().all(|&s| s == a || s == c));
+    }
+
+    #[test]
+    fn iter_excluding_matches_collected_variant() {
+        let kb = rex_kb::toy::entertainment();
+        let frame = SampleFrame::sample(&kb, 80, 9).unwrap();
+        let victim = frame.starts()[3];
+        let collected = frame.starts_excluding(victim);
+        let iterated: Vec<NodeId> = frame.iter_excluding(victim).collect();
+        assert_eq!(collected, iterated);
+        assert_eq!(
+            frame.iter_excluding(victim).count(),
+            frame.len() - frame.starts().iter().filter(|&&s| s == victim).count()
+        );
+    }
+
+    /// Redraw policy: edge churn that keeps every sampled start eligible
+    /// keeps the sample; knocking a sampled start to degree 0 redraws
+    /// deterministically from `(kb, seed, size, epoch)`.
+    #[test]
+    fn refresh_keeps_eligible_samples_and_redraws_otherwise() {
+        let mut b = rex_kb::KbBuilder::new();
+        let nodes: Vec<_> = (0..8).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+        for w in nodes.windows(2) {
+            b.add_directed_edge(w[0], w[1], "r");
+        }
+        let mut kb = b.build();
+        let frame = SampleFrame::sample(&kb, 6, 4).unwrap();
+        assert_eq!(frame.epoch(), 0);
+
+        // Same epoch: refresh is the identity.
+        let (same, redrawn) = frame.refresh(&kb).unwrap();
+        assert!(!redrawn);
+        assert_eq!(same, frame);
+
+        // Churn that leaves all sampled starts eligible: starts kept,
+        // epoch advanced.
+        let r = kb.label_by_name("r").unwrap();
+        let extra = kb.insert_edge(nodes[0], nodes[7], r, true).unwrap();
+        let (kept, redrawn) = frame.refresh(&kb).unwrap();
+        assert!(!redrawn);
+        assert_eq!(kept.starts(), frame.starts());
+        assert_eq!(kept.epoch(), kb.epoch());
+        kb.remove_edge(extra).unwrap();
+
+        // Strip one sampled start of its last edge: redraw, determinstic
+        // per (kb, seed, size, epoch), and all-eligible.
+        let victim = frame.starts()[0];
+        while kb.degree(victim) > 0 {
+            let eid = kb.neighbors(victim)[0].edge;
+            kb.remove_edge(eid).unwrap();
+        }
+        let (redrawn1, flag1) = frame.refresh(&kb).unwrap();
+        let (redrawn2, flag2) = frame.refresh(&kb).unwrap();
+        assert!(flag1 && flag2);
+        assert_eq!(redrawn1, redrawn2, "redraw must be deterministic");
+        assert_eq!(redrawn1.len(), frame.len());
+        assert_eq!(redrawn1.epoch(), kb.epoch());
+        assert!(redrawn1.starts().iter().all(|&s| kb.degree(s) > 0));
+        assert!(!redrawn1.contains(victim));
+
+        // A later epoch redraws a (generally) different sample: the
+        // stream mixes the epoch in.
+        let e2 = kb.insert_edge(nodes[2], nodes[3], r, true).unwrap();
+        kb.remove_edge(e2).unwrap();
+        let (redrawn3, _) = frame.refresh(&kb).unwrap();
+        assert_eq!(redrawn3.epoch(), kb.epoch());
+
+        // Removing every edge leaves no eligible start: loud error.
+        while kb.edge_count() > 0 {
+            kb.remove_edge(rex_kb::EdgeId(0)).unwrap();
+        }
+        assert!(frame.refresh(&kb).is_err());
     }
 
     #[test]

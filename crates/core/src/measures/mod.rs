@@ -31,7 +31,7 @@ pub mod frame;
 mod structure;
 
 pub use aggregate::{CountMeasure, MonocountMeasure};
-pub use cache::DistributionCache;
+pub use cache::{DeltaMaintenance, DistributionCache};
 pub use combine::Combined;
 pub use context::MeasureContext;
 pub use distribution::{GlobalDistMeasure, LocalDeviationMeasure, LocalDistMeasure};

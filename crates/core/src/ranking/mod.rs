@@ -11,12 +11,17 @@
 //! * [`pairs`] — the multi-pair workload driver: one shared sample frame
 //!   and distribution cache across all pairs, shapes evaluated
 //!   cheapest-first under a memory ceiling.
+//! * [`update`] — the incremental re-rank driver: after a batch of KB
+//!   updates, refresh the session's index/frame/cache from the delta and
+//!   re-rank against the warm cache instead of rebuilding.
 
 pub mod distribution;
 mod general;
 pub mod pairs;
 pub mod parallel;
 pub mod topk;
+pub mod update;
 
 pub use general::{rank, rank_with_scores, Ranked};
 pub use pairs::{rank_pairs, rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
+pub use update::{rank_pairs_updated, RankUpdateOutcome};

@@ -99,7 +99,10 @@ impl KbBuilder {
         self.edges.len()
     }
 
-    /// Freezes the builder into an immutable, index-backed knowledge base.
+    /// Builds the index-backed knowledge base at epoch 0. Further changes
+    /// go through the KB's own mutation API
+    /// ([`KnowledgeBase::insert_edge`] and friends), which maintains the
+    /// indexes in place and bumps the epoch.
     pub fn build(self) -> KnowledgeBase {
         let (adj_offsets, adj) = build_adjacency(self.nodes.len(), &self.edges);
         KnowledgeBase {
@@ -111,6 +114,8 @@ impl KbBuilder {
             name_to_node: self.name_to_node,
             adj_offsets,
             adj,
+            epoch: 0,
+            log: Vec::new(),
         }
     }
 }

@@ -1,0 +1,114 @@
+//! KB update deltas — the currency of incremental maintenance.
+//!
+//! Every mutation of a [`KnowledgeBase`](crate::KnowledgeBase) bumps its
+//! epoch and appends the edge-level change to an internal log.
+//! [`KnowledgeBase::delta_since`](crate::KnowledgeBase::delta_since)
+//! condenses the log suffix after a given epoch into a [`KbDelta`]: the
+//! added and removed edge records between two epochs, plus the node count
+//! at the destination epoch. Downstream layers (`rex_relstore`'s
+//! `EdgeIndex`, `rex_core`'s `DistributionCache`) consume the delta to
+//! refresh themselves in place instead of rebuilding from scratch.
+//!
+//! Deltas are **multisets**: an edge inserted and later removed within the
+//! window appears in both lists, and applying both is a no-op. Consumers
+//! therefore never need the window to be minimal, only faithful.
+
+use crate::graph::EdgeRecord;
+use crate::ids::{LabelId, NodeId};
+
+/// One logged mutation (edge-level; node inserts bump the epoch but need
+/// no log entry — the delta carries the destination node count instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// An edge was inserted.
+    InsertEdge(EdgeRecord),
+    /// An edge was removed.
+    RemoveEdge(EdgeRecord),
+}
+
+/// One entry of the KB's mutation log: the epoch the KB reached by
+/// applying `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LogEntry {
+    pub(crate) epoch: u64,
+    pub(crate) op: DeltaOp,
+}
+
+/// The condensed difference between two KB epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KbDelta {
+    /// The epoch the delta applies *on top of* (exclusive).
+    pub from_epoch: u64,
+    /// The epoch reached after applying the delta.
+    pub to_epoch: u64,
+    /// Edge records inserted in the window, in application order.
+    pub added: Vec<EdgeRecord>,
+    /// Edge records removed in the window, in application order.
+    pub removed: Vec<EdgeRecord>,
+    /// Node count of the KB at `to_epoch` (node inserts have no edge
+    /// records, but selectivity estimates need the domain size).
+    pub node_count: usize,
+}
+
+impl KbDelta {
+    /// Whether the delta changes no edges (it may still record node
+    /// inserts through `node_count` and the epoch bump).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total edge churn: insertions plus removals.
+    pub fn edge_churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// The distinct relationship labels touched by the delta, sorted.
+    /// Pattern shapes whose label set is disjoint from this are provably
+    /// unaffected by the delta.
+    pub fn touched_labels(&self) -> Vec<LabelId> {
+        let mut labels: Vec<LabelId> =
+            self.added.iter().chain(&self.removed).map(|e| e.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// The distinct endpoints of all delta edges, sorted — the seeds of
+    /// the affected-start search during incremental maintenance.
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> =
+            self.added.iter().chain(&self.removed).flat_map(|e| [e.src, e.dst]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: u32, dst: u32, label: u32) -> EdgeRecord {
+        EdgeRecord { src: NodeId(src), dst: NodeId(dst), label: LabelId(label), directed: true }
+    }
+
+    #[test]
+    fn delta_summaries() {
+        let d = KbDelta {
+            from_epoch: 3,
+            to_epoch: 6,
+            added: vec![rec(0, 1, 2), rec(1, 2, 2)],
+            removed: vec![rec(2, 0, 5)],
+            node_count: 3,
+        };
+        assert!(!d.is_empty());
+        assert_eq!(d.edge_churn(), 3);
+        assert_eq!(d.touched_labels(), vec![LabelId(2), LabelId(5)]);
+        assert_eq!(d.endpoints(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let empty =
+            KbDelta { from_epoch: 0, to_epoch: 1, added: vec![], removed: vec![], node_count: 9 };
+        assert!(empty.is_empty());
+        assert!(empty.touched_labels().is_empty());
+        assert!(empty.endpoints().is_empty());
+    }
+}

@@ -1,7 +1,7 @@
-//! The immutable knowledge-base store.
+//! The knowledge-base store.
 //!
-//! [`KnowledgeBase`] is a frozen labeled multigraph in CSR (compressed
-//! sparse row) layout. Every edge — directed or not — contributes an entry
+//! [`KnowledgeBase`] is a labeled multigraph in CSR (compressed sparse
+//! row) layout. Every edge — directed or not — contributes an entry
 //! to the adjacency slice of **both** endpoints, because REX's structural
 //! notions (simple paths, essentiality) ignore direction while its pattern
 //! constraints respect it; each entry therefore carries an
@@ -11,9 +11,20 @@
 //! Per-node adjacency is sorted by `(label, orientation, other)`, so
 //! label-restricted scans — the hot operation of path enumeration and
 //! pattern matching — are a binary search plus a contiguous slice walk.
+//!
+//! The store is bulk-built through [`crate::KbBuilder`] but no longer
+//! frozen: the **mutation API** ([`KnowledgeBase::insert_edge`],
+//! [`KnowledgeBase::remove_edge`], [`KnowledgeBase::insert_node`])
+//! maintains the sorted-adjacency invariant in place, bumps a
+//! monotonically increasing [`epoch`](KnowledgeBase::epoch), and logs the
+//! edge-level change so downstream indexes and caches can refresh from a
+//! [`KbDelta`](crate::KbDelta) instead of rebuilding. Single-edge
+//! mutations shift the CSR arrays (`O(V + E)` worst case) — the right
+//! trade for a read-dominated store whose readers must stay branch-free.
 
 use std::collections::HashMap;
 
+use crate::delta::{DeltaOp, KbDelta, LogEntry};
 use crate::ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
 use crate::interner::Interner;
 use crate::{KbError, Result};
@@ -53,7 +64,8 @@ pub struct Neighbor {
     pub edge: EdgeId,
 }
 
-/// The frozen knowledge base. Construct with [`crate::KbBuilder`].
+/// The knowledge base. Bulk-construct with [`crate::KbBuilder`]; mutate
+/// in place with the epoch-bumping update API.
 #[derive(Debug, Clone)]
 pub struct KnowledgeBase {
     pub(crate) nodes: Vec<NodeRecord>,
@@ -66,6 +78,10 @@ pub struct KnowledgeBase {
     pub(crate) adj_offsets: Vec<u32>,
     /// Per-node adjacency, sorted by `(label, orientation, other)`.
     pub(crate) adj: Vec<Neighbor>,
+    /// Monotonically increasing update counter; 0 for a fresh build.
+    pub(crate) epoch: u64,
+    /// Edge-level mutation log, ordered by epoch (see [`crate::KbDelta`]).
+    pub(crate) log: Vec<LogEntry>,
 }
 
 impl KnowledgeBase {
@@ -273,6 +289,268 @@ impl KnowledgeBase {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Mutation API: epoch-bumping in-place updates.
+    // ------------------------------------------------------------------
+
+    /// The KB's update epoch: 0 for a fresh build, incremented by every
+    /// successful mutation. Caches and indexes derived from the KB carry
+    /// the epoch they were computed at and refresh when it moves.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Interns a relationship label (existing labels return their id).
+    pub fn intern_label(&mut self, label: &str) -> LabelId {
+        LabelId(self.labels.intern(label))
+    }
+
+    /// Inserts (or finds) a node with the given unique name and type —
+    /// the same idempotent-upsert semantics as
+    /// [`crate::KbBuilder::add_node`]. A genuinely new node bumps the
+    /// epoch; re-adding an existing name is a read.
+    pub fn insert_node(&mut self, name: &str, ty: &str) -> NodeId {
+        let name_id = self.names.intern(name);
+        if let Some(&id) = self.name_to_node.get(&name_id) {
+            return id;
+        }
+        let ty = TypeId(self.types.intern(ty));
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeRecord { name: name_id, ty });
+        self.name_to_node.insert(name_id, id);
+        // A fresh node has an empty adjacency slice.
+        let end = *self.adj_offsets.last().expect("offsets are never empty");
+        self.adj_offsets.push(end);
+        self.epoch += 1;
+        id
+    }
+
+    /// Inserts an edge, maintaining the sorted adjacency in place, and
+    /// returns its id. The label must already be interned (bulk loads
+    /// intern through the builder; incremental callers use
+    /// [`KnowledgeBase::intern_label`] or
+    /// [`KnowledgeBase::insert_edge_named`]).
+    pub fn insert_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: LabelId,
+        directed: bool,
+    ) -> Result<EdgeId> {
+        if src.index() >= self.nodes.len() {
+            return Err(KbError::UnknownNode(src.0));
+        }
+        if dst.index() >= self.nodes.len() {
+            return Err(KbError::UnknownNode(dst.0));
+        }
+        if label.index() >= self.labels.len() {
+            return Err(KbError::Parse(format!("label id {} is not interned", label.0)));
+        }
+        let eid = EdgeId(self.edges.len() as u32);
+        let record = EdgeRecord { src, dst, label, directed };
+        self.edges.push(record);
+        let (fwd, bwd) = if directed {
+            (Orientation::Out, Orientation::In)
+        } else {
+            (Orientation::Undirected, Orientation::Undirected)
+        };
+        self.adj_insert(src, Neighbor { label, orientation: fwd, other: dst, edge: eid });
+        if src != dst {
+            self.adj_insert(dst, Neighbor { label, orientation: bwd, other: src, edge: eid });
+        }
+        self.epoch += 1;
+        self.log.push(LogEntry { epoch: self.epoch, op: DeltaOp::InsertEdge(record) });
+        Ok(eid)
+    }
+
+    /// [`KnowledgeBase::insert_edge`] by label string, interning the
+    /// label when new.
+    pub fn insert_edge_named(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: &str,
+        directed: bool,
+    ) -> Result<EdgeId> {
+        let label = self.intern_label(label);
+        self.insert_edge(src, dst, label, directed)
+    }
+
+    /// Removes the edge `id`, returning its record. The last edge takes
+    /// over the freed id (swap-remove), so at most one *other* edge is
+    /// renumbered per removal — its adjacency entries are re-threaded to
+    /// the new id, preserving the sort invariant.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<EdgeRecord> {
+        if id.index() >= self.edges.len() {
+            return Err(KbError::Parse(format!("edge id {} out of range", id.0)));
+        }
+        let record = self.edges[id.index()];
+        let (fwd, bwd) = if record.directed {
+            (Orientation::Out, Orientation::In)
+        } else {
+            (Orientation::Undirected, Orientation::Undirected)
+        };
+        self.adj_remove(
+            record.src,
+            Neighbor { label: record.label, orientation: fwd, other: record.dst, edge: id },
+        );
+        if record.src != record.dst {
+            self.adj_remove(
+                record.dst,
+                Neighbor { label: record.label, orientation: bwd, other: record.src, edge: id },
+            );
+        }
+        let last = EdgeId((self.edges.len() - 1) as u32);
+        self.edges.swap_remove(id.index());
+        if id != last {
+            // The moved edge (previously `last`) now answers to `id`:
+            // re-thread its adjacency entries. Remove + reinsert keeps
+            // parallel-edge runs (equal label/orientation/other) sorted
+            // by the edge-id tiebreaker.
+            let moved = self.edges[id.index()];
+            let (mfwd, mbwd) = if moved.directed {
+                (Orientation::Out, Orientation::In)
+            } else {
+                (Orientation::Undirected, Orientation::Undirected)
+            };
+            self.adj_remove(
+                moved.src,
+                Neighbor { label: moved.label, orientation: mfwd, other: moved.dst, edge: last },
+            );
+            self.adj_insert(
+                moved.src,
+                Neighbor { label: moved.label, orientation: mfwd, other: moved.dst, edge: id },
+            );
+            if moved.src != moved.dst {
+                self.adj_remove(
+                    moved.dst,
+                    Neighbor {
+                        label: moved.label,
+                        orientation: mbwd,
+                        other: moved.src,
+                        edge: last,
+                    },
+                );
+                self.adj_insert(
+                    moved.dst,
+                    Neighbor { label: moved.label, orientation: mbwd, other: moved.src, edge: id },
+                );
+            }
+        }
+        self.epoch += 1;
+        self.log.push(LogEntry { epoch: self.epoch, op: DeltaOp::RemoveEdge(record) });
+        Ok(record)
+    }
+
+    /// Finds one edge `(src, dst)` with the given label and directedness,
+    /// if any (an arbitrary representative among parallel edges). For an
+    /// undirected edge either endpoint order matches.
+    pub fn find_edge(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        label: LabelId,
+        directed: bool,
+    ) -> Option<EdgeId> {
+        let orientation = if directed { Orientation::Out } else { Orientation::Undirected };
+        let slice = self.neighbors_labeled_oriented(src, label, orientation);
+        let at = slice.binary_search_by(|n| n.other.cmp(&dst)).ok()?;
+        Some(slice[at].edge)
+    }
+
+    /// The condensed delta between `epoch` (exclusive) and the current
+    /// state: the edge records added and removed since, plus the current
+    /// node count. Returns an edge-empty delta when `epoch` is current or
+    /// ahead. Deltas are multisets — see [`crate::KbDelta`].
+    pub fn delta_since(&self, epoch: u64) -> KbDelta {
+        let from = self.log.partition_point(|e| e.epoch <= epoch);
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for entry in &self.log[from..] {
+            match entry.op {
+                DeltaOp::InsertEdge(r) => added.push(r),
+                DeltaOp::RemoveEdge(r) => removed.push(r),
+            }
+        }
+        KbDelta {
+            from_epoch: epoch.min(self.epoch),
+            to_epoch: self.epoch,
+            added,
+            removed,
+            node_count: self.nodes.len(),
+        }
+    }
+
+    /// Number of logged edge mutations retained for [`delta_since`].
+    ///
+    /// [`delta_since`]: KnowledgeBase::delta_since
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Inserts an adjacency entry for `node` at its sorted position,
+    /// shifting the CSR arrays.
+    fn adj_insert(&mut self, node: NodeId, n: Neighbor) {
+        let lo = self.adj_offsets[node.index()] as usize;
+        let hi = self.adj_offsets[node.index() + 1] as usize;
+        let pos = self.adj[lo..hi].partition_point(|x| {
+            (x.label, x.orientation, x.other, x.edge) < (n.label, n.orientation, n.other, n.edge)
+        });
+        self.adj.insert(lo + pos, n);
+        for off in &mut self.adj_offsets[node.index() + 1..] {
+            *off += 1;
+        }
+    }
+
+    /// Removes the exact adjacency entry `n` from `node`'s slice.
+    fn adj_remove(&mut self, node: NodeId, n: Neighbor) {
+        let lo = self.adj_offsets[node.index()] as usize;
+        let hi = self.adj_offsets[node.index() + 1] as usize;
+        let key = (n.label, n.orientation, n.other, n.edge);
+        let pos = self.adj[lo..hi]
+            .binary_search_by(|x| (x.label, x.orientation, x.other, x.edge).cmp(&key))
+            .expect("adjacency entry for an existing edge");
+        self.adj.remove(lo + pos);
+        for off in &mut self.adj_offsets[node.index() + 1..] {
+            *off -= 1;
+        }
+    }
+
+    /// Debug check: per-node adjacency sorted and consistent with the
+    /// edge table. Used by tests; not on any hot path.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<()> {
+        if self.adj_offsets.len() != self.nodes.len() + 1 {
+            return Err(KbError::Parse("offset table length".into()));
+        }
+        let expected: usize = self.edges.iter().map(|e| if e.src == e.dst { 1 } else { 2 }).sum();
+        if self.adj.len() != expected || *self.adj_offsets.last().unwrap() as usize != expected {
+            return Err(KbError::Parse("adjacency length".into()));
+        }
+        for v in 0..self.nodes.len() {
+            let slice = self.neighbors(NodeId(v as u32));
+            let sorted = slice.windows(2).all(|w| {
+                (w[0].label, w[0].orientation, w[0].other, w[0].edge)
+                    <= (w[1].label, w[1].orientation, w[1].other, w[1].edge)
+            });
+            if !sorted {
+                return Err(KbError::Parse(format!("adjacency of node {v} unsorted")));
+            }
+            for n in slice {
+                let e = self.edges.get(n.edge.index()).copied().ok_or_else(|| {
+                    KbError::Parse(format!("dangling edge id {} at node {v}", n.edge.0))
+                })?;
+                let me = NodeId(v as u32);
+                let ok = (e.src == me && e.dst == n.other) || (e.dst == me && e.src == n.other);
+                if !ok || e.label != n.label {
+                    return Err(KbError::Parse(format!("adjacency of node {v} disagrees")));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Builds the CSR adjacency for a frozen node/edge set. Shared by the
@@ -474,6 +752,164 @@ mod tests {
         b.add_undirected_edge(a, a, "self");
         let kb = b.build();
         assert_eq!(kb.degree(a), 1);
+    }
+
+    /// In-place mutations keep every adjacency invariant a bulk rebuild
+    /// would establish, and bump the epoch once per mutation.
+    #[test]
+    fn mutations_preserve_invariants_and_epoch() {
+        let mut kb = tiny();
+        assert_eq!(kb.epoch(), 0);
+        let a = kb.require_node("a").unwrap();
+        let c = kb.require_node("c").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+
+        // Node insert: epoch bumps, empty adjacency; idempotent re-add
+        // does not bump.
+        let d = kb.insert_node("d", "Person");
+        assert_eq!(kb.epoch(), 1);
+        assert_eq!(kb.insert_node("d", "Person"), d);
+        assert_eq!(kb.epoch(), 1);
+        assert_eq!(kb.degree(d), 0);
+        kb.check_invariants().unwrap();
+
+        // Edge insert: visible through every read path.
+        let e1 = kb.insert_edge(d, m, starring, true).unwrap();
+        assert_eq!(kb.epoch(), 2);
+        assert!(kb.has_edge(d, m, starring, Orientation::Out));
+        assert_eq!(kb.neighbors_labeled(m, starring).len(), 3);
+        kb.check_invariants().unwrap();
+
+        // find_edge sees it; removal takes it back out.
+        assert_eq!(kb.find_edge(d, m, starring, true), Some(e1));
+        let removed = kb.remove_edge(e1).unwrap();
+        assert_eq!(removed.src, d);
+        assert_eq!(kb.epoch(), 3);
+        assert!(!kb.has_edge(d, m, starring, Orientation::Out));
+        assert_eq!(kb.find_edge(d, m, starring, true), None);
+        kb.check_invariants().unwrap();
+
+        // Removing a *middle* edge renumbers the moved last edge; reads
+        // must stay consistent.
+        let spouse = kb.label_by_name("spouse").unwrap();
+        kb.remove_edge(EdgeId(0)).unwrap();
+        kb.check_invariants().unwrap();
+        assert!(kb.has_edge(a, c, spouse, Orientation::Undirected));
+        assert!(kb.has_edge(c, m, starring, Orientation::Out));
+        assert!(!kb.has_edge(a, m, starring, Orientation::Out));
+
+        // Errors: out-of-range ids and uninterned labels.
+        assert!(kb.remove_edge(EdgeId(999)).is_err());
+        assert!(kb.insert_edge(NodeId(999), m, starring, true).is_err());
+        assert!(kb.insert_edge(m, NodeId(999), starring, true).is_err());
+        assert!(kb.insert_edge(a, m, LabelId(999), true).is_err());
+    }
+
+    /// The delta log condenses into per-window added/removed lists.
+    #[test]
+    fn delta_since_windows() {
+        let mut kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let mid = kb.epoch();
+        let e = kb.insert_edge(a, m, starring, true).unwrap();
+        let after_insert = kb.epoch();
+        kb.remove_edge(e).unwrap();
+
+        let full = kb.delta_since(mid);
+        assert_eq!(full.from_epoch, mid);
+        assert_eq!(full.to_epoch, kb.epoch());
+        assert_eq!(full.added.len(), 1);
+        assert_eq!(full.removed.len(), 1);
+        assert_eq!(full.node_count, kb.node_count());
+
+        let tail = kb.delta_since(after_insert);
+        assert_eq!(tail.added.len(), 0);
+        assert_eq!(tail.removed.len(), 1);
+
+        let empty = kb.delta_since(kb.epoch());
+        assert!(empty.is_empty());
+        assert_eq!(kb.log_len(), 2);
+    }
+
+    /// Self-loops (one adjacency slot) survive insert/remove round trips.
+    #[test]
+    fn mutation_self_loops() {
+        let mut b = KbBuilder::new();
+        let a = b.add_node("a", "T");
+        b.add_undirected_edge(a, a, "self");
+        let mut kb = b.build();
+        let l = kb.label_by_name("self").unwrap();
+        let e = kb.insert_edge(a, a, l, true).unwrap();
+        kb.check_invariants().unwrap();
+        assert_eq!(kb.degree(a), 2);
+        kb.remove_edge(e).unwrap();
+        kb.check_invariants().unwrap();
+        assert_eq!(kb.degree(a), 1);
+        // Removing the remaining loop through the swap-remove path.
+        kb.remove_edge(EdgeId(0)).unwrap();
+        kb.check_invariants().unwrap();
+        assert_eq!(kb.degree(a), 0);
+        assert_eq!(kb.edge_count(), 0);
+    }
+
+    /// A long random mutation sequence matches a scratch rebuild edge for
+    /// edge (the invariant the incremental engine leans on).
+    #[test]
+    fn mutated_kb_matches_scratch_rebuild() {
+        let mut b = KbBuilder::new();
+        for i in 0..12 {
+            b.add_node(&format!("n{i}"), "T");
+        }
+        for l in ["r", "s", "t"] {
+            b.intern_label(l);
+        }
+        let mut kb = b.build();
+        // Deterministic pseudo-random walk of inserts and removes.
+        let mut state = 0x9E37u64;
+        let mut next = |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for step in 0..200 {
+            if step % 3 != 0 || kb.edge_count() == 0 {
+                let src = NodeId(next(kb.node_count() as u64) as u32);
+                let dst = NodeId(next(kb.node_count() as u64) as u32);
+                let label = LabelId(next(3) as u32);
+                kb.insert_edge(src, dst, label, next(2) == 0).unwrap();
+            } else {
+                kb.remove_edge(EdgeId(next(kb.edge_count() as u64) as u32)).unwrap();
+            }
+        }
+        kb.check_invariants().unwrap();
+        // Scratch rebuild from the surviving records.
+        let mut b2 = KbBuilder::new();
+        for id in kb.node_ids() {
+            b2.add_node(kb.node_name(id), kb.node_type_name(id));
+        }
+        for (_, l) in kb.labels() {
+            b2.intern_label(l);
+        }
+        for eid in kb.edge_ids() {
+            let e = kb.edge(eid);
+            let l = kb.label_name(e.label);
+            if e.directed {
+                b2.add_directed_edge(e.src, e.dst, l);
+            } else {
+                b2.add_undirected_edge(e.src, e.dst, l);
+            }
+        }
+        let fresh = b2.build();
+        assert_eq!(fresh.edge_count(), kb.edge_count());
+        for v in kb.node_ids() {
+            let a: Vec<_> =
+                kb.neighbors(v).iter().map(|n| (n.label, n.orientation, n.other)).collect();
+            let f: Vec<_> =
+                fresh.neighbors(v).iter().map(|n| (n.label, n.orientation, n.other)).collect();
+            assert_eq!(a, f, "adjacency of {v}");
+        }
     }
 
     #[test]

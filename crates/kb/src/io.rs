@@ -221,7 +221,18 @@ pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
         edges.push(EdgeRecord { src, dst, label, directed });
     }
     let (adj_offsets, adj) = build_adjacency(node_count, &edges);
-    Ok(KnowledgeBase { nodes, edges, names, types, labels, name_to_node, adj_offsets, adj })
+    Ok(KnowledgeBase {
+        nodes,
+        edges,
+        names,
+        types,
+        labels,
+        name_to_node,
+        adj_offsets,
+        adj,
+        epoch: 0,
+        log: Vec::new(),
+    })
 }
 
 #[cfg(test)]

@@ -9,11 +9,14 @@
 //!
 //! This crate provides:
 //!
-//! * [`KnowledgeBase`] — an immutable, index-backed store with O(1) node and
+//! * [`KnowledgeBase`] — an index-backed store with O(1) node and
 //!   edge access, per-node adjacency sorted by label (so that
 //!   label-restricted neighbor scans are `O(log d + k)`), and string
 //!   interning for entity names, entity types, and relationship labels.
-//! * [`KbBuilder`] — the mutable construction API.
+//!   Mutable in place: `insert_edge`/`remove_edge`/`insert_node` maintain
+//!   the indexes, bump the KB's update [`epoch`](KnowledgeBase::epoch),
+//!   and log the change for delta consumers ([`KbDelta`]).
+//! * [`KbBuilder`] — the bulk construction API.
 //! * [`io`] — a TSV interchange format (the natural encoding of DBpedia
 //!   extractions) and a compact binary snapshot codec.
 //! * [`toy`] — the small entertainment knowledge base used as the running
@@ -30,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 mod builder;
+pub mod delta;
 mod graph;
 mod ids;
 mod interner;
@@ -38,6 +42,7 @@ pub mod stats;
 pub mod toy;
 
 pub use builder::KbBuilder;
+pub use delta::{DeltaOp, KbDelta};
 pub use graph::{EdgeRecord, KnowledgeBase, Neighbor, NodeRecord};
 pub use ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
 pub use interner::Interner;

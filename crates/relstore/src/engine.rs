@@ -6,29 +6,36 @@
 //! aggregate value within that distribution — optionally pruned with a
 //! `LIMIT` once a position bound is known.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use rex_kb::KnowledgeBase;
+use rex_kb::{EdgeRecord, KbDelta, KnowledgeBase, LabelId, NodeId};
 
 use crate::ops::group_count_having_limit;
 use crate::plan::{dir_code, PatternSpec, StartBinding};
 use crate::relation::{Relation, Schema};
-use crate::Result;
+use crate::{RelError, Result};
 
 /// The oriented edge relation pre-partitioned by `(label, dir)` — the
 /// relational analogue of a composite index on `R(rel)`. Pattern-edge
 /// scans hit exactly their label's partition instead of the full relation,
 /// which is what makes repeated distribution queries (Figure 11) viable.
+///
+/// The index carries the KB [`epoch`](EdgeIndex::epoch) it reflects and
+/// refreshes **incrementally** from a [`KbDelta`]
+/// ([`EdgeIndex::apply_delta`] / [`EdgeIndex::refresh`]): only the touched
+/// `(label, dir)` partitions are edited, instead of rebuilding every
+/// partition from scratch on each KB update.
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
     groups: HashMap<(u64, u64), Relation>,
     schema: Schema,
     total_rows: usize,
     node_count: usize,
+    epoch: u64,
 }
 
 impl EdgeIndex {
-    /// Builds the index from a knowledge base.
+    /// Builds the index from a knowledge base at the KB's current epoch.
     pub fn build(kb: &KnowledgeBase) -> EdgeIndex {
         let full = oriented_edge_relation(kb);
         let schema = full.schema().clone();
@@ -45,7 +52,72 @@ impl EdgeIndex {
                 (k, Relation::from_rows(schema.clone(), rows).expect("partition arity"))
             })
             .collect();
-        EdgeIndex { groups, schema, total_rows, node_count: kb.node_count() }
+        EdgeIndex { groups, schema, total_rows, node_count: kb.node_count(), epoch: kb.epoch() }
+    }
+
+    /// The KB epoch this index reflects.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies a [`KbDelta`] in place: added edges are appended to their
+    /// `(label, dir)` partitions, removed edges retracted from theirs,
+    /// and the index's epoch advanced to `delta.to_epoch`. Errors when
+    /// the delta does not start at this index's epoch or retracts a row
+    /// the index does not hold — both mean the caller's delta bookkeeping
+    /// diverged; the index contents are then unspecified (the epoch is
+    /// not advanced) and a full [`EdgeIndex::build`] is required.
+    pub fn apply_delta(&mut self, delta: &KbDelta) -> Result<()> {
+        if delta.from_epoch != self.epoch {
+            return Err(RelError::DeltaSkew(format!(
+                "index at epoch {} cannot apply delta starting at {}",
+                self.epoch, delta.from_epoch
+            )));
+        }
+        // Additions first: a retraction may target an edge inserted
+        // within the same window (rows are a multiset, so which copy is
+        // retracted never matters — only that one exists by then).
+        for record in &delta.added {
+            for row in oriented_rows(record) {
+                self.groups
+                    .entry((row[2], row[3]))
+                    .or_insert_with(|| Relation::empty(self.schema.clone()))
+                    .push(row.into_boxed_slice())
+                    .expect("oriented rows have arity 4");
+                self.total_rows += 1;
+            }
+        }
+        for record in &delta.removed {
+            for row in oriented_rows(record) {
+                let key = (row[2], row[3]);
+                let found =
+                    self.groups.get_mut(&key).is_some_and(|partition| partition.remove_row(&row));
+                if !found {
+                    return Err(RelError::DeltaSkew(format!(
+                        "delta retracts edge ({}, {}, label {}) the index does not hold",
+                        row[0], row[1], row[2]
+                    )));
+                }
+                self.total_rows -= 1;
+            }
+        }
+        self.node_count = delta.node_count;
+        self.epoch = delta.to_epoch;
+        Ok(())
+    }
+
+    /// Refreshes the index to `kb`'s current epoch by applying
+    /// [`KnowledgeBase::delta_since`] this index's epoch. A no-op when
+    /// already current. Returns the edge churn applied.
+    pub fn refresh(&mut self, kb: &KnowledgeBase) -> Result<usize> {
+        if kb.epoch() == self.epoch {
+            return Ok(0);
+        }
+        let delta = kb.delta_since(self.epoch);
+        let churn = delta.edge_churn();
+        self.apply_delta(&delta)?;
+        Ok(churn)
     }
 
     /// The rows matching a `(label, dir)` pair; empty relation when absent.
@@ -150,17 +222,126 @@ pub fn oriented_edge_relation(kb: &KnowledgeBase) -> Relation {
     let mut rel = Relation::empty(schema);
     for eid in kb.edge_ids() {
         let e = kb.edge(eid);
-        let (s, d, l) = (e.src.0 as u64, e.dst.0 as u64, e.label.0 as u64);
-        if e.directed {
-            rel.push(vec![s, d, l, dir_code::FORWARD].into_boxed_slice()).expect("arity 4");
-        } else {
-            rel.push(vec![s, d, l, dir_code::UNDIRECTED].into_boxed_slice()).expect("arity 4");
-            if s != d {
-                rel.push(vec![d, s, l, dir_code::UNDIRECTED].into_boxed_slice()).expect("arity 4");
-            }
+        for row in oriented_rows(e) {
+            rel.push(row.into_boxed_slice()).expect("arity 4");
         }
     }
     rel
+}
+
+/// The oriented rows one KB edge contributes to the edge relation: one
+/// `FORWARD` row for a directed edge; both orientations (one for a
+/// self-loop) for an undirected edge. The single source of truth shared
+/// by bulk build and delta application, so they cannot diverge.
+fn oriented_rows(e: &EdgeRecord) -> Vec<Vec<u64>> {
+    let (s, d, l) = (e.src.0 as u64, e.dst.0 as u64, e.label.0 as u64);
+    if e.directed {
+        vec![vec![s, d, l, dir_code::FORWARD]]
+    } else if s == d {
+        vec![vec![s, d, l, dir_code::UNDIRECTED]]
+    } else {
+        vec![vec![s, d, l, dir_code::UNDIRECTED], vec![d, s, l, dir_code::UNDIRECTED]]
+    }
+}
+
+/// The starts whose grouped `(start, end)` counts for `spec` **may**
+/// change under `delta` — a sound over-approximation, or `None` when the
+/// shape is provably unaffected (its label set is disjoint from the
+/// delta's touched labels).
+///
+/// A delta edge inside an instance occupies a pattern-edge position
+/// **with its own label**, so its distance to the instance's start node
+/// is bounded by the label's worst pattern-distance from the start
+/// variable — usually far less than the pattern size. Concretely: walk
+/// the image of a shortest pattern path from the start to the occupied
+/// position; on a shortest path, the *first* delta edge along it sits at
+/// prefix length equal to its own position's distance, so the prefix
+/// (which uses only surviving, shape-labeled edges present in the
+/// post-update KB) is within that delta edge's **per-label budget**
+/// `max over pattern edges with the label of min(dist(start, u),
+/// dist(start, v))`. The budgeted multi-source BFS below therefore
+/// discovers every start whose distribution can change, for insertions
+/// and removals alike (removed edges need no special casing: their
+/// endpoints seed the search too).
+///
+/// The tight per-label budgets are what keep the blast radius local on
+/// small-world KBs: a delta label that only occurs on start-incident
+/// pattern edges has budget 0, so only the delta endpoints themselves
+/// are affected candidates.
+pub fn delta_affected_starts(
+    kb: &KnowledgeBase,
+    spec: &PatternSpec,
+    delta: &KbDelta,
+) -> Option<Vec<u64>> {
+    let shape_labels: HashSet<u64> = spec.edges.iter().map(|e| e.label).collect();
+    if !delta.touched_labels().iter().any(|l| shape_labels.contains(&(l.0 as u64))) {
+        return None;
+    }
+    // Pattern-graph distances of every variable from the start variable
+    // (patterns are connected: validate() guarantees it).
+    let mut dist = vec![usize::MAX; spec.var_count];
+    dist[spec.start] = 0;
+    let mut frontier = vec![spec.start];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for e in &spec.edges {
+                for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                    if a == v && dist[b] == usize::MAX {
+                        dist[b] = dist[v] + 1;
+                        next.push(b);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    // Per-label budget: the worst distance from the start variable to a
+    // pattern edge carrying the label (closest endpoint).
+    let mut label_budget: HashMap<u64, usize> = HashMap::new();
+    for e in &spec.edges {
+        // The clamp only matters for malformed (disconnected) specs,
+        // where unreachable variables sit at usize::MAX.
+        let d = dist[e.u].min(dist[e.v]).min(spec.edges.len());
+        let slot = label_budget.entry(e.label).or_insert(0);
+        *slot = (*slot).max(d);
+    }
+    // Budgeted multi-source BFS from the delta endpoints, each seeded
+    // with its label's budget, traversing shape-labeled edges only.
+    let mut best: HashMap<NodeId, usize> = HashMap::new();
+    let mut queue: Vec<(NodeId, usize)> = Vec::new();
+    for record in delta.added.iter().chain(&delta.removed) {
+        let Some(&budget) = label_budget.get(&(record.label.0 as u64)) else {
+            continue;
+        };
+        for node in [record.src, record.dst] {
+            let slot = best.entry(node).or_insert(usize::MAX);
+            if *slot == usize::MAX || budget > *slot {
+                *slot = budget;
+                queue.push((node, budget));
+            }
+        }
+    }
+    while let Some((node, remaining)) = queue.pop() {
+        if best.get(&node).copied().unwrap_or(0) > remaining {
+            continue; // superseded by a larger budget
+        }
+        if remaining == 0 {
+            continue;
+        }
+        for &label in &shape_labels {
+            for n in kb.neighbors_labeled(node, LabelId(label as u32)) {
+                let slot = best.entry(n.other).or_insert(usize::MAX);
+                if *slot == usize::MAX || remaining - 1 > *slot {
+                    *slot = remaining - 1;
+                    queue.push((n.other, remaining - 1));
+                }
+            }
+        }
+    }
+    let mut starts: Vec<u64> = best.into_keys().map(|n| n.0 as u64).collect();
+    starts.sort_unstable();
+    Some(starts)
 }
 
 /// The local count distribution of a pattern for a fixed start entity:
@@ -279,16 +460,44 @@ pub fn global_count_distributions_tiled(
     starts: &[u64],
     tile_size: usize,
 ) -> Result<TiledDistributions> {
+    grouped_among_tiled(index, spec, starts, tile_size, crate::metrics::record_full_eval)
+}
+
+/// The **delta-evaluation path**: identical grouped `(start, end)`
+/// counting restricted to the (few) starts a [`KbDelta`] may have
+/// affected — the caller passes the output of [`delta_affected_starts`]
+/// intersected with its cached domain. Accounted as one *partial*
+/// evaluation ([`crate::metrics::record_delta_eval`]), not a full one:
+/// the whole point of incremental maintenance is that these touch a
+/// fraction of the start domain.
+pub fn delta_count_distributions(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    affected_starts: &[u64],
+    tile_size: usize,
+) -> Result<TiledDistributions> {
+    grouped_among_tiled(index, spec, affected_starts, tile_size, crate::metrics::record_delta_eval)
+}
+
+/// Shared body of the tiled grouped evaluations; `record` is bumped once
+/// when at least one tile runs (full vs delta accounting).
+fn grouped_among_tiled(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tile_size: usize,
+    record: fn(),
+) -> Result<TiledDistributions> {
     spec.validate()?;
     let mut values: Vec<u64> = starts.to_vec();
     values.sort_unstable();
     values.dedup();
-    // An empty start set is a no-op, not an evaluation: recording a full
+    // An empty start set is a no-op, not an evaluation: recording an
     // eval here would break the "every batch is ≥ 1 tile" invariant.
     if values.is_empty() {
         return Ok(TiledDistributions { per_start: HashMap::new(), tiles: 0, peak_rows: 0 });
     }
-    crate::metrics::record_full_eval();
+    record();
     let tile_size = tile_size.max(1);
     let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut tiles = 0usize;
@@ -540,6 +749,157 @@ mod tests {
             index.scan_len(starring, dir_code::FORWARD),
             index.scan(starring, dir_code::FORWARD).len()
         );
+    }
+
+    /// A delta-refreshed index is indistinguishable from one rebuilt from
+    /// scratch: same partitions, same distribution answers — including
+    /// undirected edges (two oriented rows), self-loops (one), parallel
+    /// edges, and the add-then-remove no-op.
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let mut kb = toy::entertainment();
+        let mut index = EdgeIndex::build(&kb);
+        assert_eq!(index.epoch(), 0);
+        let epoch0 = kb.epoch();
+
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let aj = kb.require_node("angelina_jolie").unwrap();
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let spouse = kb.label_by_name("spouse").unwrap();
+        // Mixed churn: directed insert (parallel to nothing), undirected
+        // insert, undirected remove, and an add-then-remove wash.
+        let m = kb.require_node("oceans_eleven").unwrap();
+        kb.insert_edge(aj, m, starring, true).unwrap();
+        kb.insert_edge(bp, jr, spouse, false).unwrap();
+        let old_spouse = kb.find_edge(bp, aj, spouse, false).unwrap();
+        kb.remove_edge(old_spouse).unwrap();
+        let wash = kb.insert_edge(jr, m, starring, true).unwrap();
+        kb.remove_edge(wash).unwrap();
+
+        let delta = kb.delta_since(epoch0);
+        index.apply_delta(&delta).unwrap();
+        assert_eq!(index.epoch(), kb.epoch());
+
+        let rebuilt = EdgeIndex::build(&kb);
+        assert_eq!(index.total_rows(), rebuilt.total_rows());
+        assert_eq!(index.node_count(), rebuilt.node_count());
+        for label in [starring.0 as u64, spouse.0 as u64] {
+            for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+                assert_eq!(index.scan_len(label, dir), rebuilt.scan_len(label, dir));
+            }
+        }
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring.0 as u64, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring.0 as u64, directed: true },
+            ],
+        };
+        let a = global_count_distributions(&index, &spec, None).unwrap();
+        let b = global_count_distributions(&rebuilt, &spec, None).unwrap();
+        assert_eq!(a, b);
+
+        // refresh() is the delta_since + apply_delta composition.
+        let e2 = kb.insert_edge(bp, m, starring, true).unwrap();
+        let mut refreshed = index.clone();
+        assert_eq!(refreshed.refresh(&kb).unwrap(), 1);
+        assert_eq!(refreshed.epoch(), kb.epoch());
+        assert_eq!(refreshed.refresh(&kb).unwrap(), 0, "already current");
+        kb.remove_edge(e2).unwrap();
+        assert_eq!(refreshed.refresh(&kb).unwrap(), 1);
+        assert_eq!(refreshed.total_rows(), index.total_rows());
+    }
+
+    /// Skewed deltas fail loudly instead of corrupting the index.
+    #[test]
+    fn apply_delta_rejects_skew() {
+        let mut kb = toy::entertainment();
+        let mut index = EdgeIndex::build(&kb);
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let aj = kb.require_node("angelina_jolie").unwrap();
+        let spouse = kb.label_by_name("spouse").unwrap();
+        kb.insert_edge(bp, aj, spouse, false).unwrap();
+        // Wrong starting epoch.
+        let mut shifted = kb.delta_since(0);
+        shifted.from_epoch = 7;
+        assert!(matches!(index.apply_delta(&shifted), Err(crate::RelError::DeltaSkew(_))));
+        // Retraction of an edge the index never held.
+        let phantom = kb.delta_since(0);
+        let bogus = rex_kb::KbDelta {
+            from_epoch: 0,
+            to_epoch: 1,
+            added: vec![],
+            removed: phantom.added.clone(),
+            node_count: kb.node_count(),
+        };
+        let mut fresh = EdgeIndex::build(&rex_kb::KbBuilder::new().build());
+        assert!(matches!(fresh.apply_delta(&bogus), Err(crate::RelError::DeltaSkew(_))));
+        // The good delta applies cleanly.
+        index.apply_delta(&phantom).unwrap();
+        assert_eq!(index.epoch(), kb.epoch());
+    }
+
+    /// The affected-start over-approximation: label-disjoint shapes are
+    /// `None`; otherwise every start whose distribution actually changed
+    /// is in the returned set.
+    #[test]
+    fn affected_starts_cover_every_changed_distribution() {
+        let mut kb = toy::entertainment();
+        let index_before = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap();
+        let spouse = kb.label_by_name("spouse").unwrap();
+        let costar = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring.0 as u64, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring.0 as u64, directed: true },
+            ],
+        };
+        let spousal = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: spouse.0 as u64, directed: false }],
+        };
+        let epoch0 = kb.epoch();
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let m = kb.require_node("fight_club").unwrap();
+        kb.insert_edge(jr, m, starring, true).unwrap();
+        let delta = kb.delta_since(epoch0);
+        let index_after = {
+            let mut i = index_before.clone();
+            i.apply_delta(&delta).unwrap();
+            i
+        };
+        // Spousal shape: label-disjoint, provably unaffected.
+        assert_eq!(delta_affected_starts(&kb, &spousal, &delta), None);
+        // Costar shape: every changed start is covered.
+        let affected = delta_affected_starts(&kb, &costar, &delta).unwrap();
+        let before = global_count_distributions(&index_before, &costar, None).unwrap();
+        let after = global_count_distributions(&index_after, &costar, None).unwrap();
+        let mut changed = 0;
+        for node in 0..kb.node_count() as u64 {
+            if before.get(&node) != after.get(&node) {
+                changed += 1;
+                assert!(affected.contains(&node), "changed start {node} not in affected set");
+            }
+        }
+        assert!(changed > 0, "the insert must change some distribution");
+
+        // The delta-evaluation path recomputes exactly the affected
+        // starts, accounted as a partial (not full) evaluation.
+        let scope = crate::metrics::scoped();
+        let partial = delta_count_distributions(&index_after, &costar, &affected, 8).unwrap();
+        let counts = scope.counts();
+        assert!(counts.delta >= 1);
+        for s in &affected {
+            assert_eq!(partial.per_start.get(s), after.get(s), "start {s}");
+        }
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub enum RelError {
     },
     /// A pattern spec was malformed (bad variable index, disconnected, ...).
     BadPattern(String),
+    /// A delta could not be applied: it does not start at the index's
+    /// epoch, or retracts a row the index does not hold.
+    DeltaSkew(String),
 }
 
 impl std::fmt::Display for RelError {
@@ -73,6 +76,7 @@ impl std::fmt::Display for RelError {
                 write!(f, "arity mismatch: expected {expected}, got {got}")
             }
             RelError::BadPattern(msg) => write!(f, "bad pattern spec: {msg}"),
+            RelError::DeltaSkew(msg) => write!(f, "delta skew: {msg}"),
         }
     }
 }

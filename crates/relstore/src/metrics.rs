@@ -13,15 +13,18 @@
 //!
 //! Because they are process-global, *differences* between two
 //! [`snapshot`]s taken around a region of interest are only meaningful
-//! when no other thread evaluates patterns concurrently — which holds for
-//! the bench binaries that report them. Tests that need isolation use the
-//! per-instance hit/miss/tile counters of `rex_core`'s
-//! `DistributionCache` instead.
+//! when no other thread evaluates patterns concurrently. Regions that
+//! need per-test determinism under a parallel test runner wrap themselves
+//! in [`scoped`], which serializes metric-reading regions within the
+//! process and reads deltas against its own baseline; the bench binaries
+//! and the parity suites both use it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 static FULL_EVALS: AtomicUsize = AtomicUsize::new(0);
 static STREAMING_EVALS: AtomicUsize = AtomicUsize::new(0);
+static DELTA_EVALS: AtomicUsize = AtomicUsize::new(0);
 static TILES: AtomicUsize = AtomicUsize::new(0);
 static PEAK_ROWS: AtomicUsize = AtomicUsize::new(0);
 
@@ -32,6 +35,9 @@ pub struct EvalCounts {
     pub full: usize,
     /// Streaming `LIMIT`-pruned position evaluations since process start.
     pub streaming: usize,
+    /// Partial (delta-maintenance) evaluations since process start —
+    /// grouped re-counts restricted to the starts a KB delta affected.
+    pub delta: usize,
     /// Evaluation tiles since process start (an untiled batch is one
     /// tile; a tiled batch contributes one per chunk).
     pub tiles: usize,
@@ -43,13 +49,14 @@ impl EvalCounts {
         EvalCounts {
             full: self.full - earlier.full,
             streaming: self.streaming - earlier.streaming,
+            delta: self.delta - earlier.delta,
             tiles: self.tiles - earlier.tiles,
         }
     }
 
-    /// Total evaluations of either kind (tiles are not evaluations).
+    /// Total evaluations of any kind (tiles are not evaluations).
     pub fn total(&self) -> usize {
-        self.full + self.streaming
+        self.full + self.streaming + self.delta
     }
 }
 
@@ -63,6 +70,12 @@ pub fn record_full_eval() {
 #[inline]
 pub fn record_streaming_eval() {
     STREAMING_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one partial (delta-maintenance) evaluation.
+#[inline]
+pub fn record_delta_eval() {
+    DELTA_EVALS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one evaluation tile of a (possibly tiled) batched evaluation.
@@ -95,7 +108,48 @@ pub fn snapshot() -> EvalCounts {
     EvalCounts {
         full: FULL_EVALS.load(Ordering::Relaxed),
         streaming: STREAMING_EVALS.load(Ordering::Relaxed),
+        delta: DELTA_EVALS.load(Ordering::Relaxed),
         tiles: TILES.load(Ordering::Relaxed),
+    }
+}
+
+/// Serializes [`scoped`] regions within the process.
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+/// A scoped view of the process-global counters: holds the scope lock so
+/// concurrent scoped regions (parallel tests, the bench harness) cannot
+/// interleave their counter traffic, and reads **deltas** against the
+/// baseline captured at construction. The peak-rows gauge is reset on
+/// entry, so [`ScopedMetrics::peak_rows`] is the peak *of this scope*.
+///
+/// Only evaluations that happen inside some scope are isolated — code
+/// that evaluates patterns without taking a scope still bumps the global
+/// counters. The parity suites and bench regions therefore all go
+/// through [`scoped`].
+#[derive(Debug)]
+pub struct ScopedMetrics {
+    base: EvalCounts,
+    _guard: MutexGuard<'static, ()>,
+}
+
+/// Enters a scoped metrics region (blocking until any other scope ends)
+/// and captures the baseline. Dropping the returned guard ends the scope.
+pub fn scoped() -> ScopedMetrics {
+    let guard = SCOPE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let scope = ScopedMetrics { base: snapshot(), _guard: guard };
+    reset_peak_rows();
+    scope
+}
+
+impl ScopedMetrics {
+    /// Counter increments since the scope began.
+    pub fn counts(&self) -> EvalCounts {
+        snapshot().since(&self.base)
+    }
+
+    /// The peak-rows gauge of this scope (reset on entry).
+    pub fn peak_rows(&self) -> usize {
+        peak_rows()
     }
 }
 
@@ -108,6 +162,7 @@ mod tests {
         let before = snapshot();
         record_full_eval();
         record_streaming_eval();
+        record_delta_eval();
         record_tile();
         let after = snapshot();
         let delta = after.since(&before);
@@ -115,8 +170,9 @@ mod tests {
         // is at least ours.
         assert!(delta.full >= 1);
         assert!(delta.streaming >= 1);
+        assert!(delta.delta >= 1);
         assert!(delta.tiles >= 1);
-        assert!(delta.total() >= 2);
+        assert!(delta.total() >= 3);
     }
 
     #[test]
@@ -124,5 +180,48 @@ mod tests {
         record_peak_rows(10);
         record_peak_rows(3);
         assert!(peak_rows() >= 10);
+    }
+
+    /// Scoped regions read deltas against their own baseline and see
+    /// their own peak gauge. (This binary's engine tests evaluate
+    /// patterns *unscoped*, so assertions here are lower bounds; the
+    /// cross-crate incremental suite — where every writer is scoped —
+    /// asserts exact counts.)
+    #[test]
+    fn scoped_reads_deltas_and_resets_peak() {
+        let scope = scoped();
+        record_full_eval();
+        record_delta_eval();
+        record_tile();
+        record_peak_rows(77);
+        let counts = scope.counts();
+        assert!(counts.full >= 1);
+        assert!(counts.delta >= 1);
+        assert!(counts.tiles >= 1);
+        assert!(scope.peak_rows() >= 77);
+        drop(scope);
+        // A fresh scope re-baselines: the 77-row peak of the previous
+        // scope is gone.
+        let scope2 = scoped();
+        assert!(scope2.peak_rows() < 77);
+    }
+
+    /// Scopes serialize: each thread's scope sees at least its own
+    /// increments, and the lock survives contention (and poisoning).
+    #[test]
+    fn scopes_serialize_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let scope = scoped();
+                    record_full_eval();
+                    record_full_eval();
+                    scope.counts().full
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().expect("no panic") >= 2);
+        }
     }
 }

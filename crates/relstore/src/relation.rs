@@ -104,6 +104,19 @@ impl Relation {
         Ok(())
     }
 
+    /// Removes one row equal to `row` (first match; swap-remove, so row
+    /// order is not preserved — relations are bags). Returns whether a
+    /// match was found. Used by delta maintenance to retract edges.
+    pub fn remove_row(&mut self, row: &[u64]) -> bool {
+        match self.rows.iter().position(|r| r.as_ref() == row) {
+            Some(at) => {
+                self.rows.swap_remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Consumes the relation, returning its rows.
     pub fn into_rows(self) -> Vec<Row> {
         self.rows
@@ -128,6 +141,21 @@ mod tests {
         let r = Schema::new(["b", "c"]);
         let j = l.join(&r);
         assert_eq!(j.names(), &["a", "b", "b.r", "c"]);
+    }
+
+    #[test]
+    fn remove_row_is_multiset_retraction() {
+        let s = Schema::new(["a", "b"]);
+        let mut r = Relation::empty(s);
+        r.push(vec![1, 2].into_boxed_slice()).unwrap();
+        r.push(vec![1, 2].into_boxed_slice()).unwrap();
+        r.push(vec![3, 4].into_boxed_slice()).unwrap();
+        assert!(r.remove_row(&[1, 2]));
+        assert_eq!(r.len(), 2);
+        assert!(r.remove_row(&[1, 2]));
+        assert!(!r.remove_row(&[1, 2]), "both copies already retracted");
+        assert!(!r.remove_row(&[9, 9]));
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

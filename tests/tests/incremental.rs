@@ -1,0 +1,304 @@
+//! Parity and staleness tests for the incremental maintenance engine:
+//!
+//! * **proptest parity** — apply a random sequence of edge inserts,
+//!   edge deletes, and node inserts to a KB; the delta-maintained
+//!   `EdgeIndex` + `DistributionCache` must produce distributions
+//!   **byte-identical** to a KB rebuilt from scratch at the final state,
+//!   for every shape and every start;
+//! * **epoch staleness** — a cache computed at epoch N refuses to serve
+//!   epoch N+1 reads and refreshes to correct values instead;
+//! * metric regions use `relstore::metrics::scoped()`, so the counter
+//!   assertions are per-test deterministic even under the parallel test
+//!   runner.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::{DistributionCache, MeasureContext, SampleFrame};
+use rex_core::{EnumConfig, Explanation};
+use rex_kb::{EdgeId, KbBuilder, KnowledgeBase, LabelId, NodeId};
+use rex_relstore::engine::EdgeIndex;
+use rex_relstore::metrics;
+use rex_relstore::plan::dir_code;
+
+const LABELS: [&str; 5] = ["l0", "l1", "l2", "l3", "l4"];
+
+/// A small deterministic base KB: 20 nodes, the label universe
+/// pre-interned, a connected core between `n0` and `n1` (so enumeration
+/// always finds explanations), and a seed-dependent tail of edges.
+fn base_kb(seed: u64) -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    let nodes: Vec<NodeId> = (0..20).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+    for l in LABELS {
+        b.intern_label(l);
+    }
+    b.add_directed_edge(nodes[0], nodes[1], "l0");
+    b.add_undirected_edge(nodes[0], nodes[2], "l1");
+    b.add_directed_edge(nodes[2], nodes[1], "l1");
+    b.add_directed_edge(nodes[1], nodes[3], "l2");
+    let mut state = seed.wrapping_add(0xA5A5);
+    let mut next = |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    for _ in 0..30 {
+        let u = nodes[next(20) as usize];
+        let v = nodes[next(20) as usize];
+        let l = LABELS[next(5) as usize];
+        if next(2) == 0 {
+            b.add_directed_edge(u, v, l);
+        } else {
+            b.add_undirected_edge(u, v, l);
+        }
+    }
+    b.build()
+}
+
+/// Rebuilds `kb`'s current state from scratch through the bulk builder,
+/// preserving node, type, and label id assignment (so distributions are
+/// comparable id-for-id).
+fn scratch_rebuild(kb: &KnowledgeBase) -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    for id in kb.node_ids() {
+        b.add_node(kb.node_name(id), kb.node_type_name(id));
+    }
+    for (_, l) in kb.labels() {
+        b.intern_label(l);
+    }
+    for eid in kb.edge_ids() {
+        let e = kb.edge(eid);
+        let l = kb.label_name(e.label);
+        if e.directed {
+            b.add_directed_edge(e.src, e.dst, l);
+        } else {
+            b.add_undirected_edge(e.src, e.dst, l);
+        }
+    }
+    b.build()
+}
+
+/// One randomized mutation: `(kind, a, b, label, directed)`.
+type Op = (u8, usize, usize, usize, bool);
+
+fn apply_ops(kb: &mut KnowledgeBase, ops: &[Op]) {
+    let mut fresh = 0usize;
+    for &(kind, a, b, label, directed) in ops {
+        match kind % 3 {
+            0 => {
+                let src = NodeId((a % kb.node_count()) as u32);
+                let dst = NodeId((b % kb.node_count()) as u32);
+                kb.insert_edge(src, dst, LabelId(label as u32 % 5), directed).unwrap();
+            }
+            1 => {
+                if kb.edge_count() > 0 {
+                    kb.remove_edge(EdgeId((a % kb.edge_count()) as u32)).unwrap();
+                } else {
+                    let dst = NodeId((b % kb.node_count()) as u32);
+                    kb.insert_edge(dst, dst, LabelId(label as u32 % 5), directed).unwrap();
+                }
+            }
+            _ => {
+                let anchor = NodeId((a % kb.node_count()) as u32);
+                let new = kb.insert_node(&format!("fresh{fresh}"), "T");
+                fresh += 1;
+                kb.insert_edge(new, anchor, LabelId(label as u32 % 5), directed).unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Delta-maintained distributions are byte-identical to those of a KB
+    /// rebuilt from scratch at the final state — all shapes, all starts —
+    /// and serving them after maintenance costs zero further full
+    /// evaluations.
+    #[test]
+    fn delta_maintained_counts_match_scratch_rebuild(
+        base_seed in 0u64..6,
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            1..24,
+        ),
+        tight_ceiling in any::<bool>(),
+    ) {
+        let scope = metrics::scoped();
+        let mut kb = base_kb(base_seed);
+        let starts: Vec<NodeId> = kb.node_ids().collect();
+        let mut index = EdgeIndex::build(&kb);
+        let cache = if tight_ceiling {
+            DistributionCache::with_row_ceiling(8)
+        } else {
+            DistributionCache::new()
+        };
+        let a = kb.require_node("n0").unwrap();
+        let b = kb.require_node("n1").unwrap();
+        let explanations: Vec<Explanation> =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+                .enumerate(&kb, a, b)
+                .explanations;
+        prop_assert!(!explanations.is_empty(), "base core guarantees explanations");
+        for e in &explanations {
+            cache.all_starts(&index, e, &starts);
+        }
+        let warm_evals = cache.batched_evals();
+
+        // Mutate, capture the delta, maintain index + cache.
+        let epoch0 = kb.epoch();
+        apply_ops(&mut kb, &ops);
+        prop_assert!(kb.epoch() > epoch0);
+        kb.check_invariants().unwrap();
+        let delta = kb.delta_since(epoch0);
+        index.apply_delta(&delta).unwrap();
+        prop_assert_eq!(index.epoch(), kb.epoch());
+        let maintenance = cache.apply_delta(&kb, &index, &delta);
+        prop_assert_eq!(maintenance.dropped, 0);
+        prop_assert_eq!(
+            maintenance.patched + maintenance.rebatched + maintenance.untouched,
+            warm_evals,
+            "every warmed shape is accounted for"
+        );
+        // The per-cache partial-eval counter and the scoped global one
+        // agree — the determinism the scoped guard exists for.
+        prop_assert_eq!(scope.counts().delta, cache.delta_evals());
+
+        // Scratch rebuild at the final state.
+        let kb2 = scratch_rebuild(&kb);
+        prop_assert_eq!(kb2.edge_count(), kb.edge_count());
+        let index2 = EdgeIndex::build(&kb2);
+        let cache2 = DistributionCache::new();
+
+        // Index parity: every (label, dir) partition has the same size.
+        for label in 0..kb.label_count() as u64 {
+            for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+                prop_assert_eq!(
+                    index.scan_len(label, dir),
+                    index2.scan_len(label, dir),
+                    "partition ({}, {})", label, dir
+                );
+            }
+        }
+        prop_assert_eq!(index.total_rows(), index2.total_rows());
+
+        // Distribution parity, all shapes × all (original) starts; the
+        // maintained cache must serve them warm.
+        let evals_after_maintenance = cache.batched_evals();
+        for e in &explanations {
+            let maintained = cache.all_starts(&index, e, &starts);
+            let scratch = cache2.all_starts(&index2, e, &starts);
+            for s in &starts {
+                prop_assert_eq!(
+                    maintained.counts_for(s.0 as u64),
+                    scratch.counts_for(s.0 as u64),
+                    "shape {} start {}", e.describe(&kb), s
+                );
+            }
+        }
+        prop_assert_eq!(
+            cache.batched_evals(),
+            evals_after_maintenance,
+            "maintained shapes must serve without re-evaluation"
+        );
+    }
+}
+
+/// A cache whose batches were computed at epoch N must not serve an
+/// epoch-N+1 index stale answers: reads refresh and return the values a
+/// cold cache computes.
+#[test]
+fn stale_cache_refreshes_to_correct_values() {
+    let _scope = metrics::scoped();
+    let mut kb = base_kb(1);
+    let a = kb.require_node("n0").unwrap();
+    let b = kb.require_node("n1").unwrap();
+    let explanations = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+        .enumerate(&kb, a, b)
+        .explanations;
+    let starts: Vec<NodeId> = kb.node_ids().collect();
+    let mut index = EdgeIndex::build(&kb);
+    let cache = DistributionCache::new();
+    for e in &explanations {
+        cache.all_starts(&index, e, &starts);
+        cache.counts(&index, e, a.0);
+    }
+    let evals_warm = cache.batched_evals();
+
+    // Mutate along the first explanation's own labels so distributions
+    // really change.
+    let epoch0 = kb.epoch();
+    let spec = explanations[0].pattern.to_spec();
+    let label = LabelId(spec.edges[0].label as u32);
+    let directed = spec.edges[0].directed;
+    kb.insert_edge(a, b, label, directed).unwrap();
+    index.apply_delta(&kb.delta_since(epoch0)).unwrap();
+
+    // No apply_delta on the cache: reads must detect the skew themselves.
+    let fresh = DistributionCache::new();
+    for e in &explanations {
+        let refreshed = cache.all_starts(&index, e, &starts);
+        assert_eq!(refreshed.epoch(), kb.epoch());
+        let cold = fresh.all_starts(&index, e, &starts);
+        for s in &starts {
+            assert_eq!(
+                refreshed.counts_for(s.0 as u64),
+                cold.counts_for(s.0 as u64),
+                "stale value served for {}",
+                e.describe(&kb)
+            );
+        }
+        // The per-start overlay is epoch-guarded too.
+        assert_eq!(cache.counts(&index, e, a.0), fresh.counts(&index, e, a.0));
+    }
+    assert!(cache.batched_evals() > evals_warm, "stale batches must re-evaluate");
+}
+
+/// End-to-end staleness through the measure context: a shared cache
+/// carried across a KB update yields the same global positions as a
+/// freshly built context, even without an explicit apply_delta.
+#[test]
+fn measure_context_survives_kb_updates() {
+    let _scope = metrics::scoped();
+    let mut kb = base_kb(2);
+    let a = kb.require_node("n0").unwrap();
+    let b = kb.require_node("n1").unwrap();
+    let explanations = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
+        .enumerate(&kb, a, b)
+        .explanations;
+    let shared = Arc::new(DistributionCache::new());
+
+    // Warm through a context on the pre-update KB.
+    {
+        let frame = Arc::new(SampleFrame::sample(&kb, 12, 3).unwrap());
+        let ctx = MeasureContext::new(&kb, a, b)
+            .with_distribution_cache(Arc::clone(&shared))
+            .with_sample_frame(frame);
+        for e in &explanations {
+            ctx.distributions().global_position(ctx.edge_index(), e, ctx.sample_frame().starts());
+        }
+    }
+
+    // Mutate the KB; a context over the updated KB must not serve stale
+    // positions from the shared cache.
+    let l0 = kb.label_by_name("l0").unwrap();
+    kb.insert_edge(a, b, l0, true).unwrap();
+    let frame = Arc::new(SampleFrame::sample(&kb, 12, 3).unwrap());
+    let warm_ctx = MeasureContext::new(&kb, a, b)
+        .with_distribution_cache(Arc::clone(&shared))
+        .with_sample_frame(Arc::clone(&frame));
+    let cold_ctx = MeasureContext::new(&kb, a, b).with_sample_frame(frame);
+    for e in &explanations {
+        let warm = warm_ctx.distributions().global_position(
+            warm_ctx.edge_index(),
+            e,
+            warm_ctx.sample_frame().starts(),
+        );
+        let cold = cold_ctx.distributions().global_position(
+            cold_ctx.edge_index(),
+            e,
+            cold_ctx.sample_frame().starts(),
+        );
+        assert_eq!(warm, cold, "stale position served for {}", e.describe(&kb));
+    }
+}
