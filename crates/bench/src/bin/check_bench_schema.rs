@@ -99,6 +99,18 @@ fn validate(text: &str) -> Result<(), String> {
             "frame_redrawn",
         ],
     )?;
+    let concurrent = side(
+        "concurrent",
+        &[
+            "reader_threads",
+            "passes_per_reader",
+            "quiet_wall_ms",
+            "contended_wall_ms",
+            "deltas_applied",
+            "quiet_passes_per_s",
+            "contended_passes_per_s",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
     number_after(text, "incremental_speedup", 0)?;
@@ -152,6 +164,28 @@ fn validate(text: &str) -> Result<(), String> {
              {partial_evals} must be zero or non-zero together"
         ));
     }
+
+    // Structural invariants of the snapshot-serving (concurrent) engine:
+    // readers must have run in both phases, and the contended phase must
+    // actually have had maintenance in flight. Throughput *ratios* are
+    // machine-dependent and deliberately not asserted.
+    let (reader_threads, passes_per_reader) = (concurrent[0], concurrent[1]);
+    let (deltas_applied, quiet_tp, contended_tp) = (concurrent[4], concurrent[5], concurrent[6]);
+    if reader_threads < 1.0 || passes_per_reader < 1.0 {
+        return Err(format!(
+            "concurrent: needs ≥ 1 reader thread and ≥ 1 pass \
+             (got {reader_threads} threads × {passes_per_reader} passes)"
+        ));
+    }
+    if deltas_applied < 1.0 {
+        return Err("concurrent: the contended phase applied no delta".into());
+    }
+    if quiet_tp <= 0.0 || contended_tp <= 0.0 {
+        return Err(format!(
+            "concurrent: reader throughput must be positive in both phases \
+             (quiet {quiet_tp}, contended {contended_tp})"
+        ));
+    }
     Ok(())
 }
 
@@ -192,6 +226,7 @@ mod tests {
   "batched": {"wall_ms": 10.0, "full_evals": 40, "streaming_evals": 0},
   "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 123, "row_ceiling": 1048576},
   "incremental": {"delta_edges": 4, "kb_edges": 600, "full_rerank_wall_ms": 9.0, "full_rerank_full_evals": 30, "delta_rerank_wall_ms": 3.0, "delta_rerank_full_evals": 5, "delta_partial_evals": 7, "shapes_patched": 7, "shapes_rebatched": 2, "shapes_untouched": 21, "frame_redrawn": 0},
+  "concurrent": {"reader_threads": 2, "passes_per_reader": 12, "quiet_wall_ms": 40.0, "contended_wall_ms": 55.0, "deltas_applied": 3, "quiet_passes_per_s": 600.0, "contended_passes_per_s": 436.0},
   "speedup": 10.0,
   "shared_frame_speedup": 1.25,
   "incremental_speedup": 3.0
@@ -232,6 +267,25 @@ mod tests {
         // A missing incremental section must fail.
         let broken = GOOD.replace("incremental", "incremendull");
         assert!(validate(&broken).is_err());
+    }
+
+    #[test]
+    fn concurrent_violations_rejected() {
+        // A missing concurrent section must fail.
+        let broken = GOOD.replace("concurrent", "conkurrent");
+        assert!(validate(&broken).is_err());
+        // A contended phase that never applied a delta is not a
+        // concurrency measurement.
+        let broken = GOOD.replace("\"deltas_applied\": 3", "\"deltas_applied\": 0");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("no delta"));
+        // Zero reader throughput means the readers never ran.
+        let broken =
+            GOOD.replace("\"contended_passes_per_s\": 436.0", "\"contended_passes_per_s\": 0");
+        assert!(validate(&broken).unwrap_err().contains("throughput"));
+        // No readers at all.
+        let broken = GOOD.replace("\"reader_threads\": 2", "\"reader_threads\": 0");
+        assert!(validate(&broken).unwrap_err().contains("reader thread"));
     }
 
     #[test]

@@ -16,7 +16,9 @@ use rex_core::measures::{DistributionCache, MeasureContext, MonocountMeasure, Sa
 use rex_core::ranking::distribution::{rank_by_position, Scope};
 use rex_core::ranking::rank;
 use rex_core::ranking::topk::rank_topk_pruned;
-use rex_core::ranking::{rank_pairs_updated, rank_pairs_with, PairExplanations, RankPairsConfig};
+use rex_core::ranking::{
+    rank_pairs_updated, rank_pairs_with, PairExplanations, RankPairsConfig, ServingState,
+};
 use rex_datagen::ConnGroup;
 use rex_kb::{EdgeId, NodeId};
 use rex_oracle::study::{paper_pairs, run_study};
@@ -305,6 +307,172 @@ impl IncrementalBench {
     }
 }
 
+/// The snapshot-serving comparison: reader throughput over pinned
+/// [`rex_core::ranking::Snapshot`]s with **no** writer (quiet) versus
+/// with a writer continuously applying deltas through
+/// [`rex_core::ranking::ServingState::maintain`] (contended). With the
+/// epoch-versioned flip, readers never wait on maintenance, so contended
+/// throughput stays in the quiet ballpark instead of collapsing behind a
+/// maintenance-length write lock.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentBench {
+    /// Reader threads per phase.
+    pub reader_threads: usize,
+    /// Read passes each reader completed per phase (a pass = one pinned
+    /// snapshot + a global position for every workload explanation).
+    pub passes_per_reader: usize,
+    /// Wall time of the quiet phase (readers only).
+    pub quiet_wall: Duration,
+    /// Wall time of the contended phase, measured up to the moment the
+    /// **last reader** finished (the writer's unfinished pass is not
+    /// waited out into the reader throughput).
+    pub contended_wall: Duration,
+    /// Maintenance passes overlapping the reader window, counted at pass
+    /// start — the pass the readers raced counts even if it completed
+    /// just after they finished.
+    pub deltas_applied: usize,
+}
+
+impl ConcurrentBench {
+    /// Total reader passes per phase.
+    pub fn total_passes(&self) -> usize {
+        self.reader_threads * self.passes_per_reader
+    }
+
+    /// Reader passes per second with no writer.
+    pub fn quiet_passes_per_s(&self) -> f64 {
+        self.total_passes() as f64 / self.quiet_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Reader passes per second while deltas apply.
+    pub fn contended_passes_per_s(&self) -> f64 {
+        self.total_passes() as f64 / self.contended_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures reader throughput against a warm [`ServingState`] with and
+/// without an in-flight maintenance writer. The reader workload is the
+/// serving hot path — pin a snapshot, sum global positions for every
+/// explanation of the workload (all warm cache hits at a stable epoch).
+/// The contended-phase writer loops deterministic remove+reinsert deltas
+/// through `maintain` (build next epoch off to the side + O(1) flip)
+/// until every reader finishes its pass quota.
+pub fn concurrent_bench(
+    w: &Workload,
+    pairs_per_group: usize,
+    row_ceiling: usize,
+) -> ConcurrentBench {
+    let mut kb = w.kb.clone();
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let prepared: Vec<(NodeId, Vec<rex_core::Explanation>)> = w
+        .truncated(pairs_per_group)
+        .into_iter()
+        .map(|p| (p.start, enumerator.enumerate(&kb, p.start, p.end).explanations))
+        .collect();
+    let cfg = RankPairsConfig {
+        k: 10,
+        global_samples: w.global_samples,
+        seed: w.seed,
+        threads: 1,
+        row_ceiling: Some(row_ceiling),
+    };
+    let state = ServingState::build(&kb, &cfg).expect("workload KB has edges");
+    let reader_threads: usize =
+        std::env::var("REX_BENCH_READER_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let passes_per_reader: usize =
+        std::env::var("REX_BENCH_READER_PASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(12);
+
+    // Warm the session once (untimed): the steady serving state.
+    let warm = state.snapshot();
+    for (start, explanations) in &prepared {
+        for e in explanations {
+            warm.global_position_excluding(e, Some(*start));
+        }
+    }
+    drop(warm);
+
+    // Returns the wall time until the **last reader** finished (the
+    // writer's tail is deliberately excluded — it would inflate the
+    // contended wall with reader-free time) and the number of
+    // maintenance passes that overlapped the reader window (counted at
+    // pass *start*, so an in-flight pass the readers raced against is
+    // counted even if it completes after they finish).
+    let read_phase = |writer_active: bool, kb: &mut rex_kb::KnowledgeBase| -> (Duration, usize) {
+        let stop_writer = std::sync::atomic::AtomicBool::new(false);
+        let deltas_begun = std::sync::atomic::AtomicUsize::new(0);
+        let t0 = std::time::Instant::now();
+        let (readers_wall, overlapping) = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..reader_threads)
+                .map(|_| {
+                    let (state, prepared) = (&state, &prepared);
+                    scope.spawn(move |_| {
+                        for _ in 0..passes_per_reader {
+                            let snap = state.snapshot();
+                            let mut acc = 0usize;
+                            for (start, explanations) in prepared {
+                                for e in explanations {
+                                    acc += snap.global_position_excluding(e, Some(*start));
+                                }
+                            }
+                            std::hint::black_box(acc);
+                        }
+                    })
+                })
+                .collect();
+            let writer = if writer_active {
+                let (state, stop_writer, deltas_begun) = (&state, &stop_writer, &deltas_begun);
+                let mut rng = StdRng::seed_from_u64(w.seed ^ 0xBEEF);
+                let kb: &mut rex_kb::KnowledgeBase = kb;
+                Some(scope.spawn(move |_| {
+                    // Start the first delta immediately, then keep the
+                    // maintenance pressure on until the readers are done.
+                    loop {
+                        deltas_begun.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        // One small delta: remove + rewired re-insert.
+                        let victim = EdgeId(rng.gen_range(0..kb.edge_count()) as u32);
+                        kb.remove_edge(victim).expect("edge ids are dense");
+                        let template = *kb.edge(EdgeId(rng.gen_range(0..kb.edge_count()) as u32));
+                        let other = NodeId(rng.gen_range(0..kb.node_count()) as u32);
+                        kb.insert_edge(template.src, other, template.label, template.directed)
+                            .expect("template endpoints exist");
+                        state.maintain(kb).expect("delta maintenance");
+                        if stop_writer.load(std::sync::atomic::Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }))
+            } else {
+                None
+            };
+            for h in handles {
+                h.join().expect("reader");
+            }
+            // Measure at the moment the last reader finished, *before*
+            // waiting out the writer's current pass.
+            let readers_wall = t0.elapsed();
+            let overlapping = deltas_begun.load(std::sync::atomic::Ordering::Relaxed);
+            stop_writer.store(true, std::sync::atomic::Ordering::Release);
+            if let Some(writer) = writer {
+                writer.join().expect("writer");
+            }
+            (readers_wall, overlapping)
+        })
+        .expect("scope");
+        (readers_wall, overlapping)
+    };
+
+    let (quiet_wall, _) = read_phase(false, &mut kb);
+    let (contended_wall, deltas_applied) = read_phase(true, &mut kb);
+
+    ConcurrentBench {
+        reader_threads,
+        passes_per_reader,
+        quiet_wall,
+        contended_wall,
+        deltas_applied,
+    }
+}
+
 /// The machine-readable ranking baseline behind `BENCH_ranking.json`:
 /// global-distribution top-k ranking measured with the pre-batching
 /// per-start engine versus the batched all-starts engine.
@@ -335,8 +503,11 @@ pub struct RankingBench {
     /// The shared-frame workload driver: one frame + cache for all pairs,
     /// cost-ordered and memory-bounded.
     pub shared_frame: SharedFrameSide,
-    /// Full vs delta re-rank after a small KB update (this PR's engine).
+    /// Full vs delta re-rank after a small KB update.
     pub incremental: IncrementalBench,
+    /// Reader throughput with vs without an in-flight delta (the
+    /// snapshot-serving engine).
+    pub concurrent: ConcurrentBench,
 }
 
 impl RankingBench {
@@ -406,6 +577,21 @@ impl RankingBench {
             self.incremental.shapes_untouched,
             usize::from(self.incremental.frame_redrawn),
         );
+        let conc = format!(
+            concat!(
+                "{{\"reader_threads\": {}, \"passes_per_reader\": {}, ",
+                "\"quiet_wall_ms\": {:.3}, \"contended_wall_ms\": {:.3}, ",
+                "\"deltas_applied\": {}, \"quiet_passes_per_s\": {:.3}, ",
+                "\"contended_passes_per_s\": {:.3}}}"
+            ),
+            self.concurrent.reader_threads,
+            self.concurrent.passes_per_reader,
+            self.concurrent.quiet_wall.as_secs_f64() * 1e3,
+            self.concurrent.contended_wall.as_secs_f64() * 1e3,
+            self.concurrent.deltas_applied,
+            self.concurrent.quiet_passes_per_s(),
+            self.concurrent.contended_passes_per_s(),
+        );
         format!(
             concat!(
                 "{{\n",
@@ -420,6 +606,7 @@ impl RankingBench {
                 "  \"batched\": {},\n",
                 "  \"shared_frame\": {},\n",
                 "  \"incremental\": {},\n",
+                "  \"concurrent\": {},\n",
                 "  \"speedup\": {:.3},\n",
                 "  \"shared_frame_speedup\": {:.3},\n",
                 "  \"incremental_speedup\": {:.3}\n",
@@ -435,6 +622,7 @@ impl RankingBench {
             side(&self.batched),
             shared,
             inc,
+            conc,
             self.speedup(),
             self.shared_frame_speedup(),
             self.incremental.speedup()
@@ -547,6 +735,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
     };
 
     let incremental = incremental_bench(w, pairs_per_group, k, row_ceiling);
+    let concurrent = concurrent_bench(w, pairs_per_group, row_ceiling);
 
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
@@ -559,6 +748,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         batched,
         shared_frame,
         incremental,
+        concurrent,
     }
 }
 
@@ -593,11 +783,7 @@ pub fn incremental_bench(
         threads: 1,
         row_ceiling: Some(row_ceiling),
     };
-    let mut frame = std::sync::Arc::new(
-        SampleFrame::sample(&kb, w.global_samples, w.seed).expect("workload KB has edges"),
-    );
-    let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
-    let cache = DistributionCache::with_row_ceiling(row_ceiling);
+    let state = ServingState::build(&kb, &cfg).expect("workload KB has edges");
     let prepared = enumerate(&kb);
     let tasks: Vec<PairExplanations<'_>> = prepared
         .iter()
@@ -605,7 +791,7 @@ pub fn incremental_bench(
         .collect();
     // Warm the session (untimed: this is the steady state a live system
     // is already in when updates arrive).
-    let _ = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+    let _ = state.snapshot().rank(&tasks, &cfg);
 
     // Deterministic churn: paired remove + rewired re-insert, so the
     // label distribution stays realistic. Sized like one streaming
@@ -615,7 +801,6 @@ pub fn incremental_bench(
     // frequency-biased (Zipf labels), so every extra churn pair tends to
     // touch another hot label and a batch of hundreds leaves no
     // label locality to exploit.
-    let epoch0 = kb.epoch();
     let churn = (kb.edge_count() / 40_000).clamp(1, 8);
     let mut rng = StdRng::seed_from_u64(w.seed ^ 0x1C4E);
     for _ in 0..churn {
@@ -626,7 +811,6 @@ pub fn incremental_bench(
         kb.insert_edge(template.src, other, template.label, template.directed)
             .expect("template endpoints exist");
     }
-    let delta = kb.delta_since(epoch0);
 
     let prepared2 = enumerate(&kb);
     let tasks2: Vec<PairExplanations<'_>> = prepared2
@@ -634,22 +818,26 @@ pub fn incremental_bench(
         .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
         .collect();
 
-    // Delta re-rank against the warm session (timed end to end).
+    // Delta re-rank against the warm session (timed end to end:
+    // maintenance + flip + re-rank).
+    let cache = state.cache();
     let evals_before = cache.batched_evals();
     let partial_before = cache.delta_evals();
     let (updated, delta_wall) = time(|| {
-        rank_pairs_updated(&kb, &delta, &tasks2, &cfg, &mut index, &mut frame, &cache)
+        rank_pairs_updated(&kb, &tasks2, &cfg, &state)
             .expect("delta applies to the session it was captured from")
     });
     let delta_full_evals = cache.batched_evals() - evals_before;
     let delta_partial_evals = cache.delta_evals() - partial_before;
 
-    // Full re-rank: cold cache over the same refreshed index and frame.
+    // Full re-rank: cold cache over the same flipped index and frame.
+    let snap = state.snapshot();
     let cold_cache = DistributionCache::with_row_ceiling(row_ceiling);
-    let (cold, full_wall) = time(|| rank_pairs_with(&tasks2, &cfg, &index, &frame, &cold_cache));
+    let (cold, full_wall) =
+        time(|| rank_pairs_with(&tasks2, &cfg, snap.index(), snap.frame(), &cold_cache));
 
     IncrementalBench {
-        delta_edges: delta.edge_churn(),
+        delta_edges: updated.index_churn,
         kb_edges: kb.edge_count(),
         full_wall,
         full_evals: cold.batched_evals,
@@ -779,6 +967,14 @@ mod tests {
             inc.delta_partial_evals > 0,
             "patched shapes and partial evals travel together"
         );
+        // Concurrent side: readers made progress in both phases and the
+        // writer applied at least one delta while they read.
+        let conc = &b.concurrent;
+        assert!(conc.reader_threads >= 1);
+        assert!(conc.total_passes() >= conc.reader_threads);
+        assert!(conc.deltas_applied >= 1, "contended phase must apply a delta");
+        assert!(conc.quiet_passes_per_s() > 0.0);
+        assert!(conc.contended_passes_per_s() > 0.0);
         let json = b.to_json();
         for key in [
             "\"benchmark\"",
@@ -795,6 +991,10 @@ mod tests {
             "\"delta_edges\"",
             "\"delta_rerank_full_evals\"",
             "\"shapes_patched\"",
+            "\"concurrent\"",
+            "\"reader_threads\"",
+            "\"contended_passes_per_s\"",
+            "\"deltas_applied\"",
             "\"speedup\"",
             "\"shared_frame_speedup\"",
             "\"incremental_speedup\"",

@@ -27,7 +27,8 @@ USAGE:
                [--samples S] [--seed S] [--max-nodes N] [--instance-cap C]
                [--threads T] [--row-ceiling R] [--toy] [--quiet]
   rex update   --kb <kb.tsv> --delta <delta.tsv> [<start> <end>]...
-               [--per-group N] [--rebatch-fraction F] [... rank flags]
+               [--per-group N] [--rebatch-fraction F] [--log-retention N]
+               [... rank flags]
   rex generate --nodes N --edges M [--labels L] [--seed S] --out <kb.tsv>
   rex stats    --kb <kb.tsv> | --toy
   rex pairs    --kb <kb.tsv> [--per-group N] [--seed S] [--toy]
@@ -38,10 +39,14 @@ sharing one sample frame and one distribution cache across all of them
 Pairs come from positional <start> <end> name pairs, or are sampled per
 connectedness group (--per-group) when none are given.
 
-`rex update` ranks the same workload cold, applies an edge-list delta
-file to the KB, and re-ranks incrementally: the edge index and the
-distribution cache are delta-maintained (per shape: patched, rebatched,
-or untouched) instead of rebuilt. Delta file lines:
+`rex update` ranks the same workload cold through a serving-session
+snapshot, applies an edge-list delta file to the KB, and re-ranks
+incrementally: the session builds the next epoch's edge index and
+distribution cache off to the side (per shape: patched, rebatched, or
+untouched) and flips them in with one atomic swap, so concurrent readers
+never stall. --log-retention bounds the KB's mutation log; when
+compaction outruns the session, the re-rank falls back to a full
+rebuild. Delta file lines:
   +<TAB>src<TAB>dst<TAB>label<TAB>d|u    insert edge
   -<TAB>src<TAB>dst<TAB>label<TAB>d|u    remove one matching edge
   N<TAB>name<TAB>type                    insert node
@@ -262,10 +267,13 @@ fn apply_delta_file(kb: &mut KnowledgeBase, path: &str) -> Result<(usize, usize,
     Ok((added, removed, nodes))
 }
 
-/// `rex update`: rank a workload cold, apply an edge-list delta to the
-/// KB, and re-rank incrementally — delta-refreshing the edge index and
-/// delta-maintaining the distribution cache instead of rebuilding them —
-/// reporting which shapes were patched vs re-evaluated.
+/// `rex update`: rank a workload cold through a serving-session snapshot,
+/// apply an edge-list delta to the KB, and re-rank incrementally — the
+/// session builds the next epoch's index/cache off to the side and flips
+/// it in with one atomic swap (concurrent readers would keep ranking
+/// against their pinned epoch meanwhile) — reporting which shapes were
+/// patched vs re-evaluated, and whether log compaction forced the full-
+/// rebuild fallback.
 pub fn update(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let mut kb = load_kb(&args)?;
@@ -278,6 +286,18 @@ pub fn update(argv: &[String]) -> Result<(), String> {
     let threads: usize = args.get_or("threads", 0)?;
     let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
     let rebatch_fraction: f64 = args.get_or("rebatch-fraction", 0.25)?;
+    if !rebatch_fraction.is_finite() || rebatch_fraction < 0.0 {
+        return Err(format!(
+            "--rebatch-fraction must be a finite value >= 0 \
+             (0 always rebatches, >= 1 always patches); got {rebatch_fraction}"
+        ));
+    }
+    if let Some(retention) = args.get("log-retention") {
+        let max: usize = retention
+            .parse()
+            .map_err(|_| format!("--log-retention wants a count, got {retention:?}"))?;
+        kb.set_log_retention(Some(max));
+    }
     let pairs = resolve_pairs(&args, &kb, seed)?;
 
     let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
@@ -297,34 +317,32 @@ pub fn update(argv: &[String]) -> Result<(), String> {
                 .collect()
         };
 
-    // Cold session on the pre-delta KB.
-    let mut frame = std::sync::Arc::new(
-        rex_core::measures::SampleFrame::sample(&kb, samples, seed).map_err(|e| e.to_string())?,
-    );
-    let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+    // Cold serving session on the pre-delta KB; readers would pin
+    // snapshots of it while the update below is maintained.
     let cache = rex_core::measures::DistributionCache::with_row_ceiling(row_ceiling)
         .with_rebatch_fraction(rebatch_fraction);
+    let state = rex_core::ranking::ServingState::build_with_cache(&kb, &cfg, cache)
+        .map_err(|e| e.to_string())?;
     let prepared = enumerate(&kb);
     let tasks: Vec<PairExplanations<'_>> = prepared
         .iter()
         .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
         .collect();
     let t0 = std::time::Instant::now();
-    let cold = rex_core::ranking::rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+    let cold = state.snapshot().rank(&tasks, &cfg);
     let cold_elapsed = t0.elapsed();
 
-    // Apply the delta and re-rank against the warm session.
+    // Apply the delta and re-rank against the warm session (maintenance
+    // builds the next epoch off to the side and flips it atomically).
     let epoch0 = kb.epoch();
     let (added, removed, new_nodes) = apply_delta_file(&mut kb, &delta_path)?;
-    let delta = kb.delta_since(epoch0);
     let prepared2 = enumerate(&kb);
     let tasks2: Vec<PairExplanations<'_>> = prepared2
         .iter()
         .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
         .collect();
     let t1 = std::time::Instant::now();
-    let updated = rank_pairs_updated(&kb, &delta, &tasks2, &cfg, &mut index, &mut frame, &cache)
-        .map_err(|e| e.to_string())?;
+    let updated = rank_pairs_updated(&kb, &tasks2, &cfg, &state).map_err(|e| e.to_string())?;
     let delta_elapsed = t1.elapsed();
 
     for ((s, e, explanations), ranking) in prepared2.iter().zip(&updated.outcome.rankings) {
@@ -342,8 +360,8 @@ pub fn update(argv: &[String]) -> Result<(), String> {
         let m = updated.maintenance;
         println!(
             "applied {delta_path}: +{added} -{removed} edges, +{new_nodes} nodes \
-             (epoch {epoch0} → {})",
-            kb.epoch()
+             (serving epoch flipped {epoch0} → {})",
+            state.epoch()
         );
         println!(
             "cold rank {:.1} ms ({} full evaluations); delta re-rank {:.1} ms \
@@ -353,18 +371,25 @@ pub fn update(argv: &[String]) -> Result<(), String> {
             delta_elapsed.as_secs_f64() * 1e3,
             m.rebatched,
             updated.outcome.batched_evals,
-            cache.delta_evals(),
+            state.cache().delta_evals(),
         );
-        println!(
-            "shapes: {} delta-patched ({} affected starts), {} re-evaluated, \
-             {} untouched, {} dropped; frame redrawn: {}",
-            m.patched,
-            m.affected_starts,
-            m.rebatched,
-            m.untouched,
-            m.dropped,
-            if updated.frame_redrawn { "yes" } else { "no" },
-        );
+        if updated.compaction_fallback {
+            println!(
+                "delta log compacted past the session's epoch: fell back to a \
+                 full index rebuild + cold rebatch (no incremental maintenance)"
+            );
+        } else {
+            println!(
+                "shapes: {} delta-patched ({} affected starts), {} re-evaluated, \
+                 {} untouched, {} dropped; frame redrawn: {}",
+                m.patched,
+                m.affected_starts,
+                m.rebatched,
+                m.untouched,
+                m.dropped,
+                if updated.frame_redrawn { "yes" } else { "no" },
+            );
+        }
     }
     Ok(())
 }
@@ -541,6 +566,38 @@ mod tests {
             "--quiet",
         ]))
         .expect("update");
+        // A tight log retention compacts the session's window away; the
+        // update must fall back to a full rebuild and still succeed.
+        update(&argv(&[
+            "--toy",
+            "--delta",
+            &delta_path,
+            "--log-retention",
+            "1",
+            "brad_pitt",
+            "angelina_jolie",
+            "--top",
+            "3",
+            "--samples",
+            "10",
+            "--quiet",
+        ]))
+        .expect("update with compaction fallback");
+        // Invalid rebatch fractions are rejected up front (NaN would
+        // silently disable the patch/rebatch threshold).
+        for bad_fraction in ["NaN", "-0.5", "inf"] {
+            assert!(update(&argv(&[
+                "--toy",
+                "--delta",
+                &delta_path,
+                "--rebatch-fraction",
+                bad_fraction,
+                "brad_pitt",
+                "angelina_jolie",
+                "--quiet",
+            ]))
+            .is_err());
+        }
         // Missing --delta and malformed files are reported.
         assert!(update(&argv(&["--toy", "brad_pitt", "angelina_jolie"])).is_err());
         let bad = dir.join("bad.tsv");

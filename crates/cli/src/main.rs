@@ -6,6 +6,7 @@
 //!              [--max-nodes 5] [--decorate] [--toy]
 //! rex rank     --kb kb.tsv [start end]... [--per-group 2] [--top 5] [--samples 100]
 //! rex update   --kb kb.tsv --delta delta.tsv [start end]... [--rebatch-fraction 0.25]
+//!              [--log-retention 10000]
 //! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
 //! rex stats    --kb kb.tsv
 //! rex pairs    --kb kb.tsv --per-group 10 [--seed 2011]

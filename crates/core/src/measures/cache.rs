@@ -27,16 +27,28 @@
 //! as stale and re-evaluates (the refuse/refresh guarantee). The cheap
 //! path is [`DistributionCache::apply_delta`]: given the [`KbDelta`]
 //! between the cache's epoch and the KB's, each cached shape is either
-//! **untouched** (label set disjoint from the delta — epoch bumped in
-//! place), **patched** (the delta-affected starts inside its domain are
-//! re-grouped with a partial evaluation and overlaid onto the old
-//! multisets), or **rebatched** (the affected fraction exceeded the
-//! configurable threshold, so the whole domain is re-evaluated). Either
-//! way, the next read is a warm hit.
+//! **untouched** (label set disjoint from the delta — re-published at the
+//! new epoch sharing the same multisets), **patched** (the delta-affected
+//! starts inside its domain are re-grouped with a partial evaluation and
+//! overlaid onto the old multisets), or **rebatched** (the affected
+//! fraction exceeded the configurable threshold, so the whole domain is
+//! re-evaluated). Either way, the next read is a warm hit.
 //!
-//! Thread-safe (`parking_lot::RwLock`) so the parallel ranker can share
-//! it; hit/miss counters make the sharing observable in tests and
-//! benches.
+//! **Snapshot-keyed publication.** The batched map is an immutable
+//! *generation* behind `RwLock<Arc<…>>`: readers pin the current
+//! generation with one O(1) `Arc` clone, every cached entry is immutable
+//! once published, and maintenance builds the **next** generation
+//! entirely off to the side — the write lock is held only for the final
+//! pointer swap (plus an O(shapes) merge of entries installed by
+//! concurrent readers), never across an evaluation. Combined with the
+//! per-entry epoch guard, a reader that pinned an [`EdgeIndex`] at epoch
+//! `E` either hits entries computed at `E` or recomputes at `E` — it can
+//! never observe a torn mix of epochs, and it never waits on an in-flight
+//! [`DistributionCache::apply_delta`] pass.
+//!
+//! Thread-safe (`parking_lot::RwLock`, O(1) critical sections on the hot
+//! read path) so the parallel ranker can share it; hit/miss counters make
+//! the sharing observable in tests and benches.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -55,15 +67,20 @@ use crate::measures::distribution::position_in;
 /// for every start entity in `domain`, the descending multiset of per-end
 /// instance counts. Starts in the domain without instances simply have no
 /// entry (empty distribution, position always 0).
+///
+/// **Immutable once published**: the epoch is fixed at construction and
+/// the multisets never change, so a reader holding the `Arc` can trust
+/// every field for as long as it likes — maintenance publishes *new*
+/// entries (sharing the `Arc`'d counts and domain when untouched) instead
+/// of editing live ones.
 #[derive(Debug)]
 pub struct AllStartsDistribution {
-    counts: HashMap<u64, Arc<Vec<u64>>>,
-    domain: HashSet<u64>,
+    counts: Arc<HashMap<u64, Arc<Vec<u64>>>>,
+    domain: Arc<HashSet<u64>>,
     tiles: usize,
     peak_rows: usize,
-    /// The KB epoch the multisets reflect (advanced in place when a delta
-    /// provably does not touch this shape).
-    epoch: AtomicU64,
+    /// The KB epoch the multisets reflect (fixed at publication).
+    epoch: u64,
     /// The shape's relational spec, retained so delta maintenance can
     /// re-evaluate without the originating [`Explanation`].
     spec: PatternSpec,
@@ -72,7 +89,7 @@ pub struct AllStartsDistribution {
 impl AllStartsDistribution {
     /// The KB epoch this batch reflects.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch
     }
 
     /// Start tiles the batched evaluation was split into (1 when the
@@ -125,9 +142,24 @@ impl AllStartsDistribution {
 /// The per-`(shape, start)` overlay's key.
 type PerStartKey = (CanonicalKey, u32);
 
-/// The per-`(shape, start)` overlay's value: the multiset and the KB
-/// epoch it was probed at (stale entries are recomputed on read).
-type PerStartEntry = (u64, Arc<Vec<u64>>);
+/// The per-`(shape, start)` overlay's value: the KB epoch it was probed
+/// at (stale entries are recomputed on read), the multiset, and the
+/// shape's sorted distinct label set — retained so
+/// [`DistributionCache::apply_delta`] can keep label-disjoint overlays
+/// alive across a delta instead of discarding them.
+type PerStartEntry = (u64, Arc<Vec<u64>>, Arc<[u64]>);
+
+/// One published generation of the batched map: immutable once behind the
+/// `Arc`, replaced wholesale by an O(1) pointer swap.
+type BatchedGeneration = HashMap<CanonicalKey, Arc<AllStartsDistribution>>;
+
+/// The sorted distinct labels of a spec (the overlay's disjointness key).
+fn spec_labels(spec: &PatternSpec) -> Arc<[u64]> {
+    let mut labels: Vec<u64> = spec.edges.iter().map(|e| e.label).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.into()
+}
 
 /// What [`DistributionCache::apply_delta`] did to each cached shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -139,7 +171,8 @@ pub struct DeltaMaintenance {
     /// exceeded the rebatch fraction of their domain.
     pub rebatched: usize,
     /// Shapes untouched by the delta (label-disjoint, or no affected
-    /// start inside the domain): epoch bumped in place, counts reused.
+    /// start inside the domain): republished at the new epoch with the
+    /// multisets shared, not recomputed.
     pub untouched: usize,
     /// Shapes dropped because their epoch did not match the delta's
     /// window (skewed bookkeeping); the next read re-evaluates them.
@@ -154,7 +187,10 @@ pub struct DeltaMaintenance {
 /// delta-maintenance contract.
 #[derive(Debug)]
 pub struct DistributionCache {
-    batched: RwLock<HashMap<CanonicalKey, Arc<AllStartsDistribution>>>,
+    /// The published batched generation. Readers pin it with one O(1)
+    /// `Arc` clone; writers (miss installs, delta maintenance) build a
+    /// new map off to the side and swap the pointer.
+    batched: RwLock<Arc<BatchedGeneration>>,
     per_start: RwLock<HashMap<PerStartKey, PerStartEntry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -218,10 +254,22 @@ impl DistributionCache {
     /// Overrides the delta-maintenance rebatch threshold: when a delta
     /// affects more than `fraction` of a cached shape's domain,
     /// [`DistributionCache::apply_delta`] re-evaluates the whole shape
-    /// instead of patching. `0.0` always rebatches touched shapes;
-    /// `1.0` (or more) always patches. Chainable at construction.
+    /// instead of patching. Accepted range: any **finite** value `>= 0.0`
+    /// — `0.0` always rebatches touched shapes, `1.0` (or more) always
+    /// patches. `NaN` and infinities are rejected loudly (a `NaN` would
+    /// silently disable every threshold comparison downstream), as are
+    /// negative values. Chainable at construction.
     pub fn with_rebatch_fraction(mut self, fraction: f64) -> Self {
-        assert!(fraction >= 0.0, "rebatch fraction must be non-negative");
+        assert!(
+            fraction.is_finite(),
+            "rebatch fraction must be a finite value >= 0.0 \
+             (0.0 always rebatches, >= 1.0 always patches); got {fraction}"
+        );
+        assert!(
+            fraction >= 0.0,
+            "rebatch fraction must be non-negative \
+             (0.0 always rebatches, >= 1.0 always patches); got {fraction}"
+        );
         self.rebatch_fraction = fraction;
         self
     }
@@ -275,11 +323,11 @@ impl DistributionCache {
         self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
         self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
         Arc::new(AllStartsDistribution {
-            counts: batch.per_start.into_iter().map(|(s, v)| (s, Arc::new(v))).collect(),
-            domain,
+            counts: Arc::new(batch.per_start.into_iter().map(|(s, v)| (s, Arc::new(v))).collect()),
+            domain: Arc::new(domain),
             tiles: batch.tiles,
             peak_rows: batch.peak_rows,
-            epoch: AtomicU64::new(index.epoch()),
+            epoch: index.epoch(),
             spec,
         })
     }
@@ -288,6 +336,42 @@ impl DistributionCache {
     /// given starts: current epoch and covering domain.
     fn batch_serves(batch: &AllStartsDistribution, index: &EdgeIndex, starts: &[NodeId]) -> bool {
         batch.epoch() == index.epoch() && starts.iter().all(|s| batch.covers(s.0 as u64))
+    }
+
+    /// Pins the current batched generation: one O(1) `Arc` clone under a
+    /// read lock that is released before this returns, so no reader ever
+    /// holds a lock while evaluating or while maintenance runs.
+    fn generation(&self) -> Arc<BatchedGeneration> {
+        Arc::clone(&self.batched.read())
+    }
+
+    /// Installs `computed` for `key` unless the live generation already
+    /// holds an entry that is as good or better: an entry that serves the
+    /// requested `(index, starts)` read wins outright, and an entry at a
+    /// *newer* epoch is never clobbered by a reader still pinned to an
+    /// older index (its result stays private to that reader). Returns the
+    /// batch the caller should use. The write lock covers an O(shapes)
+    /// map clone — never an evaluation.
+    fn install_batch(
+        &self,
+        key: &CanonicalKey,
+        computed: Arc<AllStartsDistribution>,
+        index: &EdgeIndex,
+        starts: &[NodeId],
+    ) -> Arc<AllStartsDistribution> {
+        let mut guard = self.batched.write();
+        if let Some(live) = guard.get(key) {
+            if Self::batch_serves(live, index, starts) {
+                return Arc::clone(live);
+            }
+            if live.epoch() > computed.epoch() {
+                return computed;
+            }
+        }
+        let mut next: BatchedGeneration = (**guard).clone();
+        next.insert(key.clone(), Arc::clone(&computed));
+        *guard = Arc::new(next);
+        computed
     }
 
     /// The all-starts distribution of `e`'s pattern shape covering (at
@@ -307,7 +391,8 @@ impl DistributionCache {
     ) -> Arc<AllStartsDistribution> {
         self.note_epoch(index.epoch());
         let key = e.key();
-        if let Some(cached) = self.batched.read().get(key) {
+        let generation = self.generation();
+        if let Some(cached) = generation.get(key) {
             if Self::batch_serves(cached, index, starts) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(cached);
@@ -316,18 +401,14 @@ impl DistributionCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.batched_evals.fetch_add(1, Ordering::Relaxed);
         let mut domain: HashSet<u64> = starts.iter().map(|s| s.0 as u64).collect();
-        if let Some(cached) = self.batched.read().get(key) {
+        if let Some(cached) = generation.get(key) {
             domain.extend(cached.domain.iter().copied());
         }
+        drop(generation);
+        // Evaluation runs without any lock held; a racing thread may have
+        // installed a batch meanwhile — install_batch arbitrates.
         let computed = self.eval_batch(index, e.pattern.to_spec(), domain);
-        let mut guard = self.batched.write();
-        let entry = guard.entry(key.clone()).or_insert_with(|| Arc::clone(&computed));
-        // A racing thread may have stored a batch meanwhile; keep whichever
-        // serves the requested read (ours always does).
-        if !Self::batch_serves(entry, index, starts) {
-            *entry = Arc::clone(&computed);
-        }
-        Arc::clone(entry)
+        self.install_batch(key, computed, index, starts)
     }
 
     /// The descending count multiset of `e`'s pattern for `start`. Served
@@ -338,7 +419,7 @@ impl DistributionCache {
     pub fn counts(&self, index: &EdgeIndex, e: &Explanation, start: u32) -> Arc<Vec<u64>> {
         self.note_epoch(index.epoch());
         let key = e.key();
-        if let Some(batch) = self.batched.read().get(key) {
+        if let Some(batch) = self.generation().get(key) {
             if batch.epoch() == index.epoch() {
                 if let Some(counts) = batch.counts_for(start as u64) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -347,7 +428,7 @@ impl DistributionCache {
             }
         }
         let overlay_key = (key.clone(), start);
-        if let Some((epoch, hit)) = self.per_start.read().get(&overlay_key) {
+        if let Some((epoch, hit, _)) = self.per_start.read().get(&overlay_key) {
             if *epoch == index.epoch() {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(hit);
@@ -361,12 +442,21 @@ impl DistributionCache {
         let mut counts: Vec<u64> = dist.into_values().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let counts = Arc::new(counts);
-        // A racing thread may have inserted meanwhile; keep any entry
-        // that is current, replacing stale ones.
+        let labels = spec_labels(&spec);
+        // A racing thread may have inserted meanwhile: an entry at the
+        // same epoch is identical (keep it), and an entry at a *newer*
+        // epoch must not be clobbered by a reader pinned to an older
+        // index — its probe stays private.
         let mut guard = self.per_start.write();
-        let entry = guard.entry(overlay_key).or_insert((index.epoch(), Arc::clone(&counts)));
-        if entry.0 != index.epoch() {
-            *entry = (index.epoch(), counts);
+        let entry = guard.entry(overlay_key).or_insert((
+            index.epoch(),
+            Arc::clone(&counts),
+            labels.clone(),
+        ));
+        if entry.0 < index.epoch() {
+            *entry = (index.epoch(), Arc::clone(&counts), labels);
+        } else if entry.0 > index.epoch() {
+            return counts;
         }
         Arc::clone(&entry.1)
     }
@@ -378,7 +468,7 @@ impl DistributionCache {
     pub fn cached_local_position(&self, e: &Explanation, start: u32) -> Option<usize> {
         let a = e.count() as u64;
         let epoch = self.current_epoch();
-        if let Some(batch) = self.batched.read().get(e.key()) {
+        if let Some(batch) = self.generation().get(e.key()) {
             if batch.epoch() == epoch {
                 if let Some(pos) = batch.position(start as u64, a) {
                     return Some(pos);
@@ -388,8 +478,8 @@ impl DistributionCache {
         self.per_start
             .read()
             .get(&(e.key().clone(), start))
-            .filter(|(e, _)| *e == epoch)
-            .map(|(_, counts)| position_in(counts, a))
+            .filter(|(e, _, _)| *e == epoch)
+            .map(|(_, counts, _)| position_in(counts, a))
     }
 
     /// Incrementally maintains every cached batch across `delta`,
@@ -398,13 +488,24 @@ impl DistributionCache {
     /// shape:
     ///
     /// * labels disjoint from the delta, or no affected start inside the
-    ///   domain → counts kept, epoch bumped in place (**untouched**);
+    ///   domain → re-published at the new epoch sharing the same counts
+    ///   and domain (**untouched**, O(1));
     /// * affected starts ≤ [`rebatch_fraction`] of the domain → one
     ///   partial evaluation over just those starts, overlaid onto the old
     ///   multisets (**patched**);
     /// * otherwise → full re-evaluation of the domain (**rebatched**).
     ///
-    /// The per-start overlay is pruned (entries are single-start probes;
+    /// The entire pass builds the **next generation off to the side**
+    /// while readers keep hitting the published one: no lock is held
+    /// across any evaluation, and publication is an O(1) `Arc` swap (plus
+    /// a merge of entries concurrent readers installed meanwhile). A
+    /// reader pinned to the pre-delta index keeps reading old-epoch
+    /// values; a reader that picks up the post-delta index sees the new
+    /// generation — never a mix.
+    ///
+    /// Per-start overlay entries whose shape labels are **disjoint** from
+    /// the delta are still exact, so they ride along with their epoch
+    /// bumped; the rest are dropped (they are single-start probes —
     /// re-probing on demand is their cost model). Patched and rebatched
     /// shapes produce multisets byte-identical to a scratch rebuild at
     /// the new epoch — the parity the incremental test suite pins down.
@@ -423,14 +524,16 @@ impl DistributionCache {
         );
         self.note_epoch(delta.to_epoch);
         let mut outcome = DeltaMaintenance::default();
-        let mut guard = self.batched.write();
-        let old = std::mem::take(&mut *guard);
-        for (key, entry) in old {
+        // Pin the generation being maintained; every evaluation below
+        // runs against this immutable map with no lock held.
+        let current = self.generation();
+        let mut next: BatchedGeneration = HashMap::with_capacity(current.len());
+        for (key, entry) in current.iter() {
             if entry.epoch() == delta.to_epoch {
-                // Already current — a concurrent reader re-evaluated it
-                // between the index refresh and this pass; keep it.
+                // Already current — a reader racing a publication of this
+                // same window evaluated it fresh; keep it.
                 outcome.untouched += 1;
-                guard.insert(key, entry);
+                next.insert(key.clone(), Arc::clone(entry));
                 continue;
             }
             if entry.epoch() != delta.from_epoch {
@@ -446,18 +549,30 @@ impl DistributionCache {
                 }
             };
             if affected_in_domain.is_empty() {
-                entry.epoch.store(delta.to_epoch, Ordering::Release);
+                // Untouched: republish at the new epoch, sharing the
+                // multisets and domain (O(1) — entries are immutable, so
+                // the old generation's copy stays valid for its readers).
                 outcome.untouched += 1;
-                guard.insert(key, entry);
+                next.insert(
+                    key.clone(),
+                    Arc::new(AllStartsDistribution {
+                        counts: Arc::clone(&entry.counts),
+                        domain: Arc::clone(&entry.domain),
+                        tiles: entry.tiles,
+                        peak_rows: entry.peak_rows,
+                        epoch: delta.to_epoch,
+                        spec: entry.spec.clone(),
+                    }),
+                );
                 continue;
             }
             let threshold = self.rebatch_fraction * entry.domain.len() as f64;
             if affected_in_domain.len() as f64 > threshold {
                 // Blast radius too large: re-batch the whole domain.
                 self.batched_evals.fetch_add(1, Ordering::Relaxed);
-                let fresh = self.eval_batch(index, entry.spec.clone(), entry.domain.clone());
+                let fresh = self.eval_batch(index, entry.spec.clone(), (*entry.domain).clone());
                 outcome.rebatched += 1;
-                guard.insert(key, fresh);
+                next.insert(key.clone(), fresh);
                 continue;
             }
             // Patch: re-group only the affected starts and overlay.
@@ -473,7 +588,7 @@ impl DistributionCache {
                     .expect("cached batch specs are valid");
             self.tiles.fetch_add(partial.tiles, Ordering::Relaxed);
             self.peak_rows.fetch_max(partial.peak_rows, Ordering::Relaxed);
-            let mut counts = entry.counts.clone();
+            let mut counts = (*entry.counts).clone();
             for s in &affected_in_domain {
                 counts.remove(s);
             }
@@ -482,24 +597,78 @@ impl DistributionCache {
             }
             outcome.patched += 1;
             outcome.affected_starts += affected_in_domain.len();
-            guard.insert(
-                key,
+            next.insert(
+                key.clone(),
                 Arc::new(AllStartsDistribution {
-                    counts,
-                    domain: entry.domain.clone(),
+                    counts: Arc::new(counts),
+                    domain: Arc::clone(&entry.domain),
                     tiles: entry.tiles,
                     peak_rows: entry.peak_rows.max(partial.peak_rows),
-                    epoch: AtomicU64::new(delta.to_epoch),
+                    epoch: delta.to_epoch,
                     spec: entry.spec.clone(),
                 }),
             );
         }
+        // Publish: O(1) pointer swap. Readers may have installed entries
+        // while we built the next generation — keep any key we did not
+        // maintain ourselves (ours, already at to_epoch, win on overlap).
+        let mut guard = self.batched.write();
+        if !Arc::ptr_eq(&guard, &current) {
+            for (key, entry) in guard.iter() {
+                next.entry(key.clone()).or_insert_with(|| Arc::clone(entry));
+            }
+        }
+        *guard = Arc::new(next);
         drop(guard);
-        // Overlay entries are stale by definition now; drop them rather
-        // than patch (they are single-start probes — recomputing on the
-        // next access is their cost model).
-        self.per_start.write().retain(|_, (epoch, _)| *epoch == delta.to_epoch);
+        // Overlay: label-disjoint entries are provably unaffected — bump
+        // their epoch in place (counts unchanged, so readers pinned to
+        // either epoch get identical values); everything else is dropped.
+        let touched: HashSet<u64> = delta.touched_labels().iter().map(|l| l.0 as u64).collect();
+        self.per_start.write().retain(|_, entry| {
+            if entry.0 == delta.to_epoch {
+                return true;
+            }
+            if entry.0 == delta.from_epoch && entry.2.iter().all(|l| !touched.contains(l)) {
+                entry.0 = delta.to_epoch;
+                return true;
+            }
+            false
+        });
         outcome
+    }
+
+    /// Drops every cached entry (batched and overlay) computed before
+    /// `epoch` — the **compaction fallback**: when the KB's delta log no
+    /// longer reaches back to the cache's epoch, stale entries can never
+    /// be patched, so they are purged wholesale and the next read
+    /// re-evaluates cold. Returns the number of entries dropped. Like
+    /// maintenance, the new generation is built off to the side and
+    /// published with an O(1) swap.
+    pub fn purge_older_than(&self, epoch: u64) -> usize {
+        self.note_epoch(epoch);
+        let current = self.generation();
+        let mut next: BatchedGeneration = HashMap::new();
+        for (key, entry) in current.iter() {
+            if entry.epoch() >= epoch {
+                next.insert(key.clone(), Arc::clone(entry));
+            }
+        }
+        let mut dropped = current.len() - next.len();
+        let mut guard = self.batched.write();
+        if !Arc::ptr_eq(&guard, &current) {
+            for (key, entry) in guard.iter() {
+                if entry.epoch() >= epoch {
+                    next.entry(key.clone()).or_insert_with(|| Arc::clone(entry));
+                }
+            }
+        }
+        *guard = Arc::new(next);
+        drop(guard);
+        let mut overlay = self.per_start.write();
+        let before = overlay.len();
+        overlay.retain(|_, (e, _, _)| *e >= epoch);
+        dropped += before - overlay.len();
+        dropped
     }
 
     /// Local position of `e` (count aggregate) via the cache.
@@ -780,7 +949,7 @@ mod tests {
         let fc = kb.require_node("fight_club").unwrap();
         let starring = kb.label_by_name("starring").unwrap();
         kb.insert_edge(jr, fc, starring, true).unwrap();
-        let delta = kb.delta_since(epoch0);
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
         index.apply_delta(&delta).unwrap();
 
         // Batched read: the epoch-N batch is refused; a fresh evaluation
@@ -819,7 +988,7 @@ mod tests {
         let award = kb.intern_label("awarded");
         let oscar = kb.insert_node("a_new_award", "Award");
         kb.insert_edge(a, oscar, award, true).unwrap();
-        let delta = kb.delta_since(epoch0);
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
         index.apply_delta(&delta).unwrap();
 
         // The delta touches only a brand-new label: every cached shape is
@@ -840,7 +1009,7 @@ mod tests {
         let fc = kb.require_node("fight_club").unwrap();
         let starring = kb.label_by_name("starring").unwrap();
         kb.insert_edge(jr, fc, starring, true).unwrap();
-        let delta2 = kb.delta_since(epoch1);
+        let delta2 = kb.delta_since(epoch1).into_delta().unwrap();
         index.apply_delta(&delta2).unwrap();
         let m2 = cache.apply_delta(&kb, &index, &delta2);
         assert_eq!(m2.patched + m2.rebatched + m2.untouched, shapes);
@@ -863,6 +1032,102 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The rebatch-fraction validation: NaN and negatives are rejected
+    /// with messages naming the accepted range (a NaN would otherwise
+    /// compare false against every threshold and silently disable
+    /// rebatching); the documented range is accepted verbatim.
+    #[test]
+    fn rebatch_fraction_accepts_documented_range() {
+        assert_eq!(DistributionCache::new().with_rebatch_fraction(0.0).rebatch_fraction(), 0.0);
+        assert_eq!(DistributionCache::new().with_rebatch_fraction(1.0).rebatch_fraction(), 1.0);
+        assert_eq!(DistributionCache::new().with_rebatch_fraction(2.5).rebatch_fraction(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rebatch_fraction_panics_clearly() {
+        let _ = DistributionCache::new().with_rebatch_fraction(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_rebatch_fraction_panics_clearly() {
+        let _ = DistributionCache::new().with_rebatch_fraction(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rebatch_fraction_panics_clearly() {
+        let _ = DistributionCache::new().with_rebatch_fraction(-0.25);
+    }
+
+    /// The overlay-retention bugfix: per-start overlays whose shape labels
+    /// are disjoint from a delta survive `apply_delta` with their epoch
+    /// bumped (no recomputation on the next read), while overlays whose
+    /// shapes touch a delta label are dropped and re-probed.
+    #[test]
+    fn label_disjoint_overlays_survive_apply_delta() {
+        let mut kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let out =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let mut index = rex_relstore::engine::EdgeIndex::build(&kb);
+        let cache = DistributionCache::new();
+        // Warm the per-start overlay only (no batched entries).
+        for e in &out.explanations {
+            cache.counts(&index, e, a.0);
+        }
+        let (_, misses_warm) = cache.stats();
+
+        // Delta on a brand-new label: disjoint from every cached shape.
+        let epoch0 = kb.epoch();
+        let award = kb.intern_label("awarded");
+        let trophy = kb.insert_node("a_trophy", "Award");
+        kb.insert_edge(a, trophy, award, true).unwrap();
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
+        index.apply_delta(&delta).unwrap();
+        cache.apply_delta(&kb, &index, &delta);
+        for e in &out.explanations {
+            cache.counts(&index, e, a.0);
+        }
+        let (_, misses_disjoint) = cache.stats();
+        assert_eq!(
+            misses_disjoint, misses_warm,
+            "label-disjoint overlays must ride the delta for free"
+        );
+
+        // Delta on 'starring': overlays of starring shapes re-probe, the
+        // rest stay warm.
+        let starring = kb.label_by_name("starring").unwrap();
+        let epoch1 = kb.epoch();
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        kb.insert_edge(jr, fc, starring, true).unwrap();
+        let delta2 = kb.delta_since(epoch1).into_delta().unwrap();
+        index.apply_delta(&delta2).unwrap();
+        cache.apply_delta(&kb, &index, &delta2);
+        for e in &out.explanations {
+            cache.counts(&index, e, a.0);
+        }
+        let (_, misses_touched) = cache.stats();
+        let starring_shapes = out
+            .explanations
+            .iter()
+            .filter(|e| e.pattern.to_spec().edges.iter().any(|se| se.label == starring.0 as u64))
+            .count();
+        assert!(starring_shapes > 0, "the toy pair has starring-shaped explanations");
+        assert!(
+            starring_shapes < out.explanations.len(),
+            "the toy pair also has spouse-only shapes"
+        );
+        assert_eq!(
+            misses_touched - misses_disjoint,
+            starring_shapes,
+            "exactly the touched shapes re-probe; disjoint overlays stay warm"
+        );
     }
 
     #[test]

@@ -11,17 +11,24 @@
 //! * [`pairs`] — the multi-pair workload driver: one shared sample frame
 //!   and distribution cache across all pairs, shapes evaluated
 //!   cheapest-first under a memory ceiling.
+//! * [`serve`] — epoch-versioned snapshot serving: readers pin a
+//!   [`Snapshot`] (O(1)) and rank against it lock-free while maintenance
+//!   builds the next epoch off to the side and flips it in with one
+//!   atomic swap.
 //! * [`update`] — the incremental re-rank driver: after a batch of KB
-//!   updates, refresh the session's index/frame/cache from the delta and
-//!   re-rank against the warm cache instead of rebuilding.
+//!   updates, advance the serving session from the delta and re-rank
+//!   against the warm cache instead of rebuilding (with a full-rebuild
+//!   fallback once the KB's delta log has been compacted).
 
 pub mod distribution;
 mod general;
 pub mod pairs;
 pub mod parallel;
+pub mod serve;
 pub mod topk;
 pub mod update;
 
 pub use general::{rank, rank_with_scores, Ranked};
 pub use pairs::{rank_pairs, rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
+pub use serve::{MaintainOutcome, ServingState, Snapshot};
 pub use update::{rank_pairs_updated, RankUpdateOutcome};

@@ -105,21 +105,19 @@ pub struct RankPairsOutcome {
 }
 
 /// Ranks every pair of a workload by (negated) global distributional
-/// position through one shared frame, index, and cache. Builds all three;
-/// use [`rank_pairs_with`] to share pre-built ones (e.g. to keep index
-/// construction out of a benchmark's timed region).
+/// position through one shared frame, index, and cache — a one-shot
+/// [`ServingState`](crate::ranking::ServingState) session: build, pin a
+/// snapshot, rank. Use [`rank_pairs_with`] to share pre-built pieces
+/// (e.g. to keep index construction out of a benchmark's timed region),
+/// or keep the [`ServingState`](crate::ranking::ServingState) around to
+/// serve further reads and KB updates.
 pub fn rank_pairs(
     kb: &KnowledgeBase,
     pairs: &[PairExplanations<'_>],
     cfg: &RankPairsConfig,
 ) -> Result<RankPairsOutcome> {
-    let frame = Arc::new(SampleFrame::sample(kb, cfg.global_samples, cfg.seed)?);
-    let index = EdgeIndex::build(kb);
-    let cache = match cfg.row_ceiling {
-        Some(ceiling) => DistributionCache::with_row_ceiling(ceiling),
-        None => DistributionCache::new(),
-    };
-    Ok(rank_pairs_with(pairs, cfg, &index, &frame, &cache))
+    let state = crate::ranking::serve::ServingState::build(kb, cfg)?;
+    Ok(state.snapshot().rank(pairs, cfg))
 }
 
 /// [`rank_pairs`] over caller-provided frame, edge index, and cache (the

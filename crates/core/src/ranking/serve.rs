@@ -1,0 +1,404 @@
+//! Epoch-versioned snapshot serving — lock-free ranking reads during KB
+//! maintenance.
+//!
+//! REX's interactive use case (§1: explanations computed "in real time"
+//! for user-facing related-entity queries) means ranking traffic must
+//! never stall behind knowledge-base maintenance. [`ServingState`] is the
+//! serving-side session that makes that hold:
+//!
+//! * the session's read state — a [`KbSnapshot`] pin, the [`EdgeIndex`],
+//!   and the [`SampleFrame`] — lives behind one `RwLock<Arc<…>>` slot;
+//! * a reader calls [`ServingState::snapshot`], which clones the `Arc`
+//!   under a read lock held for O(1), and then ranks entirely against
+//!   that pinned [`Snapshot`] — no further synchronization, no lock held
+//!   while ranking;
+//! * maintenance ([`ServingState::maintain`]) builds the **next** epoch
+//!   off to the side: a copy-on-write [`EdgeIndex::next_epoch`] (only
+//!   delta-touched partitions are copied), the frame redraw policy, and
+//!   [`DistributionCache::apply_delta`] (which itself publishes a new
+//!   cache generation with an O(1) swap) — then **flips** the slot with a
+//!   single `Arc` swap. Readers that pinned before the flip keep ranking
+//!   against the old epoch; readers that pin after it observe the new
+//!   epoch — in full, never a torn mix.
+//!
+//! The epoch attribution works because every piece a snapshot hands out
+//! is immutable once published: the index is never edited in place after
+//! publication, cache entries carry a fixed epoch and are refused (and
+//! transparently recomputed *at the pinned epoch*) whenever they do not
+//! match the snapshot's index, and the frame is a plain immutable sample.
+//!
+//! When the KB's mutation log has been compacted past the session's epoch
+//! ([`DeltaSince::Compacted`]), `maintain` degrades gracefully: the index
+//! is rebuilt from scratch, stale cache entries are purged wholesale
+//! ([`DistributionCache::purge_older_than`]), and the next ranking pass
+//! re-evaluates cold — correct, just not cheap, and reported via
+//! [`MaintainOutcome::compaction_fallback`].
+//!
+//! Writers are serialized by an internal mutex that readers never touch,
+//! so "single writer, many readers" is enforced rather than assumed.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rex_kb::{DeltaSince, KbSnapshot, KnowledgeBase, NodeId};
+use rex_relstore::engine::EdgeIndex;
+
+use crate::error::Result;
+use crate::explanation::Explanation;
+use crate::measures::cache::{DeltaMaintenance, DistributionCache};
+use crate::measures::frame::SampleFrame;
+use crate::ranking::pairs::{rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
+
+/// The atomically published read state: everything a reader needs,
+/// flipped together so a snapshot can never pair an old frame with a new
+/// index.
+#[derive(Debug)]
+struct PinnedState {
+    kb: KbSnapshot,
+    index: Arc<EdgeIndex>,
+    frame: Arc<SampleFrame>,
+}
+
+/// A reader's pin of one serving epoch: the [`KbSnapshot`], edge index,
+/// and sample frame published together at that epoch, plus the shared
+/// distribution cache (whose per-entry epoch guard keeps reads consistent
+/// with the pinned index even while maintenance publishes newer
+/// generations). Cheap to clone; hold it for the duration of one read
+/// pass and every value observed belongs to [`Snapshot::epoch`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pinned: Arc<PinnedState>,
+    cache: Arc<DistributionCache>,
+}
+
+impl Snapshot {
+    /// The KB epoch this snapshot pins: every read through the snapshot
+    /// reflects exactly this epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.pinned.kb.epoch()
+    }
+
+    /// The pinned KB snapshot (epoch + coarse counts).
+    #[inline]
+    pub fn kb(&self) -> KbSnapshot {
+        self.pinned.kb
+    }
+
+    /// The pinned edge index.
+    #[inline]
+    pub fn index(&self) -> &Arc<EdgeIndex> {
+        &self.pinned.index
+    }
+
+    /// The pinned sample frame.
+    #[inline]
+    pub fn frame(&self) -> &Arc<SampleFrame> {
+        &self.pinned.frame
+    }
+
+    /// The shared distribution cache (epoch-guarded against this
+    /// snapshot's index on every read).
+    #[inline]
+    pub fn cache(&self) -> &DistributionCache {
+        &self.cache
+    }
+
+    /// Ranks a workload against the pinned epoch — the serving read path.
+    /// Equivalent to [`rank_pairs_with`] over the snapshot's index,
+    /// frame, and cache.
+    pub fn rank(&self, pairs: &[PairExplanations<'_>], cfg: &RankPairsConfig) -> RankPairsOutcome {
+        rank_pairs_with(pairs, cfg, &self.pinned.index, &self.pinned.frame, &self.cache)
+    }
+
+    /// Sampled global position of one explanation over the pinned frame,
+    /// skipping `exclude` (the pair's own start) at read time — the
+    /// single-explanation hot read, pinned to this snapshot's epoch.
+    pub fn global_position_excluding(&self, e: &Explanation, exclude: Option<NodeId>) -> usize {
+        self.cache.global_position_excluding(
+            &self.pinned.index,
+            e,
+            self.pinned.frame.starts(),
+            exclude,
+        )
+    }
+}
+
+/// What [`ServingState::maintain`] did to advance the session.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintainOutcome {
+    /// The epoch the session served before maintenance.
+    pub from_epoch: u64,
+    /// The epoch the session serves now.
+    pub to_epoch: u64,
+    /// Per-shape cache maintenance accounting (all zeros on the
+    /// compaction fallback, where the cache is purged instead).
+    pub maintenance: DeltaMaintenance,
+    /// Whether the redraw policy replaced the sample frame.
+    pub frame_redrawn: bool,
+    /// Edge churn applied to the index (0 on the compaction fallback).
+    pub index_churn: usize,
+    /// Whether the KB's log was compacted past the session's epoch, so
+    /// the session fell back to a full rebuild + cache purge instead of
+    /// incremental maintenance.
+    pub compaction_fallback: bool,
+    /// Cache entries purged by the compaction fallback.
+    pub purged_entries: usize,
+}
+
+/// The shared serving session: one epoch-versioned `(kb, index, frame)`
+/// publication slot plus the shared [`DistributionCache`]. Readers pin
+/// [`Snapshot`]s; a single logical writer advances epochs with
+/// [`ServingState::maintain`]. See the module docs for the flip
+/// semantics.
+#[derive(Debug)]
+pub struct ServingState {
+    current: RwLock<Arc<PinnedState>>,
+    cache: Arc<DistributionCache>,
+    /// Serializes writers; readers never touch it.
+    writer: Mutex<()>,
+}
+
+impl ServingState {
+    /// Builds a serving session at `kb`'s current epoch, deriving the
+    /// frame and cache from `cfg` (`global_samples`, `seed`,
+    /// `row_ceiling`).
+    pub fn build(kb: &KnowledgeBase, cfg: &RankPairsConfig) -> Result<ServingState> {
+        let cache = match cfg.row_ceiling {
+            Some(ceiling) => DistributionCache::with_row_ceiling(ceiling),
+            None => DistributionCache::new(),
+        };
+        Self::build_with_cache(kb, cfg, cache)
+    }
+
+    /// [`ServingState::build`] with a caller-constructed cache (e.g. a
+    /// custom rebatch fraction). The cache's row ceiling must agree with
+    /// `cfg.row_ceiling` — the same contract [`rank_pairs_with`]
+    /// enforces.
+    pub fn build_with_cache(
+        kb: &KnowledgeBase,
+        cfg: &RankPairsConfig,
+        cache: DistributionCache,
+    ) -> Result<ServingState> {
+        assert_eq!(
+            cache.row_ceiling(),
+            cfg.row_ceiling,
+            "ServingState: the cache's row ceiling disagrees with cfg.row_ceiling"
+        );
+        let frame = Arc::new(SampleFrame::sample(kb, cfg.global_samples, cfg.seed)?);
+        let index = Arc::new(EdgeIndex::build(kb));
+        Ok(ServingState {
+            current: RwLock::new(Arc::new(PinnedState { kb: kb.snapshot(), index, frame })),
+            cache: Arc::new(cache),
+            writer: Mutex::new(()),
+        })
+    }
+
+    /// Pins the current epoch for a read pass: an O(1) `Arc` clone under
+    /// a read lock released before this returns.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { pinned: Arc::clone(&self.current.read()), cache: Arc::clone(&self.cache) }
+    }
+
+    /// The epoch the session currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().kb.epoch()
+    }
+
+    /// The shared distribution cache (for counter inspection).
+    pub fn cache(&self) -> &DistributionCache {
+        &self.cache
+    }
+
+    /// Advances the session to `kb`'s current epoch. The next epoch's
+    /// index, frame, and cache entries are built **off to the side**
+    /// while readers keep pinning and ranking against the current one;
+    /// publication is a single O(1) `Arc` swap (the *flip*), after which
+    /// new snapshots observe the new epoch and old snapshots keep serving
+    /// theirs. Falls back to a full rebuild + cache purge when the KB's
+    /// log was compacted past the session's epoch. A no-op when already
+    /// current.
+    pub fn maintain(&self, kb: &KnowledgeBase) -> Result<MaintainOutcome> {
+        let _writer = self.writer.lock();
+        let pinned = Arc::clone(&self.current.read());
+        let from_epoch = pinned.kb.epoch();
+        let mut outcome = MaintainOutcome {
+            from_epoch,
+            to_epoch: kb.epoch(),
+            maintenance: DeltaMaintenance::default(),
+            frame_redrawn: false,
+            index_churn: 0,
+            compaction_fallback: false,
+            purged_entries: 0,
+        };
+        if kb.epoch() == from_epoch {
+            return Ok(outcome);
+        }
+        match kb.delta_since(from_epoch) {
+            DeltaSince::Delta(delta) => {
+                // Build the next epoch off to the side: COW index (only
+                // touched partitions copied), frame redraw policy.
+                let next_index = Arc::new(pinned.index.next_epoch(&delta)?);
+                let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
+                let next_frame = Arc::new(next_frame);
+                // Maintain the cache BEFORE the flip: while apply_delta
+                // builds the next generation (the expensive part of the
+                // pass), readers still pin the old index and keep warm-
+                // hitting the old generation — reader throughput stays
+                // flat for the whole maintenance window. Readers are
+                // never blocked either way (no lock is held across any
+                // evaluation); the cold window is only the instants
+                // between the generation swap and the flip below, and a
+                // reader caught there recomputes *privately* at its
+                // pinned epoch (the install path never lets an old-epoch
+                // result clobber a maintained entry).
+                outcome.maintenance = self.cache.apply_delta(kb, &next_index, &delta);
+                // The flip: one swap publishes kb/index/frame together.
+                *self.current.write() = Arc::new(PinnedState {
+                    kb: kb.snapshot(),
+                    index: next_index,
+                    frame: next_frame,
+                });
+                outcome.frame_redrawn = frame_redrawn;
+                outcome.index_churn = delta.edge_churn();
+            }
+            DeltaSince::Compacted { .. } => {
+                // Graceful degradation: no faithful delta exists, so
+                // rebuild the index and purge unpatched cache entries.
+                let next_index = Arc::new(EdgeIndex::build(kb));
+                let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
+                *self.current.write() = Arc::new(PinnedState {
+                    kb: kb.snapshot(),
+                    index: next_index,
+                    frame: Arc::new(next_frame),
+                });
+                outcome.purged_entries = self.cache.purge_older_than(kb.epoch());
+                outcome.frame_redrawn = frame_redrawn;
+                outcome.compaction_fallback = true;
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::GeneralEnumerator;
+    use crate::EnumConfig;
+
+    fn toy_session() -> (rex_kb::KnowledgeBase, Vec<Explanation>, RankPairsConfig) {
+        let kb = rex_kb::toy::entertainment();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let explanations =
+            GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
+        let cfg =
+            RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None };
+        (kb, explanations.explanations, cfg)
+    }
+
+    /// Snapshots pin the epoch they were taken at: a snapshot taken
+    /// before maintenance keeps serving the old epoch (same values),
+    /// while post-flip snapshots observe the new one.
+    #[test]
+    fn snapshots_pin_their_epoch_across_a_flip() {
+        let (mut kb, explanations, cfg) = toy_session();
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        let old = state.snapshot();
+        assert_eq!(old.epoch(), 0);
+        let before: Vec<usize> =
+            explanations.iter().map(|e| old.global_position_excluding(e, None)).collect();
+
+        // Mutate along a hot label and flip.
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(jr, fc, starring, true).unwrap();
+        let m = state.maintain(&kb).unwrap();
+        assert_eq!(m.from_epoch, 0);
+        assert_eq!(m.to_epoch, kb.epoch());
+        assert!(!m.compaction_fallback);
+        assert_eq!(m.index_churn, 1);
+
+        // The old snapshot still answers at its pinned epoch.
+        assert_eq!(old.epoch(), 0);
+        let after_flip: Vec<usize> =
+            explanations.iter().map(|e| old.global_position_excluding(e, None)).collect();
+        assert_eq!(before, after_flip, "pinned snapshot must not observe the flip");
+
+        // A new snapshot observes the new epoch and matches a cold build.
+        let new = state.snapshot();
+        assert_eq!(new.epoch(), kb.epoch());
+        let cold = ServingState::build(&kb, &cfg).unwrap();
+        let cold_snap = cold.snapshot();
+        for e in &explanations {
+            assert_eq!(
+                new.global_position_excluding(e, None),
+                cold_snap.global_position_excluding(e, None),
+                "{}",
+                e.describe(&kb)
+            );
+        }
+    }
+
+    /// maintain() is a no-op at the current epoch, and the compaction
+    /// fallback rebuilds + purges instead of erroring.
+    #[test]
+    fn maintain_noop_and_compaction_fallback() {
+        let (mut kb, explanations, cfg) = toy_session();
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        // Warm the cache so the purge has something to drop.
+        let snap = state.snapshot();
+        for e in &explanations {
+            snap.global_position_excluding(e, None);
+        }
+        let noop = state.maintain(&kb).unwrap();
+        assert_eq!(noop.from_epoch, noop.to_epoch);
+        assert!(!noop.compaction_fallback);
+
+        // Churn + compact the whole log: the session cannot diff.
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let e1 = kb.insert_edge(jr, fc, starring, true).unwrap();
+        kb.remove_edge(e1).unwrap();
+        kb.insert_edge(jr, fc, starring, true).unwrap();
+        kb.compact_log(kb.epoch());
+        assert!(kb.delta_since(state.epoch()).is_compacted());
+
+        let m = state.maintain(&kb).unwrap();
+        assert!(m.compaction_fallback);
+        assert!(m.purged_entries > 0, "warmed entries must be purged");
+        assert_eq!(state.epoch(), kb.epoch());
+        // Post-fallback reads re-evaluate cold and equal a fresh build.
+        let snap = state.snapshot();
+        let cold = ServingState::build(&kb, &cfg).unwrap();
+        let cold_snap = cold.snapshot();
+        for e in &explanations {
+            assert_eq!(
+                snap.global_position_excluding(e, None),
+                cold_snap.global_position_excluding(e, None),
+                "{}",
+                e.describe(&kb)
+            );
+        }
+    }
+
+    /// The serving rank path equals the plain shared-frame driver.
+    #[test]
+    fn snapshot_rank_matches_rank_pairs() {
+        let (kb, explanations, cfg) = toy_session();
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let tasks = [PairExplanations { start: a, end: b, explanations: &explanations }];
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        let served = state.snapshot().rank(&tasks, &cfg);
+        let plain = crate::ranking::rank_pairs(&kb, &tasks, &cfg).unwrap();
+        for (s, p) in served.rankings.iter().zip(&plain.rankings) {
+            let sv: Vec<(usize, f64)> = s.iter().map(|r| (r.index, r.score)).collect();
+            let pv: Vec<(usize, f64)> = p.iter().map(|r| (r.index, r.score)).collect();
+            assert_eq!(sv, pv);
+        }
+    }
+}

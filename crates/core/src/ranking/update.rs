@@ -4,34 +4,46 @@
 //! index, sample frame, distribution cache — and pays one batched
 //! evaluation per distinct shape. When the KB then changes, the naive
 //! answer is to rebuild all three and pay the whole budget again.
-//! [`rank_pairs_updated`] instead:
+//! [`rank_pairs_updated`] instead advances a [`ServingState`] through
+//! [`ServingState::maintain`]:
 //!
-//! 1. refreshes the [`EdgeIndex`] from the [`KbDelta`] (only touched
-//!    label partitions are edited);
-//! 2. applies the [`SampleFrame`] redraw policy (keep the seeded sample
-//!    while its starts stay eligible; deterministic redraw otherwise);
-//! 3. delta-maintains the [`DistributionCache`]
-//!    ([`DistributionCache::apply_delta`]): label-disjoint shapes are
-//!    epoch-bumped for free, lightly touched shapes are patched with a
-//!    partial evaluation over just their affected starts, and only
-//!    heavily touched shapes are re-batched;
-//! 4. re-runs the shared-frame ranking, which now hits the maintained
+//! 1. the next epoch's [`EdgeIndex`](rex_relstore::engine::EdgeIndex) is
+//!    built copy-on-write off to the side (only delta-touched partitions
+//!    are copied);
+//! 2. the [`SampleFrame`](crate::measures::SampleFrame) redraw policy
+//!    runs (keep the seeded sample while its starts stay eligible;
+//!    deterministic redraw otherwise);
+//! 3. the new `(kb, index, frame)` triple is **flipped** into the serving
+//!    slot with one O(1) `Arc` swap — concurrent readers pinned to the
+//!    old epoch never wait and never observe a torn mix;
+//! 4. the [`DistributionCache`](crate::measures::DistributionCache) is
+//!    delta-maintained ([`DistributionCache::apply_delta`]): label-
+//!    disjoint shapes are republished for free, lightly touched shapes
+//!    are patched with a partial evaluation over just their affected
+//!    starts, and only heavily touched shapes are re-batched;
+//! 5. the re-rank runs against a fresh snapshot, hitting the maintained
 //!    cache instead of re-evaluating every shape.
+//!
+//! When the KB's mutation log has been **compacted** past the session's
+//! epoch ([`rex_kb::DeltaSince::Compacted`]), no faithful delta exists:
+//! the session falls back to a full index rebuild + cache purge, and the
+//! re-rank pays a cold evaluation per shape — correct, just not cheap,
+//! and reported through [`RankUpdateOutcome::compaction_fallback`].
 //!
 //! The caller re-enumerates its pairs against the updated KB first
 //! (updates can create or destroy explanations); enumeration is pair-local
 //! and cheap next to batched evaluation, and genuinely *new* shapes
 //! simply miss the cache and are evaluated once, as always.
+//!
+//! [`DistributionCache::apply_delta`]:
+//!     crate::measures::DistributionCache::apply_delta
 
-use std::sync::Arc;
-
-use rex_kb::{KbDelta, KnowledgeBase};
-use rex_relstore::engine::EdgeIndex;
+use rex_kb::KnowledgeBase;
 
 use crate::error::Result;
-use crate::measures::cache::{DeltaMaintenance, DistributionCache};
-use crate::measures::frame::SampleFrame;
-use crate::ranking::pairs::{rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
+use crate::measures::cache::DeltaMaintenance;
+use crate::ranking::pairs::{PairExplanations, RankPairsConfig, RankPairsOutcome};
+use crate::ranking::serve::ServingState;
 
 /// The result of a delta re-rank: the rankings plus the maintenance
 /// accounting that makes the incremental path observable.
@@ -40,7 +52,7 @@ pub struct RankUpdateOutcome {
     /// The re-ranked workload (same shape as a cold
     /// [`rank_pairs`](crate::ranking::rank_pairs) outcome).
     pub outcome: RankPairsOutcome,
-    /// What [`DistributionCache::apply_delta`] did per cached shape.
+    /// What the cache's delta maintenance did per cached shape.
     pub maintenance: DeltaMaintenance,
     /// Whether the redraw policy had to replace the sample frame (a
     /// sampled start lost its last edge). A redrawn frame changes the
@@ -50,42 +62,42 @@ pub struct RankUpdateOutcome {
     pub frame_redrawn: bool,
     /// Edge churn applied to the index (delta insertions + removals).
     pub index_churn: usize,
+    /// Whether log compaction forced a full rebuild instead of
+    /// incremental maintenance (see the module docs).
+    pub compaction_fallback: bool,
 }
 
-/// Re-ranks `pairs` against the updated `kb`, reusing the session's warm
-/// `index`/`frame`/`cache` by delta maintenance instead of rebuilding.
-/// `delta` must span from the session's epoch (what `index` reflects) to
-/// `kb.epoch()` — in the common flow it is exactly
-/// `kb.delta_since(index.epoch())`, captured before or after mutating the
-/// KB in place.
-///
-/// On success the index and frame are advanced to `kb.epoch()`. On error
-/// (delta skew, empty redrawn frame) the session should be considered
-/// poisoned and rebuilt cold.
+/// Re-ranks `pairs` against the updated `kb`, advancing the warm serving
+/// `state` by delta maintenance instead of rebuilding — or by the full
+/// rebuild fallback when the KB's log was compacted past the session's
+/// epoch. Readers holding [`ServingState::snapshot`]s concurrently are
+/// never blocked and keep their pinned epoch throughout.
 pub fn rank_pairs_updated(
     kb: &KnowledgeBase,
-    delta: &KbDelta,
     pairs: &[PairExplanations<'_>],
     cfg: &RankPairsConfig,
-    index: &mut EdgeIndex,
-    frame: &mut Arc<SampleFrame>,
-    cache: &DistributionCache,
+    state: &ServingState,
 ) -> Result<RankUpdateOutcome> {
-    index.apply_delta(delta)?;
-    let (refreshed, frame_redrawn) = frame.refresh(kb)?;
-    *frame = Arc::new(refreshed);
-    let maintenance = cache.apply_delta(kb, index, delta);
-    let outcome = rank_pairs_with(pairs, cfg, index, frame, cache);
-    Ok(RankUpdateOutcome { outcome, maintenance, frame_redrawn, index_churn: delta.edge_churn() })
+    let maintained = state.maintain(kb)?;
+    let outcome = state.snapshot().rank(pairs, cfg);
+    Ok(RankUpdateOutcome {
+        outcome,
+        maintenance: maintained.maintenance,
+        frame_redrawn: maintained.frame_redrawn,
+        index_churn: maintained.index_churn,
+        compaction_fallback: maintained.compaction_fallback,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::enumerate::GeneralEnumerator;
+    use crate::measures::{DistributionCache, SampleFrame};
     use crate::ranking::rank_pairs;
     use crate::EnumConfig;
     use rex_kb::NodeId;
+    use std::sync::Arc;
 
     /// After a small delta, the warm path re-ranks with strictly fewer
     /// full evaluations than a cold re-rank, and its rankings equal the
@@ -113,24 +125,20 @@ mod tests {
             RankPairsConfig { k: 5, global_samples: 16, seed: 11, threads: 1, row_ceiling: None };
 
         // Cold session on the pre-update KB.
-        let mut frame = Arc::new(SampleFrame::sample(&kb, cfg.global_samples, cfg.seed).unwrap());
-        let mut index = EdgeIndex::build(&kb);
-        let cache = DistributionCache::new();
+        let state = ServingState::build(&kb, &cfg).unwrap();
         let prepared = enumerate(&kb);
         let tasks: Vec<PairExplanations<'_>> = prepared
             .iter()
             .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
             .collect();
-        let cold = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
+        let cold = state.snapshot().rank(&tasks, &cfg);
         assert!(cold.batched_evals > 0);
 
         // A small delta: one new co-starring edge.
-        let epoch0 = kb.epoch();
         let jr = kb.require_node("julia_roberts").unwrap();
         let fc = kb.require_node("fight_club").unwrap();
         let starring = kb.label_by_name("starring").unwrap();
         kb.insert_edge(jr, fc, starring, true).unwrap();
-        let delta = kb.delta_since(epoch0);
 
         // Warm delta re-rank (re-enumerated against the new KB).
         let prepared2 = enumerate(&kb);
@@ -138,9 +146,11 @@ mod tests {
             .iter()
             .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
             .collect();
-        let updated =
-            rank_pairs_updated(&kb, &delta, &tasks2, &cfg, &mut index, &mut frame, &cache).unwrap();
+        let evals_before = state.cache().batched_evals();
+        let updated = rank_pairs_updated(&kb, &tasks2, &cfg, &state).unwrap();
+        let warm_full_evals = state.cache().batched_evals() - evals_before;
         assert!(!updated.frame_redrawn, "no sampled start lost its edges");
+        assert!(!updated.compaction_fallback);
         assert_eq!(updated.index_churn, 1);
         let m = updated.maintenance;
         assert_eq!(m.dropped, 0);
@@ -148,9 +158,10 @@ mod tests {
         assert!(m.patched + m.rebatched + m.untouched >= cold.distinct_shapes);
 
         // Cold re-rank on the updated KB: fresh cache, same index/frame.
+        let snap = state.snapshot();
         let cold_cache = DistributionCache::new();
-        let recold = rank_pairs_with(&tasks2, &cfg, &index, &frame, &cold_cache);
-        let warm_full_evals = m.rebatched + updated.outcome.batched_evals;
+        let recold =
+            crate::ranking::rank_pairs_with(&tasks2, &cfg, snap.index(), snap.frame(), &cold_cache);
         assert!(
             warm_full_evals < recold.batched_evals,
             "warm path must issue strictly fewer full evaluations \
@@ -178,27 +189,23 @@ mod tests {
         let mut kb = b.build();
         let cfg =
             RankPairsConfig { k: 3, global_samples: 8, seed: 2, threads: 1, row_ceiling: None };
-        let mut frame = Arc::new(SampleFrame::sample(&kb, cfg.global_samples, cfg.seed).unwrap());
-        let mut index = EdgeIndex::build(&kb);
-        let cache = DistributionCache::new();
-        let epoch0 = kb.epoch();
+        let state = ServingState::build(&kb, &cfg).unwrap();
         // Strip a sampled start bare.
-        let victim = frame.starts()[0];
+        let victim = state.snapshot().frame().starts()[0];
         while kb.degree(victim) > 0 {
             let eid = kb.neighbors(victim)[0].edge;
             kb.remove_edge(eid).unwrap();
         }
-        let delta = kb.delta_since(epoch0);
-        let updated =
-            rank_pairs_updated(&kb, &delta, &[], &cfg, &mut index, &mut frame, &cache).unwrap();
+        let updated = rank_pairs_updated(&kb, &[], &cfg, &state).unwrap();
         assert!(updated.frame_redrawn);
-        assert!(!frame.contains(victim));
-        assert_eq!(frame.epoch(), kb.epoch());
-        assert_eq!(index.epoch(), kb.epoch());
+        let snap = state.snapshot();
+        assert!(!snap.frame().contains(victim));
+        assert_eq!(snap.frame().epoch(), kb.epoch());
+        assert_eq!(snap.index().epoch(), kb.epoch());
     }
 
-    /// The full driver wiring: rank_pairs → mutate → rank_pairs_updated
-    /// equals a from-scratch rank_pairs on the updated KB.
+    /// The full driver wiring: rank → mutate → rank_pairs_updated equals
+    /// a from-scratch rank_pairs on the updated KB.
     #[test]
     fn update_path_agrees_with_scratch_driver() {
         let mut kb = rex_kb::toy::entertainment();
@@ -212,23 +219,18 @@ mod tests {
             threads: 1,
             row_ceiling: Some(64),
         };
-        let mut frame = Arc::new(SampleFrame::sample(&kb, cfg.global_samples, cfg.seed).unwrap());
-        let mut index = EdgeIndex::build(&kb);
-        let cache = DistributionCache::with_row_ceiling(64);
+        let state = ServingState::build(&kb, &cfg).unwrap();
         let ex0 = enumerator.enumerate(&kb, a, b).explanations;
         let tasks0 = [PairExplanations { start: a, end: b, explanations: &ex0 }];
-        let _ = rank_pairs_with(&tasks0, &cfg, &index, &frame, &cache);
+        let _ = state.snapshot().rank(&tasks0, &cfg);
 
-        let epoch0 = kb.epoch();
         let spouse = kb.label_by_name("spouse").unwrap();
         let old = kb.find_edge(a, b, spouse, false).unwrap();
         kb.remove_edge(old).unwrap();
-        let delta = kb.delta_since(epoch0);
 
         let ex1 = enumerator.enumerate(&kb, a, b).explanations;
         let tasks1 = [PairExplanations { start: a, end: b, explanations: &ex1 }];
-        let updated =
-            rank_pairs_updated(&kb, &delta, &tasks1, &cfg, &mut index, &mut frame, &cache).unwrap();
+        let updated = rank_pairs_updated(&kb, &tasks1, &cfg, &state).unwrap();
         // Scratch driver over the mutated KB (epoch carried by the KB, so
         // the lazily derived frame matches the refreshed one as long as
         // no redraw happened).
@@ -239,5 +241,68 @@ mod tests {
             let sv: Vec<(usize, f64)> = s.iter().map(|r| (r.index, r.score)).collect();
             assert_eq!(uv, sv);
         }
+    }
+
+    /// When compaction destroys the session's delta window, the update
+    /// path falls back to a full rebatch and still ranks correctly.
+    #[test]
+    fn compaction_forces_full_rebatch_fallback() {
+        let mut kb = rex_kb::toy::entertainment();
+        let enumerator = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3));
+        let a = kb.require_node("brad_pitt").unwrap();
+        let b = kb.require_node("angelina_jolie").unwrap();
+        let cfg =
+            RankPairsConfig { k: 4, global_samples: 10, seed: 7, threads: 1, row_ceiling: None };
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        let ex0 = enumerator.enumerate(&kb, a, b).explanations;
+        let tasks0 = [PairExplanations { start: a, end: b, explanations: &ex0 }];
+        let warm = state.snapshot().rank(&tasks0, &cfg);
+        assert!(warm.batched_evals > 0);
+
+        // Retention-policy compaction destroys the session's window.
+        kb.set_log_retention(Some(1));
+        let jr = kb.require_node("julia_roberts").unwrap();
+        let fc = kb.require_node("fight_club").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let e1 = kb.insert_edge(jr, fc, starring, true).unwrap();
+        kb.remove_edge(e1).unwrap();
+        assert!(kb.delta_since(state.epoch()).is_compacted());
+
+        let ex1 = enumerator.enumerate(&kb, a, b).explanations;
+        let tasks1 = [PairExplanations { start: a, end: b, explanations: &ex1 }];
+        let updated = rank_pairs_updated(&kb, &tasks1, &cfg, &state).unwrap();
+        assert!(updated.compaction_fallback);
+        assert_eq!(updated.index_churn, 0);
+        // The re-rank paid cold evaluations (full rebatch fallback).
+        assert!(updated.outcome.batched_evals > 0);
+        // And the rankings equal a from-scratch driver.
+        let scratch = rank_pairs(&kb, &tasks1, &cfg).unwrap();
+        for (u, s) in updated.outcome.rankings.iter().zip(&scratch.rankings) {
+            let uv: Vec<(usize, f64)> = u.iter().map(|r| (r.index, r.score)).collect();
+            let sv: Vec<(usize, f64)> = s.iter().map(|r| (r.index, r.score)).collect();
+            assert_eq!(uv, sv);
+        }
+    }
+
+    /// Sessions built with a caller-provided cache enforce the ceiling
+    /// contract, and frame/cache accessors expose the session pieces.
+    #[test]
+    #[should_panic(expected = "row ceiling disagrees")]
+    fn mismatched_cache_ceiling_panics() {
+        let kb = rex_kb::toy::entertainment();
+        let cfg = RankPairsConfig { row_ceiling: Some(128), ..RankPairsConfig::default() };
+        let _ = ServingState::build_with_cache(&kb, &cfg, DistributionCache::new());
+    }
+
+    /// The serving frame equals a directly sampled frame for the same
+    /// (kb, samples, seed) — the session introduces no sampling drift.
+    #[test]
+    fn serving_frame_matches_direct_sample() {
+        let kb = rex_kb::toy::entertainment();
+        let cfg =
+            RankPairsConfig { k: 3, global_samples: 12, seed: 9, threads: 1, row_ceiling: None };
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        let direct = Arc::new(SampleFrame::sample(&kb, 12, 9).unwrap());
+        assert_eq!(state.snapshot().frame().starts(), direct.starts());
     }
 }

@@ -116,6 +116,8 @@ impl KbBuilder {
             adj,
             epoch: 0,
             log: Vec::new(),
+            compacted_through: 0,
+            log_retention: None,
         }
     }
 }

@@ -12,6 +12,16 @@
 //! Deltas are **multisets**: an edge inserted and later removed within the
 //! window appears in both lists, and applying both is a no-op. Consumers
 //! therefore never need the window to be minimal, only faithful.
+//!
+//! The log is **compactible**
+//! ([`KnowledgeBase::compact_log`](crate::KnowledgeBase::compact_log) and
+//! the retention policy of
+//! [`KnowledgeBase::set_log_retention`](crate::KnowledgeBase::set_log_retention)):
+//! `delta_since` therefore answers with [`DeltaSince`] — either a faithful
+//! [`DeltaSince::Delta`], or an explicit [`DeltaSince::Compacted`] signal
+//! when the requested epoch predates the retained history, telling the
+//! consumer to rebuild from scratch instead of applying a silently
+//! partial window.
 
 use crate::graph::EdgeRecord;
 use crate::ids::{LabelId, NodeId};
@@ -48,6 +58,49 @@ pub struct KbDelta {
     /// Node count of the KB at `to_epoch` (node inserts have no edge
     /// records, but selectivity estimates need the domain size).
     pub node_count: usize,
+}
+
+/// The answer of
+/// [`KnowledgeBase::delta_since`](crate::KnowledgeBase::delta_since):
+/// either a faithful delta for the requested window, or the signal that
+/// log compaction has discarded part of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaSince {
+    /// The retained log covers the window: a faithful [`KbDelta`].
+    Delta(KbDelta),
+    /// The requested epoch predates the retained log history; no faithful
+    /// delta can be produced and the consumer must rebuild from scratch.
+    Compacted {
+        /// The epoch the consumer asked to diff from.
+        requested: u64,
+        /// The oldest epoch `delta_since` can still answer for.
+        oldest_retained: u64,
+        /// The KB's current epoch (what a rebuild lands on).
+        to_epoch: u64,
+    },
+}
+
+impl DeltaSince {
+    /// The delta, when the window was retained.
+    pub fn as_delta(&self) -> Option<&KbDelta> {
+        match self {
+            DeltaSince::Delta(d) => Some(d),
+            DeltaSince::Compacted { .. } => None,
+        }
+    }
+
+    /// Consumes into the delta, when the window was retained.
+    pub fn into_delta(self) -> Option<KbDelta> {
+        match self {
+            DeltaSince::Delta(d) => Some(d),
+            DeltaSince::Compacted { .. } => None,
+        }
+    }
+
+    /// Whether compaction destroyed the requested window.
+    pub fn is_compacted(&self) -> bool {
+        matches!(self, DeltaSince::Compacted { .. })
+    }
 }
 
 impl KbDelta {

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use crate::delta::{DeltaOp, KbDelta, LogEntry};
+use crate::delta::{DeltaOp, DeltaSince, KbDelta, LogEntry};
 use crate::ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
 use crate::interner::Interner;
 use crate::{KbError, Result};
@@ -36,6 +36,40 @@ pub struct NodeRecord {
     pub name: u32,
     /// The entity type (e.g. `Person`, `Movie`).
     pub ty: TypeId,
+}
+
+/// A lightweight pin of a knowledge base's state at a moment in time: the
+/// update [`epoch`](KbSnapshot::epoch) a reader started at, plus the
+/// coarse counts belonging to that epoch. Obtained from
+/// [`KnowledgeBase::snapshot`]; serving layers carry it inside their
+/// published read handles so every read pass can be attributed to exactly
+/// one epoch (the "old or new in full, never a torn mix" contract of
+/// snapshot-isolated ranking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KbSnapshot {
+    epoch: u64,
+    node_count: usize,
+    edge_count: usize,
+}
+
+impl KbSnapshot {
+    /// The KB update epoch this snapshot pins.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Entity count at the pinned epoch.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Edge count at the pinned epoch.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
 }
 
 /// An edge (primary relationship) of the knowledge base.
@@ -82,6 +116,15 @@ pub struct KnowledgeBase {
     pub(crate) epoch: u64,
     /// Edge-level mutation log, ordered by epoch (see [`crate::KbDelta`]).
     pub(crate) log: Vec<LogEntry>,
+    /// Epoch through which log entries have been compacted away:
+    /// [`KnowledgeBase::delta_since`] can only answer for epochs
+    /// `>= compacted_through`; older requests get
+    /// [`DeltaSince::Compacted`]. 0 until the first compaction.
+    pub(crate) compacted_through: u64,
+    /// Retention policy: maximum retained log entries (`None` =
+    /// unbounded). Enforced after every logged mutation by compacting the
+    /// oldest entries.
+    pub(crate) log_retention: Option<usize>,
 }
 
 impl KnowledgeBase {
@@ -362,6 +405,7 @@ impl KnowledgeBase {
         }
         self.epoch += 1;
         self.log.push(LogEntry { epoch: self.epoch, op: DeltaOp::InsertEdge(record) });
+        self.enforce_log_retention();
         Ok(eid)
     }
 
@@ -441,6 +485,7 @@ impl KnowledgeBase {
         }
         self.epoch += 1;
         self.log.push(LogEntry { epoch: self.epoch, op: DeltaOp::RemoveEdge(record) });
+        self.enforce_log_retention();
         Ok(record)
     }
 
@@ -460,11 +505,32 @@ impl KnowledgeBase {
         Some(slice[at].edge)
     }
 
+    /// Pins the KB's current state as a [`KbSnapshot`]: the epoch a
+    /// reader starts at plus the coarse counts belonging to it.
+    #[inline]
+    pub fn snapshot(&self) -> KbSnapshot {
+        KbSnapshot { epoch: self.epoch, node_count: self.nodes.len(), edge_count: self.edges.len() }
+    }
+
     /// The condensed delta between `epoch` (exclusive) and the current
     /// state: the edge records added and removed since, plus the current
-    /// node count. Returns an edge-empty delta when `epoch` is current or
-    /// ahead. Deltas are multisets — see [`crate::KbDelta`].
-    pub fn delta_since(&self, epoch: u64) -> KbDelta {
+    /// node count. Returns [`DeltaSince::Delta`] with an edge-empty delta
+    /// when `epoch` is current or ahead, and [`DeltaSince::Compacted`]
+    /// when `epoch` predates the retained log history (after
+    /// [`compact_log`] or the retention policy discarded the entries a
+    /// faithful delta would need) — the caller must then fall back to a
+    /// full rebuild instead of silently applying a partial window.
+    /// Deltas are multisets — see [`crate::KbDelta`].
+    ///
+    /// [`compact_log`]: KnowledgeBase::compact_log
+    pub fn delta_since(&self, epoch: u64) -> DeltaSince {
+        if epoch < self.compacted_through {
+            return DeltaSince::Compacted {
+                requested: epoch,
+                oldest_retained: self.compacted_through,
+                to_epoch: self.epoch,
+            };
+        }
         let from = self.log.partition_point(|e| e.epoch <= epoch);
         let mut added = Vec::new();
         let mut removed = Vec::new();
@@ -474,13 +540,13 @@ impl KnowledgeBase {
                 DeltaOp::RemoveEdge(r) => removed.push(r),
             }
         }
-        KbDelta {
+        DeltaSince::Delta(KbDelta {
             from_epoch: epoch.min(self.epoch),
             to_epoch: self.epoch,
             added,
             removed,
             node_count: self.nodes.len(),
-        }
+        })
     }
 
     /// Number of logged edge mutations retained for [`delta_since`].
@@ -488,6 +554,60 @@ impl KnowledgeBase {
     /// [`delta_since`]: KnowledgeBase::delta_since
     pub fn log_len(&self) -> usize {
         self.log.len()
+    }
+
+    /// The epoch boundary the mutation log has been compacted through:
+    /// [`delta_since`] answers faithfully for any `epoch >=
+    /// compacted_through` and signals [`DeltaSince::Compacted`] below it.
+    /// 0 until the first compaction.
+    ///
+    /// [`delta_since`]: KnowledgeBase::delta_since
+    #[inline]
+    pub fn compacted_through(&self) -> u64 {
+        self.compacted_through
+    }
+
+    /// Discards log entries at epochs `<= before_epoch` (clamped to the
+    /// current epoch) and advances [`compacted_through`] accordingly, so
+    /// a long-lived process can bound the log's memory. Returns the
+    /// number of entries dropped. After compaction, `delta_since(e)` for
+    /// `e < before_epoch` reports [`DeltaSince::Compacted`] instead of a
+    /// silently partial delta.
+    ///
+    /// [`compacted_through`]: KnowledgeBase::compacted_through
+    pub fn compact_log(&mut self, before_epoch: u64) -> usize {
+        let boundary = before_epoch.min(self.epoch);
+        let cut = self.log.partition_point(|e| e.epoch <= boundary);
+        self.log.drain(..cut);
+        self.compacted_through = self.compacted_through.max(boundary);
+        cut
+    }
+
+    /// Sets the log retention policy: after every logged mutation, the
+    /// oldest entries are compacted away so at most `max_entries` remain
+    /// (`None` restores the default unbounded log). Consumers that fall
+    /// behind further than the retained window observe
+    /// [`DeltaSince::Compacted`] and rebuild.
+    pub fn set_log_retention(&mut self, max_entries: Option<usize>) {
+        self.log_retention = max_entries;
+        self.enforce_log_retention();
+    }
+
+    /// The configured log retention cap, if any.
+    #[inline]
+    pub fn log_retention(&self) -> Option<usize> {
+        self.log_retention
+    }
+
+    /// Applies the retention policy after a logged mutation.
+    fn enforce_log_retention(&mut self) {
+        if let Some(max) = self.log_retention {
+            if self.log.len() > max {
+                let cut = self.log.len() - max;
+                self.compacted_through = self.compacted_through.max(self.log[cut - 1].epoch);
+                self.log.drain(..cut);
+            }
+        }
     }
 
     /// Inserts an adjacency entry for `node` at its sorted position,
@@ -818,20 +938,108 @@ mod tests {
         let after_insert = kb.epoch();
         kb.remove_edge(e).unwrap();
 
-        let full = kb.delta_since(mid);
+        let full = kb.delta_since(mid).into_delta().unwrap();
         assert_eq!(full.from_epoch, mid);
         assert_eq!(full.to_epoch, kb.epoch());
         assert_eq!(full.added.len(), 1);
         assert_eq!(full.removed.len(), 1);
         assert_eq!(full.node_count, kb.node_count());
 
-        let tail = kb.delta_since(after_insert);
+        let tail = kb.delta_since(after_insert).into_delta().unwrap();
         assert_eq!(tail.added.len(), 0);
         assert_eq!(tail.removed.len(), 1);
 
-        let empty = kb.delta_since(kb.epoch());
+        let empty = kb.delta_since(kb.epoch()).into_delta().unwrap();
         assert!(empty.is_empty());
         assert_eq!(kb.log_len(), 2);
+    }
+
+    /// Snapshots pin `(epoch, node_count, edge_count)` at the moment of
+    /// the call and stay fixed as the KB moves on.
+    #[test]
+    fn snapshot_pins_epoch_and_counts() {
+        let mut kb = tiny();
+        let snap = kb.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.node_count(), kb.node_count());
+        assert_eq!(snap.edge_count(), kb.edge_count());
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(a, m, starring, true).unwrap();
+        assert_eq!(snap.epoch(), 0, "snapshot must not move with the KB");
+        assert_eq!(snap.edge_count() + 1, kb.edge_count());
+        assert_eq!(kb.snapshot().epoch(), kb.epoch());
+    }
+
+    /// Compaction bounds the log and turns out-of-window delta requests
+    /// into an explicit `Compacted` signal instead of a partial delta.
+    #[test]
+    fn compaction_signals_instead_of_partial_deltas() {
+        let mut kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        let e1 = kb.insert_edge(a, m, starring, true).unwrap(); // epoch 1
+        kb.remove_edge(e1).unwrap(); // epoch 2
+        let mid = kb.epoch();
+        kb.insert_edge(a, m, starring, true).unwrap(); // epoch 3
+        assert_eq!(kb.log_len(), 3);
+
+        // Compact everything up to `mid`: requests at or after `mid`
+        // still answer faithfully; older ones signal Compacted.
+        assert_eq!(kb.compact_log(mid), 2);
+        assert_eq!(kb.log_len(), 1);
+        assert_eq!(kb.compacted_through(), mid);
+        let ok = kb.delta_since(mid).into_delta().unwrap();
+        assert_eq!(ok.added.len(), 1);
+        let refused = kb.delta_since(0);
+        assert!(refused.is_compacted());
+        assert!(refused.as_delta().is_none());
+        match refused {
+            DeltaSince::Compacted { requested, oldest_retained, to_epoch } => {
+                assert_eq!(requested, 0);
+                assert_eq!(oldest_retained, mid);
+                assert_eq!(to_epoch, kb.epoch());
+            }
+            DeltaSince::Delta(_) => unreachable!(),
+        }
+        // Compacting past the current epoch clamps and empties the log.
+        assert_eq!(kb.compact_log(u64::MAX), 1);
+        assert_eq!(kb.compacted_through(), kb.epoch());
+        assert!(kb.delta_since(kb.epoch()).into_delta().unwrap().is_empty());
+    }
+
+    /// The retention policy auto-compacts the oldest entries after each
+    /// logged mutation, keeping the log bounded.
+    #[test]
+    fn log_retention_policy_bounds_the_log() {
+        let mut kb = tiny();
+        let a = kb.require_node("a").unwrap();
+        let m = kb.require_node("m").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.set_log_retention(Some(4));
+        assert_eq!(kb.log_retention(), Some(4));
+        let base = kb.epoch();
+        for _ in 0..10 {
+            let e = kb.insert_edge(a, m, starring, true).unwrap();
+            kb.remove_edge(e).unwrap();
+        }
+        assert_eq!(kb.log_len(), 4);
+        // The last 4 mutations are still diffable; older windows signal.
+        let window_start = kb.epoch() - 4;
+        assert_eq!(kb.compacted_through(), window_start);
+        let tail = kb.delta_since(window_start).into_delta().unwrap();
+        assert_eq!(tail.edge_churn(), 4);
+        assert!(kb.delta_since(base).is_compacted());
+        // Node inserts bump the epoch without logging; retention holds.
+        kb.insert_node("fresh", "Person");
+        assert_eq!(kb.log_len(), 4);
+        // Lifting the policy stops further compaction.
+        kb.set_log_retention(None);
+        let e = kb.insert_edge(a, m, starring, true).unwrap();
+        kb.remove_edge(e).unwrap();
+        assert_eq!(kb.log_len(), 6);
     }
 
     /// Self-loops (one adjacency slot) survive insert/remove round trips.

@@ -232,6 +232,8 @@ pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
         adj,
         epoch: 0,
         log: Vec::new(),
+        compacted_through: 0,
+        log_retention: None,
     })
 }
 

@@ -42,8 +42,8 @@ pub mod stats;
 pub mod toy;
 
 pub use builder::KbBuilder;
-pub use delta::{DeltaOp, KbDelta};
-pub use graph::{EdgeRecord, KnowledgeBase, Neighbor, NodeRecord};
+pub use delta::{DeltaOp, DeltaSince, KbDelta};
+pub use graph::{EdgeRecord, KbSnapshot, KnowledgeBase, Neighbor, NodeRecord};
 pub use ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
 pub use interner::Interner;
 

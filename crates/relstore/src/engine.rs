@@ -7,8 +7,9 @@
 //! `LIMIT` once a position bound is known.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use rex_kb::{EdgeRecord, KbDelta, KnowledgeBase, LabelId, NodeId};
+use rex_kb::{DeltaSince, EdgeRecord, KbDelta, KnowledgeBase, LabelId, NodeId};
 
 use crate::ops::group_count_having_limit;
 use crate::plan::{dir_code, PatternSpec, StartBinding};
@@ -25,13 +26,33 @@ use crate::{RelError, Result};
 /// ([`EdgeIndex::apply_delta`] / [`EdgeIndex::refresh`]): only the touched
 /// `(label, dir)` partitions are edited, instead of rebuilding every
 /// partition from scratch on each KB update.
+///
+/// Partitions are held behind `Arc` (copy-on-write): cloning an index is
+/// O(labels), sharing every partition's rows, and a delta application
+/// deep-copies only the partitions it touches. This is what makes
+/// **versioned index publication** cheap — [`EdgeIndex::next_epoch`]
+/// builds the next epoch's index off to the side while readers keep
+/// scanning the current one, and the publisher swaps an `Arc<EdgeIndex>`
+/// in O(1).
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
-    groups: HashMap<(u64, u64), Relation>,
+    groups: HashMap<(u64, u64), Arc<Relation>>,
     schema: Schema,
     total_rows: usize,
     node_count: usize,
     epoch: u64,
+}
+
+/// What [`EdgeIndex::refresh`] had to do to catch up with the KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refresh {
+    /// Already at the KB's epoch — nothing to do.
+    Current,
+    /// A retained delta was applied in place; carries the edge churn.
+    Applied(usize),
+    /// The KB's log was compacted past this index's epoch: the index was
+    /// rebuilt from scratch (the graceful-degradation path).
+    Rebuilt,
 }
 
 impl EdgeIndex {
@@ -49,7 +70,7 @@ impl EdgeIndex {
         let groups = buckets
             .into_iter()
             .map(|(k, rows)| {
-                (k, Relation::from_rows(schema.clone(), rows).expect("partition arity"))
+                (k, Arc::new(Relation::from_rows(schema.clone(), rows).expect("partition arity")))
             })
             .collect();
         EdgeIndex { groups, schema, total_rows, node_count: kb.node_count(), epoch: kb.epoch() }
@@ -78,11 +99,16 @@ impl EdgeIndex {
         // Additions first: a retraction may target an edge inserted
         // within the same window (rows are a multiset, so which copy is
         // retracted never matters — only that one exists by then).
+        // `Arc::make_mut` deep-copies a partition only when another index
+        // version still shares it (the copy-on-write half of versioned
+        // publication).
         for record in &delta.added {
             for row in oriented_rows(record) {
-                self.groups
+                let partition = self
+                    .groups
                     .entry((row[2], row[3]))
-                    .or_insert_with(|| Relation::empty(self.schema.clone()))
+                    .or_insert_with(|| Arc::new(Relation::empty(self.schema.clone())));
+                Arc::make_mut(partition)
                     .push(row.into_boxed_slice())
                     .expect("oriented rows have arity 4");
                 self.total_rows += 1;
@@ -91,8 +117,10 @@ impl EdgeIndex {
         for record in &delta.removed {
             for row in oriented_rows(record) {
                 let key = (row[2], row[3]);
-                let found =
-                    self.groups.get_mut(&key).is_some_and(|partition| partition.remove_row(&row));
+                let found = self
+                    .groups
+                    .get_mut(&key)
+                    .is_some_and(|partition| Arc::make_mut(partition).remove_row(&row));
                 if !found {
                     return Err(RelError::DeltaSkew(format!(
                         "delta retracts edge ({}, {}, label {}) the index does not hold",
@@ -107,31 +135,53 @@ impl EdgeIndex {
         Ok(())
     }
 
+    /// Builds the **next epoch's** index off to the side: a copy-on-write
+    /// clone of this index (O(labels), partitions shared) with `delta`
+    /// applied, leaving `self` untouched for in-flight readers. This is
+    /// the maintenance half of versioned index publication — the caller
+    /// wraps the result in an `Arc` and swaps it into its published slot
+    /// in O(1), so no reader ever waits on the delta application.
+    pub fn next_epoch(&self, delta: &KbDelta) -> Result<EdgeIndex> {
+        let mut next = self.clone();
+        next.apply_delta(delta)?;
+        Ok(next)
+    }
+
     /// Refreshes the index to `kb`'s current epoch by applying
-    /// [`KnowledgeBase::delta_since`] this index's epoch. A no-op when
-    /// already current. Returns the edge churn applied.
-    pub fn refresh(&mut self, kb: &KnowledgeBase) -> Result<usize> {
+    /// [`KnowledgeBase::delta_since`] this index's epoch — or rebuilding
+    /// from scratch when log compaction has discarded that window
+    /// ([`DeltaSince::Compacted`]), the graceful degradation long-lived
+    /// processes rely on. A no-op when already current; returns what
+    /// happened.
+    pub fn refresh(&mut self, kb: &KnowledgeBase) -> Result<Refresh> {
         if kb.epoch() == self.epoch {
-            return Ok(0);
+            return Ok(Refresh::Current);
         }
-        let delta = kb.delta_since(self.epoch);
-        let churn = delta.edge_churn();
-        self.apply_delta(&delta)?;
-        Ok(churn)
+        match kb.delta_since(self.epoch) {
+            DeltaSince::Delta(delta) => {
+                let churn = delta.edge_churn();
+                self.apply_delta(&delta)?;
+                Ok(Refresh::Applied(churn))
+            }
+            DeltaSince::Compacted { .. } => {
+                *self = EdgeIndex::build(kb);
+                Ok(Refresh::Rebuilt)
+            }
+        }
     }
 
     /// The rows matching a `(label, dir)` pair; empty relation when absent.
     pub fn scan(&self, label: u64, dir: u64) -> Relation {
         self.groups
             .get(&(label, dir))
-            .cloned()
+            .map(|r| (**r).clone())
             .unwrap_or_else(|| Relation::empty(self.schema.clone()))
     }
 
     /// Rows in the `(label, dir)` partition without materializing it —
     /// the label-cardinality statistic cost-based ordering reads.
     pub fn scan_len(&self, label: u64, dir: u64) -> usize {
-        self.groups.get(&(label, dir)).map_or(0, Relation::len)
+        self.groups.get(&(label, dir)).map_or(0, |r| r.len())
     }
 
     /// The schema shared by all partitions.
@@ -777,7 +827,7 @@ mod tests {
         let wash = kb.insert_edge(jr, m, starring, true).unwrap();
         kb.remove_edge(wash).unwrap();
 
-        let delta = kb.delta_since(epoch0);
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
         index.apply_delta(&delta).unwrap();
         assert_eq!(index.epoch(), kb.epoch());
 
@@ -805,12 +855,80 @@ mod tests {
         // refresh() is the delta_since + apply_delta composition.
         let e2 = kb.insert_edge(bp, m, starring, true).unwrap();
         let mut refreshed = index.clone();
-        assert_eq!(refreshed.refresh(&kb).unwrap(), 1);
+        assert_eq!(refreshed.refresh(&kb).unwrap(), Refresh::Applied(1));
         assert_eq!(refreshed.epoch(), kb.epoch());
-        assert_eq!(refreshed.refresh(&kb).unwrap(), 0, "already current");
+        assert_eq!(refreshed.refresh(&kb).unwrap(), Refresh::Current, "already current");
         kb.remove_edge(e2).unwrap();
-        assert_eq!(refreshed.refresh(&kb).unwrap(), 1);
+        assert_eq!(refreshed.refresh(&kb).unwrap(), Refresh::Applied(1));
         assert_eq!(refreshed.total_rows(), index.total_rows());
+    }
+
+    /// `next_epoch` builds the updated index off to the side: the source
+    /// index keeps serving the old epoch unchanged (copy-on-write), and
+    /// the result equals an in-place application.
+    #[test]
+    fn next_epoch_leaves_current_readers_untouched() {
+        let mut kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let rows_before = index.total_rows();
+        let epoch0 = kb.epoch();
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let m = kb.require_node("oceans_eleven").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(bp, m, starring, true).unwrap();
+        let old_spouse = {
+            let aj = kb.require_node("angelina_jolie").unwrap();
+            let spouse = kb.label_by_name("spouse").unwrap();
+            kb.find_edge(bp, aj, spouse, false).unwrap()
+        };
+        kb.remove_edge(old_spouse).unwrap();
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
+
+        let next = index.next_epoch(&delta).unwrap();
+        // The old version is bitwise-unchanged: same epoch, same rows.
+        assert_eq!(index.epoch(), epoch0);
+        assert_eq!(index.total_rows(), rows_before);
+        // The new version equals an in-place application / fresh build.
+        assert_eq!(next.epoch(), kb.epoch());
+        let rebuilt = EdgeIndex::build(&kb);
+        assert_eq!(next.total_rows(), rebuilt.total_rows());
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let starring = starring.0 as u64;
+        for label in [starring, spouse] {
+            for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+                assert_eq!(next.scan_len(label, dir), rebuilt.scan_len(label, dir));
+            }
+        }
+        // Untouched partitions are shared, not copied: a label the delta
+        // never mentions scans identical rows from both versions.
+        let untouched = kb.label_by_name("directed_by").unwrap().0 as u64;
+        assert_eq!(
+            index.scan(untouched, dir_code::FORWARD).rows(),
+            next.scan(untouched, dir_code::FORWARD).rows()
+        );
+    }
+
+    /// When the KB's log is compacted past the index's epoch, `refresh`
+    /// degrades gracefully to a full rebuild instead of applying a
+    /// partial (wrong) delta.
+    #[test]
+    fn refresh_rebuilds_after_log_compaction() {
+        let mut kb = toy::entertainment();
+        let mut index = EdgeIndex::build(&kb);
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let m = kb.require_node("oceans_eleven").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        for _ in 0..3 {
+            let e = kb.insert_edge(bp, m, starring, true).unwrap();
+            kb.remove_edge(e).unwrap();
+        }
+        kb.insert_edge(bp, m, starring, true).unwrap();
+        kb.compact_log(kb.epoch());
+        assert!(kb.delta_since(index.epoch()).is_compacted());
+        assert_eq!(index.refresh(&kb).unwrap(), Refresh::Rebuilt);
+        assert_eq!(index.epoch(), kb.epoch());
+        let rebuilt = EdgeIndex::build(&kb);
+        assert_eq!(index.total_rows(), rebuilt.total_rows());
     }
 
     /// Skewed deltas fail loudly instead of corrupting the index.
@@ -823,11 +941,11 @@ mod tests {
         let spouse = kb.label_by_name("spouse").unwrap();
         kb.insert_edge(bp, aj, spouse, false).unwrap();
         // Wrong starting epoch.
-        let mut shifted = kb.delta_since(0);
+        let mut shifted = kb.delta_since(0).into_delta().unwrap();
         shifted.from_epoch = 7;
         assert!(matches!(index.apply_delta(&shifted), Err(crate::RelError::DeltaSkew(_))));
         // Retraction of an edge the index never held.
-        let phantom = kb.delta_since(0);
+        let phantom = kb.delta_since(0).into_delta().unwrap();
         let bogus = rex_kb::KbDelta {
             from_epoch: 0,
             to_epoch: 1,
@@ -870,7 +988,7 @@ mod tests {
         let jr = kb.require_node("julia_roberts").unwrap();
         let m = kb.require_node("fight_club").unwrap();
         kb.insert_edge(jr, m, starring, true).unwrap();
-        let delta = kb.delta_since(epoch0);
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
         let index_after = {
             let mut i = index_before.clone();
             i.apply_delta(&delta).unwrap();

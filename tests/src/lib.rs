@@ -1,1 +1,80 @@
-//! Integration test crate (tests live in tests/).
+//! Integration test crate (tests live in tests/), plus the shared
+//! scaffolding the incremental and concurrent suites build on.
+
+pub mod scaffold {
+    //! Deterministic KB scaffolding shared by the incremental-maintenance
+    //! and snapshot-serving test suites, so the two cannot silently
+    //! diverge on the base-KB shape or the mutation-op semantics.
+
+    use rex_kb::{EdgeId, KbBuilder, KnowledgeBase, LabelId, NodeId};
+
+    /// The label universe every scaffolded KB pre-interns.
+    pub const LABELS: [&str; 5] = ["l0", "l1", "l2", "l3", "l4"];
+
+    /// A small deterministic base KB: 20 nodes, the label universe
+    /// pre-interned, a connected core between `n0` and `n1` (so
+    /// enumeration always finds explanations), and a `(seed, salt)`-
+    /// dependent tail of edges (the salt keeps suites on distinct yet
+    /// reproducible tails).
+    pub fn base_kb(seed: u64, salt: u64) -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let nodes: Vec<NodeId> = (0..20).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+        for l in LABELS {
+            b.intern_label(l);
+        }
+        b.add_directed_edge(nodes[0], nodes[1], "l0");
+        b.add_undirected_edge(nodes[0], nodes[2], "l1");
+        b.add_directed_edge(nodes[2], nodes[1], "l1");
+        b.add_directed_edge(nodes[1], nodes[3], "l2");
+        let mut state = seed.wrapping_add(salt);
+        let mut next = |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for _ in 0..30 {
+            let u = nodes[next(20) as usize];
+            let v = nodes[next(20) as usize];
+            let l = LABELS[next(5) as usize];
+            if next(2) == 0 {
+                b.add_directed_edge(u, v, l);
+            } else {
+                b.add_undirected_edge(u, v, l);
+            }
+        }
+        b.build()
+    }
+
+    /// One randomized mutation: `(kind, a, b, label, directed)`.
+    pub type Op = (u8, usize, usize, usize, bool);
+
+    /// Applies a proptest-generated op sequence: edge inserts, edge
+    /// removes (or a self-loop insert when the KB has no edges), and
+    /// node inserts anchored to an existing node. `tag` namespaces the
+    /// fresh-node names so repeated calls on one KB stay collision-free.
+    pub fn apply_ops(kb: &mut KnowledgeBase, ops: &[Op], tag: &str) {
+        let mut fresh = 0usize;
+        for &(kind, a, b, label, directed) in ops {
+            match kind % 3 {
+                0 => {
+                    let src = NodeId((a % kb.node_count()) as u32);
+                    let dst = NodeId((b % kb.node_count()) as u32);
+                    kb.insert_edge(src, dst, LabelId(label as u32 % 5), directed).unwrap();
+                }
+                1 => {
+                    if kb.edge_count() > 0 {
+                        kb.remove_edge(EdgeId((a % kb.edge_count()) as u32)).unwrap();
+                    } else {
+                        let dst = NodeId((b % kb.node_count()) as u32);
+                        kb.insert_edge(dst, dst, LabelId(label as u32 % 5), directed).unwrap();
+                    }
+                }
+                _ => {
+                    let anchor = NodeId((a % kb.node_count()) as u32);
+                    let new = kb.insert_node(&format!("fresh-{tag}-{fresh}"), "T");
+                    fresh += 1;
+                    kb.insert_edge(new, anchor, LabelId(label as u32 % 5), directed).unwrap();
+                }
+            }
+        }
+    }
+}

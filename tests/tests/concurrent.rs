@@ -1,0 +1,250 @@
+//! Concurrency tests for the epoch-versioned serving stack:
+//!
+//! * **threaded stress** — reader threads rank against pinned
+//!   [`Snapshot`]s in a loop while a writer thread applies a scripted
+//!   sequence of deltas through [`ServingState::maintain`]; every read
+//!   pass must equal the precomputed expected answers of **exactly one**
+//!   published epoch (old or new in full — never a torn mix), and reads
+//!   keep completing while maintenance is in flight;
+//! * **proptest parity** — a snapshot pinned at epoch `E` keeps answering
+//!   byte-identically to a scratch build of the KB at `E`, even after the
+//!   serving state has flipped past it under further random mutations.
+//!
+//! [`Snapshot`]: rex_core::ranking::Snapshot
+//! [`ServingState::maintain`]: rex_core::ranking::ServingState
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rex_core::enumerate::GeneralEnumerator;
+use rex_core::measures::{DistributionCache, SampleFrame};
+use rex_core::ranking::{rank_pairs_with, PairExplanations, RankPairsConfig, ServingState};
+use rex_core::{EnumConfig, Explanation};
+use rex_kb::{KnowledgeBase, LabelId, NodeId};
+use rex_relstore::engine::EdgeIndex;
+use rex_tests::scaffold::{apply_ops, base_kb};
+
+/// The suite's deterministic base KB (distinct tail from the
+/// incremental suite via the salt).
+fn suite_kb(seed: u64) -> KnowledgeBase {
+    base_kb(seed, 0x5A5A)
+}
+
+fn enumerate_core(kb: &KnowledgeBase) -> Vec<Explanation> {
+    let a = kb.require_node("n0").unwrap();
+    let b = kb.require_node("n1").unwrap();
+    GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(kb, a, b).explanations
+}
+
+/// The expected global positions of every explanation at `kb`'s current
+/// state, computed from scratch (fresh index, cold cache) over `frame`'s
+/// starts — the per-epoch ground truth the stress readers compare against.
+fn positions_at(
+    kb: &KnowledgeBase,
+    frame: &SampleFrame,
+    explanations: &[Explanation],
+) -> Vec<usize> {
+    let index = EdgeIndex::build(kb);
+    let cache = DistributionCache::new();
+    explanations
+        .iter()
+        .map(|e| cache.global_position_excluding(&index, e, frame.starts(), None))
+        .collect()
+}
+
+/// Reader threads rank against pinned snapshots while a writer applies a
+/// scripted delta sequence. Every completed read pass must match the
+/// ground truth of exactly one published epoch — the "old or new in
+/// full, never a torn mix" acceptance bar — and no read ever blocks on
+/// the in-flight maintenance (the loop keeps completing passes, counted
+/// per reader).
+#[test]
+fn concurrent_readers_never_observe_torn_epochs() {
+    let mut kb = suite_kb(7);
+    let explanations = enumerate_core(&kb);
+    assert!(!explanations.is_empty());
+    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 5, threads: 1, row_ceiling: None };
+    let state = ServingState::build(&kb, &cfg).unwrap();
+    let frame = state.snapshot().frame().clone();
+
+    // Scripted writer deltas: insert-only batches (no sampled start can
+    // lose eligibility, so the frame — and hence the ground truth's
+    // domain — is identical at every epoch).
+    let mut rng_state = 0xC0FFEEu64;
+    let mut next = |bound: u64| {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng_state >> 33) % bound
+    };
+    let node_count = kb.node_count() as u64;
+    let script: Vec<Vec<(NodeId, NodeId, LabelId, bool)>> = (0..6)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    (
+                        NodeId(next(node_count) as u32),
+                        NodeId(next(node_count) as u32),
+                        LabelId(next(5) as u32),
+                        next(2) == 0,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Ground truth per epoch, simulated ahead of time on a clone.
+    let mut expected: HashMap<u64, Vec<usize>> = HashMap::new();
+    expected.insert(kb.epoch(), positions_at(&kb, &frame, &explanations));
+    {
+        let mut sim = kb.clone();
+        for batch in &script {
+            for &(u, v, l, d) in batch {
+                sim.insert_edge(u, v, l, d).unwrap();
+            }
+            expected.insert(sim.epoch(), positions_at(&sim, &frame, &explanations));
+        }
+    }
+
+    let done = AtomicBool::new(false);
+    let passes = AtomicUsize::new(0);
+    let final_epoch = kb.epoch() + script.iter().map(Vec::len).sum::<usize>() as u64;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (state, expected, explanations, done, passes) =
+                (&state, &expected, &explanations, &done, &passes);
+            scope.spawn(move |_| {
+                while !done.load(Ordering::Acquire) {
+                    // Pin one snapshot for the whole pass; every value read
+                    // through it must belong to the pinned epoch.
+                    let snap = state.snapshot();
+                    let got: Vec<usize> = explanations
+                        .iter()
+                        .map(|e| snap.global_position_excluding(e, None))
+                        .collect();
+                    let want = expected
+                        .get(&snap.epoch())
+                        .expect("snapshots only exist at published epochs");
+                    assert_eq!(&got, want, "torn read at epoch {}", snap.epoch());
+                    passes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let kb = &mut kb;
+        let (state, done) = (&state, &done);
+        scope.spawn(move |_| {
+            for batch in &script {
+                for &(u, v, l, d) in batch {
+                    kb.insert_edge(u, v, l, d).unwrap();
+                }
+                let m = state.maintain(kb).unwrap();
+                assert!(!m.compaction_fallback);
+                // Give readers a window at this epoch before the next flip.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Release);
+        });
+    })
+    .unwrap();
+
+    assert!(passes.load(Ordering::Relaxed) > 0, "readers must make progress");
+    assert_eq!(state.epoch(), final_epoch, "every delta flipped in");
+    // Post-run, a fresh snapshot serves the final epoch's ground truth.
+    let snap = state.snapshot();
+    let got: Vec<usize> =
+        explanations.iter().map(|e| snap.global_position_excluding(e, None)).collect();
+    assert_eq!(&got, expected.get(&final_epoch).unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// A snapshot pinned at epoch E answers byte-identically to a scratch
+    /// build of the KB at E — all shapes, all starts — even after further
+    /// mutations have been maintained and flipped past it.
+    #[test]
+    fn pinned_snapshot_matches_scratch_build_at_its_epoch(
+        base_seed in 0u64..4,
+        ops1 in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            1..10,
+        ),
+        ops2 in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            1..10,
+        ),
+    ) {
+        let mut kb = suite_kb(base_seed);
+        let explanations = enumerate_core(&kb);
+        prop_assert!(!explanations.is_empty());
+        let starts: Vec<NodeId> = kb.node_ids().collect();
+        let cfg = RankPairsConfig {
+            k: 5, global_samples: 8, seed: 2, threads: 1, row_ceiling: None,
+        };
+        let state = ServingState::build(&kb, &cfg).unwrap();
+        // Warm epoch 0, advance to epoch E1, pin it.
+        let warm = state.snapshot();
+        for e in &explanations {
+            warm.global_position_excluding(e, None);
+        }
+        apply_ops(&mut kb, &ops1, "a");
+        state.maintain(&kb).unwrap();
+        let pinned = state.snapshot();
+        let kb_at_e1 = kb.clone();
+        prop_assert_eq!(pinned.epoch(), kb_at_e1.epoch());
+
+        // Advance past the pin: further mutations, maintained + flipped.
+        apply_ops(&mut kb, &ops2, "b");
+        state.maintain(&kb).unwrap();
+        prop_assert!(state.epoch() > pinned.epoch());
+
+        // Byte-identical multisets: reads through the pinned snapshot vs
+        // a scratch build at E1 (fresh index, cold cache).
+        let scratch_index = EdgeIndex::build(&kb_at_e1);
+        prop_assert_eq!(scratch_index.epoch(), pinned.epoch());
+        let scratch_cache = DistributionCache::new();
+        for e in &explanations {
+            let maintained = pinned.cache().all_starts(pinned.index(), e, &starts);
+            prop_assert_eq!(maintained.epoch(), pinned.epoch());
+            let scratch = scratch_cache.all_starts(&scratch_index, e, &starts);
+            for s in &starts {
+                prop_assert_eq!(
+                    maintained.counts_for(s.0 as u64),
+                    scratch.counts_for(s.0 as u64),
+                    "shape {} start {}", e.describe(&kb_at_e1), s
+                );
+            }
+        }
+
+        // And the whole ranking read path agrees at the pinned epoch.
+        let a = kb_at_e1.require_node("n0").unwrap();
+        let b = kb_at_e1.require_node("n1").unwrap();
+        let tasks = [PairExplanations { start: a, end: b, explanations: &explanations }];
+        let served = pinned.rank(&tasks, &cfg);
+        let cold_cache = DistributionCache::new();
+        let scratch_rank =
+            rank_pairs_with(&tasks, &cfg, &scratch_index, pinned.frame(), &cold_cache);
+        for (u, v) in served.rankings.iter().zip(&scratch_rank.rankings) {
+            let uv: Vec<(usize, f64)> = u.iter().map(|r| (r.index, r.score)).collect();
+            let vv: Vec<(usize, f64)> = v.iter().map(|r| (r.index, r.score)).collect();
+            prop_assert_eq!(uv, vv);
+        }
+
+        // A fresh snapshot serves the *current* epoch, matching a scratch
+        // build at the final state.
+        let current = state.snapshot();
+        prop_assert_eq!(current.epoch(), kb.epoch());
+        let final_index = EdgeIndex::build(&kb);
+        let final_cache = DistributionCache::new();
+        for e in &explanations {
+            let served = current.cache().all_starts(current.index(), e, &starts);
+            let scratch = final_cache.all_starts(&final_index, e, &starts);
+            for s in &starts {
+                prop_assert_eq!(
+                    served.counts_for(s.0 as u64),
+                    scratch.counts_for(s.0 as u64),
+                    "final shape {} start {}", e.describe(&kb), s
+                );
+            }
+        }
+    }
+}

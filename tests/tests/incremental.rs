@@ -17,42 +17,16 @@ use proptest::prelude::*;
 use rex_core::enumerate::GeneralEnumerator;
 use rex_core::measures::{DistributionCache, MeasureContext, SampleFrame};
 use rex_core::{EnumConfig, Explanation};
-use rex_kb::{EdgeId, KbBuilder, KnowledgeBase, LabelId, NodeId};
+use rex_kb::{KbBuilder, KnowledgeBase, LabelId, NodeId};
 use rex_relstore::engine::EdgeIndex;
 use rex_relstore::metrics;
 use rex_relstore::plan::dir_code;
+use rex_tests::scaffold::{apply_ops, base_kb};
 
-const LABELS: [&str; 5] = ["l0", "l1", "l2", "l3", "l4"];
-
-/// A small deterministic base KB: 20 nodes, the label universe
-/// pre-interned, a connected core between `n0` and `n1` (so enumeration
-/// always finds explanations), and a seed-dependent tail of edges.
-fn base_kb(seed: u64) -> KnowledgeBase {
-    let mut b = KbBuilder::new();
-    let nodes: Vec<NodeId> = (0..20).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
-    for l in LABELS {
-        b.intern_label(l);
-    }
-    b.add_directed_edge(nodes[0], nodes[1], "l0");
-    b.add_undirected_edge(nodes[0], nodes[2], "l1");
-    b.add_directed_edge(nodes[2], nodes[1], "l1");
-    b.add_directed_edge(nodes[1], nodes[3], "l2");
-    let mut state = seed.wrapping_add(0xA5A5);
-    let mut next = |bound: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) % bound
-    };
-    for _ in 0..30 {
-        let u = nodes[next(20) as usize];
-        let v = nodes[next(20) as usize];
-        let l = LABELS[next(5) as usize];
-        if next(2) == 0 {
-            b.add_directed_edge(u, v, l);
-        } else {
-            b.add_undirected_edge(u, v, l);
-        }
-    }
-    b.build()
+/// The suite's deterministic base KB (distinct tail from the concurrent
+/// suite via the salt).
+fn suite_kb(seed: u64) -> KnowledgeBase {
+    base_kb(seed, 0xA5A5)
 }
 
 /// Rebuilds `kb`'s current state from scratch through the bulk builder,
@@ -78,36 +52,6 @@ fn scratch_rebuild(kb: &KnowledgeBase) -> KnowledgeBase {
     b.build()
 }
 
-/// One randomized mutation: `(kind, a, b, label, directed)`.
-type Op = (u8, usize, usize, usize, bool);
-
-fn apply_ops(kb: &mut KnowledgeBase, ops: &[Op]) {
-    let mut fresh = 0usize;
-    for &(kind, a, b, label, directed) in ops {
-        match kind % 3 {
-            0 => {
-                let src = NodeId((a % kb.node_count()) as u32);
-                let dst = NodeId((b % kb.node_count()) as u32);
-                kb.insert_edge(src, dst, LabelId(label as u32 % 5), directed).unwrap();
-            }
-            1 => {
-                if kb.edge_count() > 0 {
-                    kb.remove_edge(EdgeId((a % kb.edge_count()) as u32)).unwrap();
-                } else {
-                    let dst = NodeId((b % kb.node_count()) as u32);
-                    kb.insert_edge(dst, dst, LabelId(label as u32 % 5), directed).unwrap();
-                }
-            }
-            _ => {
-                let anchor = NodeId((a % kb.node_count()) as u32);
-                let new = kb.insert_node(&format!("fresh{fresh}"), "T");
-                fresh += 1;
-                kb.insert_edge(new, anchor, LabelId(label as u32 % 5), directed).unwrap();
-            }
-        }
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -125,7 +69,7 @@ proptest! {
         tight_ceiling in any::<bool>(),
     ) {
         let scope = metrics::scoped();
-        let mut kb = base_kb(base_seed);
+        let mut kb = suite_kb(base_seed);
         let starts: Vec<NodeId> = kb.node_ids().collect();
         let mut index = EdgeIndex::build(&kb);
         let cache = if tight_ceiling {
@@ -147,10 +91,10 @@ proptest! {
 
         // Mutate, capture the delta, maintain index + cache.
         let epoch0 = kb.epoch();
-        apply_ops(&mut kb, &ops);
+        apply_ops(&mut kb, &ops, "i");
         prop_assert!(kb.epoch() > epoch0);
         kb.check_invariants().unwrap();
-        let delta = kb.delta_since(epoch0);
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
         index.apply_delta(&delta).unwrap();
         prop_assert_eq!(index.epoch(), kb.epoch());
         let maintenance = cache.apply_delta(&kb, &index, &delta);
@@ -210,7 +154,7 @@ proptest! {
 #[test]
 fn stale_cache_refreshes_to_correct_values() {
     let _scope = metrics::scoped();
-    let mut kb = base_kb(1);
+    let mut kb = suite_kb(1);
     let a = kb.require_node("n0").unwrap();
     let b = kb.require_node("n1").unwrap();
     let explanations = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
@@ -232,7 +176,7 @@ fn stale_cache_refreshes_to_correct_values() {
     let label = LabelId(spec.edges[0].label as u32);
     let directed = spec.edges[0].directed;
     kb.insert_edge(a, b, label, directed).unwrap();
-    index.apply_delta(&kb.delta_since(epoch0)).unwrap();
+    index.apply_delta(&kb.delta_since(epoch0).into_delta().unwrap()).unwrap();
 
     // No apply_delta on the cache: reads must detect the skew themselves.
     let fresh = DistributionCache::new();
@@ -260,7 +204,7 @@ fn stale_cache_refreshes_to_correct_values() {
 #[test]
 fn measure_context_survives_kb_updates() {
     let _scope = metrics::scoped();
-    let mut kb = base_kb(2);
+    let mut kb = suite_kb(2);
     let a = kb.require_node("n0").unwrap();
     let b = kb.require_node("n1").unwrap();
     let explanations = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3))
