@@ -111,6 +111,20 @@ fn validate(text: &str) -> Result<(), String> {
             "contended_passes_per_s",
         ],
     )?;
+    let endpoint = side(
+        "endpoint_index",
+        &[
+            "kb_edges",
+            "delta_edges",
+            "shapes_touched",
+            "affected_starts",
+            "rows_probed",
+            "rows_scanned",
+            "scan_floor_rows",
+            "patch_wall_ms",
+            "index_build_ms",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
     number_after(text, "incremental_speedup", 0)?;
@@ -162,6 +176,32 @@ fn validate(text: &str) -> Result<(), String> {
         return Err(format!(
             "incremental: shapes_patched {patched} and delta_partial_evals \
              {partial_evals} must be zero or non-zero together"
+        ));
+    }
+
+    // Structural invariants of the endpoint-index engine: the delta
+    // patch pass must have had work, and its probe traffic must beat the
+    // old full-partition scan floor — strictly. This is the "kill the
+    // Among scan floor" claim as a CI gate.
+    let (ep_shapes, ep_probed, ep_scanned, ep_floor) =
+        (endpoint[2], endpoint[4], endpoint[5], endpoint[6]);
+    if ep_shapes < 1.0 {
+        return Err("endpoint_index: the delta touched no shape (nothing measured)".into());
+    }
+    if ep_floor <= 0.0 {
+        return Err("endpoint_index: scan_floor_rows must be positive".into());
+    }
+    if ep_probed >= ep_floor {
+        return Err(format!(
+            "endpoint_index: rows_probed {ep_probed} not strictly below the \
+             full-partition scan floor {ep_floor}"
+        ));
+    }
+    if ep_probed + ep_scanned >= ep_floor {
+        return Err(format!(
+            "endpoint_index: total patch traffic {} (probed {ep_probed} + scanned \
+             {ep_scanned}) not strictly below the scan floor {ep_floor}",
+            ep_probed + ep_scanned
         ));
     }
 
@@ -227,6 +267,7 @@ mod tests {
   "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 123, "row_ceiling": 1048576},
   "incremental": {"delta_edges": 4, "kb_edges": 600, "full_rerank_wall_ms": 9.0, "full_rerank_full_evals": 30, "delta_rerank_wall_ms": 3.0, "delta_rerank_full_evals": 5, "delta_partial_evals": 7, "shapes_patched": 7, "shapes_rebatched": 2, "shapes_untouched": 21, "frame_redrawn": 0},
   "concurrent": {"reader_threads": 2, "passes_per_reader": 12, "quiet_wall_ms": 40.0, "contended_wall_ms": 55.0, "deltas_applied": 3, "quiet_passes_per_s": 600.0, "contended_passes_per_s": 436.0},
+  "endpoint_index": {"kb_edges": 600, "delta_edges": 4, "shapes_touched": 7, "affected_starts": 19, "rows_probed": 40, "rows_scanned": 120, "scan_floor_rows": 900, "patch_wall_ms": 1.5, "index_build_ms": 2.0},
   "speedup": 10.0,
   "shared_frame_speedup": 1.25,
   "incremental_speedup": 3.0
@@ -286,6 +327,27 @@ mod tests {
         // No readers at all.
         let broken = GOOD.replace("\"reader_threads\": 2", "\"reader_threads\": 0");
         assert!(validate(&broken).unwrap_err().contains("reader thread"));
+    }
+
+    #[test]
+    fn endpoint_index_violations_rejected() {
+        // A missing section must fail.
+        let broken = GOOD.replace("endpoint_index", "endpoint_indexx");
+        assert!(validate(&broken).is_err());
+        // Probed rows at (or above) the scan floor: the scan-floor claim
+        // regressed.
+        let broken = GOOD.replace("\"rows_probed\": 40", "\"rows_probed\": 900");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("strictly below"));
+        // Probed + scanned at the floor is just as dead.
+        let broken = GOOD.replace("\"rows_scanned\": 120", "\"rows_scanned\": 860");
+        assert!(validate(&broken).unwrap_err().contains("total patch traffic"));
+        // A patch pass that touched nothing measured nothing.
+        let broken = GOOD.replace("\"shapes_touched\": 7", "\"shapes_touched\": 0");
+        assert!(validate(&broken).unwrap_err().contains("touched no shape"));
+        // A zero scan floor cannot anchor the comparison.
+        let broken = GOOD.replace("\"scan_floor_rows\": 900", "\"scan_floor_rows\": 0");
+        assert!(validate(&broken).unwrap_err().contains("scan_floor_rows"));
     }
 
     #[test]

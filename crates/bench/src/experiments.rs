@@ -307,6 +307,142 @@ impl IncrementalBench {
     }
 }
 
+/// The endpoint-index comparison: after a small KB delta, the row
+/// traffic of the delta patch pass (partial re-groups over just the
+/// affected starts) measured through the probed/scanned counters,
+/// versus the **scan floor** — the full `(label, dir)` partition rows
+/// the pre-index engine walked for exactly the same partial
+/// evaluations. `rows_probed` strictly below `scan_floor_rows` is the
+/// "scan floor is gone" acceptance bar, enforced by
+/// `check_bench_schema`.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointIndexBench {
+    /// KB edge count after the delta.
+    pub kb_edges: usize,
+    /// Edge churn applied (insertions + removals).
+    pub delta_edges: usize,
+    /// Workload shapes with at least one delta-affected start.
+    pub shapes_touched: usize,
+    /// Total affected starts re-grouped across those shapes.
+    pub affected_starts: usize,
+    /// Rows materialized through endpoint-posting probes during the
+    /// patch pass (start-incident pattern edges).
+    pub rows_probed: usize,
+    /// Rows materialized through full partition scans during the patch
+    /// pass (pattern edges not touching the start variable).
+    pub rows_scanned: usize,
+    /// Rows the old full-partition path would have walked for the same
+    /// partial evaluations: every touched shape's per-edge `scan_len`.
+    pub scan_floor_rows: usize,
+    /// Wall time of the patch pass (affected-start re-groups only).
+    pub patch_wall: Duration,
+    /// Wall time of one cold `EdgeIndex::build` (partitions + endpoint
+    /// posting lists) on the post-delta KB — the per-epoch price the
+    /// probes amortize.
+    pub index_build_wall: Duration,
+}
+
+/// Measures the endpoint-index row traffic of a delta patch pass over
+/// the workload's distinct shapes: for each shape, the affected starts
+/// are intersected with a cached domain — the shared sample frame plus
+/// the delta's own endpoint entities, mirroring the warm-serving state
+/// `DistributionCache::apply_delta` patches (the endpoints ride along so
+/// a frame that happened to sample none of the blast radius still
+/// leaves the pass measurable). Must run inside the caller's
+/// [`metrics::scoped`] region (the bench binaries hold one): the
+/// probed/scanned deltas are read from the process-global counters.
+pub fn endpoint_index_bench(w: &Workload, pairs_per_group: usize) -> EndpointIndexBench {
+    use rex_relstore::engine::{delta_affected_starts, delta_count_distributions, EdgeIndex};
+
+    let mut kb = w.kb.clone();
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let mut specs: Vec<rex_relstore::plan::PatternSpec> = Vec::new();
+    let mut seen = HashSet::new();
+    for p in w.truncated(pairs_per_group) {
+        for e in enumerator.enumerate(&kb, p.start, p.end).explanations {
+            if seen.insert(e.key().clone()) {
+                specs.push(e.pattern.to_spec());
+            }
+        }
+    }
+    let shape_labels: HashSet<u64> =
+        specs.iter().flat_map(|s| s.edges.iter().map(|e| e.label)).collect();
+
+    // Deterministic delta, biased onto the shapes' labels so the patch
+    // pass has work to measure (a label-disjoint delta would make every
+    // shape a no-op): paired remove + rewired re-insert, the same churn
+    // model as the incremental section.
+    let epoch0 = kb.epoch();
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0xE1DE);
+    let target = (kb.edge_count() / 40_000).clamp(1, 8);
+    let mut rewired = 0;
+    let mut attempts = 0;
+    while rewired < target {
+        let victim = EdgeId(rng.gen_range(0..kb.edge_count()) as u32);
+        let record = *kb.edge(victim);
+        attempts += 1;
+        // Shape labels are the workload's common labels, so this accepts
+        // quickly; the attempt bound keeps pathological workloads total.
+        if !shape_labels.contains(&(record.label.0 as u64)) && attempts < 10_000 {
+            continue;
+        }
+        kb.remove_edge(victim).expect("edge ids are dense");
+        let other = NodeId(rng.gen_range(0..kb.node_count()) as u32);
+        kb.insert_edge(record.src, other, record.label, record.directed)
+            .expect("template endpoints exist");
+        rewired += 1;
+    }
+    let delta = kb.delta_since(epoch0).into_delta().expect("retained window");
+
+    let (mut index, index_build_wall) = time(|| EdgeIndex::build(&w.kb));
+    index.apply_delta(&delta).expect("delta applies to its own window");
+
+    // The cached domain being patched: the shared sample frame plus the
+    // delta's endpoint entities (always inside the blast radius of a
+    // shape the delta touches).
+    let frame = SampleFrame::sample(&kb, w.global_samples, w.seed).expect("workload KB has edges");
+    let mut domain: HashSet<u64> = frame.starts().iter().map(|s| s.0 as u64).collect();
+    for record in delta.added.iter().chain(&delta.removed) {
+        domain.insert(record.src.0 as u64);
+        domain.insert(record.dst.0 as u64);
+    }
+
+    let mut shapes_touched = 0usize;
+    let mut affected_starts = 0usize;
+    let mut scan_floor_rows = 0usize;
+    let before = metrics::snapshot();
+    let ((), patch_wall) = time(|| {
+        for spec in &specs {
+            let Some(affected) = delta_affected_starts(&kb, spec, &delta) else {
+                continue;
+            };
+            let affected: Vec<u64> = affected.into_iter().filter(|s| domain.contains(s)).collect();
+            if affected.is_empty() {
+                continue;
+            }
+            delta_count_distributions(&index, spec, &affected, affected.len())
+                .expect("workload shapes are valid specs");
+            shapes_touched += 1;
+            affected_starts += affected.len();
+            scan_floor_rows +=
+                spec.edges.iter().map(|e| index.scan_len(e.label, e.dir())).sum::<usize>();
+        }
+    });
+    let traffic = metrics::snapshot().since(&before);
+
+    EndpointIndexBench {
+        kb_edges: kb.edge_count(),
+        delta_edges: delta.edge_churn(),
+        shapes_touched,
+        affected_starts,
+        rows_probed: traffic.rows_probed,
+        rows_scanned: traffic.rows_scanned,
+        scan_floor_rows,
+        patch_wall,
+        index_build_wall,
+    }
+}
+
 /// The snapshot-serving comparison: reader throughput over pinned
 /// [`rex_core::ranking::Snapshot`]s with **no** writer (quiet) versus
 /// with a writer continuously applying deltas through
@@ -508,6 +644,9 @@ pub struct RankingBench {
     /// Reader throughput with vs without an in-flight delta (the
     /// snapshot-serving engine).
     pub concurrent: ConcurrentBench,
+    /// Probed-vs-scanned row traffic of the delta patch pass (the
+    /// endpoint-index engine).
+    pub endpoint_index: EndpointIndexBench,
 }
 
 impl RankingBench {
@@ -577,6 +716,23 @@ impl RankingBench {
             self.incremental.shapes_untouched,
             usize::from(self.incremental.frame_redrawn),
         );
+        let endpoint = format!(
+            concat!(
+                "{{\"kb_edges\": {}, \"delta_edges\": {}, \"shapes_touched\": {}, ",
+                "\"affected_starts\": {}, \"rows_probed\": {}, \"rows_scanned\": {}, ",
+                "\"scan_floor_rows\": {}, \"patch_wall_ms\": {:.3}, ",
+                "\"index_build_ms\": {:.3}}}"
+            ),
+            self.endpoint_index.kb_edges,
+            self.endpoint_index.delta_edges,
+            self.endpoint_index.shapes_touched,
+            self.endpoint_index.affected_starts,
+            self.endpoint_index.rows_probed,
+            self.endpoint_index.rows_scanned,
+            self.endpoint_index.scan_floor_rows,
+            self.endpoint_index.patch_wall.as_secs_f64() * 1e3,
+            self.endpoint_index.index_build_wall.as_secs_f64() * 1e3,
+        );
         let conc = format!(
             concat!(
                 "{{\"reader_threads\": {}, \"passes_per_reader\": {}, ",
@@ -607,6 +763,7 @@ impl RankingBench {
                 "  \"shared_frame\": {},\n",
                 "  \"incremental\": {},\n",
                 "  \"concurrent\": {},\n",
+                "  \"endpoint_index\": {},\n",
                 "  \"speedup\": {:.3},\n",
                 "  \"shared_frame_speedup\": {:.3},\n",
                 "  \"incremental_speedup\": {:.3}\n",
@@ -623,6 +780,7 @@ impl RankingBench {
             shared,
             inc,
             conc,
+            endpoint,
             self.speedup(),
             self.shared_frame_speedup(),
             self.incremental.speedup()
@@ -736,6 +894,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
 
     let incremental = incremental_bench(w, pairs_per_group, k, row_ceiling);
     let concurrent = concurrent_bench(w, pairs_per_group, row_ceiling);
+    let endpoint_index = endpoint_index_bench(w, pairs_per_group);
 
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
@@ -749,6 +908,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         shared_frame,
         incremental,
         concurrent,
+        endpoint_index,
     }
 }
 
@@ -967,6 +1127,26 @@ mod tests {
             inc.delta_partial_evals > 0,
             "patched shapes and partial evals travel together"
         );
+        // Endpoint-index side: the patch pass had work, and its probe
+        // traffic stayed strictly below the full-partition scan floor —
+        // the row-level version of the scan-floor acceptance bar.
+        let ep = &b.endpoint_index;
+        assert!(ep.shapes_touched >= 1, "the biased delta must touch a shape");
+        assert!(ep.affected_starts >= 1);
+        assert!(ep.scan_floor_rows > 0);
+        assert!(
+            ep.rows_probed < ep.scan_floor_rows,
+            "probed {} rows, old scan floor {}",
+            ep.rows_probed,
+            ep.scan_floor_rows
+        );
+        assert!(
+            ep.rows_probed + ep.rows_scanned < ep.scan_floor_rows,
+            "total patch traffic must beat the scan floor ({} + {} vs {})",
+            ep.rows_probed,
+            ep.rows_scanned,
+            ep.scan_floor_rows
+        );
         // Concurrent side: readers made progress in both phases and the
         // writer applied at least one delta while they read.
         let conc = &b.concurrent;
@@ -995,6 +1175,11 @@ mod tests {
             "\"reader_threads\"",
             "\"contended_passes_per_s\"",
             "\"deltas_applied\"",
+            "\"endpoint_index\"",
+            "\"rows_probed\"",
+            "\"rows_scanned\"",
+            "\"scan_floor_rows\"",
+            "\"index_build_ms\"",
             "\"speedup\"",
             "\"shared_frame_speedup\"",
             "\"incremental_speedup\"",

@@ -418,11 +418,31 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `rex stats`: print knowledge-base statistics.
+/// `rex stats`: print knowledge-base statistics, including what the
+/// evaluation engine's edge index costs to build on this KB (partition
+/// build + endpoint posting lists) — the price paid once per epoch and
+/// amortized over every probe-instead-of-scan evaluation after it.
 pub fn stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let kb = load_kb(&args)?;
     println!("{}", rex_kb::stats::summary(&kb));
+    let t0 = std::time::Instant::now();
+    let index = rex_relstore::engine::EdgeIndex::build(&kb);
+    let build = t0.elapsed();
+    let posting = index.posting_stats();
+    println!(
+        "edge index: {} (label, dir) partitions, {} oriented rows, built in {:.1} ms",
+        posting.partitions,
+        index.total_rows(),
+        build.as_secs_f64() * 1e3
+    );
+    println!(
+        "endpoint postings: {} src keys, {} dst keys, {:.1} KiB \
+         (rebuilt per epoch only for delta-touched partitions)",
+        posting.src_keys,
+        posting.dst_keys,
+        posting.heap_bytes as f64 / 1024.0
+    );
     let cards = rex_kb::stats::label_cardinalities(&kb);
     let mut labels: Vec<(usize, String)> =
         kb.labels().map(|(id, name)| (cards[id.index()], name.to_string())).collect();

@@ -56,7 +56,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rex_kb::{KbDelta, KnowledgeBase, NodeId};
-use rex_relstore::engine::{delta_affected_starts, delta_count_distributions, EdgeIndex};
+use rex_relstore::engine::{
+    delta_affected_starts, delta_count_distributions, delta_count_distributions_ceiling, EdgeIndex,
+};
 use rex_relstore::plan::PatternSpec;
 
 use crate::canonical::CanonicalKey;
@@ -239,9 +241,9 @@ impl DistributionCache {
     /// Creates an empty cache whose batched evaluations are tiled so
     /// join-produced intermediate rows stay (best-effort) under
     /// `max_rows` — the memory-bounded evaluation mode of the shared
-    /// workload driver. Tile sizes are derived per shape from the edge
-    /// index's cardinality estimates
-    /// ([`EdgeIndex::tile_size_for_ceiling`]).
+    /// workload driver. Tiles are packed per shape from the **exact**
+    /// per-start incident-row counts of the edge index's endpoint
+    /// postings ([`EdgeIndex::tile_starts_for_ceiling`]).
     pub fn with_row_ceiling(max_rows: usize) -> Self {
         DistributionCache { row_ceiling: Some(max_rows), ..Default::default() }
     }
@@ -313,13 +315,20 @@ impl DistributionCache {
         domain: HashSet<u64>,
     ) -> Arc<AllStartsDistribution> {
         let list: Vec<u64> = domain.iter().copied().collect();
-        let tile_size = match self.row_ceiling {
-            Some(ceiling) => index.tile_size_for_ceiling(&spec, list.len(), ceiling),
-            None => list.len().max(1),
-        };
-        let batch =
-            rex_relstore::engine::global_count_distributions_tiled(index, &spec, &list, tile_size)
-                .expect("explanation patterns are valid specs");
+        let batch = match self.row_ceiling {
+            // Exact tiling: starts packed by their measured incident-row
+            // counts from the endpoint postings, not a uniform split.
+            Some(ceiling) => rex_relstore::engine::global_count_distributions_ceiling(
+                index, &spec, &list, ceiling,
+            ),
+            None => rex_relstore::engine::global_count_distributions_tiled(
+                index,
+                &spec,
+                &list,
+                list.len().max(1),
+            ),
+        }
+        .expect("explanation patterns are valid specs");
         self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
         self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
         Arc::new(AllStartsDistribution {
@@ -575,17 +584,25 @@ impl DistributionCache {
                 next.insert(key.clone(), fresh);
                 continue;
             }
-            // Patch: re-group only the affected starts and overlay.
+            // Patch: re-group only the affected starts — the endpoint
+            // postings make this touch only rows incident to them — and
+            // overlay.
             self.delta_evals.fetch_add(1, Ordering::Relaxed);
-            let tile_size = match self.row_ceiling {
-                Some(ceiling) => {
-                    index.tile_size_for_ceiling(&entry.spec, affected_in_domain.len(), ceiling)
-                }
-                None => affected_in_domain.len().max(1),
-            };
-            let partial =
-                delta_count_distributions(index, &entry.spec, &affected_in_domain, tile_size)
-                    .expect("cached batch specs are valid");
+            let partial = match self.row_ceiling {
+                Some(ceiling) => delta_count_distributions_ceiling(
+                    index,
+                    &entry.spec,
+                    &affected_in_domain,
+                    ceiling,
+                ),
+                None => delta_count_distributions(
+                    index,
+                    &entry.spec,
+                    &affected_in_domain,
+                    affected_in_domain.len().max(1),
+                ),
+            }
+            .expect("cached batch specs are valid");
             self.tiles.fetch_add(partial.tiles, Ordering::Relaxed);
             self.peak_rows.fetch_max(partial.peak_rows, Ordering::Relaxed);
             let mut counts = (*entry.counts).clone();

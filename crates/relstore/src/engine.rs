@@ -13,13 +13,73 @@ use rex_kb::{DeltaSince, EdgeRecord, KbDelta, KnowledgeBase, LabelId, NodeId};
 
 use crate::ops::group_count_having_limit;
 use crate::plan::{dir_code, PatternSpec, StartBinding};
-use crate::relation::{Relation, Schema};
+use crate::relation::{ColumnPosting, Relation, Schema};
 use crate::{RelError, Result};
+
+/// The endpoint posting lists of one `(label, dir)` partition: a
+/// [`ColumnPosting`] over each endpoint column (`from` and `to`), so a
+/// pattern edge whose start variable sits at either endpoint can
+/// materialize exactly the rows incident to a start set — cost
+/// proportional to those rows, not to the partition (the `Among` scan
+/// floor, removed).
+///
+/// Postings are immutable snapshots of their partition's rows: delta
+/// maintenance rebuilds the posting of every partition it edits and
+/// leaves the rest shared behind their `Arc` (copy-on-write, mirroring
+/// the partitions themselves across [`EdgeIndex::next_epoch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPosting {
+    by_src: ColumnPosting,
+    by_dst: ColumnPosting,
+}
+
+impl PartitionPosting {
+    /// Builds both endpoint postings over a partition (`from` = column 0,
+    /// `to` = column 1 of the oriented schema).
+    fn build(rel: &Relation, from_col: usize, to_col: usize) -> PartitionPosting {
+        PartitionPosting {
+            by_src: ColumnPosting::build(rel, from_col),
+            by_dst: ColumnPosting::build(rel, to_col),
+        }
+    }
+
+    /// The posting over the requested endpoint column.
+    pub fn endpoint(&self, src: bool) -> &ColumnPosting {
+        if src {
+            &self.by_src
+        } else {
+            &self.by_dst
+        }
+    }
+
+    /// Heap bytes held by both postings.
+    pub fn heap_bytes(&self) -> usize {
+        self.by_src.heap_bytes() + self.by_dst.heap_bytes()
+    }
+}
+
+/// Aggregate endpoint-posting statistics of an [`EdgeIndex`] — what
+/// `rex stats` reports as the index's build cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostingStats {
+    /// `(label, dir)` partitions carrying a posting.
+    pub partitions: usize,
+    /// Total rows indexed across all postings (equals the index's rows).
+    pub rows: usize,
+    /// Distinct `from` values summed over partitions.
+    pub src_keys: usize,
+    /// Distinct `to` values summed over partitions.
+    pub dst_keys: usize,
+    /// Heap bytes held by all posting arrays.
+    pub heap_bytes: usize,
+}
 
 /// The oriented edge relation pre-partitioned by `(label, dir)` — the
 /// relational analogue of a composite index on `R(rel)`. Pattern-edge
 /// scans hit exactly their label's partition instead of the full relation,
 /// which is what makes repeated distribution queries (Figure 11) viable.
+/// Every partition additionally carries a [`PartitionPosting`], so
+/// start-restricted evaluations probe incident rows instead of scanning.
 ///
 /// The index carries the KB [`epoch`](EdgeIndex::epoch) it reflects and
 /// refreshes **incrementally** from a [`KbDelta`]
@@ -37,6 +97,9 @@ use crate::{RelError, Result};
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
     groups: HashMap<(u64, u64), Arc<Relation>>,
+    /// Endpoint posting lists, one per partition, `Arc`-shared across
+    /// index versions and rebuilt only for delta-touched partitions.
+    postings: HashMap<(u64, u64), Arc<PartitionPosting>>,
     schema: Schema,
     total_rows: usize,
     node_count: usize,
@@ -67,13 +130,26 @@ impl EdgeIndex {
         for row in full.into_rows() {
             buckets.entry((row[label_col], row[dir_col])).or_default().push(row);
         }
-        let groups = buckets
+        let groups: HashMap<(u64, u64), Arc<Relation>> = buckets
             .into_iter()
             .map(|(k, rows)| {
                 (k, Arc::new(Relation::from_rows(schema.clone(), rows).expect("partition arity")))
             })
             .collect();
-        EdgeIndex { groups, schema, total_rows, node_count: kb.node_count(), epoch: kb.epoch() }
+        let from_col = schema.index_of("from").expect("oriented schema");
+        let to_col = schema.index_of("to").expect("oriented schema");
+        let postings = groups
+            .iter()
+            .map(|(&k, rel)| (k, Arc::new(PartitionPosting::build(rel, from_col, to_col))))
+            .collect();
+        EdgeIndex {
+            groups,
+            postings,
+            schema,
+            total_rows,
+            node_count: kb.node_count(),
+            epoch: kb.epoch(),
+        }
     }
 
     /// The KB epoch this index reflects.
@@ -102,11 +178,14 @@ impl EdgeIndex {
         // `Arc::make_mut` deep-copies a partition only when another index
         // version still shares it (the copy-on-write half of versioned
         // publication).
+        let mut touched: HashSet<(u64, u64)> = HashSet::new();
         for record in &delta.added {
             for row in oriented_rows(record) {
+                let key = (row[2], row[3]);
+                touched.insert(key);
                 let partition = self
                     .groups
-                    .entry((row[2], row[3]))
+                    .entry(key)
                     .or_insert_with(|| Arc::new(Relation::empty(self.schema.clone())));
                 Arc::make_mut(partition)
                     .push(row.into_boxed_slice())
@@ -117,6 +196,7 @@ impl EdgeIndex {
         for record in &delta.removed {
             for row in oriented_rows(record) {
                 let key = (row[2], row[3]);
+                touched.insert(key);
                 let found = self
                     .groups
                     .get_mut(&key)
@@ -129,6 +209,16 @@ impl EdgeIndex {
                 }
                 self.total_rows -= 1;
             }
+        }
+        // Rebuild endpoint postings for exactly the partitions this delta
+        // edited; every untouched partition keeps sharing its posting
+        // `Arc` with older index versions (the COW half of versioned
+        // publication, extended to the postings).
+        let from_col = self.schema.index_of("from").expect("oriented schema");
+        let to_col = self.schema.index_of("to").expect("oriented schema");
+        for key in touched {
+            let rel = self.groups.get(&key).expect("touched partitions exist");
+            self.postings.insert(key, Arc::new(PartitionPosting::build(rel, from_col, to_col)));
         }
         self.node_count = delta.node_count;
         self.epoch = delta.to_epoch;
@@ -170,12 +260,90 @@ impl EdgeIndex {
         }
     }
 
-    /// The rows matching a `(label, dir)` pair; empty relation when absent.
+    /// The rows matching a `(label, dir)` pair; empty relation when
+    /// absent. A **full partition scan** — every materialized row is
+    /// recorded against [`crate::metrics`]' `rows_scanned` counter, the
+    /// access path the endpoint postings exist to avoid whenever a start
+    /// restriction can be pushed down ([`EdgeIndex::probe`]).
     pub fn scan(&self, label: u64, dir: u64) -> Relation {
-        self.groups
+        let rel = self
+            .groups
             .get(&(label, dir))
             .map(|r| (**r).clone())
-            .unwrap_or_else(|| Relation::empty(self.schema.clone()))
+            .unwrap_or_else(|| Relation::empty(self.schema.clone()));
+        crate::metrics::record_rows_scanned(rel.len());
+        rel
+    }
+
+    /// Materializes exactly the partition rows whose start endpoint —
+    /// `from` when `src`, `to` otherwise — is in `keys` (sorted; adjacent
+    /// duplicates are skipped), via the partition's endpoint posting
+    /// lists: one binary search plus a contiguous row-range per key, so
+    /// the cost is proportional to the rows *incident to the key set*
+    /// instead of the partition size. Recorded against the `rows_probed`
+    /// counter.
+    pub fn probe(&self, label: u64, dir: u64, src: bool, keys: &[u64]) -> Relation {
+        let key = (label, dir);
+        let (Some(rel), Some(posting)) = (self.groups.get(&key), self.postings.get(&key)) else {
+            return Relation::empty(self.schema.clone());
+        };
+        let posting = posting.endpoint(src);
+        let mut picked: Vec<u32> = Vec::new();
+        let mut last = None;
+        for &k in keys {
+            if last == Some(k) {
+                continue;
+            }
+            last = Some(k);
+            picked.extend_from_slice(posting.rows_for(k));
+        }
+        crate::metrics::record_rows_probed(picked.len());
+        rel.gather(&picked)
+    }
+
+    /// Rows of the `(label, dir)` partition incident to `keys` on the
+    /// requested endpoint, counted from the posting lists without
+    /// materializing anything — the exact selectivity statistic behind
+    /// tile sizing and cost ordering. `keys` must be sorted (adjacent
+    /// duplicates are skipped).
+    pub fn incident_len(&self, label: u64, dir: u64, src: bool, keys: &[u64]) -> usize {
+        let Some(posting) = self.postings.get(&(label, dir)) else {
+            return 0;
+        };
+        let posting = posting.endpoint(src);
+        let mut total = 0;
+        let mut last = None;
+        for &k in keys {
+            if last == Some(k) {
+                continue;
+            }
+            last = Some(k);
+            total += posting.count(k);
+        }
+        total
+    }
+
+    /// The endpoint posting of a `(label, dir)` partition, `Arc`-cloned —
+    /// `None` when the partition does not exist. Exposed so the COW
+    /// contract (untouched partitions share their posting across
+    /// [`EdgeIndex::next_epoch`], touched ones rebuild) is testable with
+    /// `Arc::ptr_eq`.
+    pub fn posting(&self, label: u64, dir: u64) -> Option<Arc<PartitionPosting>> {
+        self.postings.get(&(label, dir)).cloned()
+    }
+
+    /// Aggregate posting statistics (partitions, rows, distinct keys,
+    /// heap bytes) — the index build cost `rex stats` reports.
+    pub fn posting_stats(&self) -> PostingStats {
+        let mut stats = PostingStats::default();
+        for posting in self.postings.values() {
+            stats.partitions += 1;
+            stats.rows += posting.endpoint(true).len();
+            stats.src_keys += posting.endpoint(true).distinct_keys();
+            stats.dst_keys += posting.endpoint(false).distinct_keys();
+            stats.heap_bytes += posting.heap_bytes();
+        }
+        stats
     }
 
     /// Rows in the `(label, dir)` partition without materializing it —
@@ -199,21 +367,71 @@ impl EdgeIndex {
         self.node_count
     }
 
-    /// System-R style independence estimate of the **unbound** instance
-    /// relation's row count for `spec`: the product of the per-edge scan
-    /// sizes, discounted by the entity-domain size once per join (each
-    /// join after the first equates at least one shared variable).
-    /// A crude but monotone-in-the-right-places estimate — it is used to
-    /// order shapes by cost and to derive tile sizes, never for
-    /// correctness.
+    /// System-R estimate of the **unbound** instance relation's row count
+    /// for `spec`, with join selectivities read from the endpoint
+    /// postings' real distinct-value counts instead of the entity-domain
+    /// size. The estimate walks the same greedy join order the evaluator
+    /// uses (smallest scan first, then the smallest connected scan); each
+    /// join multiplies by the edge's rows divided by `V(edge, col)` — the
+    /// distinct values of every already-bound endpoint column, under the
+    /// containment assumption.
+    ///
+    /// The old formula multiplied raw `scan_len` per edge and divided by
+    /// the node count once per join, which assumed every join column
+    /// ranges uniformly over all entities: selective joins (columns with
+    /// nearly-distinct values, fanout ≈ 1) were overestimated by the
+    /// `rows / n` factor, and hub joins (few distinct values, huge
+    /// fanout) underestimated by the same factor — inverting cost
+    /// orderings on skewed labels. Used to order shapes by cost and to
+    /// derive tile sizes, never for correctness.
     pub fn estimate_instance_rows(&self, spec: &PatternSpec) -> f64 {
-        let n = (self.node_count.max(1)) as f64;
-        let mut est = 1.0f64;
-        for e in &spec.edges {
-            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
-            est *= self.scan_len(e.label, dir) as f64;
+        let m = spec.edges.len();
+        let mut used = vec![false; m];
+        let mut bound = vec![false; spec.var_count];
+        let edge_rows = |i: usize| {
+            let e = &spec.edges[i];
+            let dir = e.dir();
+            self.scan_len(e.label, dir)
+        };
+        let mut est = 0.0f64;
+        for step in 0..m {
+            let pick = (0..m)
+                .filter(|&i| !used[i])
+                .filter(|&i| step == 0 || bound[spec.edges[i].u] || bound[spec.edges[i].v])
+                .min_by_key(|&i| (edge_rows(i), i))
+                // Disconnected specs never validate; fall back to any
+                // remaining edge so the estimate stays total.
+                .unwrap_or_else(|| (0..m).find(|&i| !used[i]).expect("step < m"));
+            used[pick] = true;
+            let e = spec.edges[pick];
+            let dir = e.dir();
+            let rows = self.scan_len(e.label, dir) as f64;
+            if step == 0 {
+                est = rows;
+            } else {
+                let posting = self.postings.get(&(e.label, dir));
+                let distinct = |src: bool| {
+                    posting.map_or(1, |p| p.endpoint(src).distinct_keys()).max(1) as f64
+                };
+                let mut mult = rows;
+                if e.u == e.v {
+                    if bound[e.u] {
+                        mult /= distinct(true).max(distinct(false));
+                    }
+                } else {
+                    if bound[e.u] {
+                        mult /= distinct(true);
+                    }
+                    if bound[e.v] {
+                        mult /= distinct(false);
+                    }
+                }
+                est *= mult;
+            }
+            bound[e.u] = true;
+            bound[e.v] = true;
         }
-        est / n.powi(spec.edges.len().saturating_sub(1) as i32)
+        est
     }
 
     /// Estimated evaluation cost of one batched evaluation of `spec`:
@@ -224,35 +442,66 @@ impl EdgeIndex {
             .edges
             .iter()
             .map(|e| {
-                let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+                let dir = e.dir();
                 self.scan_len(e.label, dir) as f64
             })
             .sum();
         (scans + self.estimate_instance_rows(spec)).min(u64::MAX as f64) as u64
     }
 
-    /// The fixed tile size that keeps the *join-produced* intermediate
-    /// rows of an [`StartBinding::Among`] evaluation under `max_rows`,
-    /// assuming rows scale linearly with the number of starts in the tile
-    /// (they do: each instance row carries exactly one start value).
-    /// Clamped to `[1, starts.max(1)]`; the materialized per-edge scans
-    /// are a fixed floor no tile size can lower, so the ceiling is
-    /// best-effort — [`crate::metrics::peak_rows`] reports what actually
-    /// happened.
-    pub fn tile_size_for_ceiling(
+    /// Packs `starts` (sorted, deduped) into variable-size tiles whose
+    /// estimated join-produced rows stay under `max_rows`, weighting each
+    /// start by its **exact** incident-row count from the endpoint
+    /// postings of the start variable's anchor edge (its smallest
+    /// start-incident partition). The pre-posting tiling assumed every
+    /// start contributes the same `1/n` share of the shape's rows; the
+    /// posting counts replace that uniformity with the measured
+    /// per-start selectivity, so hub starts get small tiles and leaf
+    /// starts pack densely — exact tile sizing instead of estimated.
+    ///
+    /// Every tile holds at least one start; a start whose own weight
+    /// exceeds the ceiling gets a singleton tile (the per-edge scans are
+    /// a floor no tiling can lower).
+    pub fn tile_starts_for_ceiling(
         &self,
         spec: &PatternSpec,
-        starts: usize,
+        starts: &[u64],
         max_rows: usize,
-    ) -> usize {
-        let starts = starts.max(1);
-        let n = (self.node_count.max(1)) as f64;
-        let per_start = self.estimate_instance_rows(spec) / n;
-        if per_start <= f64::EPSILON {
-            return starts;
+    ) -> Vec<Vec<u64>> {
+        if starts.is_empty() {
+            return Vec::new();
         }
-        let tile = (max_rows as f64 / per_start).floor() as usize;
-        tile.clamp(1, starts)
+        let anchor =
+            spec.edges.iter().filter(|e| e.u == spec.start || e.v == spec.start).min_by_key(|e| {
+                let dir = e.dir();
+                self.scan_len(e.label, dir)
+            });
+        let Some(anchor) = anchor else {
+            return vec![starts.to_vec()];
+        };
+        let src = anchor.u == spec.start;
+        let dir = anchor.dir();
+        let anchor_rows = self.scan_len(anchor.label, dir).max(1) as f64;
+        // Estimated instances per incident row of the anchor edge; at
+        // least 1.0 so the incident rows themselves count against the
+        // ceiling even for highly selective shapes.
+        let per_row = (self.estimate_instance_rows(spec) / anchor_rows).max(1.0);
+        let mut tiles: Vec<Vec<u64>> = Vec::new();
+        let mut tile: Vec<u64> = Vec::new();
+        let mut tile_cost = 0.0f64;
+        for &s in starts {
+            let weight = self.incident_len(anchor.label, dir, src, &[s]) as f64 * per_row;
+            if !tile.is_empty() && tile_cost + weight > max_rows as f64 {
+                tiles.push(std::mem::take(&mut tile));
+                tile_cost = 0.0;
+            }
+            tile.push(s);
+            tile_cost += weight;
+        }
+        if !tile.is_empty() {
+            tiles.push(tile);
+        }
+        tiles
     }
 }
 
@@ -510,7 +759,32 @@ pub fn global_count_distributions_tiled(
     starts: &[u64],
     tile_size: usize,
 ) -> Result<TiledDistributions> {
-    grouped_among_tiled(index, spec, starts, tile_size, crate::metrics::record_full_eval)
+    grouped_among_tiled(
+        index,
+        spec,
+        starts,
+        Tiling::FixedSize(tile_size),
+        crate::metrics::record_full_eval,
+    )
+}
+
+/// [`global_count_distributions_tiled`] with **exact** ceiling-driven
+/// tiling: instead of a fixed start count per tile, starts are packed by
+/// their measured incident-row counts ([`EdgeIndex::tile_starts_for_ceiling`])
+/// so every tile's estimated join-produced rows stay under `max_rows`.
+pub fn global_count_distributions_ceiling(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    max_rows: usize,
+) -> Result<TiledDistributions> {
+    grouped_among_tiled(
+        index,
+        spec,
+        starts,
+        Tiling::RowCeiling(max_rows),
+        crate::metrics::record_full_eval,
+    )
 }
 
 /// The **delta-evaluation path**: identical grouped `(start, end)`
@@ -519,14 +793,45 @@ pub fn global_count_distributions_tiled(
 /// intersected with its cached domain. Accounted as one *partial*
 /// evaluation ([`crate::metrics::record_delta_eval`]), not a full one:
 /// the whole point of incremental maintenance is that these touch a
-/// fraction of the start domain.
+/// fraction of the start domain — and, with the endpoint postings, only
+/// the rows *incident* to that fraction.
 pub fn delta_count_distributions(
     index: &EdgeIndex,
     spec: &PatternSpec,
     affected_starts: &[u64],
     tile_size: usize,
 ) -> Result<TiledDistributions> {
-    grouped_among_tiled(index, spec, affected_starts, tile_size, crate::metrics::record_delta_eval)
+    grouped_among_tiled(
+        index,
+        spec,
+        affected_starts,
+        Tiling::FixedSize(tile_size),
+        crate::metrics::record_delta_eval,
+    )
+}
+
+/// [`delta_count_distributions`] under exact ceiling-driven tiling.
+pub fn delta_count_distributions_ceiling(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    affected_starts: &[u64],
+    max_rows: usize,
+) -> Result<TiledDistributions> {
+    grouped_among_tiled(
+        index,
+        spec,
+        affected_starts,
+        Tiling::RowCeiling(max_rows),
+        crate::metrics::record_delta_eval,
+    )
+}
+
+/// How a grouped `Among` evaluation splits its start set.
+enum Tiling {
+    /// Fixed start count per tile (uniform per-start cost assumption).
+    FixedSize(usize),
+    /// Row ceiling per tile, packed by exact per-start incident rows.
+    RowCeiling(usize),
 }
 
 /// Shared body of the tiled grouped evaluations; `record` is bumped once
@@ -535,7 +840,7 @@ fn grouped_among_tiled(
     index: &EdgeIndex,
     spec: &PatternSpec,
     starts: &[u64],
-    tile_size: usize,
+    tiling: Tiling,
     record: fn(),
 ) -> Result<TiledDistributions> {
     spec.validate()?;
@@ -548,12 +853,17 @@ fn grouped_among_tiled(
         return Ok(TiledDistributions { per_start: HashMap::new(), tiles: 0, peak_rows: 0 });
     }
     record();
-    let tile_size = tile_size.max(1);
+    let chunks: Vec<Vec<u64>> = match tiling {
+        Tiling::FixedSize(tile_size) => {
+            values.chunks(tile_size.max(1)).map(<[u64]>::to_vec).collect()
+        }
+        Tiling::RowCeiling(max_rows) => index.tile_starts_for_ceiling(spec, &values, max_rows),
+    };
     let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut tiles = 0usize;
     let mut peak_rows = 0usize;
-    for chunk in values.chunks(tile_size) {
-        let binding = StartBinding::Among(chunk.to_vec());
+    for chunk in chunks {
+        let binding = StartBinding::Among(chunk);
         let (instances, peak) = spec.evaluate_indexed_tile(index, &binding)?;
         crate::metrics::record_tile();
         tiles += 1;
@@ -790,8 +1100,12 @@ mod tests {
         let many_tiles = global_count_distributions_tiled(&index, &spec, &starts, 2).unwrap();
         assert!(many_tiles.peak_rows <= one_tile.peak_rows);
         for ceiling in [1usize, 10, 1_000_000] {
-            let tile = index.tile_size_for_ceiling(&spec, starts.len(), ceiling);
-            assert!((1..=starts.len()).contains(&tile), "ceiling {ceiling} gave tile {tile}");
+            let tiles = index.tile_starts_for_ceiling(&spec, &starts, ceiling);
+            assert!(
+                (1..=starts.len()).contains(&tiles.len()),
+                "ceiling {ceiling} gave {} tiles",
+                tiles.len()
+            );
         }
         assert!(index.estimate_eval_cost(&spec) > 0);
         assert!(index.estimate_instance_rows(&spec) > 0.0);
@@ -1018,6 +1332,223 @@ mod tests {
         for s in &affected {
             assert_eq!(partial.per_start.get(s), after.get(s), "start {s}");
         }
+    }
+
+    /// A posting probe materializes exactly the rows a scan-and-filter
+    /// would, for both endpoints, including absent keys and keys outside
+    /// the KB's id space.
+    #[test]
+    fn probe_matches_filtered_scan() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let sort = |rel: &Relation| {
+            let mut rows: Vec<Vec<u64>> = rel.rows().iter().map(|r| r.to_vec()).collect();
+            rows.sort_unstable();
+            rows
+        };
+        for (label, dir) in
+            [(starring, dir_code::FORWARD), (spouse, dir_code::UNDIRECTED), (starring, 99)]
+        {
+            let full = index.scan(label, dir);
+            for src in [true, false] {
+                let col = usize::from(!src); // from = 0, to = 1
+                let keys: Vec<u64> = vec![0, 2, 5, 500];
+                let probed = index.probe(label, dir, src, &keys);
+                let expected: Vec<Vec<u64>> = {
+                    let mut rows: Vec<Vec<u64>> = full
+                        .rows()
+                        .iter()
+                        .filter(|r| keys.binary_search(&r[col]).is_ok())
+                        .map(|r| r.to_vec())
+                        .collect();
+                    rows.sort_unstable();
+                    rows
+                };
+                assert_eq!(sort(&probed), expected, "label {label} dir {dir} src {src}");
+                assert_eq!(
+                    index.incident_len(label, dir, src, &keys),
+                    probed.len(),
+                    "incident_len must equal the probed row count"
+                );
+                // Duplicate keys must not duplicate rows.
+                let dup: Vec<u64> = vec![2, 2, 2];
+                assert_eq!(
+                    index.probe(label, dir, src, &dup).len(),
+                    index.incident_len(label, dir, src, &[2])
+                );
+            }
+        }
+        // Probe traffic lands on rows_probed, scans on rows_scanned.
+        let scope = crate::metrics::scoped();
+        let probed = index.probe(starring, dir_code::FORWARD, true, &[0, 1, 2]);
+        let scanned = index.scan(starring, dir_code::FORWARD);
+        let counts = scope.counts();
+        assert_eq!(counts.rows_probed, probed.len());
+        assert_eq!(counts.rows_scanned, scanned.len());
+    }
+
+    /// The COW contract extends to the postings: `next_epoch` rebuilds
+    /// posting lists only for delta-touched partitions; untouched ones
+    /// share the same `Arc` with the old version.
+    #[test]
+    fn next_epoch_rebuilds_only_touched_postings() {
+        let mut kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let epoch0 = kb.epoch();
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let m = kb.require_node("oceans_eleven").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(bp, m, starring, true).unwrap();
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
+        let next = index.next_epoch(&delta).unwrap();
+
+        let starring = starring.0 as u64;
+        let untouched = kb.label_by_name("directed_by").unwrap().0 as u64;
+        let old_touched = index.posting(starring, dir_code::FORWARD).unwrap();
+        let new_touched = next.posting(starring, dir_code::FORWARD).unwrap();
+        assert!(!Arc::ptr_eq(&old_touched, &new_touched), "touched partition must rebuild");
+        let old_shared = index.posting(untouched, dir_code::FORWARD).unwrap();
+        let new_shared = next.posting(untouched, dir_code::FORWARD).unwrap();
+        assert!(Arc::ptr_eq(&old_shared, &new_shared), "untouched partition must share");
+        // The rebuilt posting reflects the new row: bp gained an edge.
+        assert_eq!(
+            new_touched.endpoint(true).count(bp.0 as u64),
+            old_touched.endpoint(true).count(bp.0 as u64) + 1
+        );
+        // And the old index still probes its old epoch's rows.
+        assert_eq!(
+            index.incident_len(starring, dir_code::FORWARD, true, &[bp.0 as u64]),
+            old_touched.endpoint(true).count(bp.0 as u64)
+        );
+        // Posting stats cover every partition.
+        let stats = index.posting_stats();
+        assert_eq!(stats.rows, index.total_rows());
+        assert!(stats.partitions > 0 && stats.src_keys > 0 && stats.heap_bytes > 0);
+    }
+
+    /// The estimate bugfix (endpoint-index selectivities): on a
+    /// skewed-label KB the old raw-`scan_len`-per-edge formula ordered a
+    /// hub self-join *cheaper* than a flat two-hop path, inverting the
+    /// true instance-row ordering; the posting-based estimate orders them
+    /// correctly.
+    #[test]
+    fn skewed_labels_flip_cost_ordering() {
+        let mut b = KbBuilder::new();
+        let hub = b.add_node("hub", "T");
+        // 120 `common` edges all pointing into one hub: V(dst) = 1.
+        for i in 0..120 {
+            let x = b.add_node(&format!("x{i}"), "T");
+            b.add_directed_edge(x, hub, "common");
+        }
+        // A flat chain of 240 `flat` edges: nearly-distinct endpoints.
+        let chain: Vec<_> = (0..241).map(|i| b.add_node(&format!("c{i}"), "T")).collect();
+        for w in chain.windows(2) {
+            b.add_directed_edge(w[0], w[1], "flat");
+        }
+        let kb = b.build();
+        let index = EdgeIndex::build(&kb);
+        let common = kb.label_by_name("common").unwrap().0 as u64;
+        let flat = kb.label_by_name("flat").unwrap().0 as u64;
+        // Hub co-star: start -common-> v2 <-common- end. True instances
+        // ≈ 120 × 119 (every ordered pair through the hub).
+        let hub_spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: common, directed: true },
+                SpecEdge { u: 1, v: 2, label: common, directed: true },
+            ],
+        };
+        // Flat two-hop: start -flat-> v2 -flat-> end. True instances
+        // ≈ 239 (the chain windows).
+        let flat_spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: flat, directed: true },
+                SpecEdge { u: 2, v: 1, label: flat, directed: true },
+            ],
+        };
+        let true_hub = global_count_distributions(&index, &hub_spec, None)
+            .unwrap()
+            .values()
+            .map(|c| c.iter().sum::<u64>())
+            .sum::<u64>();
+        let true_flat = global_count_distributions(&index, &flat_spec, None)
+            .unwrap()
+            .values()
+            .map(|c| c.iter().sum::<u64>())
+            .sum::<u64>();
+        assert!(true_hub > true_flat, "the hub join dominates ({true_hub} vs {true_flat})");
+        // The old formula — Π scan_len / n^(edges-1) — inverted that.
+        let n = index.node_count() as f64;
+        let old = |spec: &PatternSpec| {
+            spec.edges
+                .iter()
+                .map(|e| index.scan_len(e.label, dir_code::FORWARD) as f64)
+                .product::<f64>()
+                / n.powi(spec.edges.len() as i32 - 1)
+        };
+        assert!(
+            old(&hub_spec) < old(&flat_spec),
+            "precondition: the raw-scan_len formula misorders the skewed shapes \
+             ({} vs {})",
+            old(&hub_spec),
+            old(&flat_spec)
+        );
+        // The posting-based estimate restores the true ordering.
+        let est_hub = index.estimate_instance_rows(&hub_spec);
+        let est_flat = index.estimate_instance_rows(&flat_spec);
+        assert!(
+            est_hub > est_flat,
+            "endpoint-index estimate must rank the hub join as more expensive \
+             ({est_hub} vs {est_flat})"
+        );
+        assert!(index.estimate_eval_cost(&hub_spec) > index.estimate_eval_cost(&flat_spec));
+    }
+
+    /// Ceiling-driven tiling answers identically to the untiled batch,
+    /// never raises the peak, and packs hub starts into smaller tiles
+    /// than leaf starts (exact per-start weights, not a uniform split).
+    #[test]
+    fn ceiling_tiling_is_exact_and_answer_preserving() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let starts: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let untiled = global_count_distributions(&index, &spec, Some(&starts)).unwrap();
+        let single =
+            global_count_distributions_tiled(&index, &spec, &starts, starts.len()).unwrap();
+        for ceiling in [1usize, 8, 64, 1_000_000] {
+            let tiled =
+                global_count_distributions_ceiling(&index, &spec, &starts, ceiling).unwrap();
+            assert_eq!(tiled.per_start, untiled, "ceiling {ceiling}");
+            assert!(tiled.tiles >= 1);
+            assert!(tiled.peak_rows <= single.peak_rows, "ceiling {ceiling}");
+        }
+        // A tight ceiling splits; a huge one does not.
+        let tight = global_count_distributions_ceiling(&index, &spec, &starts, 1).unwrap();
+        let loose = global_count_distributions_ceiling(&index, &spec, &starts, 1_000_000).unwrap();
+        assert!(tight.tiles > loose.tiles);
+        assert_eq!(loose.tiles, 1);
+        // The packing covers every start exactly once.
+        let tiles = index.tile_starts_for_ceiling(&spec, &starts, 8);
+        let flat: Vec<u64> = tiles.iter().flatten().copied().collect();
+        assert_eq!(flat, starts);
+        assert!(index.tile_starts_for_ceiling(&spec, &[], 8).is_empty());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod ops;
 pub mod plan;
 mod relation;
 
-pub use relation::{Relation, Row, Schema};
+pub use relation::{ColumnPosting, Relation, Row, Schema};
 
 /// Errors raised by relational evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -9,7 +9,11 @@
 //! tiles it was split into — the tile counter records the splitting
 //! separately. The peak-rows gauge tracks the largest intermediate
 //! relation any evaluation materialized, which is what the tiling ceiling
-//! bounds. The counters are cheap relaxed atomics, always on.
+//! bounds. The row counters split scan traffic by access path: rows
+//! materialized through full `(label, dir)` partition scans versus rows
+//! materialized through endpoint-posting probes — the probed/scanned
+//! ratio is how the endpoint index's scan-floor claim stays measurable.
+//! The counters are cheap relaxed atomics, always on.
 //!
 //! Because they are process-global, *differences* between two
 //! [`snapshot`]s taken around a region of interest are only meaningful
@@ -27,6 +31,8 @@ static STREAMING_EVALS: AtomicUsize = AtomicUsize::new(0);
 static DELTA_EVALS: AtomicUsize = AtomicUsize::new(0);
 static TILES: AtomicUsize = AtomicUsize::new(0);
 static PEAK_ROWS: AtomicUsize = AtomicUsize::new(0);
+static ROWS_SCANNED: AtomicUsize = AtomicUsize::new(0);
+static ROWS_PROBED: AtomicUsize = AtomicUsize::new(0);
 
 /// A point-in-time reading of the evaluation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +47,15 @@ pub struct EvalCounts {
     /// Evaluation tiles since process start (an untiled batch is one
     /// tile; a tiled batch contributes one per chunk).
     pub tiles: usize,
+    /// Rows materialized by **full partition scans** since process start
+    /// — every row of a `(label, dir)` partition walked because no start
+    /// restriction could be pushed into it.
+    pub rows_scanned: usize,
+    /// Rows materialized by **endpoint-posting probes** since process
+    /// start — only the rows incident to the requested start set, the
+    /// quantity the endpoint index makes proportional to the delta
+    /// instead of the KB ("the scan floor is gone" made countable).
+    pub rows_probed: usize,
 }
 
 impl EvalCounts {
@@ -51,6 +66,8 @@ impl EvalCounts {
             streaming: self.streaming - earlier.streaming,
             delta: self.delta - earlier.delta,
             tiles: self.tiles - earlier.tiles,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            rows_probed: self.rows_probed - earlier.rows_probed,
         }
     }
 
@@ -84,6 +101,18 @@ pub fn record_tile() {
     TILES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records `rows` materialized by a full partition scan.
+#[inline]
+pub fn record_rows_scanned(rows: usize) {
+    ROWS_SCANNED.fetch_add(rows, Ordering::Relaxed);
+}
+
+/// Records `rows` materialized by an endpoint-posting probe.
+#[inline]
+pub fn record_rows_probed(rows: usize) {
+    ROWS_PROBED.fetch_add(rows, Ordering::Relaxed);
+}
+
 /// Raises the peak-intermediate-rows gauge to at least `rows`.
 #[inline]
 pub fn record_peak_rows(rows: usize) {
@@ -110,6 +139,8 @@ pub fn snapshot() -> EvalCounts {
         streaming: STREAMING_EVALS.load(Ordering::Relaxed),
         delta: DELTA_EVALS.load(Ordering::Relaxed),
         tiles: TILES.load(Ordering::Relaxed),
+        rows_scanned: ROWS_SCANNED.load(Ordering::Relaxed),
+        rows_probed: ROWS_PROBED.load(Ordering::Relaxed),
     }
 }
 
@@ -164,6 +195,8 @@ mod tests {
         record_streaming_eval();
         record_delta_eval();
         record_tile();
+        record_rows_scanned(12);
+        record_rows_probed(5);
         let after = snapshot();
         let delta = after.since(&before);
         // Other tests may run concurrently in this process, so the delta
@@ -172,6 +205,8 @@ mod tests {
         assert!(delta.streaming >= 1);
         assert!(delta.delta >= 1);
         assert!(delta.tiles >= 1);
+        assert!(delta.rows_scanned >= 12);
+        assert!(delta.rows_probed >= 5);
         assert!(delta.total() >= 3);
     }
 

@@ -73,6 +73,19 @@ pub struct SpecEdge {
     pub directed: bool,
 }
 
+impl SpecEdge {
+    /// The orientation code of the oriented-relation rows this edge
+    /// scans — the single mapping from pattern-edge directedness to
+    /// [`dir_code`].
+    pub fn dir(&self) -> u64 {
+        if self.directed {
+            dir_code::FORWARD
+        } else {
+            dir_code::UNDIRECTED
+        }
+    }
+}
+
 /// The relational shape of an explanation pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternSpec {
@@ -184,6 +197,79 @@ impl PatternSpec {
             .collect())
     }
 
+    /// Per-edge `(from, to)` scans over a prebuilt
+    /// [`crate::engine::EdgeIndex`], with the start binding **pushed into
+    /// the endpoint posting lists**: an edge incident to the start
+    /// variable materializes only the rows whose start endpoint is bound
+    /// ([`crate::engine::EdgeIndex::probe`]) — cost proportional to the
+    /// rows incident to the start set — instead of walking its full
+    /// `(label, dir)` partition and filtering, which paid the partition's
+    /// size for every `Among` evaluation no matter how few starts
+    /// mattered (the scan floor). Edges not touching the start variable
+    /// still scan their partition; residual predicates (self-loops,
+    /// `Const` target-exclusion on the other endpoint) are applied here,
+    /// exactly as [`PatternSpec::filtered_scans`] would.
+    fn indexed_scans(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+    ) -> Result<Vec<Relation>> {
+        let schema = index.schema();
+        let from = schema.index_of("from")?;
+        let to = schema.index_of("to")?;
+        self.edges
+            .iter()
+            .map(|e| {
+                let dir = e.dir();
+                let mut preds = Vec::new();
+                if e.u == e.v {
+                    preds.push(Predicate::ColEqCol { a: from, b: to });
+                }
+                let base = match binding {
+                    StartBinding::Unbound => index.scan(e.label, dir),
+                    StartBinding::Const(start_val) => {
+                        if e.u == self.start || e.v == self.start {
+                            // Probe the start endpoint (`from` when the
+                            // start variable is the tail; a self-loop at
+                            // the start is covered by the ColEqCol above).
+                            let base = index.probe(
+                                e.label,
+                                dir,
+                                e.u == self.start,
+                                std::slice::from_ref(start_val),
+                            );
+                            // Target-exclusion on the non-start endpoint.
+                            if e.u != self.start {
+                                preds.push(Predicate::ColNeConst { col: from, value: *start_val });
+                            }
+                            if e.v != self.start {
+                                preds.push(Predicate::ColNeConst { col: to, value: *start_val });
+                            }
+                            base
+                        } else {
+                            preds.push(Predicate::ColNeConst { col: from, value: *start_val });
+                            preds.push(Predicate::ColNeConst { col: to, value: *start_val });
+                            index.scan(e.label, dir)
+                        }
+                    }
+                    StartBinding::Among(values) => {
+                        // Only the start variable's scans are restricted
+                        // (non-start target-exclusion is per-row and
+                        // enforced by the final injectivity filter).
+                        if e.u == self.start || e.v == self.start {
+                            index.probe(e.label, dir, e.u == self.start, values)
+                        } else {
+                            index.scan(e.label, dir)
+                        }
+                    }
+                };
+                let filtered =
+                    if preds.is_empty() { base } else { filter(&base, &Predicate::And(preds)) };
+                Ok(project(&filtered, &[from, to]))
+            })
+            .collect()
+    }
+
     /// A cost-based join order: the globally smallest scan first, then —
     /// keeping the joined part connected — the smallest remaining adjacent
     /// scan. Equivalent output to any other connected order; far smaller
@@ -230,7 +316,7 @@ impl PatternSpec {
         let dir_col = edge_rel.schema().index_of("dir")?;
         self.evaluate_scanned(edge_rel.schema(), binding, |e| {
             let mut preds = vec![Predicate::ColEqConst { col: label_col, value: e.label }];
-            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
+            let dir = e.dir();
             preds.push(Predicate::ColEqConst { col: dir_col, value: dir });
             filter(edge_rel, &Predicate::And(preds))
         })
@@ -247,10 +333,7 @@ impl PatternSpec {
         index: &crate::engine::EdgeIndex,
         binding: &StartBinding,
     ) -> Result<(Relation, usize)> {
-        self.evaluate_scanned_tracked(index.schema(), binding, false, |e| {
-            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
-            index.scan(e.label, dir)
-        })
+        self.evaluate_indexed_tracked(index, binding, false)
     }
 
     /// Like [`PatternSpec::evaluate`], but scans hit the `(label, dir)`
@@ -271,16 +354,16 @@ impl PatternSpec {
 
     /// [`PatternSpec::evaluate_indexed`] under an arbitrary
     /// [`StartBinding`] — [`StartBinding::Among`] is the batched
-    /// all-starts evaluation the distribution engine builds on.
+    /// all-starts evaluation the distribution engine builds on. Start
+    /// restrictions are pushed into the endpoint postings
+    /// ([`PatternSpec::indexed_scans`]), so a bound or sampled start
+    /// touches only its incident rows.
     pub fn evaluate_indexed_with(
         &self,
         index: &crate::engine::EdgeIndex,
         binding: &StartBinding,
     ) -> Result<Relation> {
-        self.evaluate_scanned(index.schema(), binding, |e| {
-            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
-            index.scan(e.label, dir)
-        })
+        self.evaluate_indexed_tracked(index, binding, true).map(|(rel, _)| rel)
     }
 
     /// Streaming position query: counts end entities whose **distinct**
@@ -306,11 +389,7 @@ impl PatternSpec {
             return Ok(0);
         }
         crate::metrics::record_streaming_eval();
-        let schema = index.schema().clone();
-        let scans = self.filtered_scans(&schema, &StartBinding::Const(start), |e| {
-            let dir = if e.directed { dir_code::FORWARD } else { dir_code::UNDIRECTED };
-            index.scan(e.label, dir)
-        })?;
+        let scans = self.indexed_scans(index, &StartBinding::Const(start))?;
         let order = self.join_order_by_cost(&scans);
         let (&last, head) = order.split_last().expect("validated patterns have edges");
 
@@ -468,6 +547,32 @@ impl PatternSpec {
             crate::metrics::record_full_eval();
         }
         let scans = self.filtered_scans(schema, binding, scan_for)?;
+        self.join_scans(scans)
+    }
+
+    /// [`PatternSpec::evaluate_scanned_tracked`] over a prebuilt
+    /// [`crate::engine::EdgeIndex`], with the start binding **pushed into
+    /// the endpoint postings** ([`PatternSpec::indexed_scans`]) instead of
+    /// filtered out of full partition scans.
+    fn evaluate_indexed_tracked(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+        record_full_eval: bool,
+    ) -> Result<(Relation, usize)> {
+        self.validate()?;
+        if record_full_eval {
+            crate::metrics::record_full_eval();
+        }
+        let scans = self.indexed_scans(index, binding)?;
+        self.join_scans(scans)
+    }
+
+    /// Joins prepared per-edge `(from, to)` scans into the instance
+    /// relation: greedy smallest-connected-scan join order, projection to
+    /// one column per variable, injectivity filter, distinct — plus peak
+    /// intermediate-row tracking.
+    fn join_scans(&self, scans: Vec<Relation>) -> Result<(Relation, usize)> {
         let mut peak = scans.iter().map(Relation::len).max().unwrap_or(0);
         let order = self.join_order_by_cost(&scans);
 

@@ -121,6 +121,94 @@ impl Relation {
     pub fn into_rows(self) -> Vec<Row> {
         self.rows
     }
+
+    /// Materializes the sub-relation holding exactly the rows at
+    /// `indices`, in that order. Used by posting-list probes to lift a
+    /// row-id range into a relation the join pipeline can consume.
+    pub fn gather(&self, indices: &[u32]) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: indices.iter().map(|&i| self.rows[i as usize].clone()).collect(),
+        }
+    }
+}
+
+/// A sorted posting structure over one column of a relation: a row
+/// permutation grouped by the column's value, with CSR offsets so the
+/// rows carrying value `keys[i]` are exactly `perm[offsets[i] ..
+/// offsets[i + 1]]` — the classic adjacency-indexed layout graph engines
+/// use to make a selection on the column cost O(log keys + matching
+/// rows) instead of a full scan.
+///
+/// The posting is a *snapshot* of the relation it was built from: it
+/// holds row indices, so it must be rebuilt whenever the relation's rows
+/// change (partitions rebuild only their delta-touched postings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnPosting {
+    /// Sorted distinct values of the indexed column.
+    keys: Vec<u64>,
+    /// CSR offsets into `perm`; `len == keys.len() + 1`.
+    offsets: Vec<u32>,
+    /// Row indices grouped by key.
+    perm: Vec<u32>,
+}
+
+impl ColumnPosting {
+    /// Builds the posting over `rel`'s column `col`. One sort of the row
+    /// permutation plus a linear pass — `O(rows log rows)`.
+    pub fn build(rel: &Relation, col: usize) -> ColumnPosting {
+        let rows = rel.rows();
+        let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+        perm.sort_unstable_by_key(|&i| rows[i as usize][col]);
+        let mut keys = Vec::new();
+        let mut offsets = Vec::new();
+        for (at, &i) in perm.iter().enumerate() {
+            let v = rows[i as usize][col];
+            if keys.last() != Some(&v) {
+                keys.push(v);
+                offsets.push(at as u32);
+            }
+        }
+        offsets.push(perm.len() as u32);
+        ColumnPosting { keys, offsets, perm }
+    }
+
+    /// The row indices whose column value equals `key` (empty when the
+    /// value is absent).
+    pub fn rows_for(&self, key: u64) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(k) => &self.perm[self.offsets[k] as usize..self.offsets[k + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Number of rows whose column value equals `key`, without touching
+    /// the rows — the exact per-start cardinality statistic.
+    pub fn count(&self, key: u64) -> usize {
+        self.rows_for(key).len()
+    }
+
+    /// Number of distinct values in the indexed column — the `V(R, a)`
+    /// statistic of System-R join-selectivity estimation.
+    pub fn distinct_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total rows indexed.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the posting indexes no rows.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Heap bytes held by the posting's three arrays.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u64>()
+            + (self.offsets.len() + self.perm.len()) * std::mem::size_of::<u32>()
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +244,48 @@ mod tests {
         assert!(!r.remove_row(&[1, 2]), "both copies already retracted");
         assert!(!r.remove_row(&[9, 9]));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gather_materializes_selected_rows_in_order() {
+        let s = Schema::new(["a", "b"]);
+        let mut r = Relation::empty(s);
+        for i in 0..4u64 {
+            r.push(vec![i, 10 + i].into_boxed_slice()).unwrap();
+        }
+        let g = r.gather(&[3, 1, 1]);
+        let got: Vec<Vec<u64>> = g.rows().iter().map(|row| row.to_vec()).collect();
+        assert_eq!(got, vec![vec![3, 13], vec![1, 11], vec![1, 11]]);
+        assert!(r.gather(&[]).is_empty());
+    }
+
+    #[test]
+    fn column_posting_ranges_cover_exactly_matching_rows() {
+        let s = Schema::new(["a", "b"]);
+        let rows: Vec<Row> = [(5u64, 0u64), (2, 1), (5, 2), (9, 3), (2, 4), (5, 5)]
+            .iter()
+            .map(|&(a, b)| vec![a, b].into_boxed_slice())
+            .collect();
+        let r = Relation::from_rows(s, rows).unwrap();
+        let p = ColumnPosting::build(&r, 0);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.distinct_keys(), 3);
+        assert!(!p.is_empty());
+        assert!(p.heap_bytes() > 0);
+        for (key, expect) in [(2u64, vec![1u64, 4]), (5, vec![0, 2, 5]), (9, vec![3])] {
+            assert_eq!(p.count(key), expect.len());
+            let mut got: Vec<u64> =
+                p.rows_for(key).iter().map(|&i| r.rows()[i as usize][1]).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "key {key}");
+        }
+        assert_eq!(p.count(7), 0);
+        assert!(p.rows_for(7).is_empty());
+        // Empty relation → empty posting.
+        let empty = ColumnPosting::build(&Relation::empty(Schema::new(["a"])), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.distinct_keys(), 0);
+        assert!(empty.rows_for(0).is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Integration test crate (tests live in tests/), plus the shared
-//! scaffolding the incremental and concurrent suites build on.
+//! scaffolding the incremental, concurrent, and endpoint-index suites
+//! build on.
 
 pub mod scaffold {
     //! Deterministic KB scaffolding shared by the incremental-maintenance
@@ -47,6 +48,85 @@ pub mod scaffold {
     /// One randomized mutation: `(kind, a, b, label, directed)`.
     pub type Op = (u8, usize, usize, usize, bool);
 
+    /// A small universe of connected pattern shapes over the scaffold's
+    /// label space — paths of both orientations, a fork, an inverse fork,
+    /// a self-loop-at-start shape, and a three-edge mixed path — indexed
+    /// so property tests can draw a shape with one integer. Every shape
+    /// passes `PatternSpec::validate` (checked once at first use).
+    pub fn shape(idx: usize) -> rex_relstore::plan::PatternSpec {
+        let shapes = shapes();
+        shapes[idx % shapes.len()].clone()
+    }
+
+    /// Number of shapes [`shape`] cycles through.
+    pub fn shape_count() -> usize {
+        shapes().len()
+    }
+
+    fn shapes() -> &'static [rex_relstore::plan::PatternSpec] {
+        use rex_relstore::plan::{PatternSpec, SpecEdge};
+        static SHAPES: std::sync::OnceLock<Vec<PatternSpec>> = std::sync::OnceLock::new();
+        SHAPES.get_or_init(|| {
+            let e =
+                |u: usize, v: usize, label: u64, directed: bool| SpecEdge { u, v, label, directed };
+            let shapes = vec![
+                // start -l0-> end
+                PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![e(0, 1, 0, true)] },
+                // end -l1-> start (the start variable sits at the head: the
+                // probe must go through the dst posting)
+                PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![e(1, 0, 1, true)] },
+                // start -l2- end (undirected)
+                PatternSpec { var_count: 2, start: 0, end: 1, edges: vec![e(0, 1, 2, false)] },
+                // start -l0-> v2 -l1-> end
+                PatternSpec {
+                    var_count: 3,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(0, 2, 0, true), e(2, 1, 1, true)],
+                },
+                // v2 -l1-> start, end -l2-> v2 (start at head again)
+                PatternSpec {
+                    var_count: 3,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(2, 0, 1, true), e(1, 2, 2, true)],
+                },
+                // fork: start -l3-> v2 <-l3- end
+                PatternSpec {
+                    var_count: 3,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(0, 2, 3, true), e(1, 2, 3, true)],
+                },
+                // inverse fork: v2 -l4-> start, v2 -l4-> end
+                PatternSpec {
+                    var_count: 3,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(2, 0, 4, true), e(2, 1, 4, true)],
+                },
+                // self-loop at the start plus an edge to the end
+                PatternSpec {
+                    var_count: 2,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(0, 0, 0, false), e(0, 1, 1, true)],
+                },
+                // start -l0-> v2 -l1- v3 -l2-> end
+                PatternSpec {
+                    var_count: 4,
+                    start: 0,
+                    end: 1,
+                    edges: vec![e(0, 2, 0, true), e(2, 3, 1, false), e(3, 1, 2, true)],
+                },
+            ];
+            for spec in &shapes {
+                spec.validate().expect("scaffold shapes are valid");
+            }
+            shapes
+        })
+    }
+
     /// Applies a proptest-generated op sequence: edge inserts, edge
     /// removes (or a self-loop insert when the KB has no edges), and
     /// node inserts anchored to an existing node. `tag` namespaces the
@@ -76,5 +156,56 @@ pub mod scaffold {
                 }
             }
         }
+    }
+}
+
+pub mod differential {
+    //! The naive full-scan reference evaluator behind the endpoint-index
+    //! differential suite: grouped `(start, end)` counts computed over
+    //! the **unindexed** oriented edge relation with filter-based scans —
+    //! no partitions, no posting lists, no probes — so a divergence
+    //! between this and the probe path localizes a bug to the endpoint
+    //! index rather than to shared evaluation code.
+
+    use std::collections::HashMap;
+
+    use rex_kb::KnowledgeBase;
+    use rex_relstore::engine::oriented_edge_relation;
+    use rex_relstore::plan::{PatternSpec, StartBinding};
+
+    /// The per-start descending count multisets of `spec` over `kb`,
+    /// evaluated the slow definitional way: one filter-based evaluation
+    /// of the full oriented relation, grouped by `(start, end)`. With
+    /// `starts = None` the start variable ranges over every entity;
+    /// otherwise it is restricted to the given set (ids with no incident
+    /// rows — or not in the KB at all — simply produce no entry).
+    ///
+    /// This is exactly the result shape of
+    /// `rex_relstore::engine::global_count_distributions`, so the probe
+    /// path can be compared byte-for-byte.
+    pub fn reference_distributions(
+        kb: &KnowledgeBase,
+        spec: &PatternSpec,
+        starts: Option<&[u64]>,
+    ) -> HashMap<u64, Vec<u64>> {
+        let rel = oriented_edge_relation(kb);
+        let binding = match starts {
+            Some(list) => StartBinding::among(list.iter().copied()),
+            None => StartBinding::Unbound,
+        };
+        let instances =
+            spec.evaluate_with(&rel, &binding).expect("reference evaluation accepts valid specs");
+        let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::new();
+        for row in instances.rows() {
+            *pair_counts.entry((row[spec.start], row[spec.end])).or_insert(0) += 1;
+        }
+        let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
+        for ((start, _end), count) in pair_counts {
+            per_start.entry(start).or_default().push(count);
+        }
+        for counts in per_start.values_mut() {
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        per_start
     }
 }

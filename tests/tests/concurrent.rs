@@ -155,6 +155,58 @@ fn concurrent_readers_never_observe_torn_epochs() {
     assert_eq!(&got, expected.get(&final_epoch).unwrap());
 }
 
+/// Endpoint-posting COW through the serving stack: a maintenance flip
+/// rebuilds posting lists only for the delta-touched partitions (the
+/// rest stay `Arc`-shared between the pinned and current snapshots), and
+/// a snapshot pinned before the flip keeps **probing** its own epoch's
+/// rows — its posting-driven counts equal a scratch build at the pinned
+/// epoch even while the serving state has moved on.
+#[test]
+fn pinned_snapshot_probes_survive_concurrent_flip() {
+    let mut kb = suite_kb(21);
+    let cfg = RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None };
+    let state = ServingState::build(&kb, &cfg).unwrap();
+    let pinned = state.snapshot();
+    let kb_at_pin = kb.clone();
+
+    // Flip past the pin with a delta touching exactly (l0, FORWARD).
+    let a = kb.require_node("n2").unwrap();
+    let b = kb.require_node("n9").unwrap();
+    kb.insert_edge(a, b, LabelId(0), true).unwrap();
+    state.maintain(&kb).unwrap();
+    let current = state.snapshot();
+    assert!(current.epoch() > pinned.epoch());
+
+    // COW: only the touched partition's posting rebuilt across the flip.
+    use rex_relstore::plan::dir_code;
+    for label in 0u64..5 {
+        for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+            let (Some(old), Some(new)) =
+                (pinned.index().posting(label, dir), current.index().posting(label, dir))
+            else {
+                continue;
+            };
+            let touched = label == 0 && dir == dir_code::FORWARD;
+            assert_eq!(!std::sync::Arc::ptr_eq(&old, &new), touched, "label {label} dir {dir}");
+        }
+    }
+
+    // The pinned snapshot's probe path answers at its own epoch: every
+    // shape × every start equals a scratch build of the pre-flip KB.
+    let scratch = EdgeIndex::build(&kb_at_pin);
+    let starts: Vec<u64> = (0..kb.node_count() as u64 + 4).collect();
+    for idx in 0..rex_tests::scaffold::shape_count() {
+        let spec = rex_tests::scaffold::shape(idx);
+        let via_pinned =
+            rex_relstore::engine::global_count_distributions(pinned.index(), &spec, Some(&starts))
+                .unwrap();
+        let via_scratch =
+            rex_relstore::engine::global_count_distributions(&scratch, &spec, Some(&starts))
+                .unwrap();
+        assert_eq!(via_pinned, via_scratch, "shape {idx} probed at the pinned epoch");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 

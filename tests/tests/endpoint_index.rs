@@ -1,0 +1,279 @@
+//! Differential test harness for the endpoint-indexed partitions: the
+//! probe path (posting-list lookups materializing only rows incident to
+//! the start set) must produce counts **byte-identical** to the naive
+//! full-scan reference evaluator
+//! ([`rex_tests::differential::reference_distributions`]), which never
+//! touches the index at all — for random KBs × shapes × start sets,
+//! including starts with zero incident rows and start ids that are not
+//! even entities of the KB.
+//!
+//! The suite also pins the two claims that make the endpoint index a
+//! perf feature rather than a refactor:
+//!
+//! * **metrics regression** — after a 16-edge delta, the patch pass's
+//!   `rows_probed` equals the rows incident to the affected starts and
+//!   stays strictly below the partitions' full `scan_len` totals (the
+//!   "scan floor is gone" claim as an executable invariant);
+//! * **COW postings** — `next_epoch` rebuilds posting lists only for
+//!   delta-touched partitions (`Arc` pointer equality for the rest).
+
+use proptest::prelude::*;
+use rex_kb::EdgeId;
+use rex_relstore::engine::{
+    delta_affected_starts, delta_count_distributions, global_count_distributions,
+    global_count_distributions_ceiling, global_count_distributions_tiled, local_count_distribution,
+    local_count_distribution_indexed, oriented_edge_relation, EdgeIndex,
+};
+use rex_relstore::metrics;
+use rex_relstore::plan::dir_code;
+use rex_tests::differential::reference_distributions;
+use rex_tests::scaffold::{apply_ops, base_kb, shape, shape_count};
+
+/// The suite's deterministic base KB (distinct tail from the other
+/// suites via the salt).
+fn suite_kb(seed: u64) -> rex_kb::KnowledgeBase {
+    base_kb(seed, 0xE1DE)
+}
+
+/// Every scaffold shape, evaluated unbound over the deterministic KB:
+/// probe path == full-scan reference, and the whole posting traffic of
+/// the `Among` path lands on `rows_probed` for start-incident edges.
+#[test]
+fn every_shape_matches_reference_unbound_and_among() {
+    let kb = suite_kb(3);
+    let index = EdgeIndex::build(&kb);
+    // Start ids past the KB's node space must behave like any other
+    // zero-incident start: no entry, no panic.
+    let starts: Vec<u64> = (0..kb.node_count() as u64 + 8).step_by(3).collect();
+    for idx in 0..shape_count() {
+        let spec = shape(idx);
+        let unbound = global_count_distributions(&index, &spec, None).unwrap();
+        assert_eq!(unbound, reference_distributions(&kb, &spec, None), "shape {idx} unbound");
+        let among = global_count_distributions(&index, &spec, Some(&starts)).unwrap();
+        assert_eq!(among, reference_distributions(&kb, &spec, Some(&starts)), "shape {idx} among");
+    }
+}
+
+/// The `Const` probe path (single bound start, target-exclusion
+/// predicates) matches the unindexed definitional evaluation for every
+/// entity — and for ids outside the KB.
+#[test]
+fn const_probe_matches_unindexed_local_distributions() {
+    let kb = suite_kb(5);
+    let index = EdgeIndex::build(&kb);
+    let rel = oriented_edge_relation(&kb);
+    for idx in 0..shape_count() {
+        let spec = shape(idx);
+        for start in (0..kb.node_count() as u64 + 4).step_by(2) {
+            let probed = local_count_distribution_indexed(&index, &spec, start).unwrap();
+            let scanned = local_count_distribution(&rel, &spec, start).unwrap();
+            assert_eq!(probed, scanned, "shape {idx} start {start}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The differential invariant: for random KBs, shapes, and start
+    /// sets, probe-path counts are byte-identical to full-scan reference
+    /// counts — unbound, `Among` (untiled, fixed-size tiled, and
+    /// ceiling-tiled), with start sets that include zero-incident and
+    /// out-of-KB ids.
+    #[test]
+    fn probe_path_matches_full_scan_reference(
+        seed in 0u64..6,
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            0..14,
+        ),
+        shape_idx in 0usize..shape_count(),
+        start_sel in proptest::collection::vec(0u64..64, 0..14),
+        tile_size in 1usize..9,
+        ceiling in 1usize..300,
+    ) {
+        let mut kb = suite_kb(seed);
+        apply_ops(&mut kb, &ops, "d");
+        let spec = shape(shape_idx);
+        let index = EdgeIndex::build(&kb);
+
+        let expected_all = reference_distributions(&kb, &spec, None);
+        let got_all = global_count_distributions(&index, &spec, None).unwrap();
+        prop_assert_eq!(&got_all, &expected_all, "unbound");
+
+        let expected = reference_distributions(&kb, &spec, Some(&start_sel));
+        let got = global_count_distributions(&index, &spec, Some(&start_sel)).unwrap();
+        prop_assert_eq!(&got, &expected, "among");
+        let tiled =
+            global_count_distributions_tiled(&index, &spec, &start_sel, tile_size).unwrap();
+        prop_assert_eq!(&tiled.per_start, &expected, "fixed tiles");
+        let ceiled =
+            global_count_distributions_ceiling(&index, &spec, &start_sel, ceiling).unwrap();
+        prop_assert_eq!(&ceiled.per_start, &expected, "ceiling tiles");
+    }
+
+    /// The delta path: after random mutations, an incrementally
+    /// maintained index's partial re-group over the affected starts is
+    /// byte-identical to the full-scan reference at the new KB state —
+    /// and the maintained index's probes equal a scratch rebuild's.
+    #[test]
+    fn delta_probe_path_matches_reference_after_delta(
+        seed in 0u64..6,
+        ops1 in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            0..10,
+        ),
+        ops2 in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            1..10,
+        ),
+        shape_idx in 0usize..shape_count(),
+    ) {
+        let mut kb = suite_kb(seed);
+        apply_ops(&mut kb, &ops1, "a");
+        let mut index = EdgeIndex::build(&kb);
+        let epoch0 = kb.epoch();
+        apply_ops(&mut kb, &ops2, "b");
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
+        index.apply_delta(&delta).unwrap();
+
+        let spec = shape(shape_idx);
+        if let Some(affected) = delta_affected_starts(&kb, &spec, &delta) {
+            let expected = reference_distributions(&kb, &spec, Some(&affected));
+            let got = delta_count_distributions(&index, &spec, &affected, affected.len().max(1))
+                .unwrap();
+            prop_assert_eq!(&got.per_start, &expected, "delta partial re-group");
+        }
+        // The maintained postings answer like a scratch build's.
+        let scratch = EdgeIndex::build(&kb);
+        let got = global_count_distributions(&index, &spec, None).unwrap();
+        let fresh = global_count_distributions(&scratch, &spec, None).unwrap();
+        prop_assert_eq!(&got, &fresh, "maintained vs scratch");
+    }
+}
+
+/// The satellite metrics-regression invariant: after a 16-edge delta on
+/// a KB three orders of magnitude larger than the delta, the patch
+/// pass's `rows_probed` equals the rows incident to the affected starts
+/// — and the total probe traffic stays strictly below the partitions'
+/// full-scan total, which is what every `Among` evaluation used to pay.
+#[test]
+fn patch_pass_rows_probed_bounded_by_incident_rows() {
+    let kb0 = rex_datagen::generate(&rex_datagen::GeneratorConfig::tiny(0xE1DE));
+    let mut kb = kb0.clone();
+    let mut index = EdgeIndex::build(&kb);
+    let epoch0 = kb.epoch();
+    // 16-edge delta: 8 remove + rewire pairs over the shapes' label
+    // space (labels 0..5 are the KB's most common under the Zipf draw).
+    let mut state = 0x16u64;
+    let mut next = |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let mut rewired = 0;
+    while rewired < 8 {
+        let victim = EdgeId(next(kb.edge_count() as u64) as u32);
+        let e = *kb.edge(victim);
+        if e.label.0 >= 5 {
+            continue; // keep the churn on shape labels
+        }
+        kb.remove_edge(victim).unwrap();
+        let other = rex_kb::NodeId(next(kb.node_count() as u64) as u32);
+        kb.insert_edge(e.src, other, e.label, e.directed).unwrap();
+        rewired += 1;
+    }
+    let delta = kb.delta_since(epoch0).into_delta().unwrap();
+    assert_eq!(delta.edge_churn(), 16);
+    index.apply_delta(&delta).unwrap();
+
+    let mut any_affected = 0usize;
+    let mut total_probed = 0usize;
+    let mut total_start_incident_scan = 0usize;
+    for idx in 0..shape_count() {
+        let spec = shape(idx);
+        let Some(affected) = delta_affected_starts(&kb, &spec, &delta) else {
+            continue;
+        };
+        if affected.is_empty() {
+            continue;
+        }
+        any_affected += 1;
+        let scope = metrics::scoped();
+        delta_count_distributions(&index, &spec, &affected, affected.len()).unwrap();
+        let counts = scope.counts();
+        drop(scope);
+        assert_eq!(counts.delta, 1);
+        assert_eq!(counts.tiles, 1);
+        // Exactly the rows incident to the affected starts were probed —
+        // per start-incident pattern edge, counted from the postings.
+        let incident: usize = spec
+            .edges
+            .iter()
+            .filter(|e| e.u == spec.start || e.v == spec.start)
+            .map(|e| {
+                let dir = e.dir();
+                index.incident_len(e.label, dir, e.u == spec.start, &affected)
+            })
+            .sum();
+        assert_eq!(
+            counts.rows_probed, incident,
+            "shape {idx}: probe traffic must equal rows incident to affected starts"
+        );
+        // The remaining full scans are the non-start edges only.
+        let non_start_scan: usize = spec
+            .edges
+            .iter()
+            .filter(|e| e.u != spec.start && e.v != spec.start)
+            .map(|e| {
+                let dir = e.dir();
+                index.scan_len(e.label, dir)
+            })
+            .sum();
+        assert_eq!(counts.rows_scanned, non_start_scan, "shape {idx}");
+        total_probed += counts.rows_probed;
+        total_start_incident_scan += spec
+            .edges
+            .iter()
+            .filter(|e| e.u == spec.start || e.v == spec.start)
+            .map(|e| {
+                let dir = e.dir();
+                index.scan_len(e.label, dir)
+            })
+            .sum::<usize>();
+    }
+    assert!(any_affected >= 1, "the delta must touch some shape");
+    assert!(
+        total_probed < total_start_incident_scan,
+        "scan floor must be gone: probed {total_probed} rows where the old \
+         path scanned {total_start_incident_scan}"
+    );
+}
+
+/// COW postings across `next_epoch` at the integration level: only the
+/// delta-touched `(label, dir)` partitions rebuild their posting lists.
+#[test]
+fn next_epoch_shares_untouched_postings() {
+    let mut kb = suite_kb(11);
+    let index = EdgeIndex::build(&kb);
+    let epoch0 = kb.epoch();
+    // A directed l0 insert touches exactly the (l0, FORWARD) partition.
+    let a = kb.require_node("n3").unwrap();
+    let b = kb.require_node("n7").unwrap();
+    kb.insert_edge(a, b, rex_kb::LabelId(0), true).unwrap();
+    let delta = kb.delta_since(epoch0).into_delta().unwrap();
+    let next = index.next_epoch(&delta).unwrap();
+    for label in 0u64..5 {
+        for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+            let (Some(old), Some(new)) = (index.posting(label, dir), next.posting(label, dir))
+            else {
+                continue;
+            };
+            let touched = label == 0 && dir == dir_code::FORWARD;
+            assert_eq!(
+                !std::sync::Arc::ptr_eq(&old, &new),
+                touched,
+                "label {label} dir {dir}: only the touched partition rebuilds"
+            );
+        }
+    }
+}
