@@ -125,6 +125,24 @@ fn validate(text: &str) -> Result<(), String> {
             "index_build_ms",
         ],
     )?;
+    let robustness = side(
+        "robustness",
+        &[
+            "quiet_requests",
+            "requests",
+            "served",
+            "shed_requests",
+            "request_rows",
+            "quiet_p50_ms",
+            "quiet_p99_ms",
+            "served_p50_ms",
+            "served_p99_ms",
+            "reader_passes",
+            "torn_reads",
+            "quarantined_epochs",
+            "recovery_rebuilds",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
     number_after(text, "incremental_speedup", 0)?;
@@ -226,6 +244,45 @@ fn validate(text: &str) -> Result<(), String> {
              (quiet {quiet_tp}, contended {contended_tp})"
         ));
     }
+
+    // Structural invariants of the robustness (admission + panic
+    // recovery) scenarios: overload must actually shed, admitted work
+    // must stay near the quiet latency, the injected maintenance panic
+    // must have been recovered by a scratch rebuild, and no reader may
+    // ever have observed a torn epoch.
+    let (served, shed, quiet_p99, served_p99) =
+        (robustness[2], robustness[3], robustness[6], robustness[8]);
+    let (reader_passes, torn, quarantined, rebuilds) =
+        (robustness[9], robustness[10], robustness[11], robustness[12]);
+    if served < 1.0 {
+        return Err("robustness: overload served no request at all".into());
+    }
+    if shed < 1.0 {
+        return Err("robustness: overload shed no request — admission control never engaged".into());
+    }
+    if quiet_p99 <= 0.0 {
+        return Err(format!("robustness: quiet_p99_ms must be positive, got {quiet_p99}"));
+    }
+    if served_p99 > 2.0 * quiet_p99 {
+        return Err(format!(
+            "robustness: served p99 {served_p99}ms exceeds 2× the quiet p99 {quiet_p99}ms — \
+             shedding failed to protect admitted work"
+        ));
+    }
+    if rebuilds < 1.0 || quarantined < 1.0 {
+        return Err(format!(
+            "robustness: the injected maintenance panic was not recovered \
+             (quarantined_epochs {quarantined}, recovery_rebuilds {rebuilds})"
+        ));
+    }
+    if reader_passes < 1.0 {
+        return Err("robustness: no reader pass ran during the panic scenario".into());
+    }
+    if torn != 0.0 {
+        return Err(format!(
+            "robustness: {torn} torn reads — a reader observed inconsistent epoch state"
+        ));
+    }
     Ok(())
 }
 
@@ -268,6 +325,7 @@ mod tests {
   "incremental": {"delta_edges": 4, "kb_edges": 600, "full_rerank_wall_ms": 9.0, "full_rerank_full_evals": 30, "delta_rerank_wall_ms": 3.0, "delta_rerank_full_evals": 5, "delta_partial_evals": 7, "shapes_patched": 7, "shapes_rebatched": 2, "shapes_untouched": 21, "frame_redrawn": 0},
   "concurrent": {"reader_threads": 2, "passes_per_reader": 12, "quiet_wall_ms": 40.0, "contended_wall_ms": 55.0, "deltas_applied": 3, "quiet_passes_per_s": 600.0, "contended_passes_per_s": 436.0},
   "endpoint_index": {"kb_edges": 600, "delta_edges": 4, "shapes_touched": 7, "affected_starts": 19, "rows_probed": 40, "rows_scanned": 120, "scan_floor_rows": 900, "patch_wall_ms": 1.5, "index_build_ms": 2.0},
+  "robustness": {"quiet_requests": 14, "requests": 24, "served": 9, "shed_requests": 15, "request_rows": 5000, "quiet_p50_ms": 20.0, "quiet_p99_ms": 30.0, "served_p50_ms": 21.0, "served_p99_ms": 35.0, "reader_passes": 400, "torn_reads": 0, "quarantined_epochs": 1, "recovery_rebuilds": 1},
   "speedup": 10.0,
   "shared_frame_speedup": 1.25,
   "incremental_speedup": 3.0
@@ -348,6 +406,29 @@ mod tests {
         // A zero scan floor cannot anchor the comparison.
         let broken = GOOD.replace("\"scan_floor_rows\": 900", "\"scan_floor_rows\": 0");
         assert!(validate(&broken).unwrap_err().contains("scan_floor_rows"));
+    }
+
+    #[test]
+    fn robustness_violations_rejected() {
+        // A missing section must fail.
+        let broken = GOOD.replace("robustness", "robastness");
+        assert!(validate(&broken).is_err());
+        // Overload that never shed means admission control never engaged.
+        let broken = GOOD.replace("\"shed_requests\": 15", "\"shed_requests\": 0");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("never engaged"));
+        // Overload that served nothing is an outage, not degradation.
+        let broken = GOOD.replace("\"served\": 9", "\"served\": 0");
+        assert!(validate(&broken).unwrap_err().contains("served no request"));
+        // Served p99 beyond 2× the quiet p99: shedding failed its job.
+        let broken = GOOD.replace("\"served_p99_ms\": 35.0", "\"served_p99_ms\": 61.0");
+        assert!(validate(&broken).unwrap_err().contains("2×"));
+        // An unrecovered injected panic.
+        let broken = GOOD.replace("\"recovery_rebuilds\": 1", "\"recovery_rebuilds\": 0");
+        assert!(validate(&broken).unwrap_err().contains("not recovered"));
+        // Any torn read is a correctness failure, full stop.
+        let broken = GOOD.replace("\"torn_reads\": 0", "\"torn_reads\": 1");
+        assert!(validate(&broken).unwrap_err().contains("torn"));
     }
 
     #[test]

@@ -25,7 +25,8 @@ USAGE:
                [--max-nodes N] [--instance-cap C] [--decorate] [--toy]
   rex rank     --kb <kb.tsv> [<start> <end>]... [--per-group N] [--top K]
                [--samples S] [--seed S] [--max-nodes N] [--instance-cap C]
-               [--threads T] [--row-ceiling R] [--toy] [--quiet]
+               [--threads T] [--row-ceiling R] [--deadline-ms D]
+               [--row-budget B] [--toy] [--quiet]
   rex update   --kb <kb.tsv> --delta <delta.tsv> [<start> <end>]...
                [--per-group N] [--rebatch-fraction F] [--log-retention N]
                [... rank flags]
@@ -38,6 +39,13 @@ sharing one sample frame and one distribution cache across all of them
 (one batched evaluation per distinct pattern shape in the workload).
 Pairs come from positional <start> <end> name pairs, or are sampled per
 connectedness group (--per-group) when none are given.
+
+--deadline-ms / --row-budget bound the ranking pass (both commands): the
+deadline and intermediate-row budget are checked at every evaluation tile
+boundary, and pairs the budget cannot cover are SHED — reported per pair
+with the abort reason — instead of silently ranked on partial evidence.
+Zero is rejected for both (it would shed everything before the first
+tile); omit the flag for no bound.
 
 `rex update` ranks the same workload cold through a serving-session
 snapshot, applies an edge-list delta file to the KB, and re-ranks
@@ -62,6 +70,76 @@ fn load_kb(args: &Args) -> Result<KnowledgeBase, String> {
     let path = args.get("kb").ok_or("need --kb <file.tsv> (or --toy)")?;
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     rex_kb::io::read_tsv(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Parses and validates the `--deadline-ms` / `--row-budget` pair. Zero
+/// is rejected loudly for both — a zero budget sheds every pair before
+/// its first tile, which is an outage spelled as a flag, exactly the
+/// failure mode the rebatch-fraction validation guards against.
+fn budget_flags(args: &Args) -> Result<(Option<u64>, Option<usize>), String> {
+    let deadline_ms = match args.get("deadline-ms") {
+        None => None,
+        Some(v) => {
+            let ms: u64 =
+                v.parse().map_err(|_| format!("--deadline-ms wants milliseconds, got {v:?}"))?;
+            if ms == 0 {
+                return Err("--deadline-ms must be positive: a zero-millisecond deadline \
+                            sheds every pair before its first evaluation tile; omit the \
+                            flag for no deadline"
+                    .into());
+            }
+            Some(ms)
+        }
+    };
+    let row_budget = match args.get("row-budget") {
+        None => None,
+        Some(v) => {
+            let rows: usize =
+                v.parse().map_err(|_| format!("--row-budget wants a row count, got {v:?}"))?;
+            if rows == 0 {
+                return Err("--row-budget must be positive: a zero-row pool aborts every \
+                            evaluation before its first tile; omit the flag for no row \
+                            budget"
+                    .into());
+            }
+            Some(rows)
+        }
+    };
+    Ok((deadline_ms, row_budget))
+}
+
+/// Builds the evaluation [`Budget`](rex_relstore::budget::Budget) at the
+/// moment ranking starts (so enumeration time never counts against the
+/// deadline).
+fn build_budget(
+    deadline_ms: Option<u64>,
+    row_budget: Option<usize>,
+) -> rex_relstore::budget::Budget {
+    let mut budget = rex_relstore::budget::Budget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(rows) = row_budget {
+        budget = budget.with_row_budget(rows);
+    }
+    budget
+}
+
+/// Prints the per-pair shed report of a budgeted run and returns the shed
+/// lookup (pair index → abort reason). Loud by design: shed pairs are
+/// degraded service, not noise, so they print even under --quiet.
+fn report_shed(
+    shed: &[rex_core::ranking::ShedPair],
+    total: usize,
+) -> std::collections::HashMap<usize, rex_relstore::budget::AbortReason> {
+    if !shed.is_empty() {
+        println!(
+            "SHED {} of {total} pairs (budget exhausted mid-workload; re-run with a \
+             larger --deadline-ms/--row-budget or fewer pairs):",
+            shed.len()
+        );
+    }
+    shed.iter().map(|s| (s.pair, s.reason)).collect()
 }
 
 fn measure_by_name(name: &str) -> Result<Box<dyn Measure>, String> {
@@ -161,6 +239,7 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
     let cap: usize = args.get_or("instance-cap", 5_000)?;
     let threads: usize = args.get_or("threads", 0)?;
     let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
+    let (deadline_ms, row_budget) = budget_flags(&args)?;
     let pairs = resolve_pairs(&args, &kb, seed)?;
 
     let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
@@ -182,16 +261,28 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
         row_ceiling: Some(row_ceiling),
     };
     let t1 = std::time::Instant::now();
-    let outcome = rank_pairs(&kb, &tasks, &cfg).map_err(|e| e.to_string())?;
+    let outcome = if deadline_ms.is_some() || row_budget.is_some() {
+        let budget = build_budget(deadline_ms, row_budget);
+        let state = rex_core::ranking::ServingState::build(&kb, &cfg).map_err(|e| e.to_string())?;
+        state.snapshot().rank_budgeted(&tasks, &cfg, &budget)
+    } else {
+        rank_pairs(&kb, &tasks, &cfg).map_err(|e| e.to_string())?
+    };
     let rank_elapsed = t1.elapsed();
 
-    for ((s, e, explanations), ranking) in prepared.iter().zip(&outcome.rankings) {
+    let shed = report_shed(&outcome.shed, prepared.len());
+    for (idx, ((s, e, explanations), ranking)) in prepared.iter().zip(&outcome.rankings).enumerate()
+    {
         println!(
             "{} ↔ {} ({} explanations):",
             kb.node_name(*s),
             kb.node_name(*e),
             explanations.len()
         );
+        if let Some(reason) = shed.get(&idx) {
+            println!("  SHED: {reason} (no ranking computed for this pair)");
+            continue;
+        }
         for (i, r) in ranking.iter().enumerate() {
             println!("  {}. {}", i + 1, explanations[r.index].describe(&kb));
         }
@@ -200,7 +291,7 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
         println!(
             "ranked {} pairs in {:.1} ms (enumeration {:.1} ms): {} distinct shapes, \
              {} batched evaluations, {} tiles, peak {} intermediate rows (ceiling {})",
-            prepared.len(),
+            prepared.len() - outcome.shed.len(),
             rank_elapsed.as_secs_f64() * 1e3,
             enum_elapsed.as_secs_f64() * 1e3,
             outcome.distinct_shapes,
@@ -285,6 +376,7 @@ pub fn update(argv: &[String]) -> Result<(), String> {
     let cap: usize = args.get_or("instance-cap", 5_000)?;
     let threads: usize = args.get_or("threads", 0)?;
     let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
+    let (deadline_ms, row_budget) = budget_flags(&args)?;
     let rebatch_fraction: f64 = args.get_or("rebatch-fraction", 0.25)?;
     if !rebatch_fraction.is_finite() || rebatch_fraction < 0.0 {
         return Err(format!(
@@ -342,16 +434,29 @@ pub fn update(argv: &[String]) -> Result<(), String> {
         .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
         .collect();
     let t1 = std::time::Instant::now();
-    let updated = rank_pairs_updated(&kb, &tasks2, &cfg, &state).map_err(|e| e.to_string())?;
+    let updated = if deadline_ms.is_some() || row_budget.is_some() {
+        let budget = build_budget(deadline_ms, row_budget);
+        rex_core::ranking::rank_pairs_updated_budgeted(&kb, &tasks2, &cfg, &state, &budget)
+            .map_err(|e| e.to_string())?
+    } else {
+        rank_pairs_updated(&kb, &tasks2, &cfg, &state).map_err(|e| e.to_string())?
+    };
     let delta_elapsed = t1.elapsed();
 
-    for ((s, e, explanations), ranking) in prepared2.iter().zip(&updated.outcome.rankings) {
+    let shed = report_shed(&updated.outcome.shed, prepared2.len());
+    for (idx, ((s, e, explanations), ranking)) in
+        prepared2.iter().zip(&updated.outcome.rankings).enumerate()
+    {
         println!(
             "{} ↔ {} ({} explanations):",
             kb.node_name(*s),
             kb.node_name(*e),
             explanations.len()
         );
+        if let Some(reason) = shed.get(&idx) {
+            println!("  SHED: {reason} (no ranking computed for this pair)");
+            continue;
+        }
         for (i, r) in ranking.iter().enumerate() {
             println!("  {}. {}", i + 1, explanations[r.index].describe(&kb));
         }
@@ -555,6 +660,56 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_rank_flags_work_and_reject_zero() {
+        // Generous budgets rank everything (toy workload is tiny).
+        rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--top",
+            "3",
+            "--samples",
+            "10",
+            "--deadline-ms",
+            "60000",
+            "--row-budget",
+            "100000000",
+            "--quiet",
+        ]))
+        .expect("rank under generous budget");
+        // A 1-row budget sheds pairs instead of erroring out: the command
+        // still succeeds and reports the degradation.
+        rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--samples",
+            "10",
+            "--row-budget",
+            "1",
+            "--quiet",
+        ]))
+        .expect("rank under an exhausting budget degrades, not fails");
+        // Zero budgets are rejected loudly, for both commands.
+        let zero_deadline =
+            rank_pairs_cmd(&argv(&["--toy", "brad_pitt", "angelina_jolie", "--deadline-ms", "0"]));
+        assert!(zero_deadline.unwrap_err().contains("must be positive"));
+        let zero_rows =
+            rank_pairs_cmd(&argv(&["--toy", "brad_pitt", "angelina_jolie", "--row-budget", "0"]));
+        assert!(zero_rows.unwrap_err().contains("must be positive"));
+        // Unparsable values name the flag.
+        assert!(rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--deadline-ms",
+            "soon"
+        ]))
+        .unwrap_err()
+        .contains("deadline-ms"));
+    }
+
+    #[test]
     fn update_applies_delta_and_reranks() {
         let dir = std::env::temp_dir().join(format!("rex-cli-update-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -603,6 +758,34 @@ mod tests {
             "--quiet",
         ]))
         .expect("update with compaction fallback");
+        // A budgeted re-rank works end to end (generous budget), and the
+        // zero validation applies to update too.
+        update(&argv(&[
+            "--toy",
+            "--delta",
+            &delta_path,
+            "brad_pitt",
+            "angelina_jolie",
+            "--top",
+            "3",
+            "--samples",
+            "10",
+            "--deadline-ms",
+            "60000",
+            "--quiet",
+        ]))
+        .expect("budgeted update");
+        assert!(update(&argv(&[
+            "--toy",
+            "--delta",
+            &delta_path,
+            "brad_pitt",
+            "angelina_jolie",
+            "--row-budget",
+            "0",
+        ]))
+        .unwrap_err()
+        .contains("must be positive"));
         // Invalid rebatch fractions are rejected up front (NaN would
         // silently disable the patch/rebatch threshold).
         for bad_fraction in ["NaN", "-0.5", "inf"] {

@@ -19,6 +19,24 @@ pub enum CoreError {
         /// Entities in the knowledge base.
         nodes: usize,
     },
+    /// A budgeted evaluation stopped cooperatively at a tile boundary —
+    /// the request's deadline, cancellation token, or row budget fired.
+    /// Nothing partial was published; retrying with a larger budget (or
+    /// none) recomputes from the cache's intact state.
+    Aborted(rex_relstore::budget::AbortReason),
+    /// Admission control shed the request: admitting its estimated rows
+    /// would overdraw the serving state's concurrent-request row pool.
+    /// **Retryable** — capacity frees as admitted requests finish.
+    Overloaded {
+        /// Estimated rows the request needed (clamped to pool capacity).
+        needed: usize,
+        /// Rows available in the pool at the time of the attempt.
+        available: usize,
+    },
+    /// Maintenance recovery gave up: the scratch rebuild kept panicking
+    /// through its bounded retries. The serving state still serves its
+    /// last published epoch.
+    MaintenanceFailed(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -35,7 +53,23 @@ impl std::fmt::Display for CoreError {
                 "cannot draw a {requested}-start sample frame: none of the {nodes} entities \
                  has an incident edge"
             ),
+            CoreError::Aborted(reason) => write!(f, "evaluation aborted: {reason}"),
+            CoreError::Overloaded { needed, available } => write!(
+                f,
+                "request shed by admission control: needs ~{needed} rows, {available} available \
+                 (retryable: capacity frees as admitted requests finish)"
+            ),
+            CoreError::MaintenanceFailed(msg) => write!(f, "maintenance failed: {msg}"),
         }
+    }
+}
+
+impl CoreError {
+    /// Whether the caller should retry the same request after backoff
+    /// (only [`CoreError::Overloaded`] — shed requests were never
+    /// started, so a retry is safe and expected).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::Overloaded { .. })
     }
 }
 
@@ -43,7 +77,10 @@ impl std::error::Error for CoreError {}
 
 impl From<rex_relstore::RelError> for CoreError {
     fn from(e: rex_relstore::RelError) -> Self {
-        CoreError::Relational(e.to_string())
+        match e {
+            rex_relstore::RelError::Aborted(reason) => CoreError::Aborted(reason),
+            other => CoreError::Relational(other.to_string()),
+        }
     }
 }
 

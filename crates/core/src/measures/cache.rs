@@ -56,6 +56,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use rex_kb::{KbDelta, KnowledgeBase, NodeId};
+use rex_relstore::budget::Budget;
 use rex_relstore::engine::{
     delta_affected_starts, delta_count_distributions, delta_count_distributions_ceiling, EdgeIndex,
 };
@@ -314,31 +315,46 @@ impl DistributionCache {
         spec: PatternSpec,
         domain: HashSet<u64>,
     ) -> Arc<AllStartsDistribution> {
+        self.eval_batch_budgeted(index, spec, domain, &Budget::unlimited())
+            .expect("explanation patterns are valid specs")
+    }
+
+    /// [`eval_batch`](Self::eval_batch) under a [`Budget`]: the engine
+    /// checks the budget at every tile boundary, and on abort this
+    /// returns the typed error **without touching a single counter** —
+    /// the abort-leaves-no-trace half of the robustness contract.
+    fn eval_batch_budgeted(
+        &self,
+        index: &EdgeIndex,
+        spec: PatternSpec,
+        domain: HashSet<u64>,
+        budget: &Budget,
+    ) -> rex_relstore::Result<Arc<AllStartsDistribution>> {
         let list: Vec<u64> = domain.iter().copied().collect();
         let batch = match self.row_ceiling {
             // Exact tiling: starts packed by their measured incident-row
             // counts from the endpoint postings, not a uniform split.
-            Some(ceiling) => rex_relstore::engine::global_count_distributions_ceiling(
-                index, &spec, &list, ceiling,
+            Some(ceiling) => rex_relstore::engine::global_count_distributions_ceiling_budgeted(
+                index, &spec, &list, ceiling, budget,
             ),
-            None => rex_relstore::engine::global_count_distributions_tiled(
+            None => rex_relstore::engine::global_count_distributions_tiled_budgeted(
                 index,
                 &spec,
                 &list,
                 list.len().max(1),
+                budget,
             ),
-        }
-        .expect("explanation patterns are valid specs");
+        }?;
         self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
         self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
-        Arc::new(AllStartsDistribution {
+        Ok(Arc::new(AllStartsDistribution {
             counts: Arc::new(batch.per_start.into_iter().map(|(s, v)| (s, Arc::new(v))).collect()),
             domain: Arc::new(domain),
             tiles: batch.tiles,
             peak_rows: batch.peak_rows,
             epoch: index.epoch(),
             spec,
-        })
+        }))
     }
 
     /// Whether a cached batch can serve a read against `index` for the
@@ -398,26 +414,46 @@ impl DistributionCache {
         e: &Explanation,
         starts: &[NodeId],
     ) -> Arc<AllStartsDistribution> {
-        self.note_epoch(index.epoch());
+        self.all_starts_budgeted(index, e, starts, &Budget::unlimited())
+            .expect("explanation patterns are valid specs")
+    }
+
+    /// [`all_starts`](Self::all_starts) under a [`Budget`]. On abort
+    /// (deadline, cancellation, row-budget exhaustion) the cache is left
+    /// **byte-identical** to its pre-call state: nothing is installed, no
+    /// counter moves, not even the observed-epoch high-water mark — a
+    /// retried or budget-relaxed call recomputes exactly what this one
+    /// would have. Accounting (epoch note, hit/miss/eval counters) and
+    /// publication happen only after the evaluation completes.
+    pub fn all_starts_budgeted(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+        budget: &Budget,
+    ) -> rex_relstore::Result<Arc<AllStartsDistribution>> {
         let key = e.key();
         let generation = self.generation();
         if let Some(cached) = generation.get(key) {
             if Self::batch_serves(cached, index, starts) {
+                self.note_epoch(index.epoch());
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(cached);
+                return Ok(Arc::clone(cached));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.batched_evals.fetch_add(1, Ordering::Relaxed);
         let mut domain: HashSet<u64> = starts.iter().map(|s| s.0 as u64).collect();
         if let Some(cached) = generation.get(key) {
             domain.extend(cached.domain.iter().copied());
         }
         drop(generation);
         // Evaluation runs without any lock held; a racing thread may have
-        // installed a batch meanwhile — install_batch arbitrates.
-        let computed = self.eval_batch(index, e.pattern.to_spec(), domain);
-        self.install_batch(key, computed, index, starts)
+        // installed a batch meanwhile — install_batch arbitrates. An
+        // abort propagates here, before any observable state changes.
+        let computed = self.eval_batch_budgeted(index, e.pattern.to_spec(), domain, budget)?;
+        self.note_epoch(index.epoch());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.batched_evals.fetch_add(1, Ordering::Relaxed);
+        Ok(self.install_batch(key, computed, index, starts))
     }
 
     /// The descending count multiset of `e`'s pattern for `start`. Served
@@ -714,13 +750,30 @@ impl DistributionCache {
         starts: &[NodeId],
         exclude: Option<NodeId>,
     ) -> usize {
-        let batch = self.all_starts(index, e, starts);
+        self.global_position_excluding_budgeted(index, e, starts, exclude, &Budget::unlimited())
+            .expect("unlimited budget never aborts")
+    }
+
+    /// [`global_position_excluding`](Self::global_position_excluding)
+    /// under a [`Budget`]: the batched evaluation (if the shape is cold)
+    /// checks the budget at every tile boundary, and an abort leaves the
+    /// cache untouched. A warm hit never aborts — the position sum over
+    /// an already-published batch is pure reads.
+    pub fn global_position_excluding_budgeted(
+        &self,
+        index: &EdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+        exclude: Option<NodeId>,
+        budget: &Budget,
+    ) -> rex_relstore::Result<usize> {
+        let batch = self.all_starts_budgeted(index, e, starts, budget)?;
         let a = e.count() as u64;
-        starts
+        Ok(starts
             .iter()
             .filter(|&&s| Some(s) != exclude)
             .map(|s| batch.position(s.0 as u64, a).expect("batch covers requested starts"))
-            .sum()
+            .sum())
     }
 
     /// Number of cached entries (batched shapes + per-start overlays).
@@ -743,6 +796,16 @@ impl DistributionCache {
     /// distinct canonical pattern shapes.
     pub fn batched_evals(&self) -> usize {
         self.batched_evals.load(Ordering::Relaxed)
+    }
+
+    /// An opaque fingerprint of the published batched generation: changes
+    /// on every publication (miss install, delta maintenance, purge) and
+    /// only then. Generations are immutable once behind the `Arc`, so an
+    /// unchanged fingerprint proves no entry was added, dropped, or
+    /// replaced — the abort-leaves-no-trace property the robustness
+    /// proptests pin down without hashing the whole map.
+    pub fn generation_fingerprint(&self) -> usize {
+        Arc::as_ptr(&*self.batched.read()) as usize
     }
 }
 

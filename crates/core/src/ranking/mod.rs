@@ -19,8 +19,13 @@
 //!   updates, advance the serving session from the delta and re-rank
 //!   against the warm cache instead of rebuilding (with a full-rebuild
 //!   fallback once the KB's delta log has been compacted).
+//! * [`fault`] — deterministic fault injection (scripted delays, panics,
+//!   forced compaction at named sites) driving the chaos suite; the
+//!   serving robustness layers (admission control, budgeted degradation,
+//!   panic quarantine + bounded-retry rebuild) live in [`serve`].
 
 pub mod distribution;
+pub mod fault;
 mod general;
 pub mod pairs;
 pub mod parallel;
@@ -28,7 +33,11 @@ pub mod serve;
 pub mod topk;
 pub mod update;
 
+pub use fault::{FaultAction, FaultPlan};
 pub use general::{rank, rank_with_scores, Ranked};
-pub use pairs::{rank_pairs, rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
-pub use serve::{MaintainOutcome, ServingState, Snapshot};
-pub use update::{rank_pairs_updated, RankUpdateOutcome};
+pub use pairs::{
+    rank_pairs, rank_pairs_with, rank_pairs_with_budget, PairExplanations, RankPairsConfig,
+    RankPairsOutcome, ShedPair,
+};
+pub use serve::{AdmissionController, AdmissionPermit, MaintainOutcome, ServingState, Snapshot};
+pub use update::{rank_pairs_updated, rank_pairs_updated_budgeted, RankUpdateOutcome};

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 use rex_kb::{KnowledgeBase, NodeId};
+use rex_relstore::budget::{AbortReason, Budget};
 use rex_relstore::engine::EdgeIndex;
 
 use crate::canonical::CanonicalKey;
@@ -84,12 +85,25 @@ impl Default for RankPairsConfig {
     }
 }
 
+/// One pair a budgeted run could not finish: the evaluation of some
+/// shape it needed aborted (deadline, cancellation, row budget). Its slot
+/// in [`RankPairsOutcome::rankings`] is an **empty** ranking — never a
+/// partial or silently-wrong one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPair {
+    /// Index into the input `pairs` slice.
+    pub pair: usize,
+    /// Why the pair's evaluation stopped.
+    pub reason: AbortReason,
+}
+
 /// The result of a [`rank_pairs`] run: per-pair rankings (parallel to the
 /// input slice) plus the workload-level accounting that makes the sharing
 /// observable.
 #[derive(Debug)]
 pub struct RankPairsOutcome {
-    /// Top-k per input pair, in input order.
+    /// Top-k per input pair, in input order. Shed pairs (budgeted runs
+    /// only) hold an empty ranking.
     pub rankings: Vec<Vec<Ranked>>,
     /// Distinct canonical pattern shapes across the whole workload.
     pub distinct_shapes: usize,
@@ -102,6 +116,9 @@ pub struct RankPairsOutcome {
     /// themselves, so it is attributed correctly even when a reused cache
     /// answers some shapes without re-evaluating them.
     pub peak_rows: usize,
+    /// Pairs a budgeted run shed instead of finishing, in input order —
+    /// the graceful-degradation ledger. Always empty for unbudgeted runs.
+    pub shed: Vec<ShedPair>,
 }
 
 /// Ranks every pair of a workload by (negated) global distributional
@@ -132,6 +149,26 @@ pub fn rank_pairs_with(
     index: &EdgeIndex,
     frame: &Arc<SampleFrame>,
     cache: &DistributionCache,
+) -> RankPairsOutcome {
+    rank_pairs_with_budget(pairs, cfg, index, frame, cache, &Budget::unlimited())
+}
+
+/// [`rank_pairs_with`] under a [`Budget`]: the deadline, cancellation
+/// token, and row budget are checked at every tile boundary of every
+/// batched evaluation, and the workload **degrades pair-by-pair** rather
+/// than all-or-nothing. A pair whose shapes were all evaluated (or warm)
+/// before the budget fired is ranked exactly; a pair that needed an
+/// aborted evaluation lands in [`RankPairsOutcome::shed`] with an empty
+/// ranking slot. Aborted evaluations leave the shared cache untouched, so
+/// a follow-up run (with a fresh budget) picks up exactly where the warm
+/// shapes left off.
+pub fn rank_pairs_with_budget(
+    pairs: &[PairExplanations<'_>],
+    cfg: &RankPairsConfig,
+    index: &EdgeIndex,
+    frame: &Arc<SampleFrame>,
+    cache: &DistributionCache,
+    budget: &Budget,
 ) -> RankPairsOutcome {
     assert_eq!(
         cache.row_ceiling(),
@@ -172,31 +209,52 @@ pub fn rank_pairs_with(
         for lane in 0..workers {
             dealt.extend(ordered.iter().skip(lane).step_by(workers).map(|(_, e)| *e));
         }
-        let batches: Vec<_> =
-            dealt.par_iter().map(|e| cache.all_starts(index, e, frame.starts())).collect();
-        let peak_rows = batches.iter().map(|b| b.peak_rows()).max().unwrap_or(0);
+        // Prewarm under the budget: a shape whose evaluation aborts stays
+        // cold (the cache is untouched) and is simply skipped here — the
+        // position phase retries it per pair and sheds exactly the pairs
+        // that still need it.
+        let batches: Vec<_> = dealt
+            .par_iter()
+            .map(|e| cache.all_starts_budgeted(index, e, frame.starts(), budget).ok())
+            .collect();
+        let peak_rows = batches.iter().flatten().map(|b| b.peak_rows()).max().unwrap_or(0);
 
-        // Position phase: all cache hits; pairs fan out, each applying its
-        // own read-time exclusion to the shared batches.
-        let rankings: Vec<Vec<Ranked>> = pairs
+        // Position phase: warm shapes are cache hits; pairs fan out, each
+        // applying its own read-time exclusion to the shared batches. A
+        // pair that hits an aborted (still-cold) shape is shed whole —
+        // partial scores would rank explanations against each other on
+        // incomparable evidence.
+        let per_pair: Vec<std::result::Result<Vec<Ranked>, AbortReason>> = pairs
             .par_iter()
             .map(|pair| {
-                let scores: Vec<f64> = pair
-                    .explanations
-                    .iter()
-                    .map(|e| {
-                        let pos = cache.global_position_excluding(
-                            index,
-                            e,
-                            frame.starts(),
-                            Some(pair.start),
-                        );
-                        -(pos as f64)
-                    })
-                    .collect();
-                rank_with_scores(pair.explanations, &scores, cfg.k)
+                let mut scores: Vec<f64> = Vec::with_capacity(pair.explanations.len());
+                for e in pair.explanations {
+                    match cache.global_position_excluding_budgeted(
+                        index,
+                        e,
+                        frame.starts(),
+                        Some(pair.start),
+                        budget,
+                    ) {
+                        Ok(pos) => scores.push(-(pos as f64)),
+                        Err(rex_relstore::RelError::Aborted(reason)) => return Err(reason),
+                        Err(err) => panic!("explanation patterns are valid specs: {err}"),
+                    }
+                }
+                Ok(rank_with_scores(pair.explanations, &scores, cfg.k))
             })
             .collect();
+        let mut rankings: Vec<Vec<Ranked>> = Vec::with_capacity(per_pair.len());
+        let mut shed: Vec<ShedPair> = Vec::new();
+        for (i, outcome) in per_pair.into_iter().enumerate() {
+            match outcome {
+                Ok(ranked) => rankings.push(ranked),
+                Err(reason) => {
+                    shed.push(ShedPair { pair: i, reason });
+                    rankings.push(Vec::new());
+                }
+            }
+        }
 
         let (tiles_after, _) = cache.tiling_stats();
         RankPairsOutcome {
@@ -205,6 +263,7 @@ pub fn rank_pairs_with(
             batched_evals: cache.batched_evals() - evals_before,
             tiles: tiles_after - tiles_before,
             peak_rows,
+            shed,
         }
     })
 }

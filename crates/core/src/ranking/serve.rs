@@ -36,18 +36,53 @@
 //!
 //! Writers are serialized by an internal mutex that readers never touch,
 //! so "single writer, many readers" is enforced rather than assumed.
+//!
+//! **Robustness.** Three degradation layers keep the session answering
+//! under stress instead of stalling or crashing:
+//!
+//! * **Admission control** ([`ServingState::with_admission_control`]): a
+//!   concurrent-request *row pool* sized in estimated intermediate rows.
+//!   [`ServingState::try_serve`] prices each request with the index's
+//!   exact per-start incident-row statistics
+//!   ([`EdgeIndex::estimate_starts_rows`] — the same cost model the row-
+//!   ceiling tiler packs tiles with) and sheds over-budget requests with
+//!   the retryable [`CoreError::Overloaded`] before they touch the
+//!   evaluation stack.
+//! * **Budgeted reads** ([`Snapshot::rank_budgeted`]): a per-request
+//!   [`Budget`] (deadline / cancellation / row cap) checked at every tile
+//!   boundary; the workload degrades pair-by-pair, and aborted
+//!   evaluations leave the cache untouched.
+//! * **Panic quarantine** ([`ServingState::maintain`]): the delta branch
+//!   runs under `catch_unwind`. A panic before the flip can never publish
+//!   torn state (the flip is the only publication point); the target
+//!   epoch is quarantined and the session recovers by scratch rebuild
+//!   with bounded, backed-off retries — readers keep serving the last
+//!   good epoch throughout. The [`fault`](crate::ranking::fault) plan
+//!   injects exactly these failures deterministically for tests and
+//!   benches.
+//!
+//! [`CoreError::Overloaded`]: crate::error::CoreError::Overloaded
+//! [`Budget`]: rex_relstore::budget::Budget
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use rex_kb::{DeltaSince, KbSnapshot, KnowledgeBase, NodeId};
+use rex_relstore::budget::Budget;
 use rex_relstore::engine::EdgeIndex;
 
-use crate::error::Result;
+use crate::canonical::CanonicalKey;
+use crate::error::{CoreError, Result};
 use crate::explanation::Explanation;
 use crate::measures::cache::{DeltaMaintenance, DistributionCache};
 use crate::measures::frame::SampleFrame;
-use crate::ranking::pairs::{rank_pairs_with, PairExplanations, RankPairsConfig, RankPairsOutcome};
+use crate::ranking::fault::{site, FaultPlan};
+use crate::ranking::pairs::{
+    rank_pairs_with, rank_pairs_with_budget, PairExplanations, RankPairsConfig, RankPairsOutcome,
+};
 
 /// The atomically published read state: everything a reader needs,
 /// flipped together so a snapshot can never pair an old frame with a new
@@ -111,6 +146,27 @@ impl Snapshot {
         rank_pairs_with(pairs, cfg, &self.pinned.index, &self.pinned.frame, &self.cache)
     }
 
+    /// [`Snapshot::rank`] under a [`Budget`]: the deadline, cancellation
+    /// token, and row budget are checked at every tile boundary, the
+    /// workload degrades pair-by-pair
+    /// ([`RankPairsOutcome::shed`](crate::ranking::pairs::ShedPair)), and
+    /// aborted evaluations leave the shared cache untouched.
+    pub fn rank_budgeted(
+        &self,
+        pairs: &[PairExplanations<'_>],
+        cfg: &RankPairsConfig,
+        budget: &Budget,
+    ) -> RankPairsOutcome {
+        rank_pairs_with_budget(
+            pairs,
+            cfg,
+            &self.pinned.index,
+            &self.pinned.frame,
+            &self.cache,
+            budget,
+        )
+    }
+
     /// Sampled global position of one explanation over the pinned frame,
     /// skipping `exclude` (the pair's own start) at read time — the
     /// single-explanation hot read, pinned to this snapshot's epoch.
@@ -121,6 +177,104 @@ impl Snapshot {
             self.pinned.frame.starts(),
             exclude,
         )
+    }
+}
+
+/// The concurrent-request row pool behind
+/// [`ServingState::with_admission_control`]: a fixed capacity of
+/// *estimated intermediate rows*, drawn down by admitted requests and
+/// released when their [`AdmissionPermit`] drops. Costs above the pool's
+/// total capacity are clamped to it, so the heaviest request is always
+/// admissible on an idle pool (it is shed only while other work holds
+/// rows) — admission bounds *concurrency*, it never starves a request
+/// outright.
+#[derive(Debug)]
+pub struct AdmissionController {
+    capacity: usize,
+    available: AtomicUsize,
+    admitted: AtomicUsize,
+    shed: AtomicUsize,
+}
+
+impl AdmissionController {
+    /// A pool of `capacity` estimated rows. Zero is rejected loudly — a
+    /// zero-capacity pool would shed every request forever, which is an
+    /// outage configured as a knob.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "admission row pool must be positive: a zero-row pool sheds every request"
+        );
+        AdmissionController {
+            capacity,
+            available: AtomicUsize::new(capacity),
+            admitted: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool's total capacity (estimated rows).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently available.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// `(admitted, shed)` request counters over the pool's lifetime.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.admitted.load(Ordering::Relaxed), self.shed.load(Ordering::Relaxed))
+    }
+
+    /// Tries to draw `cost` rows (clamped to capacity, floored at 1) from
+    /// the pool. `Err((needed, available))` means the request was shed;
+    /// nothing was drawn and the caller should surface a retryable error.
+    fn try_admit(&self, cost: usize) -> std::result::Result<usize, (usize, usize)> {
+        let needed = cost.min(self.capacity).max(1);
+        match self
+            .available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |avail| avail.checked_sub(needed))
+        {
+            Ok(_) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(needed)
+            }
+            Err(avail) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err((needed, avail))
+            }
+        }
+    }
+
+    fn release(&self, rows: usize) {
+        self.available.fetch_add(rows, Ordering::AcqRel);
+    }
+}
+
+/// RAII admission: the rows drawn by [`ServingState::admit`] return to
+/// the pool when the permit drops — on success, on abort, and on panic
+/// alike, so a crashed request can never leak capacity.
+#[derive(Debug)]
+#[must_use = "dropping the permit immediately releases the admitted rows"]
+pub struct AdmissionPermit<'a> {
+    controller: Option<&'a AdmissionController>,
+    rows: usize,
+}
+
+impl AdmissionPermit<'_> {
+    /// Rows this permit holds (0 on sessions without admission control).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(controller) = self.controller {
+            controller.release(self.rows);
+        }
     }
 }
 
@@ -144,6 +298,14 @@ pub struct MaintainOutcome {
     pub compaction_fallback: bool,
     /// Cache entries purged by the compaction fallback.
     pub purged_entries: usize,
+    /// Whether incremental maintenance panicked mid-pass and the session
+    /// recovered by quarantining the target epoch and rebuilding from
+    /// scratch. Readers never observed the abandoned epoch — the panic
+    /// necessarily happened before the flip.
+    pub recovered_from_panic: bool,
+    /// Scratch-rebuild attempts that panicked before one succeeded (0
+    /// when the first attempt went through).
+    pub rebuild_retries: usize,
 }
 
 /// The shared serving session: one epoch-versioned `(kb, index, frame)`
@@ -157,6 +319,16 @@ pub struct ServingState {
     cache: Arc<DistributionCache>,
     /// Serializes writers; readers never touch it.
     writer: Mutex<()>,
+    /// Optional concurrent-request row pool; `None` admits everything.
+    admission: Option<AdmissionController>,
+    /// Optional scripted fault injection; `None` fires nothing.
+    faults: Option<FaultPlan>,
+    /// Epochs abandoned because incremental maintenance panicked before
+    /// the flip (each is followed by a recovery rebuild or a
+    /// [`CoreError::MaintenanceFailed`]).
+    quarantined_epochs: AtomicUsize,
+    /// Scratch rebuilds that successfully recovered a quarantined epoch.
+    recovery_rebuilds: AtomicUsize,
 }
 
 impl ServingState {
@@ -191,7 +363,109 @@ impl ServingState {
             current: RwLock::new(Arc::new(PinnedState { kb: kb.snapshot(), index, frame })),
             cache: Arc::new(cache),
             writer: Mutex::new(()),
+            admission: None,
+            faults: None,
+            quarantined_epochs: AtomicUsize::new(0),
+            recovery_rebuilds: AtomicUsize::new(0),
         })
+    }
+
+    /// Adds an admission controller with a `row_pool`-row concurrent
+    /// budget: [`ServingState::try_serve`] prices each request in
+    /// estimated intermediate rows and sheds (retryable
+    /// [`CoreError::Overloaded`]) whatever the pool cannot hold. Zero is
+    /// rejected loudly (see [`AdmissionController::new`]). Chainable at
+    /// construction.
+    pub fn with_admission_control(mut self, row_pool: usize) -> Self {
+        self.admission = Some(AdmissionController::new(row_pool));
+        self
+    }
+
+    /// Attaches a scripted [`FaultPlan`]; the named sites in maintenance
+    /// and serving consume it deterministically. Chainable at
+    /// construction; test/bench only by convention (production sessions
+    /// simply never attach one).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The admission controller, when one was configured.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Epochs quarantined after a mid-maintenance panic.
+    pub fn quarantined_epochs(&self) -> usize {
+        self.quarantined_epochs.load(Ordering::Relaxed)
+    }
+
+    /// Scratch rebuilds that recovered a quarantined epoch.
+    pub fn recovery_rebuilds(&self) -> usize {
+        self.recovery_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Fires the fault plan at `site` (no-op without a plan). Returns
+    /// whether a `ForceCompaction` was scripted there.
+    fn fire(&self, site: &'static str) -> bool {
+        self.faults.as_ref().is_some_and(|plan| plan.fire(site))
+    }
+
+    /// Prices a request in estimated intermediate rows: per distinct
+    /// shape, the index's exact per-start incident-row estimate over the
+    /// serving frame ([`EdgeIndex::estimate_starts_rows`] — the same
+    /// statistics the row-ceiling tiler packs tiles with), summed.
+    /// Floored at 1 so even a trivial request draws *something* from the
+    /// pool and concurrency stays bounded.
+    pub fn estimate_request_rows(&self, pairs: &[PairExplanations<'_>]) -> usize {
+        let snapshot = self.snapshot();
+        let starts: Vec<u64> = snapshot.frame().starts().iter().map(|s| s.0 as u64).collect();
+        let mut shapes: std::collections::HashMap<&CanonicalKey, &Explanation> =
+            std::collections::HashMap::new();
+        for pair in pairs {
+            for e in pair.explanations {
+                shapes.entry(e.key()).or_insert(e);
+            }
+        }
+        shapes
+            .into_values()
+            .map(|e| snapshot.index().estimate_starts_rows(&e.pattern.to_spec(), &starts))
+            .fold(0usize, |acc, rows| acc.saturating_add(rows))
+            .max(1)
+    }
+
+    /// Draws `cost` rows from the admission pool, returning the RAII
+    /// permit that releases them on drop — or the retryable
+    /// [`CoreError::Overloaded`] when the pool cannot hold the request.
+    /// Sessions without admission control admit everything (zero-row
+    /// permit).
+    pub fn admit(&self, cost: usize) -> Result<AdmissionPermit<'_>> {
+        match &self.admission {
+            None => Ok(AdmissionPermit { controller: None, rows: 0 }),
+            Some(controller) => match controller.try_admit(cost) {
+                Ok(rows) => Ok(AdmissionPermit { controller: Some(controller), rows }),
+                Err((needed, available)) => Err(CoreError::Overloaded { needed, available }),
+            },
+        }
+    }
+
+    /// The full admission-controlled, budgeted serving read: price the
+    /// request, admit or shed it, then rank under `budget` against a
+    /// pinned snapshot. Shed requests ([`CoreError::Overloaded`],
+    /// [`CoreError::is_retryable`]) never touched the evaluation stack —
+    /// retrying after backoff is safe and expected. The admitted rows are
+    /// held for exactly the duration of the ranking pass.
+    pub fn try_serve(
+        &self,
+        pairs: &[PairExplanations<'_>],
+        cfg: &RankPairsConfig,
+        budget: &Budget,
+    ) -> Result<RankPairsOutcome> {
+        self.fire(site::SERVE_ADMIT);
+        let cost = self.estimate_request_rows(pairs);
+        let _permit = self.admit(cost)?;
+        self.fire(site::SERVE_EVAL);
+        Ok(self.snapshot().rank_budgeted(pairs, cfg, budget))
     }
 
     /// Pins the current epoch for a read pass: an O(1) `Arc` clone under
@@ -230,55 +504,155 @@ impl ServingState {
             index_churn: 0,
             compaction_fallback: false,
             purged_entries: 0,
+            recovered_from_panic: false,
+            rebuild_retries: 0,
         };
         if kb.epoch() == from_epoch {
             return Ok(outcome);
         }
+        let force_compacted = self.fire(site::MAINTAIN_DELTA_SOURCE);
         match kb.delta_since(from_epoch) {
-            DeltaSince::Delta(delta) => {
-                // Build the next epoch off to the side: COW index (only
-                // touched partitions copied), frame redraw policy.
-                let next_index = Arc::new(pinned.index.next_epoch(&delta)?);
-                let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
-                let next_frame = Arc::new(next_frame);
-                // Maintain the cache BEFORE the flip: while apply_delta
-                // builds the next generation (the expensive part of the
-                // pass), readers still pin the old index and keep warm-
-                // hitting the old generation — reader throughput stays
-                // flat for the whole maintenance window. Readers are
-                // never blocked either way (no lock is held across any
-                // evaluation); the cold window is only the instants
-                // between the generation swap and the flip below, and a
-                // reader caught there recomputes *privately* at its
-                // pinned epoch (the install path never lets an old-epoch
-                // result clobber a maintained entry).
-                outcome.maintenance = self.cache.apply_delta(kb, &next_index, &delta);
-                // The flip: one swap publishes kb/index/frame together.
-                *self.current.write() = Arc::new(PinnedState {
-                    kb: kb.snapshot(),
-                    index: next_index,
-                    frame: next_frame,
-                });
-                outcome.frame_redrawn = frame_redrawn;
-                outcome.index_churn = delta.edge_churn();
+            DeltaSince::Delta(delta) if !force_compacted => {
+                // The whole delta branch runs under catch_unwind: the
+                // flip below is the ONLY publication point, so a panic
+                // anywhere before it — index COW, frame refresh, cache
+                // maintenance, an injected fault — abandons next-epoch
+                // state that no reader ever saw. (apply_delta publishes
+                // cache generations internally, but entries carry their
+                // epoch and are refused by readers pinned to the old
+                // index, so even a post-apply_delta panic leaves reads
+                // consistent.)
+                let attempt = catch_unwind(AssertUnwindSafe(
+                    || -> Result<(DeltaMaintenance, bool, Arc<PinnedState>)> {
+                        // Build the next epoch off to the side: COW index
+                        // (only touched partitions copied), frame redraw
+                        // policy.
+                        let next_index = Arc::new(pinned.index.next_epoch(&delta)?);
+                        let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
+                        self.fire(site::MAINTAIN_APPLY_DELTA);
+                        // Maintain the cache BEFORE the flip: while
+                        // apply_delta builds the next generation (the
+                        // expensive part of the pass), readers still pin
+                        // the old index and keep warm-hitting the old
+                        // generation — reader throughput stays flat for
+                        // the whole maintenance window. Readers are never
+                        // blocked either way (no lock is held across any
+                        // evaluation); the cold window is only the
+                        // instants between the generation swap and the
+                        // flip below, and a reader caught there
+                        // recomputes *privately* at its pinned epoch (the
+                        // install path never lets an old-epoch result
+                        // clobber a maintained entry).
+                        let maintenance = self.cache.apply_delta(kb, &next_index, &delta);
+                        self.fire(site::MAINTAIN_BEFORE_FLIP);
+                        let next = Arc::new(PinnedState {
+                            kb: kb.snapshot(),
+                            index: next_index,
+                            frame: Arc::new(next_frame),
+                        });
+                        Ok((maintenance, frame_redrawn, next))
+                    },
+                ));
+                match attempt {
+                    Ok(Ok((maintenance, frame_redrawn, next))) => {
+                        // The flip: one swap publishes kb/index/frame
+                        // together.
+                        *self.current.write() = next;
+                        outcome.maintenance = maintenance;
+                        outcome.frame_redrawn = frame_redrawn;
+                        outcome.index_churn = delta.edge_churn();
+                    }
+                    Ok(Err(err)) => return Err(err),
+                    Err(_panic) => {
+                        // Quarantine: the target epoch is abandoned
+                        // (readers still serve from_epoch — nothing was
+                        // flipped) and the session recovers by scratch
+                        // rebuild. The purge afterwards drops every cache
+                        // entry the interrupted pass may have left behind
+                        // at older epochs; entries apply_delta completed
+                        // at the target epoch are exact (scratch parity)
+                        // and keep serving.
+                        self.quarantined_epochs.fetch_add(1, Ordering::Relaxed);
+                        let (retries, frame_redrawn) = self.rebuild_with_retry(kb, &pinned)?;
+                        self.recovery_rebuilds.fetch_add(1, Ordering::Relaxed);
+                        outcome.purged_entries = self.cache.purge_older_than(kb.epoch());
+                        outcome.recovered_from_panic = true;
+                        outcome.rebuild_retries = retries;
+                        outcome.frame_redrawn = frame_redrawn;
+                    }
+                }
             }
-            DeltaSince::Compacted { .. } => {
-                // Graceful degradation: no faithful delta exists, so
-                // rebuild the index and purge unpatched cache entries.
-                let next_index = Arc::new(EdgeIndex::build(kb));
-                let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
-                *self.current.write() = Arc::new(PinnedState {
-                    kb: kb.snapshot(),
-                    index: next_index,
-                    frame: Arc::new(next_frame),
-                });
+            _ => {
+                // Graceful degradation: no faithful delta exists (or an
+                // injected fault forced this branch), so rebuild the
+                // index from scratch — with the same bounded retry the
+                // panic path uses — and purge unpatched cache entries.
+                let (retries, frame_redrawn) = self.rebuild_with_retry(kb, &pinned)?;
                 outcome.purged_entries = self.cache.purge_older_than(kb.epoch());
                 outcome.frame_redrawn = frame_redrawn;
                 outcome.compaction_fallback = true;
+                outcome.rebuild_retries = retries;
             }
         }
         Ok(outcome)
     }
+
+    /// Scratch-rebuilds `(index, frame)` at `kb`'s epoch and flips it in,
+    /// retrying a panicking rebuild up to [`REBUILD_ATTEMPTS`] times with
+    /// doubling backoff. Returns `(panicked_attempts, frame_redrawn)` on
+    /// success; [`CoreError::MaintenanceFailed`] when every attempt
+    /// panicked (the session then keeps serving its last good epoch).
+    /// Plain `Err`s from sampling propagate immediately — they are
+    /// deterministic, not transient.
+    fn rebuild_with_retry(
+        &self,
+        kb: &KnowledgeBase,
+        pinned: &PinnedState,
+    ) -> Result<(usize, bool)> {
+        let mut last_panic = String::new();
+        for attempt in 0..REBUILD_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(1 << attempt));
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| -> Result<(Arc<PinnedState>, bool)> {
+                self.fire(site::MAINTAIN_REBUILD_ATTEMPT);
+                let next_index = Arc::new(EdgeIndex::build(kb));
+                let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
+                let next = Arc::new(PinnedState {
+                    kb: kb.snapshot(),
+                    index: next_index,
+                    frame: Arc::new(next_frame),
+                });
+                Ok((next, frame_redrawn))
+            }));
+            match result {
+                Ok(Ok((next, frame_redrawn))) => {
+                    *self.current.write() = next;
+                    return Ok((attempt, frame_redrawn));
+                }
+                Ok(Err(err)) => return Err(err),
+                Err(payload) => last_panic = panic_message(&payload),
+            }
+        }
+        Err(CoreError::MaintenanceFailed(format!(
+            "scratch rebuild panicked through {REBUILD_ATTEMPTS} attempts \
+             (last panic: {last_panic}); still serving epoch {}",
+            self.epoch()
+        )))
+    }
+}
+
+/// Bounded retries for a panicking scratch rebuild, with `1ms << attempt`
+/// backoff between attempts.
+const REBUILD_ATTEMPTS: usize = 3;
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]

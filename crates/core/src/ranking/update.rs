@@ -78,8 +78,28 @@ pub fn rank_pairs_updated(
     cfg: &RankPairsConfig,
     state: &ServingState,
 ) -> Result<RankUpdateOutcome> {
+    rank_pairs_updated_budgeted(kb, pairs, cfg, state, &rex_relstore::budget::Budget::unlimited())
+}
+
+/// [`rank_pairs_updated`] under a [`Budget`]: maintenance itself always
+/// runs to completion (an epoch advance must not be half-applied), but
+/// the re-rank after it checks the deadline, cancellation token, and row
+/// budget at every tile boundary and degrades pair-by-pair
+/// ([`RankPairsOutcome::shed`]). Aborted evaluations leave the maintained
+/// cache untouched, so a follow-up re-rank with a fresh budget picks up
+/// warm.
+///
+/// [`Budget`]: rex_relstore::budget::Budget
+/// [`RankPairsOutcome::shed`]: crate::ranking::pairs::RankPairsOutcome::shed
+pub fn rank_pairs_updated_budgeted(
+    kb: &KnowledgeBase,
+    pairs: &[PairExplanations<'_>],
+    cfg: &RankPairsConfig,
+    state: &ServingState,
+    budget: &rex_relstore::budget::Budget,
+) -> Result<RankUpdateOutcome> {
     let maintained = state.maintain(kb)?;
-    let outcome = state.snapshot().rank(pairs, cfg);
+    let outcome = state.snapshot().rank_budgeted(pairs, cfg, budget);
     Ok(RankUpdateOutcome {
         outcome,
         maintenance: maintained.maintenance,

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use rex_kb::{DeltaSince, EdgeRecord, KbDelta, KnowledgeBase, LabelId, NodeId};
 
+use crate::budget::Budget;
 use crate::ops::group_count_having_limit;
 use crate::plan::{dir_code, PatternSpec, StartBinding};
 use crate::relation::{ColumnPosting, Relation, Schema};
@@ -459,6 +460,34 @@ impl EdgeIndex {
     /// per-start selectivity, so hub starts get small tiles and leaf
     /// starts pack densely — exact tile sizing instead of estimated.
     ///
+    /// Estimated join-produced rows of one batched evaluation of `spec`
+    /// restricted to `starts` — the same exact per-start incident-row
+    /// statistic [`EdgeIndex::tile_starts_for_ceiling`] packs tiles with,
+    /// summed over the whole start set instead of split into tiles. This
+    /// is the **admission-control cost** of a request: proportional to
+    /// the rows actually incident to its starts (measured from the
+    /// endpoint postings), not to the KB.
+    pub fn estimate_starts_rows(&self, spec: &PatternSpec, starts: &[u64]) -> usize {
+        let mut sorted: Vec<u64> = starts.to_vec();
+        sorted.sort_unstable();
+        let anchor =
+            spec.edges.iter().filter(|e| e.u == spec.start || e.v == spec.start).min_by_key(|e| {
+                let dir = e.dir();
+                self.scan_len(e.label, dir)
+            });
+        let Some(anchor) = anchor else {
+            // No start-incident edge: the start variable is unconstrained,
+            // so the whole estimated instance relation is the cost.
+            return self.estimate_instance_rows(spec).min(usize::MAX as f64) as usize;
+        };
+        let src = anchor.u == spec.start;
+        let dir = anchor.dir();
+        let anchor_rows = self.scan_len(anchor.label, dir).max(1) as f64;
+        let per_row = (self.estimate_instance_rows(spec) / anchor_rows).max(1.0);
+        let incident = self.incident_len(anchor.label, dir, src, &sorted) as f64;
+        (incident * per_row).min(usize::MAX as f64) as usize
+    }
+
     /// Every tile holds at least one start; a start whose own weight
     /// exceeds the ceiling gets a singleton tile (the per-edge scans are
     /// a floor no tiling can lower).
@@ -759,12 +788,30 @@ pub fn global_count_distributions_tiled(
     starts: &[u64],
     tile_size: usize,
 ) -> Result<TiledDistributions> {
+    global_count_distributions_tiled_budgeted(index, spec, starts, tile_size, &Budget::unlimited())
+}
+
+/// [`global_count_distributions_tiled`] under a cooperative [`Budget`]:
+/// the budget is checked at **every tile boundary** and each completed
+/// tile's peak rows are charged against its row pool, so an expired
+/// deadline, a tripped cancellation token, or an exhausted pool stops the
+/// evaluation with [`RelError::Aborted`] after at most one more tile of
+/// work. An aborted evaluation returns no partial result and publishes no
+/// partial counter traffic (its staged metrics are drained).
+pub fn global_count_distributions_tiled_budgeted(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tile_size: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
     grouped_among_tiled(
         index,
         spec,
         starts,
         Tiling::FixedSize(tile_size),
         crate::metrics::record_full_eval,
+        budget,
     )
 }
 
@@ -778,12 +825,28 @@ pub fn global_count_distributions_ceiling(
     starts: &[u64],
     max_rows: usize,
 ) -> Result<TiledDistributions> {
+    global_count_distributions_ceiling_budgeted(index, spec, starts, max_rows, &Budget::unlimited())
+}
+
+/// [`global_count_distributions_ceiling`] under a cooperative [`Budget`]
+/// (see [`global_count_distributions_tiled_budgeted`] for the abort
+/// semantics). Ceiling tiling is the natural partner of a budget: tiles
+/// are already sized so each one's work is bounded, which bounds the
+/// overshoot past a deadline by one tile.
+pub fn global_count_distributions_ceiling_budgeted(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    max_rows: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
     grouped_among_tiled(
         index,
         spec,
         starts,
         Tiling::RowCeiling(max_rows),
         crate::metrics::record_full_eval,
+        budget,
     )
 }
 
@@ -807,6 +870,7 @@ pub fn delta_count_distributions(
         affected_starts,
         Tiling::FixedSize(tile_size),
         crate::metrics::record_delta_eval,
+        &Budget::unlimited(),
     )
 }
 
@@ -817,12 +881,32 @@ pub fn delta_count_distributions_ceiling(
     affected_starts: &[u64],
     max_rows: usize,
 ) -> Result<TiledDistributions> {
+    delta_count_distributions_ceiling_budgeted(
+        index,
+        spec,
+        affected_starts,
+        max_rows,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`delta_count_distributions_ceiling`] under a cooperative [`Budget`]
+/// — the delta path checks the budget at the same tile boundaries the
+/// full path does, so maintenance work is preemptible too.
+pub fn delta_count_distributions_ceiling_budgeted(
+    index: &EdgeIndex,
+    spec: &PatternSpec,
+    affected_starts: &[u64],
+    max_rows: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
     grouped_among_tiled(
         index,
         spec,
         affected_starts,
         Tiling::RowCeiling(max_rows),
         crate::metrics::record_delta_eval,
+        budget,
     )
 }
 
@@ -835,13 +919,19 @@ enum Tiling {
 }
 
 /// Shared body of the tiled grouped evaluations; `record` is bumped once
-/// when at least one tile runs (full vs delta accounting).
+/// when at least one tile runs (full vs delta accounting). The `budget`
+/// is checked at every tile boundary
+/// ([`PatternSpec::evaluate_indexed_tile_budgeted`]); counter traffic is
+/// staged ([`crate::metrics::stage_evaluation`]) and committed only when
+/// the whole batch completes, so an abort publishes *no* partial counts —
+/// scoped metric snapshots see a whole batch or none of it.
 fn grouped_among_tiled(
     index: &EdgeIndex,
     spec: &PatternSpec,
     starts: &[u64],
     tiling: Tiling,
     record: fn(),
+    budget: &Budget,
 ) -> Result<TiledDistributions> {
     spec.validate()?;
     let mut values: Vec<u64> = starts.to_vec();
@@ -852,6 +942,9 @@ fn grouped_among_tiled(
     if values.is_empty() {
         return Ok(TiledDistributions { per_start: HashMap::new(), tiles: 0, peak_rows: 0 });
     }
+    // Stage the batch's counter traffic: commit on success, drain on any
+    // early exit (`?` below drops the guard, which drains).
+    let stage = crate::metrics::stage_evaluation();
     record();
     let chunks: Vec<Vec<u64>> = match tiling {
         Tiling::FixedSize(tile_size) => {
@@ -864,7 +957,7 @@ fn grouped_among_tiled(
     let mut peak_rows = 0usize;
     for chunk in chunks {
         let binding = StartBinding::Among(chunk);
-        let (instances, peak) = spec.evaluate_indexed_tile(index, &binding)?;
+        let (instances, peak) = spec.evaluate_indexed_tile_budgeted(index, &binding, budget)?;
         crate::metrics::record_tile();
         tiles += 1;
         peak_rows = peak_rows.max(peak);
@@ -879,6 +972,7 @@ fn grouped_among_tiled(
     for counts in per_start.values_mut() {
         counts.sort_unstable_by(|a, b| b.cmp(a));
     }
+    stage.commit();
     Ok(TiledDistributions { per_start, tiles, peak_rows })
 }
 

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod engine;
 pub mod expr;
 pub mod metrics;
@@ -66,6 +67,12 @@ pub enum RelError {
     /// A delta could not be applied: it does not start at the index's
     /// epoch, or retracts a row the index does not hold.
     DeltaSkew(String),
+    /// A budgeted evaluation stopped cooperatively at a tile boundary
+    /// (deadline, cancellation, or row-budget exhaustion) instead of
+    /// finishing. Partial results are never returned and never published
+    /// — the evaluation simply did not happen as far as callers'
+    /// observable state is concerned.
+    Aborted(budget::AbortReason),
 }
 
 impl std::fmt::Display for RelError {
@@ -77,6 +84,7 @@ impl std::fmt::Display for RelError {
             }
             RelError::BadPattern(msg) => write!(f, "bad pattern spec: {msg}"),
             RelError::DeltaSkew(msg) => write!(f, "delta skew: {msg}"),
+            RelError::Aborted(reason) => write!(f, "evaluation aborted: {reason}"),
         }
     }
 }

@@ -23,6 +23,21 @@
 //! process and reads deltas against its own baseline; the bench binaries
 //! and the parity suites both use it.
 
+//!
+//! **Aborted evaluations.** A budgeted tiled evaluation can stop at a
+//! tile boundary ([`crate::budget::Budget`]). Were its per-tile traffic
+//! (`tiles`, `rows_probed`, `rows_scanned`, …) published as it ran, an
+//! abort would leave a scoped snapshot holding a *fraction* of a batch —
+//! a full-eval increment with only some of its tiles — and the
+//! differential harness's exact-count invariants would wobble with
+//! timing. Tiled evaluations therefore **stage** their counter traffic in
+//! a thread-local buffer ([`stage_evaluation`]): a batch that completes
+//! commits its counts atomically at the end, and a batch that aborts (or
+//! unwinds) drains them deterministically — zero traffic published, one
+//! [`aborted_evals`] increment. Scoped snapshots see either a whole batch
+//! or none of it.
+
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -33,6 +48,7 @@ static TILES: AtomicUsize = AtomicUsize::new(0);
 static PEAK_ROWS: AtomicUsize = AtomicUsize::new(0);
 static ROWS_SCANNED: AtomicUsize = AtomicUsize::new(0);
 static ROWS_PROBED: AtomicUsize = AtomicUsize::new(0);
+static ABORTED_EVALS: AtomicUsize = AtomicUsize::new(0);
 
 /// A point-in-time reading of the evaluation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,46 +93,163 @@ impl EvalCounts {
     }
 }
 
+/// Counter traffic buffered by an in-flight staged evaluation (see the
+/// module docs): committed wholesale on success, drained on abort.
+#[derive(Debug, Default, Clone, Copy)]
+struct StagedCounts {
+    full: usize,
+    streaming: usize,
+    delta: usize,
+    tiles: usize,
+    rows_scanned: usize,
+    rows_probed: usize,
+    peak_rows: usize,
+}
+
+thread_local! {
+    /// The current thread's staging buffer, `None` outside a staged
+    /// evaluation. Evaluation is single-threaded per tile, so a
+    /// thread-local captures everything a batch records.
+    static STAGED: RefCell<Option<StagedCounts>> = const { RefCell::new(None) };
+}
+
+/// Adds to the staging buffer if one is active; `false` otherwise.
+#[inline]
+fn staged(apply: impl FnOnce(&mut StagedCounts)) -> bool {
+    STAGED.with(|slot| match slot.borrow_mut().as_mut() {
+        Some(stage) => {
+            apply(stage);
+            true
+        }
+        None => false,
+    })
+}
+
+/// An in-flight staged evaluation: counter traffic recorded by this
+/// thread lands in a buffer instead of the process-global counters.
+/// [`StageGuard::commit`] publishes the whole buffer at once; dropping
+/// the guard without committing (the abort and panic paths) **drains**
+/// the buffer — nothing is published, and [`aborted_evals`] is bumped —
+/// so an aborted evaluation contributes deterministically zero traffic
+/// to any scoped snapshot.
+#[derive(Debug)]
+#[must_use = "dropping a stage guard without commit() drains its counts as an abort"]
+pub struct StageGuard {
+    /// Whether this guard owns the thread's staging buffer (nested stages
+    /// are no-ops: the outermost guard decides commit vs drain).
+    owner: bool,
+    committed: bool,
+    /// Keeps the guard `!Send`: the buffer is thread-local.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Begins a staged evaluation on this thread. Nested calls return a
+/// passive guard — the outermost stage owns the buffer.
+pub fn stage_evaluation() -> StageGuard {
+    let owner = STAGED.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(StagedCounts::default());
+        true
+    });
+    StageGuard { owner, committed: false, _not_send: std::marker::PhantomData }
+}
+
+impl StageGuard {
+    /// Publishes the staged traffic to the process-global counters.
+    pub fn commit(mut self) {
+        self.committed = true;
+        if !self.owner {
+            return;
+        }
+        let Some(stage) = STAGED.with(|slot| slot.borrow_mut().take()) else {
+            return;
+        };
+        FULL_EVALS.fetch_add(stage.full, Ordering::Relaxed);
+        STREAMING_EVALS.fetch_add(stage.streaming, Ordering::Relaxed);
+        DELTA_EVALS.fetch_add(stage.delta, Ordering::Relaxed);
+        TILES.fetch_add(stage.tiles, Ordering::Relaxed);
+        ROWS_SCANNED.fetch_add(stage.rows_scanned, Ordering::Relaxed);
+        ROWS_PROBED.fetch_add(stage.rows_probed, Ordering::Relaxed);
+        PEAK_ROWS.fetch_max(stage.peak_rows, Ordering::Relaxed);
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if self.committed || !self.owner {
+            return;
+        }
+        // Abort (or unwind) path: drain the buffer, publish nothing.
+        let drained = STAGED.with(|slot| slot.borrow_mut().take());
+        if drained.is_some() {
+            ABORTED_EVALS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Evaluations that aborted (budget or unwind) and had their staged
+/// counter traffic drained instead of published.
+pub fn aborted_evals() -> usize {
+    ABORTED_EVALS.load(Ordering::Relaxed)
+}
+
 /// Records one full (materialized) pattern evaluation.
 #[inline]
 pub fn record_full_eval() {
-    FULL_EVALS.fetch_add(1, Ordering::Relaxed);
+    if !staged(|s| s.full += 1) {
+        FULL_EVALS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Records one streaming position evaluation.
 #[inline]
 pub fn record_streaming_eval() {
-    STREAMING_EVALS.fetch_add(1, Ordering::Relaxed);
+    if !staged(|s| s.streaming += 1) {
+        STREAMING_EVALS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Records one partial (delta-maintenance) evaluation.
 #[inline]
 pub fn record_delta_eval() {
-    DELTA_EVALS.fetch_add(1, Ordering::Relaxed);
+    if !staged(|s| s.delta += 1) {
+        DELTA_EVALS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Records one evaluation tile of a (possibly tiled) batched evaluation.
 #[inline]
 pub fn record_tile() {
-    TILES.fetch_add(1, Ordering::Relaxed);
+    if !staged(|s| s.tiles += 1) {
+        TILES.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Records `rows` materialized by a full partition scan.
 #[inline]
 pub fn record_rows_scanned(rows: usize) {
-    ROWS_SCANNED.fetch_add(rows, Ordering::Relaxed);
+    if !staged(|s| s.rows_scanned += rows) {
+        ROWS_SCANNED.fetch_add(rows, Ordering::Relaxed);
+    }
 }
 
 /// Records `rows` materialized by an endpoint-posting probe.
 #[inline]
 pub fn record_rows_probed(rows: usize) {
-    ROWS_PROBED.fetch_add(rows, Ordering::Relaxed);
+    if !staged(|s| s.rows_probed += rows) {
+        ROWS_PROBED.fetch_add(rows, Ordering::Relaxed);
+    }
 }
 
 /// Raises the peak-intermediate-rows gauge to at least `rows`.
 #[inline]
 pub fn record_peak_rows(rows: usize) {
-    PEAK_ROWS.fetch_max(rows, Ordering::Relaxed);
+    if !staged(|s| s.peak_rows = s.peak_rows.max(rows)) {
+        PEAK_ROWS.fetch_max(rows, Ordering::Relaxed);
+    }
 }
 
 /// The largest intermediate relation (rows) materialized by any pattern
@@ -239,6 +372,60 @@ mod tests {
         // scope is gone.
         let scope2 = scoped();
         assert!(scope2.peak_rows() < 77);
+    }
+
+    /// A committed stage publishes its whole buffer. (Other tests in this
+    /// binary evaluate unscoped and concurrently, so assertions against
+    /// the shared globals are lower bounds here — the *exact* "whole
+    /// batch or nothing" determinism is pinned by the fully scoped
+    /// integration robustness suite.)
+    #[test]
+    fn staged_commit_publishes_wholesale() {
+        let scope = scoped();
+        let stage = stage_evaluation();
+        record_full_eval();
+        record_tile();
+        record_rows_probed(9);
+        record_peak_rows(41);
+        stage.commit();
+        let counts = scope.counts();
+        assert!(counts.full >= 1);
+        assert!(counts.tiles >= 1);
+        assert!(counts.rows_probed >= 9);
+        assert!(scope.peak_rows() >= 41);
+    }
+
+    /// A dropped (uncommitted) stage drains: the abort counter moves, and
+    /// the thread's buffer is gone (later records reach the globals).
+    #[test]
+    fn aborted_stage_drains_instead_of_publishing() {
+        let aborted_before = aborted_evals();
+        let stage = stage_evaluation();
+        record_full_eval();
+        record_tile();
+        record_rows_probed(123);
+        drop(stage);
+        assert!(aborted_evals() > aborted_before);
+        // The buffer is gone: recording after the drain hits the globals.
+        let before = snapshot();
+        record_rows_probed(5);
+        assert!(snapshot().since(&before).rows_probed >= 5);
+    }
+
+    /// Nested stages are passive: the outermost guard owns commit/drain,
+    /// and an inner commit does not flush the outer buffer early.
+    #[test]
+    fn nested_stage_defers_to_outermost() {
+        let outer = stage_evaluation();
+        record_tile();
+        {
+            let inner = stage_evaluation();
+            record_tile();
+            inner.commit(); // no-op: outer still staging
+        }
+        let before = snapshot();
+        outer.commit();
+        assert!(snapshot().since(&before).tiles >= 2, "outer commit flushes both tiles");
     }
 
     /// Scopes serialize: each thread's scope sees at least its own

@@ -336,6 +336,26 @@ impl PatternSpec {
         self.evaluate_indexed_tracked(index, binding, false)
     }
 
+    /// [`PatternSpec::evaluate_indexed_tile`] under a cooperative
+    /// [`crate::budget::Budget`] — the **tile boundary** of the budgeted
+    /// evaluation stack. The budget is checked *before* the tile runs
+    /// (an exhausted budget aborts with [`crate::RelError::Aborted`]
+    /// instead of evaluating) and the tile's peak intermediate rows are
+    /// charged against the row pool *after* it completes, so a tile
+    /// either runs to completion and is paid for, or does not run at all
+    /// — never a half-evaluated join tree.
+    pub fn evaluate_indexed_tile_budgeted(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+        budget: &crate::budget::Budget,
+    ) -> Result<(Relation, usize)> {
+        budget.check().map_err(crate::RelError::Aborted)?;
+        let (instances, peak) = self.evaluate_indexed_tracked(index, binding, false)?;
+        budget.charge_rows(peak);
+        Ok((instances, peak))
+    }
+
     /// Like [`PatternSpec::evaluate`], but scans hit the `(label, dir)`
     /// partitions of a prebuilt [`crate::engine::EdgeIndex`] instead of
     /// filtering the full relation — the workhorse for repeated

@@ -155,6 +155,122 @@ fn concurrent_readers_never_observe_torn_epochs() {
     assert_eq!(&got, expected.get(&final_epoch).unwrap());
 }
 
+/// Chaos: a scripted panic at `maintain::before_flip` (maximum work
+/// done, none published) plus a panic inside the first recovery-rebuild
+/// attempt. Maintenance must quarantine the abandoned epoch, recover by
+/// scratch rebuild through the bounded retry, and keep flipping cleanly
+/// afterwards — while racing reader threads only ever observe the ground
+/// truth of fully published epochs, never a torn mix.
+#[test]
+fn injected_maintain_panic_quarantines_and_recovers_without_torn_reads() {
+    use rex_core::ranking::fault::site;
+    use rex_core::ranking::{FaultAction, FaultPlan};
+
+    let mut kb = suite_kb(11);
+    let explanations = enumerate_core(&kb);
+    assert!(!explanations.is_empty());
+    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 5, threads: 1, row_ceiling: None };
+    let plan = FaultPlan::seeded(11)
+        .one_shot(site::MAINTAIN_BEFORE_FLIP, FaultAction::Panic)
+        .one_shot(site::MAINTAIN_REBUILD_ATTEMPT, FaultAction::Panic);
+    let state = ServingState::build(&kb, &cfg).unwrap().with_fault_plan(plan);
+    let frame = state.snapshot().frame().clone();
+
+    // Insert-only script, as in the stress test: the frame keeps its
+    // starts at every epoch, so per-epoch ground truth shares one domain.
+    let mut rng_state = 0xFEED5EEDu64;
+    let mut next = |bound: u64| {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng_state >> 33) % bound
+    };
+    let node_count = kb.node_count() as u64;
+    let script: Vec<Vec<(NodeId, NodeId, LabelId, bool)>> = (0..3)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    (
+                        NodeId(next(node_count) as u32),
+                        NodeId(next(node_count) as u32),
+                        LabelId(next(5) as u32),
+                        next(2) == 0,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Ground truth per epoch, simulated ahead of time on a clone. The
+    // recovered epoch is included: a scratch rebuild flips to exactly
+    // the state a cold build at that epoch would serve.
+    let mut expected: HashMap<u64, Vec<usize>> = HashMap::new();
+    expected.insert(kb.epoch(), positions_at(&kb, &frame, &explanations));
+    {
+        let mut sim = kb.clone();
+        for batch in &script {
+            for &(u, v, l, d) in batch {
+                sim.insert_edge(u, v, l, d).unwrap();
+            }
+            expected.insert(sim.epoch(), positions_at(&sim, &frame, &explanations));
+        }
+    }
+
+    let done = AtomicBool::new(false);
+    let passes = AtomicUsize::new(0);
+    let final_epoch = kb.epoch() + script.iter().map(Vec::len).sum::<usize>() as u64;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (state, expected, explanations, done, passes) =
+                (&state, &expected, &explanations, &done, &passes);
+            scope.spawn(move |_| {
+                while !done.load(Ordering::Acquire) {
+                    let snap = state.snapshot();
+                    let got: Vec<usize> = explanations
+                        .iter()
+                        .map(|e| snap.global_position_excluding(e, None))
+                        .collect();
+                    let want = expected
+                        .get(&snap.epoch())
+                        .expect("snapshots only exist at published epochs");
+                    assert_eq!(&got, want, "torn read at epoch {}", snap.epoch());
+                    passes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let kb = &mut kb;
+        let (state, done) = (&state, &done);
+        scope.spawn(move |_| {
+            for (i, batch) in script.iter().enumerate() {
+                for &(u, v, l, d) in batch {
+                    kb.insert_edge(u, v, l, d).unwrap();
+                }
+                let m = state.maintain(kb).expect("maintenance recovers from injected panics");
+                if i == 0 {
+                    assert!(m.recovered_from_panic, "the scripted before-flip panic fired");
+                    assert_eq!(m.rebuild_retries, 1, "the first rebuild attempt panicked too");
+                } else {
+                    assert!(!m.recovered_from_panic, "later passes run clean");
+                    assert!(!m.compaction_fallback);
+                }
+                assert_eq!(state.epoch(), kb.epoch(), "every pass flips in, recovery included");
+                // Give readers a window at this epoch before the next flip.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Release);
+        });
+    })
+    .unwrap();
+
+    assert!(passes.load(Ordering::Relaxed) > 0, "readers must make progress");
+    assert_eq!(state.epoch(), final_epoch);
+    assert_eq!(state.quarantined_epochs(), 1, "exactly the scripted panic quarantined");
+    assert_eq!(state.recovery_rebuilds(), 1, "one scratch rebuild recovered it");
+    // Post-run, a fresh snapshot serves the final epoch's ground truth.
+    let snap = state.snapshot();
+    let got: Vec<usize> =
+        explanations.iter().map(|e| snap.global_position_excluding(e, None)).collect();
+    assert_eq!(&got, expected.get(&final_epoch).unwrap());
+}
+
 /// Endpoint-posting COW through the serving stack: a maintenance flip
 /// rebuilds posting lists only for the delta-touched partitions (the
 /// rest stay `Arc`-shared between the pinned and current snapshots), and
