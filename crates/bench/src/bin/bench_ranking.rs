@@ -14,7 +14,7 @@ fn main() {
     print!("{json}");
     let path =
         std::env::var("REX_BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_ranking.json".to_string());
-    match std::fs::write(&path, json) {
+    match rex_kb::io::atomic_write(std::path::Path::new(&path), json.as_bytes()) {
         Ok(()) => eprintln!("[bench_ranking] wrote {path}"),
         Err(e) => eprintln!("[bench_ranking] could not write {path}: {e}"),
     }

@@ -143,6 +143,32 @@ fn validate(text: &str) -> Result<(), String> {
             "recovery_rebuilds",
         ],
     )?;
+    let ingest = side(
+        "ingest",
+        &[
+            "batches",
+            "batch_size",
+            "edges_ingested",
+            "ingest_wall_ms",
+            "sustained_edges_per_s",
+            "wal_commits",
+            "wal_bytes",
+            "flips",
+            "deferred_flips",
+            "checkpoints",
+            "shed_submissions",
+            "queue_capacity",
+            "queue_peak",
+            "reader_passes",
+            "quiet_p50_ms",
+            "quiet_p99_ms",
+            "under_ingest_p50_ms",
+            "under_ingest_p99_ms",
+            "recovered_parity",
+            "recovery_replayed_batches",
+            "recovery_truncated_bytes",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
     number_after(text, "incremental_speedup", 0)?;
@@ -283,6 +309,62 @@ fn validate(text: &str) -> Result<(), String> {
             "robustness: {torn} torn reads — a reader observed inconsistent epoch state"
         ));
     }
+
+    // Structural invariants of the durable-ingestion (WAL + governor)
+    // section: ingestion must sustain a minimum rate, the bounded queue
+    // must never exceed its capacity, reads under ingest must stay near
+    // the quiet latency, and torn-tail recovery must reproduce the
+    // committed prefix byte-for-byte.
+    let (in_batches, in_edges, in_rate) = (ingest[0], ingest[2], ingest[4]);
+    let (in_wal_commits, in_checkpoints) = (ingest[5], ingest[9]);
+    let (in_queue_capacity, in_queue_peak) = (ingest[11], ingest[12]);
+    let (in_quiet_p99, in_under_p99) = (ingest[15], ingest[17]);
+    let (in_parity, in_truncated) = (ingest[18], ingest[20]);
+    if in_batches < 1.0 || in_edges < 1.0 {
+        return Err("ingest: no batch streamed — the ingest phase never ran".into());
+    }
+    if in_rate < 50.0 {
+        return Err(format!(
+            "ingest: sustained rate {in_rate} edges/s is below the 50 edges/s floor"
+        ));
+    }
+    if in_wal_commits < in_batches {
+        return Err(format!(
+            "ingest: {in_wal_commits} WAL commits for {in_batches} batches — \
+             commits are not flowing through the durability metrics"
+        ));
+    }
+    if in_checkpoints < 1.0 {
+        return Err("ingest: no interval checkpoint ran under sustained load".into());
+    }
+    if in_queue_peak > in_queue_capacity {
+        return Err(format!(
+            "ingest: queue peak {in_queue_peak} exceeds capacity {in_queue_capacity} — \
+             the bounded queue is not bounded"
+        ));
+    }
+    if in_quiet_p99 <= 0.0 {
+        return Err(format!("ingest: quiet_p99_ms must be positive, got {in_quiet_p99}"));
+    }
+    // The 0.5ms absolute allowance keeps sub-millisecond tiny-scale
+    // passes from flaking on scheduler jitter; at real scales the 2×
+    // relative bound dominates.
+    if in_under_p99 > 2.0 * in_quiet_p99 && in_under_p99 - in_quiet_p99 > 0.5 {
+        return Err(format!(
+            "ingest: reader p99 under ingest {in_under_p99}ms exceeds 2× the quiet \
+             p99 {in_quiet_p99}ms — epoch pinning failed to protect readers"
+        ));
+    }
+    if in_parity != 1.0 {
+        return Err("ingest: torn-tail recovery did not reproduce the committed \
+             prefix byte-for-byte (recovered_parity != 1)"
+            .into());
+    }
+    if in_truncated < 1.0 {
+        return Err(
+            "ingest: the recovery scenario truncated nothing — the torn tail was never cut".into(),
+        );
+    }
     Ok(())
 }
 
@@ -326,6 +408,7 @@ mod tests {
   "concurrent": {"reader_threads": 2, "passes_per_reader": 12, "quiet_wall_ms": 40.0, "contended_wall_ms": 55.0, "deltas_applied": 3, "quiet_passes_per_s": 600.0, "contended_passes_per_s": 436.0},
   "endpoint_index": {"kb_edges": 600, "delta_edges": 4, "shapes_touched": 7, "affected_starts": 19, "rows_probed": 40, "rows_scanned": 120, "scan_floor_rows": 900, "patch_wall_ms": 1.5, "index_build_ms": 2.0},
   "robustness": {"quiet_requests": 14, "requests": 24, "served": 9, "shed_requests": 15, "request_rows": 5000, "quiet_p50_ms": 20.0, "quiet_p99_ms": 30.0, "served_p50_ms": 21.0, "served_p99_ms": 35.0, "reader_passes": 400, "torn_reads": 0, "quarantined_epochs": 1, "recovery_rebuilds": 1},
+  "ingest": {"batches": 48, "batch_size": 8, "edges_ingested": 384, "ingest_wall_ms": 120.0, "sustained_edges_per_s": 3200.0, "wal_commits": 48, "wal_bytes": 61440, "flips": 14, "deferred_flips": 34, "checkpoints": 4, "shed_submissions": 40, "queue_capacity": 8, "queue_peak": 8, "reader_passes": 13, "quiet_p50_ms": 18.0, "quiet_p99_ms": 25.0, "under_ingest_p50_ms": 19.0, "under_ingest_p99_ms": 27.0, "recovered_parity": 1, "recovery_replayed_batches": 8, "recovery_truncated_bytes": 7},
   "speedup": 10.0,
   "shared_frame_speedup": 1.25,
   "incremental_speedup": 3.0
@@ -429,6 +512,38 @@ mod tests {
         // Any torn read is a correctness failure, full stop.
         let broken = GOOD.replace("\"torn_reads\": 0", "\"torn_reads\": 1");
         assert!(validate(&broken).unwrap_err().contains("torn"));
+    }
+
+    #[test]
+    fn ingest_violations_rejected() {
+        // A missing section must fail.
+        let broken = GOOD.replace("\"ingest\"", "\"inguest\"");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).is_err());
+        // A sustained rate below the floor regressed the ingest path.
+        let broken =
+            GOOD.replace("\"sustained_edges_per_s\": 3200.0", "\"sustained_edges_per_s\": 12.0");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("floor"));
+        // Fewer WAL commits than batches: durability metrics rot.
+        let broken = GOOD.replace("\"wal_commits\": 48", "\"wal_commits\": 3");
+        assert!(validate(&broken).unwrap_err().contains("WAL commits"));
+        // No interval checkpoint ever ran.
+        let broken = GOOD.replace("\"checkpoints\": 4", "\"checkpoints\": 0");
+        assert!(validate(&broken).unwrap_err().contains("checkpoint"));
+        // The bounded queue exceeded its capacity.
+        let broken = GOOD.replace("\"queue_peak\": 8", "\"queue_peak\": 9");
+        assert!(validate(&broken).unwrap_err().contains("bounded"));
+        // Readers slowed beyond 2× quiet p99 under ingest.
+        let broken = GOOD.replace("\"under_ingest_p99_ms\": 27.0", "\"under_ingest_p99_ms\": 51.0");
+        assert!(validate(&broken).unwrap_err().contains("2×"));
+        // Recovery parity is the whole point: a mismatch is fatal.
+        let broken = GOOD.replace("\"recovered_parity\": 1", "\"recovered_parity\": 0");
+        assert!(validate(&broken).unwrap_err().contains("byte-for-byte"));
+        // A recovery scenario that cut nothing exercised nothing.
+        let broken =
+            GOOD.replace("\"recovery_truncated_bytes\": 7", "\"recovery_truncated_bytes\": 0");
+        assert!(validate(&broken).unwrap_err().contains("torn tail"));
     }
 
     #[test]

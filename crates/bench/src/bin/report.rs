@@ -53,7 +53,7 @@ fn main() {
     let bench = experiments::ranking_bench(&w, fig11_pairs, 10);
     let json_path =
         std::env::var("REX_BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_ranking.json".to_string());
-    match std::fs::write(&json_path, bench.to_json()) {
+    match rex_kb::io::atomic_write(std::path::Path::new(&json_path), bench.to_json().as_bytes()) {
         Ok(()) => eprintln!("[report] wrote {json_path}"),
         Err(e) => eprintln!("[report] could not write {json_path}: {e}"),
     }

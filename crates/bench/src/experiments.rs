@@ -878,6 +878,272 @@ pub fn robustness_bench(
     }
 }
 
+/// The durability section: WAL-backed ingestion through the
+/// backpressure governor while a reader keeps ranking, plus a
+/// torn-tail recovery parity check over the files the run produced.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestBench {
+    /// Delta batches streamed through the governor.
+    pub batches: usize,
+    /// Edges inserted per batch (each with a fresh anchor node).
+    pub batch_size: usize,
+    /// Total edges ingested (`batches * batch_size`).
+    pub edges_ingested: usize,
+    /// Wall time of the ingest path alone — submit/pump/drain, with the
+    /// interleaved reader passes excluded.
+    pub ingest_wall: Duration,
+    /// WAL commits recorded by the metrics surface (one per batch).
+    pub wal_commits: usize,
+    /// Bytes appended to the WAL across all commits.
+    pub wal_bytes: usize,
+    /// Epoch flips the pacing policy actually performed.
+    pub flips: u64,
+    /// Flips the policy deferred (deep queue or reader pressure).
+    pub deferred_flips: u64,
+    /// Interval checkpoints taken while ingesting.
+    pub checkpoints: u64,
+    /// Submissions shed with retryable backpressure before landing.
+    pub shed_submissions: u64,
+    /// The governor's bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// Peak queue depth observed by the gauge (≤ capacity, always).
+    pub queue_peak: usize,
+    /// Reader passes interleaved with ingestion.
+    pub reader_passes: usize,
+    /// Median reader-pass latency with no ingestion in flight, measured
+    /// on the final epoch (so KB growth is held equal).
+    pub quiet_p50: Duration,
+    /// p99 reader-pass latency with no ingestion in flight.
+    pub quiet_p99: Duration,
+    /// Median reader-pass latency with ingestion in flight.
+    pub under_ingest_p50: Duration,
+    /// p99 reader-pass latency with ingestion in flight — the acceptance
+    /// bar is ≤ 2× the quiet p99 (epoch pinning keeps reads unslowed).
+    pub under_ingest_p99: Duration,
+    /// Whether recovery over a deliberately torn copy of the run's
+    /// checkpoint + WAL reproduced the committed prefix byte-for-byte.
+    pub recovered_parity: bool,
+    /// Batches the recovery replayed from the torn WAL copy.
+    pub recovery_replayed_batches: usize,
+    /// Torn-tail bytes recovery truncated (the garbage we appended).
+    pub recovery_truncated_bytes: u64,
+}
+
+impl IngestBench {
+    /// Sustained ingestion rate over the ingest-only wall time.
+    pub fn sustained_edges_per_s(&self) -> f64 {
+        let s = self.ingest_wall.as_secs_f64();
+        if s > 0.0 {
+            self.edges_ingested as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Measures the durable-ingestion stack end to end.
+///
+/// A clone of the workload KB becomes a [`DurableKb`] (checkpoint +
+/// WAL, interval fsync) fronted by an [`IngestGovernor`] over a live
+/// [`ServingState`]. `REX_BENCH_INGEST_BATCHES` delta batches stream
+/// through the governor under `Backpressure::Shed` (a shed submission
+/// pumps one batch and retries, like a real producer), with a timed
+/// reader pass interleaved every few batches. Only the submit/pump/
+/// drain portions count toward the ingest wall, so the sustained
+/// edges/s figure is not diluted by reader time. The quiet latency
+/// baseline is measured *after* the drain, on the final epoch — the
+/// same KB the late ingest-phase passes saw — so the under-ingest vs
+/// quiet comparison isolates ingestion overhead from KB growth.
+///
+/// Afterwards the run's own files are copied aside, garbage bytes are
+/// appended to the WAL copy (a torn tail), and [`KnowledgeBase::open`]
+/// recovers it; parity holds when the recovered KB is byte-identical to
+/// a reference replay of the intact records over the checkpoint.
+pub fn ingest_bench(
+    w: &Workload,
+    pairs_per_group: usize,
+    k: usize,
+    row_ceiling: usize,
+) -> IngestBench {
+    use rex_core::ranking::{Backpressure, IngestConfig, IngestGovernor, IngestOp};
+    use rex_kb::io::encode_binary;
+    use rex_kb::wal::{apply_batch, decode_batch, read_checkpoint, WAL_HEADER_LEN};
+    use rex_kb::{DurableKb, KnowledgeBase, SyncPolicy};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let batches: usize =
+        std::env::var("REX_BENCH_INGEST_BATCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+    let batch_size: usize =
+        std::env::var("REX_BENCH_INGEST_BATCH_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let quiet_passes: usize = std::env::var("REX_BENCH_INGEST_READER_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    let dir = std::env::temp_dir().join(format!("rex-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let (ckpt, wal) = (dir.join("checkpoint.rexc"), dir.join("delta.rexw"));
+
+    let anchor = w.kb.node_name(NodeId(0)).to_string();
+    let durable = DurableKb::create(w.kb.clone(), &ckpt, &wal, SyncPolicy::Interval(8))
+        .expect("bench durable KB");
+    let cfg = RankPairsConfig {
+        k,
+        global_samples: w.global_samples,
+        seed: w.seed,
+        threads: 1,
+        row_ceiling: Some(row_ceiling),
+    };
+    let serving = Arc::new(ServingState::build(durable.kb(), &cfg).expect("workload KB has edges"));
+
+    // Reader workload: the same prepared-explanation pass the concurrent
+    // section uses, one timed snapshot-pinned sweep per call.
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let prepared: Vec<(NodeId, Vec<rex_core::Explanation>)> = w
+        .truncated(pairs_per_group)
+        .into_iter()
+        .map(|p| (p.start, enumerator.enumerate(&w.kb, p.start, p.end).explanations))
+        .collect();
+    let reader_pass = |serving: &ServingState| -> Duration {
+        let t0 = Instant::now();
+        let snap = serving.snapshot();
+        let mut acc = 0usize;
+        for (start, explanations) in &prepared {
+            for e in explanations {
+                acc += snap.global_position_excluding(e, Some(*start));
+            }
+        }
+        std::hint::black_box(acc);
+        t0.elapsed()
+    };
+
+    // Warm the session once (untimed). The quiet baseline is measured
+    // *after* the ingest phase, on the final epoch: ingestion grows the
+    // KB, so comparing mid-ingest passes against a pre-ingest baseline
+    // would conflate contention with legitimate KB growth (at tiny
+    // scale the growth dominates).
+    reader_pass(&serving);
+
+    let ingest_cfg = IngestConfig {
+        queue_capacity: 8,
+        flip_queue_threshold: 2,
+        max_epoch_lag: 64,
+        // Off the batch count, so the final WAL keeps a replayable tail
+        // for the parity check below.
+        checkpoint_interval: 10,
+    };
+    let queue_capacity = ingest_cfg.queue_capacity;
+    let mut governor = IngestGovernor::new(durable, Arc::clone(&serving), ingest_cfg);
+
+    metrics::reset_ingest_queue_peak();
+    let wal_before = metrics::wal_snapshot();
+    let mut ingest_wall = Duration::ZERO;
+    let mut under: Vec<Duration> = Vec::new();
+    for b in 0..batches {
+        let ops: Vec<IngestOp> = (0..batch_size)
+            .flat_map(|i| {
+                let name = format!("ingest-{b}-{i}");
+                [
+                    IngestOp::InsertNode { name: name.clone(), ty: "Ingested".into() },
+                    IngestOp::InsertEdge {
+                        src: name,
+                        dst: anchor.clone(),
+                        label: "ingested".into(),
+                        directed: true,
+                    },
+                ]
+            })
+            .collect();
+        let t0 = Instant::now();
+        loop {
+            match governor.submit(ops.clone(), Backpressure::Shed) {
+                Ok(()) => break,
+                Err(e) if e.is_retryable() => {
+                    governor.pump().expect("bench ingest pump");
+                }
+                Err(e) => panic!("bench ingest submit: {e}"),
+            }
+        }
+        ingest_wall += t0.elapsed();
+        if b % 4 == 3 {
+            under.push(reader_pass(governor.serving()));
+        }
+    }
+    let t0 = Instant::now();
+    governor.drain().expect("bench ingest drain");
+    ingest_wall += t0.elapsed();
+    under.push(reader_pass(governor.serving()));
+
+    // Quiet baseline on the final epoch — same KB as the last ingest
+    // passes, no ingestion in flight.
+    let quiet: Vec<Duration> = (0..quiet_passes).map(|_| reader_pass(governor.serving())).collect();
+
+    let stats = governor.stats();
+    let wal_delta = metrics::wal_snapshot().since(&wal_before);
+    let queue_peak = metrics::ingest_queue_peak();
+    let mut durable = governor.into_durable();
+    durable.sync().expect("bench wal sync");
+    drop(durable);
+
+    // --- Torn-tail recovery parity over the run's own files. ---------
+    // Reference: replay the intact WAL records over the checkpoint (the
+    // recovered KB must match this byte-for-byte, not the live KB —
+    // netting may reorder physical ids).
+    let data = std::fs::read(&wal).expect("bench wal read");
+    let (mut reference, _seq) = read_checkpoint(&ckpt).expect("bench checkpoint read");
+    let header = WAL_HEADER_LEN as usize;
+    let mut off = header;
+    let mut intact_batches = 0usize;
+    while off + 8 <= data.len() {
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        if off + 8 + len > data.len() {
+            break;
+        }
+        let batch = decode_batch(data[off + 8..off + 8 + len].to_vec().into())
+            .expect("bench wal record decodes");
+        apply_batch(&mut reference, &batch).expect("bench wal record applies");
+        intact_batches += 1;
+        off += 8 + len;
+    }
+    let crash_dir = dir.join("crash");
+    std::fs::create_dir_all(&crash_dir).expect("bench crash dir");
+    let (ckpt2, wal2) = (crash_dir.join("checkpoint.rexc"), crash_dir.join("delta.rexw"));
+    std::fs::copy(&ckpt, &ckpt2).expect("bench checkpoint copy");
+    let mut torn = data.clone();
+    torn.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x00, 0x7F]);
+    std::fs::write(&wal2, &torn).expect("bench torn wal");
+    let (recovered, report) = KnowledgeBase::open(&ckpt2, &wal2).expect("bench recovery");
+    let recovered_parity = report.replayed_batches == intact_batches
+        && encode_binary(&recovered).as_slice() == encode_binary(&reference).as_slice();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    IngestBench {
+        batches,
+        batch_size,
+        edges_ingested: batches * batch_size,
+        ingest_wall,
+        wal_commits: wal_delta.wal_commits,
+        wal_bytes: wal_delta.wal_bytes,
+        flips: stats.flips,
+        deferred_flips: stats.deferred_flips,
+        checkpoints: stats.checkpoints,
+        shed_submissions: stats.shed,
+        queue_capacity,
+        queue_peak,
+        reader_passes: under.len(),
+        quiet_p50: percentile(&quiet, 0.50),
+        quiet_p99: percentile(&quiet, 0.99),
+        under_ingest_p50: percentile(&under, 0.50),
+        under_ingest_p99: percentile(&under, 0.99),
+        recovered_parity,
+        recovery_replayed_batches: report.replayed_batches,
+        recovery_truncated_bytes: report.truncated_bytes,
+    }
+}
+
 /// The machine-readable ranking baseline behind `BENCH_ranking.json`:
 /// global-distribution top-k ranking measured with the pre-batching
 /// per-start engine versus the batched all-starts engine.
@@ -919,6 +1185,9 @@ pub struct RankingBench {
     /// Admission-controlled overload + panic-recovery scenarios (the
     /// serving robustness layers).
     pub robustness: RobustnessBench,
+    /// WAL-backed ingestion under backpressure with a torn-tail
+    /// recovery parity check (the durability layers).
+    pub ingest: IngestBench,
 }
 
 impl RankingBench {
@@ -1043,6 +1312,41 @@ impl RankingBench {
             self.robustness.quarantined_epochs,
             self.robustness.recovery_rebuilds,
         );
+        let ingest = format!(
+            concat!(
+                "{{\"batches\": {}, \"batch_size\": {}, \"edges_ingested\": {}, ",
+                "\"ingest_wall_ms\": {:.3}, \"sustained_edges_per_s\": {:.3}, ",
+                "\"wal_commits\": {}, \"wal_bytes\": {}, \"flips\": {}, ",
+                "\"deferred_flips\": {}, \"checkpoints\": {}, ",
+                "\"shed_submissions\": {}, \"queue_capacity\": {}, ",
+                "\"queue_peak\": {}, \"reader_passes\": {}, ",
+                "\"quiet_p50_ms\": {:.3}, \"quiet_p99_ms\": {:.3}, ",
+                "\"under_ingest_p50_ms\": {:.3}, \"under_ingest_p99_ms\": {:.3}, ",
+                "\"recovered_parity\": {}, \"recovery_replayed_batches\": {}, ",
+                "\"recovery_truncated_bytes\": {}}}"
+            ),
+            self.ingest.batches,
+            self.ingest.batch_size,
+            self.ingest.edges_ingested,
+            self.ingest.ingest_wall.as_secs_f64() * 1e3,
+            self.ingest.sustained_edges_per_s(),
+            self.ingest.wal_commits,
+            self.ingest.wal_bytes,
+            self.ingest.flips,
+            self.ingest.deferred_flips,
+            self.ingest.checkpoints,
+            self.ingest.shed_submissions,
+            self.ingest.queue_capacity,
+            self.ingest.queue_peak,
+            self.ingest.reader_passes,
+            self.ingest.quiet_p50.as_secs_f64() * 1e3,
+            self.ingest.quiet_p99.as_secs_f64() * 1e3,
+            self.ingest.under_ingest_p50.as_secs_f64() * 1e3,
+            self.ingest.under_ingest_p99.as_secs_f64() * 1e3,
+            usize::from(self.ingest.recovered_parity),
+            self.ingest.recovery_replayed_batches,
+            self.ingest.recovery_truncated_bytes,
+        );
         format!(
             concat!(
                 "{{\n",
@@ -1060,6 +1364,7 @@ impl RankingBench {
                 "  \"concurrent\": {},\n",
                 "  \"endpoint_index\": {},\n",
                 "  \"robustness\": {},\n",
+                "  \"ingest\": {},\n",
                 "  \"speedup\": {:.3},\n",
                 "  \"shared_frame_speedup\": {:.3},\n",
                 "  \"incremental_speedup\": {:.3}\n",
@@ -1078,6 +1383,7 @@ impl RankingBench {
             conc,
             endpoint,
             robust,
+            ingest,
             self.speedup(),
             self.shared_frame_speedup(),
             self.incremental.speedup()
@@ -1193,6 +1499,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
     let concurrent = concurrent_bench(w, pairs_per_group, row_ceiling);
     let endpoint_index = endpoint_index_bench(w, pairs_per_group);
     let robustness = robustness_bench(w, pairs_per_group, k, row_ceiling);
+    let ingest = ingest_bench(w, pairs_per_group, k, row_ceiling);
 
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
@@ -1208,6 +1515,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         concurrent,
         endpoint_index,
         robustness,
+        ingest,
     }
 }
 

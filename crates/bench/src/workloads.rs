@@ -45,7 +45,9 @@ fn load_or_generate(config: &GeneratorConfig) -> KnowledgeBase {
     );
     let kb = generate(config);
     if std::fs::create_dir_all(&cache_dir).is_ok() {
-        let _ = std::fs::write(&cache_file, rex_kb::io::encode_binary(&kb));
+        // Atomic write: a crash mid-cache-write must not leave a torn
+        // snapshot that poisons every later bench run.
+        let _ = rex_kb::io::atomic_write(&cache_file, rex_kb::io::encode_binary(&kb).as_slice());
     }
     kb
 }

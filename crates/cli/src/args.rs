@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["toy", "decorate", "quiet"];
+const SWITCHES: &[&str] = &["toy", "decorate", "quiet", "shed", "truncate"];
 
 impl Args {
     /// Parses `argv` (without the program/command names).

@@ -10,6 +10,8 @@
 //! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
 //! rex stats    --kb kb.tsv
 //! rex pairs    --kb kb.tsv --per-group 10 [--seed 2011]
+//! rex ingest   --wal state/ --delta delta.tsv --toy [--sync commit] [--batch 32]
+//! rex recover  state/ [--truncate]
 //! ```
 //!
 //! The knowledge base is the TSV interchange format of `rex_kb::io`
@@ -34,6 +36,8 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
         "pairs" => commands::pairs(rest),
+        "ingest" => commands::ingest(rest),
+        "recover" => commands::recover(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -37,6 +37,11 @@ pub enum CoreError {
     /// through its bounded retries. The serving state still serves its
     /// last published epoch.
     MaintenanceFailed(String),
+    /// The durability layer failed: a WAL append or fsync error, a
+    /// checkpoint crash, or a delta op the durable KB could not apply.
+    /// The failed window is not acknowledged; after a crash, recovery
+    /// replays only fully committed batches.
+    Durability(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -60,6 +65,7 @@ impl std::fmt::Display for CoreError {
                  (retryable: capacity frees as admitted requests finish)"
             ),
             CoreError::MaintenanceFailed(msg) => write!(f, "maintenance failed: {msg}"),
+            CoreError::Durability(msg) => write!(f, "durability layer: {msg}"),
         }
     }
 }

@@ -60,6 +60,23 @@ pub mod site {
     ///
     /// [`try_serve`]: crate::ranking::ServingState::try_serve
     pub const SERVE_EVAL: &str = "serve::eval";
+    /// In the ingestion governor's commit path, before the WAL append: a
+    /// [`FaultAction::TornWrite`] scripted here cuts the record mid-byte
+    /// (translated to the WAL writer's scripted fault) and fails the
+    /// commit like a crash would.
+    pub const WAL_APPEND: &str = "wal::append";
+    /// In the ingestion governor's commit path, at the fsync that
+    /// follows the append: a [`FaultAction::FailSync`] scripted here
+    /// fails the sync after a fully written record.
+    pub const WAL_SYNC: &str = "wal::sync";
+    /// In the governor's checkpoint path, before the checkpoint file is
+    /// renamed into place (crash leaves old checkpoint + full WAL).
+    pub const CHECKPOINT_BEFORE: &str = "wal::checkpoint_before";
+    /// In the governor's checkpoint path, after the rename but before
+    /// the WAL truncation (crash leaves new checkpoint + stale WAL).
+    pub const CHECKPOINT_AFTER: &str = "wal::checkpoint_after";
+    /// In the governor's enqueue path, before capacity is checked.
+    pub const INGEST_ENQUEUE: &str = "ingest::enqueue";
 }
 
 /// One scripted failure.
@@ -76,6 +93,18 @@ pub enum FaultAction {
     /// compacted past the session's epoch, forcing the full-rebuild
     /// fallback. Ignored at every other site.
     ForceCompaction,
+    /// At [`site::WAL_APPEND`]: cut the WAL record after this many bytes
+    /// and fail the append (a torn write at a scripted byte). Retrieved
+    /// through [`FaultPlan::fire_io`]; [`FaultPlan::fire`] treats it as
+    /// inert.
+    TornWrite(usize),
+    /// At [`site::WAL_SYNC`]: fail the fsync after a fully written
+    /// record. Retrieved through [`FaultPlan::fire_io`].
+    FailSync,
+    /// At [`site::CHECKPOINT_BEFORE`] / [`site::CHECKPOINT_AFTER`]:
+    /// abort the checkpoint at that point, simulating a crash around the
+    /// atomic rename. Retrieved through [`FaultPlan::fire_io`].
+    CrashHere,
 }
 
 /// A deterministic, consumable script of injected faults, keyed by site.
@@ -133,6 +162,29 @@ impl FaultPlan {
                 panic!("injected fault: panic at {site} (plan seed {})", self.seed)
             }
             Some(FaultAction::ForceCompaction) => true,
+            // I/O-shaped actions are inert through the boolean interface;
+            // sites that understand them use `fire_io`.
+            Some(FaultAction::TornWrite(_) | FaultAction::FailSync | FaultAction::CrashHere) => {
+                false
+            }
+        }
+    }
+
+    /// Fires the next scripted action at an I/O site and returns it for
+    /// site-specific interpretation (torn-write byte offsets, sync
+    /// failures, checkpoint crash points). Delays sleep here and return
+    /// `None`; panics unwind from here, as with [`FaultPlan::fire`].
+    pub fn fire_io(&self, site: &'static str) -> Option<FaultAction> {
+        let action = self.scripted.lock().get_mut(site).and_then(VecDeque::pop_front);
+        match action {
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            Some(FaultAction::Panic) => {
+                panic!("injected fault: panic at {site} (plan seed {})", self.seed)
+            }
+            other => other,
         }
     }
 }

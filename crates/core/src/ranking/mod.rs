@@ -27,6 +27,7 @@
 pub mod distribution;
 pub mod fault;
 mod general;
+pub mod ingest;
 pub mod pairs;
 pub mod parallel;
 pub mod serve;
@@ -35,6 +36,7 @@ pub mod update;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use general::{rank, rank_with_scores, Ranked};
+pub use ingest::{Backpressure, IngestConfig, IngestGovernor, IngestOp, IngestStats};
 pub use pairs::{
     rank_pairs, rank_pairs_with, rank_pairs_with_budget, PairExplanations, RankPairsConfig,
     RankPairsOutcome, ShedPair,

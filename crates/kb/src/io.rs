@@ -15,6 +15,8 @@
 //! guarantee (a magic/version header guards against skew).
 
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -105,12 +107,41 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<KnowledgeBase> {
     Ok(builder.build())
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Writes `bytes` to `path` atomically: the content lands in a unique
+/// temp file in the same directory, is fsync'd, and is renamed into
+/// place. A crash at any point leaves either the old file or the new one
+/// — never a torn mix. The temp file is cleaned up on failure
+/// (best-effort).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SUFFIX: AtomicU64 = AtomicU64::new(0);
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    let tmp = parent.join(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        SUFFIX.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String> {
     if buf.remaining() < 4 {
         return Err(KbError::Parse("truncated string length".into()));
     }
@@ -134,6 +165,11 @@ fn get_interner(buf: &mut Bytes) -> Result<Interner> {
         return Err(KbError::Parse("truncated interner".into()));
     }
     let n = buf.get_u32_le() as usize;
+    // Each entry needs at least its 4-byte length prefix; a corrupted
+    // count larger than the remaining bytes is rejected before any work.
+    if (buf.remaining() as u64) < (n as u64).saturating_mul(4) {
+        return Err(KbError::Parse("interner count exceeds input".into()));
+    }
     let mut i = Interner::new();
     for _ in 0..n {
         let s = get_str(buf)?;
@@ -185,6 +221,11 @@ pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
         return Err(KbError::Parse("truncated node count".into()));
     }
     let node_count = buf.get_u32_le() as usize;
+    // Guard the allocation: a corrupted count must not reserve gigabytes
+    // before the per-record truncation checks get a chance to fire.
+    if (buf.remaining() as u64) < (node_count as u64).saturating_mul(8) {
+        return Err(KbError::Parse("node count exceeds input".into()));
+    }
     let mut nodes = Vec::with_capacity(node_count);
     let mut name_to_node = std::collections::HashMap::with_capacity(node_count);
     for i in 0..node_count {
@@ -203,6 +244,9 @@ pub fn decode_binary(mut buf: Bytes) -> Result<KnowledgeBase> {
         return Err(KbError::Parse("truncated edge count".into()));
     }
     let edge_count = buf.get_u32_le() as usize;
+    if (buf.remaining() as u64) < (edge_count as u64).saturating_mul(13) {
+        return Err(KbError::Parse("edge count exceeds input".into()));
+    }
     let mut edges = Vec::with_capacity(edge_count);
     for _ in 0..edge_count {
         if buf.remaining() < 13 {

@@ -40,12 +40,17 @@ mod interner;
 pub mod io;
 pub mod stats;
 pub mod toy;
+pub mod wal;
 
 pub use builder::KbBuilder;
 pub use delta::{DeltaOp, DeltaSince, KbDelta};
 pub use graph::{EdgeRecord, KbSnapshot, KnowledgeBase, Neighbor, NodeRecord};
 pub use ids::{EdgeId, LabelId, NodeId, Orientation, TypeId};
 pub use interner::Interner;
+pub use wal::{
+    CheckpointCrash, CheckpointReceipt, CommitReceipt, DurableKb, RecoveryReport, SyncPolicy,
+    WalBatch, WalFaults, WalWriter,
+};
 
 /// Errors produced while constructing or loading a knowledge base.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +63,14 @@ pub enum KbError {
     NameNotFound(String),
     /// The TSV/binary input was malformed.
     Parse(String),
+    /// A durability-layer file operation failed (WAL append, fsync,
+    /// checkpoint write) — includes injected fault crashes.
+    Io(String),
+    /// WAL replay could not proceed: a checksummed batch references
+    /// state the KB does not have, or the WAL and checkpoint disagree
+    /// (a gap). Unlike a torn tail — which recovery truncates and
+    /// reports — this indicates real inconsistency and is an error.
+    Replay(String),
 }
 
 impl std::fmt::Display for KbError {
@@ -67,6 +80,8 @@ impl std::fmt::Display for KbError {
             KbError::UnknownNode(id) => write!(f, "unknown node id: {id}"),
             KbError::NameNotFound(name) => write!(f, "name not found: {name}"),
             KbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            KbError::Io(msg) => write!(f, "i/o error: {msg}"),
+            KbError::Replay(msg) => write!(f, "replay error: {msg}"),
         }
     }
 }

@@ -50,6 +50,15 @@ static ROWS_SCANNED: AtomicUsize = AtomicUsize::new(0);
 static ROWS_PROBED: AtomicUsize = AtomicUsize::new(0);
 static ABORTED_EVALS: AtomicUsize = AtomicUsize::new(0);
 
+// Durability & ingestion counters (the WAL lives below this crate in the
+// dependency graph, so the serving/CLI layers that drive it record here).
+static WAL_COMMITS: AtomicUsize = AtomicUsize::new(0);
+static WAL_BYTES: AtomicUsize = AtomicUsize::new(0);
+static RECOVERY_TRUNCATED_BATCHES: AtomicUsize = AtomicUsize::new(0);
+static INGEST_SHED: AtomicUsize = AtomicUsize::new(0);
+static INGEST_QUEUE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static INGEST_QUEUE_PEAK: AtomicUsize = AtomicUsize::new(0);
+
 /// A point-in-time reading of the evaluation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCounts {
@@ -90,6 +99,89 @@ impl EvalCounts {
     /// Total evaluations of any kind (tiles are not evaluations).
     pub fn total(&self) -> usize {
         self.full + self.streaming + self.delta
+    }
+}
+
+/// A point-in-time reading of the durability/ingestion counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalCounts {
+    /// WAL commit batches made durable since process start.
+    pub wal_commits: usize,
+    /// Bytes appended to WAL files since process start.
+    pub wal_bytes: usize,
+    /// Torn/corrupt batches truncated by crash recovery since process
+    /// start (each recovery cuts at most one — the first bad record;
+    /// everything after it is discarded with that batch).
+    pub recovery_truncated_batches: usize,
+    /// Delta submissions shed with a retryable overload signal by the
+    /// ingestion governor since process start.
+    pub ingest_shed: usize,
+}
+
+impl WalCounts {
+    /// Counter increments between `earlier` and `self`.
+    pub fn since(&self, earlier: &WalCounts) -> WalCounts {
+        WalCounts {
+            wal_commits: self.wal_commits - earlier.wal_commits,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            recovery_truncated_batches: self.recovery_truncated_batches
+                - earlier.recovery_truncated_batches,
+            ingest_shed: self.ingest_shed - earlier.ingest_shed,
+        }
+    }
+}
+
+/// Records one durable WAL commit of `bytes` bytes.
+#[inline]
+pub fn record_wal_commit(bytes: usize) {
+    WAL_COMMITS.fetch_add(1, Ordering::Relaxed);
+    WAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Records `batches` torn/corrupt batches truncated during recovery.
+#[inline]
+pub fn record_recovery_truncated_batches(batches: usize) {
+    RECOVERY_TRUNCATED_BATCHES.fetch_add(batches, Ordering::Relaxed);
+}
+
+/// Records one delta submission shed by the ingestion governor.
+#[inline]
+pub fn record_ingest_shed() {
+    INGEST_SHED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Publishes the ingestion queue's current depth (a gauge, not a
+/// counter) and folds it into the peak-depth watermark.
+#[inline]
+pub fn set_ingest_queue_depth(depth: usize) {
+    INGEST_QUEUE_DEPTH.store(depth, Ordering::Relaxed);
+    INGEST_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
+}
+
+/// The ingestion queue depth most recently published.
+pub fn ingest_queue_depth() -> usize {
+    INGEST_QUEUE_DEPTH.load(Ordering::Relaxed)
+}
+
+/// The highest queue depth published since process start (or the last
+/// [`reset_ingest_queue_peak`]).
+pub fn ingest_queue_peak() -> usize {
+    INGEST_QUEUE_PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak queue-depth watermark (a max has no meaningful
+/// delta; regions of interest reset it, like [`reset_peak_rows`]).
+pub fn reset_ingest_queue_peak() {
+    INGEST_QUEUE_PEAK.store(0, Ordering::Relaxed);
+}
+
+/// Reads the durability/ingestion counters.
+pub fn wal_snapshot() -> WalCounts {
+    WalCounts {
+        wal_commits: WAL_COMMITS.load(Ordering::Relaxed),
+        wal_bytes: WAL_BYTES.load(Ordering::Relaxed),
+        recovery_truncated_batches: RECOVERY_TRUNCATED_BATCHES.load(Ordering::Relaxed),
+        ingest_shed: INGEST_SHED.load(Ordering::Relaxed),
     }
 }
 
