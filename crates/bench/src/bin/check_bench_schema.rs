@@ -80,6 +80,8 @@ fn validate(text: &str) -> Result<(), String> {
             "distinct_shapes",
             "tiles",
             "peak_rows",
+            "est_peak_rows",
+            "overflow_tiles",
             "row_ceiling",
         ],
     )?;
@@ -169,6 +171,30 @@ fn validate(text: &str) -> Result<(), String> {
             "recovery_truncated_bytes",
         ],
     )?;
+    let sharded = side(
+        "sharded",
+        &[
+            "kb_edges",
+            "shards",
+            "starts",
+            "shapes",
+            "single_wall_ms",
+            "fanout_wall_ms",
+            "fanout_speedup",
+            "parity",
+            "build_ms",
+            "save_ms",
+            "load_ms",
+            "snapshot_bytes",
+            "delta_edges",
+            "shards_rebuilt",
+            "groupby_rows",
+            "groupby_generic_ms",
+            "groupby_specialized_ms",
+            "groupby_speedup",
+            "groupby_parity",
+        ],
+    )?;
     number_after(text, "speedup", 0)?;
     number_after(text, "shared_frame_speedup", 0)?;
     number_after(text, "incremental_speedup", 0)?;
@@ -198,6 +224,23 @@ fn validate(text: &str) -> Result<(), String> {
     }
     if per_start[1] + per_start[2] < batched[1] + batched[2] {
         return Err("per-start baseline reports less work than the batched engine".into());
+    }
+    // The row ceiling bounds the *estimated* per-tile input rows, not the
+    // measured peak: ceiling tiling packs starts by estimate, so a tile's
+    // materialized rows may legally overshoot (estimation error) and a
+    // singleton hub start above the ceiling still gets its own tile
+    // (counted in overflow_tiles). The gate is on what the planner
+    // controls: the estimate, whenever no overflow tile was needed.
+    let (est_peak, overflow, ceiling) = (shared[6], shared[7], shared[8]);
+    if ceiling <= 0.0 {
+        return Err("shared_frame.row_ceiling must be positive".into());
+    }
+    if overflow == 0.0 && est_peak > ceiling {
+        return Err(format!(
+            "shared_frame: estimated per-tile input {est_peak} rows exceeds the \
+             ceiling {ceiling} without an overflow tile — the tiler stopped \
+             honoring its budget"
+        ));
     }
 
     // Structural invariants of the incremental engine.
@@ -365,6 +408,47 @@ fn validate(text: &str) -> Result<(), String> {
             "ingest: the recovery scenario truncated nothing — the torn tail was never cut".into(),
         );
     }
+
+    // Structural invariants of the sharded-index section: answers must be
+    // layout-independent (parity), the fan-out speedup must be recorded
+    // (its magnitude is machine-dependent: ≈ 1 on one core), the snapshot
+    // load must beat the cold build it replaces, and the COW delta
+    // rebuild must touch at least one but not necessarily every shard.
+    let (sh_shards, sh_speedup, sh_parity) = (sharded[1], sharded[6], sharded[7]);
+    let (sh_build, sh_load, sh_bytes) = (sharded[8], sharded[10], sharded[11]);
+    let (sh_rebuilt, sh_gb_parity) = (sharded[13], sharded[18]);
+    if sh_shards < 2.0 {
+        return Err(format!("sharded: fan-out needs ≥ 2 shards, got {sh_shards}"));
+    }
+    if sh_parity != 1.0 {
+        return Err("sharded: fan-out answers diverged from the single-shard path \
+             (parity != 1) — sharding leaked into an answer"
+            .into());
+    }
+    if sh_speedup <= 0.0 {
+        return Err(format!(
+            "sharded: fanout_speedup must be recorded and positive, got {sh_speedup}"
+        ));
+    }
+    if sh_bytes < 1.0 {
+        return Err("sharded: snapshot_bytes is zero — nothing was persisted".into());
+    }
+    if sh_load >= sh_build {
+        return Err(format!(
+            "sharded: snapshot load ({sh_load}ms) not strictly faster than the cold \
+             build ({sh_build}ms) — the on-disk index lost its reason to exist"
+        ));
+    }
+    if sh_rebuilt < 1.0 || sh_rebuilt > sh_shards {
+        return Err(format!(
+            "sharded: shards_rebuilt {sh_rebuilt} outside 1..={sh_shards} after a delta"
+        ));
+    }
+    if sh_gb_parity != 1.0 {
+        return Err("sharded: the specialized (start, end) group-by diverged from the \
+             generic baseline (groupby_parity != 1)"
+            .into());
+    }
     Ok(())
 }
 
@@ -403,12 +487,13 @@ mod tests {
   "k": 10,
   "per_start": {"wall_ms": 100.0, "full_evals": 320, "streaming_evals": 10},
   "batched": {"wall_ms": 10.0, "full_evals": 40, "streaming_evals": 0},
-  "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 123, "row_ceiling": 1048576},
+  "shared_frame": {"wall_ms": 8.0, "full_evals": 30, "streaming_evals": 0, "distinct_shapes": 30, "tiles": 30, "peak_rows": 2020477, "est_peak_rows": 1040000, "overflow_tiles": 0, "row_ceiling": 1048576},
   "incremental": {"delta_edges": 4, "kb_edges": 600, "full_rerank_wall_ms": 9.0, "full_rerank_full_evals": 30, "delta_rerank_wall_ms": 3.0, "delta_rerank_full_evals": 5, "delta_partial_evals": 7, "shapes_patched": 7, "shapes_rebatched": 2, "shapes_untouched": 21, "frame_redrawn": 0},
   "concurrent": {"reader_threads": 2, "passes_per_reader": 12, "quiet_wall_ms": 40.0, "contended_wall_ms": 55.0, "deltas_applied": 3, "quiet_passes_per_s": 600.0, "contended_passes_per_s": 436.0},
   "endpoint_index": {"kb_edges": 600, "delta_edges": 4, "shapes_touched": 7, "affected_starts": 19, "rows_probed": 40, "rows_scanned": 120, "scan_floor_rows": 900, "patch_wall_ms": 1.5, "index_build_ms": 2.0},
   "robustness": {"quiet_requests": 14, "requests": 24, "served": 9, "shed_requests": 15, "request_rows": 5000, "quiet_p50_ms": 20.0, "quiet_p99_ms": 30.0, "served_p50_ms": 21.0, "served_p99_ms": 35.0, "reader_passes": 400, "torn_reads": 0, "quarantined_epochs": 1, "recovery_rebuilds": 1},
   "ingest": {"batches": 48, "batch_size": 8, "edges_ingested": 384, "ingest_wall_ms": 120.0, "sustained_edges_per_s": 3200.0, "wal_commits": 48, "wal_bytes": 61440, "flips": 14, "deferred_flips": 34, "checkpoints": 4, "shed_submissions": 40, "queue_capacity": 8, "queue_peak": 8, "reader_passes": 13, "quiet_p50_ms": 18.0, "quiet_p99_ms": 25.0, "under_ingest_p50_ms": 19.0, "under_ingest_p99_ms": 27.0, "recovered_parity": 1, "recovery_replayed_batches": 8, "recovery_truncated_bytes": 7},
+  "sharded": {"kb_edges": 600, "shards": 4, "starts": 300, "shapes": 4, "single_wall_ms": 40.0, "fanout_wall_ms": 38.0, "fanout_speedup": 1.052, "parity": 1, "build_ms": 12.0, "save_ms": 3.0, "load_ms": 4.0, "snapshot_bytes": 65536, "delta_edges": 4, "shards_rebuilt": 2, "groupby_rows": 1200, "groupby_generic_ms": 2.0, "groupby_specialized_ms": 1.0, "groupby_speedup": 2.0, "groupby_parity": 1},
   "speedup": 10.0,
   "shared_frame_speedup": 1.25,
   "incremental_speedup": 3.0
@@ -544,6 +629,49 @@ mod tests {
         let broken =
             GOOD.replace("\"recovery_truncated_bytes\": 7", "\"recovery_truncated_bytes\": 0");
         assert!(validate(&broken).unwrap_err().contains("torn tail"));
+    }
+
+    /// The regression this guard was born from: a committed document with
+    /// measured `peak_rows` above the ceiling is LEGAL (the ceiling bounds
+    /// estimates, not measurements) — but an *estimate* above the ceiling
+    /// with no overflow tile is the tiler breaking its own budget.
+    #[test]
+    fn ceiling_bounds_estimates_not_measured_peak() {
+        // GOOD already carries peak_rows 2020477 > row_ceiling 1048576 and
+        // must validate (asserted by good_document_validates).
+        let broken = GOOD.replace("\"est_peak_rows\": 1040000", "\"est_peak_rows\": 2020477");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("honoring its budget"));
+        // The same estimate WITH an overflow (singleton hub) tile is legal.
+        let hub = broken.replace("\"overflow_tiles\": 0", "\"overflow_tiles\": 1");
+        assert_ne!(hub, broken);
+        validate(&hub).unwrap();
+    }
+
+    #[test]
+    fn sharded_violations_rejected() {
+        // A missing section must fail.
+        let broken = GOOD.replace("\"sharded\"", "\"shardead\"");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).is_err());
+        // Any parity break is a correctness failure: sharding is a
+        // physical layout choice and must never be observable.
+        let broken = GOOD.replace("\"parity\": 1,", "\"parity\": 0,");
+        assert_ne!(broken, GOOD);
+        assert!(validate(&broken).unwrap_err().contains("leaked into an answer"));
+        let broken = GOOD.replace("\"groupby_parity\": 1", "\"groupby_parity\": 0");
+        assert!(validate(&broken).unwrap_err().contains("groupby_parity"));
+        // A snapshot load no faster than the cold build lost its point.
+        let broken = GOOD.replace("\"load_ms\": 4.0", "\"load_ms\": 12.0");
+        assert!(validate(&broken).unwrap_err().contains("reason to exist"));
+        // A delta rebuild must touch 1..=shards shards.
+        let broken = GOOD.replace("\"shards_rebuilt\": 2", "\"shards_rebuilt\": 0");
+        assert!(validate(&broken).unwrap_err().contains("shards_rebuilt"));
+        let broken = GOOD.replace("\"shards_rebuilt\": 2", "\"shards_rebuilt\": 5");
+        assert!(validate(&broken).unwrap_err().contains("shards_rebuilt"));
+        // An empty snapshot persisted nothing.
+        let broken = GOOD.replace("\"snapshot_bytes\": 65536", "\"snapshot_bytes\": 0");
+        assert!(validate(&broken).unwrap_err().contains("persisted"));
     }
 
     #[test]

@@ -258,6 +258,14 @@ pub struct SharedFrameSide {
     pub tiles: usize,
     /// Largest intermediate relation (rows) any batch materialized.
     pub peak_rows: usize,
+    /// Largest **estimated** per-tile input rows any batch planned — the
+    /// quantity the row ceiling actually bounds. Measured `peak_rows` may
+    /// legally exceed the ceiling (estimation error, singleton hub tiles);
+    /// `est_peak_rows` may not, unless `overflow_tiles > 0`.
+    pub est_peak_rows: usize,
+    /// Singleton tiles whose lone start's estimate already exceeded the
+    /// ceiling (evaluated anyway: a tile cannot shrink below one start).
+    pub overflow_tiles: usize,
     /// The configured intermediate-row ceiling.
     pub row_ceiling: usize,
 }
@@ -511,6 +519,7 @@ pub fn concurrent_bench(
         seed: w.seed,
         threads: 1,
         row_ceiling: Some(row_ceiling),
+        shards: 1,
     };
     let state = ServingState::build(&kb, &cfg).expect("workload KB has edges");
     let reader_threads: usize =
@@ -705,6 +714,7 @@ pub fn robustness_bench(
         seed: w.seed,
         threads: 1,
         row_ceiling: Some(row_ceiling),
+        shards: 1,
     };
 
     // ---- Overload scenario ------------------------------------------
@@ -995,6 +1005,7 @@ pub fn ingest_bench(
         seed: w.seed,
         threads: 1,
         row_ceiling: Some(row_ceiling),
+        shards: 1,
     };
     let serving = Arc::new(ServingState::build(durable.kb(), &cfg).expect("workload KB has edges"));
 
@@ -1144,6 +1155,76 @@ pub fn ingest_bench(
     }
 }
 
+/// The sharded-index section: parallel `Among` fan-out over an
+/// entity-hash [`ShardedEdgeIndex`](rex_relstore::engine::ShardedEdgeIndex)
+/// versus the single-shard path, the on-disk snapshot round trip
+/// (load must beat a cold build), COW shard rebuilds after a small delta,
+/// and the specialized `(start, end)` group-by against the generic
+/// `HashMap` baseline it replaced.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedBench {
+    /// KB edge count the index was built over.
+    pub kb_edges: usize,
+    /// Shard count of the fan-out side (`REX_BENCH_SHARDS`, default 4).
+    pub shards: usize,
+    /// Starts evaluated per shape (the full node universe).
+    pub starts: usize,
+    /// Distinct workload shapes evaluated.
+    pub shapes: usize,
+    /// Wall time of the 1-shard evaluation across all shapes.
+    pub single_wall: Duration,
+    /// Wall time of the N-shard parallel fan-out across the same shapes.
+    pub fanout_wall: Duration,
+    /// Whether every fan-out answer was byte-identical to the 1-shard one.
+    pub parity: bool,
+    /// Cold index build wall (the `load_wall` comparison baseline).
+    pub build_wall: Duration,
+    /// Snapshot serialization wall.
+    pub save_wall: Duration,
+    /// Snapshot load wall — flat-array reconstruction, I/O-bound.
+    pub load_wall: Duration,
+    /// Snapshot size on disk.
+    pub snapshot_bytes: u64,
+    /// Edge churn of the COW-rebuild delta.
+    pub delta_edges: usize,
+    /// Shards actually rebuilt by `next_epoch` (the rest share their
+    /// predecessor's allocation, pointer-equality-tested).
+    pub shards_rebuilt: usize,
+    /// Rows fed to the group-by microbenchmark.
+    pub groupby_rows: usize,
+    /// Wall of the generic-`HashMap` `(start, end)` group-by baseline.
+    pub groupby_generic_wall: Duration,
+    /// Wall of the specialized [`PairCounter`] group-by replacing it.
+    ///
+    /// [`PairCounter`]: rex_relstore::engine::PairCounter
+    pub groupby_specialized_wall: Duration,
+    /// Whether both group-bys produced identical per-start multisets.
+    pub groupby_parity: bool,
+}
+
+impl ShardedBench {
+    /// Wall-time speedup of the N-shard fan-out over the 1-shard path
+    /// (>1 = fan-out faster; ~1 on a single-core host).
+    pub fn fanout_speedup(&self) -> f64 {
+        let f = self.fanout_wall.as_secs_f64();
+        if f > 0.0 {
+            self.single_wall.as_secs_f64() / f
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Wall-time speedup of the specialized group-by over the generic one.
+    pub fn groupby_speedup(&self) -> f64 {
+        let s = self.groupby_specialized_wall.as_secs_f64();
+        if s > 0.0 {
+            self.groupby_generic_wall.as_secs_f64() / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// The machine-readable ranking baseline behind `BENCH_ranking.json`:
 /// global-distribution top-k ranking measured with the pre-batching
 /// per-start engine versus the batched all-starts engine.
@@ -1188,6 +1269,9 @@ pub struct RankingBench {
     /// WAL-backed ingestion under backpressure with a torn-tail
     /// recovery parity check (the durability layers).
     pub ingest: IngestBench,
+    /// Sharded fan-out, snapshot round trip, COW rebuild accounting, and
+    /// the group-by micro (the sharded-index engine).
+    pub sharded: ShardedBench,
 }
 
 impl RankingBench {
@@ -1226,6 +1310,7 @@ impl RankingBench {
             concat!(
                 "{{\"wall_ms\": {:.3}, \"full_evals\": {}, \"streaming_evals\": {}, ",
                 "\"distinct_shapes\": {}, \"tiles\": {}, \"peak_rows\": {}, ",
+                "\"est_peak_rows\": {}, \"overflow_tiles\": {}, ",
                 "\"row_ceiling\": {}}}"
             ),
             self.shared_frame.wall.as_secs_f64() * 1e3,
@@ -1234,6 +1319,8 @@ impl RankingBench {
             self.shared_frame.distinct_shapes,
             self.shared_frame.tiles,
             self.shared_frame.peak_rows,
+            self.shared_frame.est_peak_rows,
+            self.shared_frame.overflow_tiles,
             self.shared_frame.row_ceiling,
         );
         let inc = format!(
@@ -1347,6 +1434,38 @@ impl RankingBench {
             self.ingest.recovery_replayed_batches,
             self.ingest.recovery_truncated_bytes,
         );
+        let sharded = format!(
+            concat!(
+                "{{\"kb_edges\": {}, \"shards\": {}, \"starts\": {}, ",
+                "\"shapes\": {}, \"single_wall_ms\": {:.3}, ",
+                "\"fanout_wall_ms\": {:.3}, \"fanout_speedup\": {:.3}, ",
+                "\"parity\": {}, \"build_ms\": {:.3}, \"save_ms\": {:.3}, ",
+                "\"load_ms\": {:.3}, \"snapshot_bytes\": {}, ",
+                "\"delta_edges\": {}, \"shards_rebuilt\": {}, ",
+                "\"groupby_rows\": {}, \"groupby_generic_ms\": {:.3}, ",
+                "\"groupby_specialized_ms\": {:.3}, ",
+                "\"groupby_speedup\": {:.3}, \"groupby_parity\": {}}}"
+            ),
+            self.sharded.kb_edges,
+            self.sharded.shards,
+            self.sharded.starts,
+            self.sharded.shapes,
+            self.sharded.single_wall.as_secs_f64() * 1e3,
+            self.sharded.fanout_wall.as_secs_f64() * 1e3,
+            self.sharded.fanout_speedup(),
+            usize::from(self.sharded.parity),
+            self.sharded.build_wall.as_secs_f64() * 1e3,
+            self.sharded.save_wall.as_secs_f64() * 1e3,
+            self.sharded.load_wall.as_secs_f64() * 1e3,
+            self.sharded.snapshot_bytes,
+            self.sharded.delta_edges,
+            self.sharded.shards_rebuilt,
+            self.sharded.groupby_rows,
+            self.sharded.groupby_generic_wall.as_secs_f64() * 1e3,
+            self.sharded.groupby_specialized_wall.as_secs_f64() * 1e3,
+            self.sharded.groupby_speedup(),
+            usize::from(self.sharded.groupby_parity),
+        );
         format!(
             concat!(
                 "{{\n",
@@ -1365,6 +1484,7 @@ impl RankingBench {
                 "  \"endpoint_index\": {},\n",
                 "  \"robustness\": {},\n",
                 "  \"ingest\": {},\n",
+                "  \"sharded\": {},\n",
                 "  \"speedup\": {:.3},\n",
                 "  \"shared_frame_speedup\": {:.3},\n",
                 "  \"incremental_speedup\": {:.3}\n",
@@ -1384,6 +1504,7 @@ impl RankingBench {
             endpoint,
             robust,
             ingest,
+            sharded,
             self.speedup(),
             self.shared_frame_speedup(),
             self.incremental.speedup()
@@ -1472,11 +1593,15 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         // sharing effect instead of conflating it with core count.
         threads: 1,
         row_ceiling: Some(row_ceiling),
+        shards: 1,
     };
     let frame = std::sync::Arc::new(
         SampleFrame::sample(&w.kb, w.global_samples, w.seed).expect("workload KB has edges"),
     );
-    let index = rex_relstore::engine::EdgeIndex::build(&w.kb);
+    let index = rex_relstore::engine::ShardedEdgeIndex::build(
+        &w.kb,
+        rex_relstore::engine::ShardSpec::single(),
+    );
     let cache = DistributionCache::with_row_ceiling(row_ceiling);
     let before = metrics::snapshot();
     let (outcome, wall) = time(|| rank_pairs_with(&tasks, &cfg, &index, &frame, &cache));
@@ -1492,6 +1617,8 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         distinct_shapes: outcome.distinct_shapes,
         tiles: outcome.tiles,
         peak_rows: outcome.peak_rows,
+        est_peak_rows: outcome.est_peak_rows,
+        overflow_tiles: outcome.overflow_tiles,
         row_ceiling,
     };
 
@@ -1500,6 +1627,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
     let endpoint_index = endpoint_index_bench(w, pairs_per_group);
     let robustness = robustness_bench(w, pairs_per_group, k, row_ceiling);
     let ingest = ingest_bench(w, pairs_per_group, k, row_ceiling);
+    let sharded = sharded_bench(w, pairs_per_group, row_ceiling);
 
     RankingBench {
         scale: std::env::var("REX_BENCH_SCALE").unwrap_or_else(|_| "small".into()),
@@ -1516,6 +1644,134 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         endpoint_index,
         robustness,
         ingest,
+        sharded,
+    }
+}
+
+/// Measures the sharded-index engine: the same workload shapes evaluated
+/// over the full start universe on a 1-shard versus an N-shard
+/// [`ShardedEdgeIndex`] (parity-checked answer by answer), the on-disk
+/// snapshot round trip (save, then a load that must beat the cold build
+/// it replaces), the COW shard-rebuild count after a single-transaction
+/// delta, and the `(start, end)` group-by micro — specialized
+/// [`PairCounter`] versus the generic-`HashMap` baseline it replaced.
+///
+/// Shard count comes from `REX_BENCH_SHARDS` (default 4). On a
+/// single-core host the fan-out speedup is honestly ≈ 1; the schema
+/// checker gates only that it is recorded, not a threshold.
+///
+/// [`ShardedEdgeIndex`]: rex_relstore::engine::ShardedEdgeIndex
+/// [`PairCounter`]: rex_relstore::engine::PairCounter
+pub fn sharded_bench(w: &Workload, pairs_per_group: usize, row_ceiling: usize) -> ShardedBench {
+    use rex_relstore::engine::{
+        group_pair_counts, group_pair_counts_generic, oriented_edge_relation,
+        sharded_count_distributions_ceiling, ShardSpec, ShardedEdgeIndex,
+    };
+
+    let shards: usize =
+        std::env::var("REX_BENCH_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let shards = shards.max(2);
+
+    // Distinct workload shapes, a handful: the fan-out cost is per shape
+    // and the parity check is what matters, not shape count.
+    let enumerator = GeneralEnumerator::new(w.enum_config.clone());
+    let mut seen = HashSet::new();
+    let mut specs: Vec<rex_relstore::plan::PatternSpec> = Vec::new();
+    for p in w.truncated(pairs_per_group) {
+        for e in enumerator.enumerate(&w.kb, p.start, p.end).explanations {
+            if seen.insert(e.key().clone()) {
+                specs.push(e.pattern.to_spec());
+            }
+        }
+        if specs.len() >= 4 {
+            break;
+        }
+    }
+    let starts: Vec<u64> = (0..w.kb.node_count() as u64).collect();
+
+    let single = ShardedEdgeIndex::build(&w.kb, ShardSpec::single());
+    let (fanned, build_wall) =
+        time(|| ShardedEdgeIndex::build(&w.kb, ShardSpec::new(shards, w.seed)));
+
+    let eval = |index: &ShardedEdgeIndex| -> Vec<HashMap<u64, Vec<u64>>> {
+        specs
+            .iter()
+            .map(|spec| {
+                sharded_count_distributions_ceiling(index, spec, &starts, row_ceiling)
+                    .expect("unlimited budget never aborts")
+                    .per_start
+            })
+            .collect()
+    };
+    let (single_answers, single_wall) = time(|| eval(&single));
+    let (fanout_answers, fanout_wall) = time(|| eval(&fanned));
+    let parity = single_answers == fanout_answers;
+
+    // Snapshot round trip. The load reconstructs flat CSR arrays from the
+    // checksummed file — it must beat the cold build it replaces.
+    let dir = std::env::temp_dir().join(format!("rex-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp snapshot dir");
+    let (snapshot_bytes, save_wall) =
+        time(|| fanned.save(&dir).expect("snapshot save to temp dir"));
+    let (loaded, load_wall) = time(|| ShardedEdgeIndex::load(&dir).expect("snapshot reloads"));
+    let parity = parity && loaded.epoch() == fanned.epoch() && eval(&loaded) == fanout_answers;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // COW rebuild accounting: one small update transaction touches a few
+    // endpoints; only the shards owning them may rebuild.
+    let mut kb = w.kb.clone();
+    let churn = (kb.edge_count() / 40_000).clamp(1, 8);
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x54A8);
+    for _ in 0..churn {
+        let victim = EdgeId(rng.gen_range(0..kb.edge_count()) as u32);
+        kb.remove_edge(victim).expect("edge ids are dense");
+        let template = *kb.edge(EdgeId(rng.gen_range(0..kb.edge_count()) as u32));
+        let other = NodeId(rng.gen_range(0..kb.node_count()) as u32);
+        kb.insert_edge(template.src, other, template.label, template.directed)
+            .expect("template endpoints exist");
+    }
+    let delta = kb
+        .delta_since(fanned.epoch())
+        .into_delta()
+        .expect("bench churn stays inside the retained log");
+    let delta_edges = delta.edge_churn();
+    let next = fanned.next_epoch(&delta).expect("delta applies to the index it diffs from");
+    let shards_rebuilt = next.shards_rebuilt_from(&fanned);
+
+    // Group-by micro over the full oriented edge relation: the
+    // specialized PairCounter versus the generic HashMap it replaced,
+    // parity-checked on the per-start multisets.
+    let rel = oriented_edge_relation(&w.kb);
+    let groupby_rows = rel.len();
+    let (mut generic, groupby_generic_wall) = time(|| group_pair_counts_generic(&rel, 0, 1));
+    let (mut specialized, groupby_specialized_wall) =
+        time(|| group_pair_counts(&rel, 0, 1, w.kb.node_count()));
+    for m in [&mut generic, &mut specialized] {
+        for counts in m.values_mut() {
+            counts.sort_unstable();
+        }
+    }
+    let groupby_parity = generic == specialized;
+
+    ShardedBench {
+        kb_edges: w.kb.edge_count(),
+        shards,
+        starts: starts.len(),
+        shapes: specs.len(),
+        single_wall,
+        fanout_wall,
+        parity,
+        build_wall,
+        save_wall,
+        load_wall,
+        snapshot_bytes,
+        delta_edges,
+        shards_rebuilt,
+        groupby_rows,
+        groupby_generic_wall,
+        groupby_specialized_wall,
+        groupby_parity,
     }
 }
 
@@ -1549,6 +1805,7 @@ pub fn incremental_bench(
         seed: w.seed,
         threads: 1,
         row_ceiling: Some(row_ceiling),
+        shards: 1,
     };
     let state = ServingState::build(&kb, &cfg).expect("workload KB has edges");
     let prepared = enumerate(&kb);
@@ -1778,6 +2035,35 @@ mod tests {
         assert_eq!(rb.quarantined_epochs, 1, "the scripted panic quarantines one epoch");
         assert_eq!(rb.recovery_rebuilds, 1, "one scratch rebuild recovers it");
         assert!(rb.request_rows >= 1);
+        // Shared-frame ceiling invariant: what the ceiling bounds is the
+        // *estimated* per-tile input; measured peak may exceed it, the
+        // estimate may not unless an overflow (singleton hub) tile did.
+        assert!(
+            b.shared_frame.overflow_tiles > 0
+                || b.shared_frame.est_peak_rows <= b.shared_frame.row_ceiling,
+            "estimated tile input {} above ceiling {} without an overflow tile",
+            b.shared_frame.est_peak_rows,
+            b.shared_frame.row_ceiling
+        );
+        // Sharded side: answers are layout-independent, the snapshot
+        // round-tripped, and the COW rebuild touched only a subset of
+        // shards. Wall-clock relations (load < build, fan-out speedup)
+        // are NOT asserted at tiny scale — check_bench_schema gates them
+        // on the committed bench-scale document.
+        let sh = &b.sharded;
+        assert!(sh.parity, "sharded fan-out diverged from the single-shard path");
+        assert!(sh.shards >= 2);
+        assert!(sh.shapes >= 1);
+        assert!(sh.snapshot_bytes > 0);
+        assert!(sh.delta_edges >= 1);
+        assert!(
+            (1..=sh.shards).contains(&sh.shards_rebuilt),
+            "COW rebuild touched {} of {} shards",
+            sh.shards_rebuilt,
+            sh.shards
+        );
+        assert!(sh.groupby_parity, "specialized group-by diverged from the generic one");
+        assert!(sh.groupby_rows > 0);
         let json = b.to_json();
         for key in [
             "\"benchmark\"",
@@ -1810,6 +2096,17 @@ mod tests {
             "\"torn_reads\"",
             "\"quarantined_epochs\"",
             "\"recovery_rebuilds\"",
+            "\"est_peak_rows\"",
+            "\"overflow_tiles\"",
+            "\"sharded\"",
+            "\"fanout_speedup\"",
+            "\"parity\"",
+            "\"build_ms\"",
+            "\"load_ms\"",
+            "\"snapshot_bytes\"",
+            "\"shards_rebuilt\"",
+            "\"groupby_generic_ms\"",
+            "\"groupby_specialized_ms\"",
             "\"speedup\"",
             "\"shared_frame_speedup\"",
             "\"incremental_speedup\"",

@@ -30,12 +30,13 @@ USAGE:
   rex rank     --kb <kb.tsv> [<start> <end>]... [--per-group N] [--top K]
                [--samples S] [--seed S] [--max-nodes N] [--instance-cap C]
                [--threads T] [--row-ceiling R] [--deadline-ms D]
-               [--row-budget B] [--toy] [--quiet]
+               [--row-budget B] [--shards N] [--index-dir <dir>]
+               [--toy] [--quiet]
   rex update   --kb <kb.tsv> --delta <delta.tsv> [<start> <end>]...
                [--per-group N] [--rebatch-fraction F] [--log-retention N]
                [... rank flags]
   rex generate --nodes N --edges M [--labels L] [--seed S] --out <kb.tsv>
-  rex stats    --kb <kb.tsv> | --toy
+  rex stats    --kb <kb.tsv> | --toy [--shards N] [--index-dir <dir>]
   rex pairs    --kb <kb.tsv> [--per-group N] [--seed S] [--toy]
   rex ingest   --wal <dir> --delta <delta.tsv> [--kb <kb.tsv> | --toy]
                [--sync commit|interval[:N]|off] [--batch N] [--queue N]
@@ -54,6 +55,13 @@ boundary, and pairs the budget cannot cover are SHED — reported per pair
 with the abort reason — instead of silently ranked on partial evidence.
 Zero is rejected for both (it would shed everything before the first
 tile); omit the flag for no bound.
+
+--shards N hash-partitions start entities across N independent index
+shards and fans batched evaluations out in parallel; answers are
+byte-identical to --shards 1. --index-dir <dir> warm-starts from an
+on-disk index snapshot when one matches the KB's epoch and shard count,
+and saves a fresh snapshot there otherwise ('rex stats --index-dir'
+writes one explicitly and reports load-vs-build wall time).
 
 `rex update` ranks the same workload cold through a serving-session
 snapshot, applies an edge-list delta file to the KB, and re-ranks
@@ -250,6 +258,71 @@ fn resolve_pairs(
         .collect()
 }
 
+/// Builds the serving session for `rex rank`, warm-starting from an
+/// on-disk index snapshot when `--index-dir` holds one at the KB's
+/// current epoch and shard spec. Any mismatch (stale epoch, different
+/// shard count, missing or corrupt snapshot) falls back to a cold build,
+/// and the freshly built index is saved back so the next run is warm.
+fn serving_state(
+    kb: &KnowledgeBase,
+    cfg: &RankPairsConfig,
+    index_dir: Option<&str>,
+    quiet: bool,
+) -> Result<rex_core::ranking::ServingState, String> {
+    use rex_core::ranking::ServingState;
+    let Some(dir) = index_dir else {
+        return ServingState::build(kb, cfg).map_err(|e| e.to_string());
+    };
+    let dir = Path::new(dir);
+    let t0 = std::time::Instant::now();
+    match rex_relstore::engine::ShardedEdgeIndex::load(dir) {
+        Ok(index) if index.epoch() == kb.epoch() && index.spec().shards == cfg.shards => {
+            let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let state =
+                ServingState::build_with_index(kb, cfg, index).map_err(|e| e.to_string())?;
+            if !quiet {
+                println!(
+                    "index: warm start from {} ({} shards, epoch {}) in {load_ms:.1} ms",
+                    dir.display(),
+                    cfg.shards,
+                    kb.epoch()
+                );
+            }
+            Ok(state)
+        }
+        outcome => {
+            if !quiet {
+                match outcome {
+                    Ok(index) => println!(
+                        "index: snapshot at {} is stale ({} shards at epoch {}, want {} at {}); \
+                         rebuilding",
+                        dir.display(),
+                        index.spec().shards,
+                        index.epoch(),
+                        cfg.shards,
+                        kb.epoch()
+                    ),
+                    Err(err) => {
+                        println!("index: no usable snapshot at {} ({err}); building", dir.display())
+                    }
+                }
+            }
+            let state = ServingState::build(kb, cfg).map_err(|e| e.to_string())?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let bytes = state
+                .snapshot()
+                .index()
+                .save(dir)
+                .map_err(|e| format!("cannot save index: {e}"))?;
+            if !quiet {
+                println!("index: saved {} shard snapshot bytes to {}", bytes, dir.display());
+            }
+            Ok(state)
+        }
+    }
+}
+
 /// `rex rank`: rank explanations for many pairs through one shared
 /// sample frame and distribution cache (global distributional position),
 /// evaluating each distinct pattern shape of the workload exactly once.
@@ -263,6 +336,8 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
     let cap: usize = args.get_or("instance-cap", 5_000)?;
     let threads: usize = args.get_or("threads", 0)?;
     let row_ceiling: usize = args.get_or("row-ceiling", 1usize << 20)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    let index_dir = args.get("index-dir").map(str::to_string);
     let (deadline_ms, row_budget) = budget_flags(&args)?;
     let pairs = resolve_pairs(&args, &kb, seed)?;
 
@@ -283,11 +358,12 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
         seed,
         threads,
         row_ceiling: Some(row_ceiling),
+        shards,
     };
     let t1 = std::time::Instant::now();
-    let outcome = if deadline_ms.is_some() || row_budget.is_some() {
+    let outcome = if deadline_ms.is_some() || row_budget.is_some() || index_dir.is_some() {
         let budget = build_budget(deadline_ms, row_budget);
-        let state = rex_core::ranking::ServingState::build(&kb, &cfg).map_err(|e| e.to_string())?;
+        let state = serving_state(&kb, &cfg, index_dir.as_deref(), args.has("quiet"))?;
         state.snapshot().rank_budgeted(&tasks, &cfg, &budget)
     } else {
         rank_pairs(&kb, &tasks, &cfg).map_err(|e| e.to_string())?
@@ -424,6 +500,7 @@ pub fn update(argv: &[String]) -> Result<(), String> {
         seed,
         threads,
         row_ceiling: Some(row_ceiling),
+        shards: args.get_or("shards", 1)?,
     };
     let enumerate =
         |kb: &KnowledgeBase| -> Vec<(rex_kb::NodeId, rex_kb::NodeId, Vec<rex_core::Explanation>)> {
@@ -557,10 +634,14 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 pub fn stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let kb = load_kb(&args)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    let seed: u64 = args.get_or("seed", 2011)?;
     println!("{}", rex_kb::stats::summary(&kb));
+    let spec = rex_relstore::engine::ShardSpec::new(shards, seed);
     let t0 = std::time::Instant::now();
-    let index = rex_relstore::engine::EdgeIndex::build(&kb);
+    let sharded = rex_relstore::engine::ShardedEdgeIndex::build(&kb, spec);
     let build = t0.elapsed();
+    let index = sharded.base();
     let posting = index.posting_stats();
     println!(
         "edge index: {} (label, dir) partitions, {} oriented rows, built in {:.1} ms",
@@ -575,6 +656,41 @@ pub fn stats(argv: &[String]) -> Result<(), String> {
         posting.dst_keys,
         posting.heap_bytes as f64 / 1024.0
     );
+    if shards > 1 {
+        println!("index shards ({} by entity hash, seed {}):", sharded.shard_count(), seed);
+        for k in 0..sharded.shard_count() {
+            let shard = sharded.shard(k);
+            let sp = shard.posting_stats();
+            println!(
+                "  shard {k}: {} rows, {} partitions, {:.1} KiB postings",
+                shard.total_rows(),
+                sp.partitions,
+                sp.heap_bytes as f64 / 1024.0
+            );
+        }
+    }
+    if let Some(dir) = args.get("index-dir") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let t0 = std::time::Instant::now();
+        let bytes = sharded.save(dir).map_err(|e| format!("cannot save index: {e}"))?;
+        let save = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let loaded = rex_relstore::engine::ShardedEdgeIndex::load(dir)
+            .map_err(|e| format!("cannot reload index: {e}"))?;
+        let load = t0.elapsed();
+        assert_eq!(loaded.epoch(), sharded.epoch(), "round-trip must preserve the epoch");
+        println!(
+            "index snapshot: {} bytes at {} — saved in {:.1} ms, reloaded in {:.1} ms \
+             (cold build was {:.1} ms)",
+            bytes,
+            dir.display(),
+            save.as_secs_f64() * 1e3,
+            load.as_secs_f64() * 1e3,
+            build.as_secs_f64() * 1e3
+        );
+    }
     let cards = rex_kb::stats::label_cardinalities(&kb);
     let mut labels: Vec<(usize, String)> =
         kb.labels().map(|(id, name)| (cards[id.index()], name.to_string())).collect();

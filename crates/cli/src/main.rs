@@ -5,10 +5,11 @@
 //! rex explain  --kb kb.tsv tom_cruise brad_pitt [--top 5] [--measure size+local-dist]
 //!              [--max-nodes 5] [--decorate] [--toy]
 //! rex rank     --kb kb.tsv [start end]... [--per-group 2] [--top 5] [--samples 100]
+//!              [--shards 4] [--index-dir snapshots/]
 //! rex update   --kb kb.tsv --delta delta.tsv [start end]... [--rebatch-fraction 0.25]
 //!              [--log-retention 10000]
 //! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
-//! rex stats    --kb kb.tsv
+//! rex stats    --kb kb.tsv [--shards 4] [--index-dir snapshots/]
 //! rex pairs    --kb kb.tsv --per-group 10 [--seed 2011]
 //! rex ingest   --wal state/ --delta delta.tsv --toy [--sync commit] [--batch 32]
 //! rex recover  state/ [--truncate]

@@ -59,6 +59,7 @@ use rex_kb::{KbDelta, KnowledgeBase, NodeId};
 use rex_relstore::budget::Budget;
 use rex_relstore::engine::{
     delta_affected_starts, delta_count_distributions, delta_count_distributions_ceiling, EdgeIndex,
+    ShardedEdgeIndex, TiledDistributions,
 };
 use rex_relstore::plan::PatternSpec;
 
@@ -82,6 +83,8 @@ pub struct AllStartsDistribution {
     domain: Arc<HashSet<u64>>,
     tiles: usize,
     peak_rows: usize,
+    est_peak_rows: usize,
+    overflow_tiles: usize,
     /// The KB epoch the multisets reflect (fixed at publication).
     epoch: u64,
     /// The shape's relational spec, retained so delta maintenance can
@@ -107,6 +110,22 @@ impl AllStartsDistribution {
     pub fn peak_rows(&self) -> usize {
         self.peak_rows
     }
+
+    /// Largest **estimated** input rows of any tile — the quantity a row
+    /// ceiling actually bounds (see
+    /// [`TiledDistributions::est_peak_rows`]). The measured
+    /// [`peak_rows`](Self::peak_rows) may legally exceed the ceiling on
+    /// estimate error or singleton hub tiles.
+    pub fn est_peak_rows(&self) -> usize {
+        self.est_peak_rows
+    }
+
+    /// Tiles whose estimated rows exceeded the requested ceiling —
+    /// necessarily singleton hub starts no split could shrink.
+    pub fn overflow_tiles(&self) -> usize {
+        self.overflow_tiles
+    }
+
     /// Whether `start` was covered by the batched evaluation (queries
     /// outside the domain must fall back to a per-start probe).
     pub fn covers(&self, start: u64) -> bool {
@@ -162,6 +181,102 @@ fn spec_labels(spec: &PatternSpec) -> Arc<[u64]> {
     labels.sort_unstable();
     labels.dedup();
     labels.into()
+}
+
+/// The cache's view of whichever index flavor a caller hands it: a flat
+/// [`EdgeIndex`] or a [`ShardedEdgeIndex`] whose `Among` batches fan out
+/// across shards in parallel. Every evaluation the cache performs goes
+/// through this one seam, so the flat and sharded public entry points
+/// share the entire caching/maintenance machinery — and a 1-shard
+/// sharded view evaluates on exactly the flat code path (the engine
+/// short-circuits it), keeping answers and accounting byte-identical.
+#[derive(Clone, Copy)]
+enum IndexView<'a> {
+    Flat(&'a EdgeIndex),
+    Sharded(&'a ShardedEdgeIndex),
+}
+
+impl IndexView<'_> {
+    fn epoch(&self) -> u64 {
+        match self {
+            IndexView::Flat(i) => i.epoch(),
+            IndexView::Sharded(s) => s.epoch(),
+        }
+    }
+
+    fn full_tiled(
+        &self,
+        spec: &PatternSpec,
+        starts: &[u64],
+        tile_size: usize,
+        budget: &Budget,
+    ) -> rex_relstore::Result<TiledDistributions> {
+        match self {
+            IndexView::Flat(i) => rex_relstore::engine::global_count_distributions_tiled_budgeted(
+                i, spec, starts, tile_size, budget,
+            ),
+            IndexView::Sharded(s) => {
+                rex_relstore::engine::sharded_count_distributions_tiled_budgeted(
+                    s, spec, starts, tile_size, budget,
+                )
+            }
+        }
+    }
+
+    fn full_ceiling(
+        &self,
+        spec: &PatternSpec,
+        starts: &[u64],
+        ceiling: usize,
+        budget: &Budget,
+    ) -> rex_relstore::Result<TiledDistributions> {
+        match self {
+            IndexView::Flat(i) => {
+                rex_relstore::engine::global_count_distributions_ceiling_budgeted(
+                    i, spec, starts, ceiling, budget,
+                )
+            }
+            IndexView::Sharded(s) => {
+                rex_relstore::engine::sharded_count_distributions_ceiling_budgeted(
+                    s, spec, starts, ceiling, budget,
+                )
+            }
+        }
+    }
+
+    fn delta_tiled(
+        &self,
+        spec: &PatternSpec,
+        starts: &[u64],
+        tile_size: usize,
+    ) -> rex_relstore::Result<TiledDistributions> {
+        match self {
+            IndexView::Flat(i) => delta_count_distributions(i, spec, starts, tile_size),
+            IndexView::Sharded(s) => {
+                rex_relstore::engine::sharded_delta_count_distributions(s, spec, starts, tile_size)
+            }
+        }
+    }
+
+    fn delta_ceiling(
+        &self,
+        spec: &PatternSpec,
+        starts: &[u64],
+        ceiling: usize,
+    ) -> rex_relstore::Result<TiledDistributions> {
+        match self {
+            IndexView::Flat(i) => delta_count_distributions_ceiling(i, spec, starts, ceiling),
+            IndexView::Sharded(s) => {
+                rex_relstore::engine::sharded_delta_count_distributions_ceiling_budgeted(
+                    s,
+                    spec,
+                    starts,
+                    ceiling,
+                    &Budget::unlimited(),
+                )
+            }
+        }
+    }
 }
 
 /// What [`DistributionCache::apply_delta`] did to each cached shape.
@@ -311,7 +426,7 @@ impl DistributionCache {
     /// counters.
     fn eval_batch(
         &self,
-        index: &EdgeIndex,
+        index: IndexView<'_>,
         spec: PatternSpec,
         domain: HashSet<u64>,
     ) -> Arc<AllStartsDistribution> {
@@ -325,7 +440,7 @@ impl DistributionCache {
     /// the abort-leaves-no-trace half of the robustness contract.
     fn eval_batch_budgeted(
         &self,
-        index: &EdgeIndex,
+        index: IndexView<'_>,
         spec: PatternSpec,
         domain: HashSet<u64>,
         budget: &Budget,
@@ -334,16 +449,8 @@ impl DistributionCache {
         let batch = match self.row_ceiling {
             // Exact tiling: starts packed by their measured incident-row
             // counts from the endpoint postings, not a uniform split.
-            Some(ceiling) => rex_relstore::engine::global_count_distributions_ceiling_budgeted(
-                index, &spec, &list, ceiling, budget,
-            ),
-            None => rex_relstore::engine::global_count_distributions_tiled_budgeted(
-                index,
-                &spec,
-                &list,
-                list.len().max(1),
-                budget,
-            ),
+            Some(ceiling) => index.full_ceiling(&spec, &list, ceiling, budget),
+            None => index.full_tiled(&spec, &list, list.len().max(1), budget),
         }?;
         self.tiles.fetch_add(batch.tiles, Ordering::Relaxed);
         self.peak_rows.fetch_max(batch.peak_rows, Ordering::Relaxed);
@@ -352,15 +459,17 @@ impl DistributionCache {
             domain: Arc::new(domain),
             tiles: batch.tiles,
             peak_rows: batch.peak_rows,
+            est_peak_rows: batch.est_peak_rows,
+            overflow_tiles: batch.overflow_tiles,
             epoch: index.epoch(),
             spec,
         }))
     }
 
-    /// Whether a cached batch can serve a read against `index` for the
-    /// given starts: current epoch and covering domain.
-    fn batch_serves(batch: &AllStartsDistribution, index: &EdgeIndex, starts: &[NodeId]) -> bool {
-        batch.epoch() == index.epoch() && starts.iter().all(|s| batch.covers(s.0 as u64))
+    /// Whether a cached batch can serve a read against an index at
+    /// `epoch` for the given starts: current epoch and covering domain.
+    fn batch_serves(batch: &AllStartsDistribution, epoch: u64, starts: &[NodeId]) -> bool {
+        batch.epoch() == epoch && starts.iter().all(|s| batch.covers(s.0 as u64))
     }
 
     /// Pins the current batched generation: one O(1) `Arc` clone under a
@@ -381,12 +490,12 @@ impl DistributionCache {
         &self,
         key: &CanonicalKey,
         computed: Arc<AllStartsDistribution>,
-        index: &EdgeIndex,
+        epoch: u64,
         starts: &[NodeId],
     ) -> Arc<AllStartsDistribution> {
         let mut guard = self.batched.write();
         if let Some(live) = guard.get(key) {
-            if Self::batch_serves(live, index, starts) {
+            if Self::batch_serves(live, epoch, starts) {
                 return Arc::clone(live);
             }
             if live.epoch() > computed.epoch() {
@@ -432,10 +541,48 @@ impl DistributionCache {
         starts: &[NodeId],
         budget: &Budget,
     ) -> rex_relstore::Result<Arc<AllStartsDistribution>> {
+        self.all_starts_view(IndexView::Flat(index), e, starts, budget)
+    }
+
+    /// [`all_starts`](Self::all_starts) over a [`ShardedEdgeIndex`]: the
+    /// batched evaluation (when the shape is cold) splits the start set
+    /// by shard residency and fans out in parallel; results, cache
+    /// contents, and accounting are byte-identical to the flat path (a
+    /// warm read doesn't care which flavor computed the batch).
+    pub fn all_starts_sharded(
+        &self,
+        index: &ShardedEdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+    ) -> Arc<AllStartsDistribution> {
+        self.all_starts_sharded_budgeted(index, e, starts, &Budget::unlimited())
+            .expect("explanation patterns are valid specs")
+    }
+
+    /// [`all_starts_sharded`](Self::all_starts_sharded) under a
+    /// [`Budget`], with the same abort-leaves-no-trace contract as
+    /// [`all_starts_budgeted`](Self::all_starts_budgeted).
+    pub fn all_starts_sharded_budgeted(
+        &self,
+        index: &ShardedEdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+        budget: &Budget,
+    ) -> rex_relstore::Result<Arc<AllStartsDistribution>> {
+        self.all_starts_view(IndexView::Sharded(index), e, starts, budget)
+    }
+
+    fn all_starts_view(
+        &self,
+        index: IndexView<'_>,
+        e: &Explanation,
+        starts: &[NodeId],
+        budget: &Budget,
+    ) -> rex_relstore::Result<Arc<AllStartsDistribution>> {
         let key = e.key();
         let generation = self.generation();
         if let Some(cached) = generation.get(key) {
-            if Self::batch_serves(cached, index, starts) {
+            if Self::batch_serves(cached, index.epoch(), starts) {
                 self.note_epoch(index.epoch());
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(cached));
@@ -453,7 +600,7 @@ impl DistributionCache {
         self.note_epoch(index.epoch());
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.batched_evals.fetch_add(1, Ordering::Relaxed);
-        Ok(self.install_batch(key, computed, index, starts))
+        Ok(self.install_batch(key, computed, index.epoch(), starts))
     }
 
     /// The descending count multiset of `e`'s pattern for `start`. Served
@@ -562,10 +709,33 @@ impl DistributionCache {
         index: &EdgeIndex,
         delta: &KbDelta,
     ) -> DeltaMaintenance {
+        self.apply_delta_view(kb, IndexView::Flat(index), delta)
+    }
+
+    /// [`apply_delta`](Self::apply_delta) over a [`ShardedEdgeIndex`]:
+    /// identical maintenance decisions, with patch and rebatch
+    /// evaluations fanning out across shards. `index` must already be
+    /// advanced to the delta's target epoch
+    /// ([`ShardedEdgeIndex::next_epoch`]).
+    pub fn apply_delta_sharded(
+        &self,
+        kb: &KnowledgeBase,
+        index: &ShardedEdgeIndex,
+        delta: &KbDelta,
+    ) -> DeltaMaintenance {
+        self.apply_delta_view(kb, IndexView::Sharded(index), delta)
+    }
+
+    fn apply_delta_view(
+        &self,
+        kb: &KnowledgeBase,
+        index: IndexView<'_>,
+        delta: &KbDelta,
+    ) -> DeltaMaintenance {
         assert_eq!(
             index.epoch(),
             delta.to_epoch,
-            "apply_delta: refresh the EdgeIndex to the delta's target epoch first"
+            "apply_delta: refresh the index to the delta's target epoch first"
         );
         self.note_epoch(delta.to_epoch);
         let mut outcome = DeltaMaintenance::default();
@@ -605,6 +775,8 @@ impl DistributionCache {
                         domain: Arc::clone(&entry.domain),
                         tiles: entry.tiles,
                         peak_rows: entry.peak_rows,
+                        est_peak_rows: entry.est_peak_rows,
+                        overflow_tiles: entry.overflow_tiles,
                         epoch: delta.to_epoch,
                         spec: entry.spec.clone(),
                     }),
@@ -625,14 +797,8 @@ impl DistributionCache {
             // overlay.
             self.delta_evals.fetch_add(1, Ordering::Relaxed);
             let partial = match self.row_ceiling {
-                Some(ceiling) => delta_count_distributions_ceiling(
-                    index,
-                    &entry.spec,
-                    &affected_in_domain,
-                    ceiling,
-                ),
-                None => delta_count_distributions(
-                    index,
+                Some(ceiling) => index.delta_ceiling(&entry.spec, &affected_in_domain, ceiling),
+                None => index.delta_tiled(
                     &entry.spec,
                     &affected_in_domain,
                     affected_in_domain.len().max(1),
@@ -657,6 +823,8 @@ impl DistributionCache {
                     domain: Arc::clone(&entry.domain),
                     tiles: entry.tiles,
                     peak_rows: entry.peak_rows.max(partial.peak_rows),
+                    est_peak_rows: entry.est_peak_rows.max(partial.est_peak_rows),
+                    overflow_tiles: entry.overflow_tiles.max(partial.overflow_tiles),
                     epoch: delta.to_epoch,
                     spec: entry.spec.clone(),
                 }),
@@ -767,7 +935,32 @@ impl DistributionCache {
         exclude: Option<NodeId>,
         budget: &Budget,
     ) -> rex_relstore::Result<usize> {
-        let batch = self.all_starts_budgeted(index, e, starts, budget)?;
+        self.global_position_view(IndexView::Flat(index), e, starts, exclude, budget)
+    }
+
+    /// [`global_position_excluding_budgeted`](Self::global_position_excluding_budgeted)
+    /// over a [`ShardedEdgeIndex`] — cold shapes evaluate with the
+    /// parallel per-shard fan-out; warm reads are identical either way.
+    pub fn global_position_excluding_sharded_budgeted(
+        &self,
+        index: &ShardedEdgeIndex,
+        e: &Explanation,
+        starts: &[NodeId],
+        exclude: Option<NodeId>,
+        budget: &Budget,
+    ) -> rex_relstore::Result<usize> {
+        self.global_position_view(IndexView::Sharded(index), e, starts, exclude, budget)
+    }
+
+    fn global_position_view(
+        &self,
+        index: IndexView<'_>,
+        e: &Explanation,
+        starts: &[NodeId],
+        exclude: Option<NodeId>,
+        budget: &Budget,
+    ) -> rex_relstore::Result<usize> {
+        let batch = self.all_starts_view(index, e, starts, budget)?;
         let a = e.count() as u64;
         Ok(starts
             .iter()

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use rex_kb::{KnowledgeBase, NodeId};
 use rex_relstore::budget::{AbortReason, Budget};
-use rex_relstore::engine::EdgeIndex;
+use rex_relstore::engine::ShardedEdgeIndex;
 
 use crate::canonical::CanonicalKey;
 use crate::error::Result;
@@ -68,6 +68,10 @@ pub struct RankPairsConfig {
     /// Best-effort ceiling on join-produced intermediate rows per batched
     /// evaluation; `None` disables tiling.
     pub row_ceiling: Option<usize>,
+    /// Entity-hash shards of the edge index (≥ 1): cold batched
+    /// evaluations split their start set by shard residency and fan out
+    /// in parallel ([`ShardedEdgeIndex`]). `1` is the unsharded path.
+    pub shards: usize,
 }
 
 impl Default for RankPairsConfig {
@@ -81,6 +85,7 @@ impl Default for RankPairsConfig {
             // materialized joins start to dominate memory on commodity
             // hardware; small enough to split genuinely hub-heavy shapes.
             row_ceiling: Some(1 << 20),
+            shards: 1,
         }
     }
 }
@@ -116,6 +121,15 @@ pub struct RankPairsOutcome {
     /// themselves, so it is attributed correctly even when a reused cache
     /// answers some shapes without re-evaluating them.
     pub peak_rows: usize,
+    /// Largest **estimated** per-tile input rows of any batch — the
+    /// quantity the row ceiling actually bounds. The measured
+    /// [`peak_rows`](Self::peak_rows) may legally exceed the ceiling on
+    /// estimate error or singleton hub tiles; this one may not, unless
+    /// [`overflow_tiles`](Self::overflow_tiles) is non-zero.
+    pub est_peak_rows: usize,
+    /// Tiles whose estimated rows exceeded the ceiling — singleton hub
+    /// starts no split could shrink (0 without a ceiling).
+    pub overflow_tiles: usize,
     /// Pairs a budgeted run shed instead of finishing, in input order —
     /// the graceful-degradation ledger. Always empty for unbudgeted runs.
     pub shed: Vec<ShedPair>,
@@ -146,7 +160,7 @@ pub fn rank_pairs(
 pub fn rank_pairs_with(
     pairs: &[PairExplanations<'_>],
     cfg: &RankPairsConfig,
-    index: &EdgeIndex,
+    index: &ShardedEdgeIndex,
     frame: &Arc<SampleFrame>,
     cache: &DistributionCache,
 ) -> RankPairsOutcome {
@@ -165,7 +179,7 @@ pub fn rank_pairs_with(
 pub fn rank_pairs_with_budget(
     pairs: &[PairExplanations<'_>],
     cfg: &RankPairsConfig,
-    index: &EdgeIndex,
+    index: &ShardedEdgeIndex,
     frame: &Arc<SampleFrame>,
     cache: &DistributionCache,
     budget: &Budget,
@@ -188,8 +202,10 @@ pub fn rank_pairs_with_budget(
     // Cost-ordered prewarm: cheapest shapes first (deterministic ties),
     // cost read from the edge index's per-(label, orientation) relation
     // sizes — one cost model shared with the tiling estimator.
-    let mut ordered: Vec<(u64, &Explanation)> =
-        shapes.into_values().map(|e| (index.estimate_eval_cost(&e.pattern.to_spec()), e)).collect();
+    let mut ordered: Vec<(u64, &Explanation)> = shapes
+        .into_values()
+        .map(|e| (index.base().estimate_eval_cost(&e.pattern.to_spec()), e))
+        .collect();
     ordered.sort_by(|(ca, a), (cb, b)| ca.cmp(cb).then_with(|| a.key().cmp(b.key())));
 
     let pool = rayon::ThreadPoolBuilder::new()
@@ -215,9 +231,11 @@ pub fn rank_pairs_with_budget(
         // that still need it.
         let batches: Vec<_> = dealt
             .par_iter()
-            .map(|e| cache.all_starts_budgeted(index, e, frame.starts(), budget).ok())
+            .map(|e| cache.all_starts_sharded_budgeted(index, e, frame.starts(), budget).ok())
             .collect();
         let peak_rows = batches.iter().flatten().map(|b| b.peak_rows()).max().unwrap_or(0);
+        let est_peak_rows = batches.iter().flatten().map(|b| b.est_peak_rows()).max().unwrap_or(0);
+        let overflow_tiles: usize = batches.iter().flatten().map(|b| b.overflow_tiles()).sum();
 
         // Position phase: warm shapes are cache hits; pairs fan out, each
         // applying its own read-time exclusion to the shared batches. A
@@ -229,7 +247,7 @@ pub fn rank_pairs_with_budget(
             .map(|pair| {
                 let mut scores: Vec<f64> = Vec::with_capacity(pair.explanations.len());
                 for e in pair.explanations {
-                    match cache.global_position_excluding_budgeted(
+                    match cache.global_position_excluding_sharded_budgeted(
                         index,
                         e,
                         frame.starts(),
@@ -263,6 +281,8 @@ pub fn rank_pairs_with_budget(
             batched_evals: cache.batched_evals() - evals_before,
             tiles: tiles_after - tiles_before,
             peak_rows,
+            est_peak_rows,
+            overflow_tiles,
             shed,
         }
     })
@@ -312,6 +332,7 @@ mod tests {
             seed: 11,
             threads: 2,
             row_ceiling: Some(64),
+            shards: 3,
         };
         let outcome = rank_pairs(&kb, &tasks, &cfg).unwrap();
         assert_eq!(outcome.rankings.len(), tasks.len());
@@ -338,8 +359,14 @@ mod tests {
             .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
             .collect();
         let per_pair_shapes: usize = prepared.iter().map(|(_, _, ex)| ex.len()).sum();
-        let cfg =
-            RankPairsConfig { k: 5, global_samples: 12, seed: 3, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 5,
+            global_samples: 12,
+            seed: 3,
+            threads: 1,
+            row_ceiling: None,
+            shards: 1,
+        };
         let outcome = rank_pairs(&kb, &tasks, &cfg).unwrap();
         assert!(outcome.distinct_shapes > 0);
         assert!(outcome.batched_evals <= outcome.distinct_shapes);
@@ -360,8 +387,14 @@ mod tests {
             .iter()
             .map(|(s, e, ex)| PairExplanations { start: *s, end: *e, explanations: ex })
             .collect();
-        let base =
-            RankPairsConfig { k: 4, global_samples: 16, seed: 6, threads: 2, row_ceiling: None };
+        let base = RankPairsConfig {
+            k: 4,
+            global_samples: 16,
+            seed: 6,
+            threads: 2,
+            row_ceiling: None,
+            shards: 2,
+        };
         let tight = RankPairsConfig { row_ceiling: Some(1), ..base.clone() };
         let untiled = rank_pairs(&kb, &tasks, &base).unwrap();
         let tiled = rank_pairs(&kb, &tasks, &tight).unwrap();
@@ -391,7 +424,7 @@ mod tests {
         let kb = rex_kb::toy::entertainment();
         let cfg = RankPairsConfig { row_ceiling: Some(4096), ..RankPairsConfig::default() };
         let frame = Arc::new(SampleFrame::sample(&kb, 4, 1).unwrap());
-        let index = EdgeIndex::build(&kb);
+        let index = ShardedEdgeIndex::build(&kb, rex_relstore::engine::ShardSpec::single());
         let unbounded = DistributionCache::new();
         let _ = rank_pairs_with(&[], &cfg, &index, &frame, &unbounded);
     }

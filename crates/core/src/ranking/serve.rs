@@ -72,7 +72,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use rex_kb::{DeltaSince, KbSnapshot, KnowledgeBase, NodeId};
 use rex_relstore::budget::Budget;
-use rex_relstore::engine::EdgeIndex;
+use rex_relstore::engine::{EdgeIndex, ShardSpec, ShardedEdgeIndex};
 
 use crate::canonical::CanonicalKey;
 use crate::error::{CoreError, Result};
@@ -90,7 +90,7 @@ use crate::ranking::pairs::{
 #[derive(Debug)]
 struct PinnedState {
     kb: KbSnapshot,
-    index: Arc<EdgeIndex>,
+    index: Arc<ShardedEdgeIndex>,
     frame: Arc<SampleFrame>,
 }
 
@@ -120,10 +120,18 @@ impl Snapshot {
         self.pinned.kb
     }
 
-    /// The pinned edge index.
+    /// The pinned (sharded) edge index.
     #[inline]
-    pub fn index(&self) -> &Arc<EdgeIndex> {
+    pub fn index(&self) -> &Arc<ShardedEdgeIndex> {
         &self.pinned.index
+    }
+
+    /// The pinned flat edge index — the sharded index's base, which
+    /// always holds every partition in full. Flat callers (plan probes,
+    /// cost estimation) read through this.
+    #[inline]
+    pub fn edge_index(&self) -> &Arc<EdgeIndex> {
+        self.pinned.index.base()
     }
 
     /// The pinned sample frame.
@@ -171,12 +179,15 @@ impl Snapshot {
     /// skipping `exclude` (the pair's own start) at read time — the
     /// single-explanation hot read, pinned to this snapshot's epoch.
     pub fn global_position_excluding(&self, e: &Explanation, exclude: Option<NodeId>) -> usize {
-        self.cache.global_position_excluding(
-            &self.pinned.index,
-            e,
-            self.pinned.frame.starts(),
-            exclude,
-        )
+        self.cache
+            .global_position_excluding_sharded_budgeted(
+                &self.pinned.index,
+                e,
+                self.pinned.frame.starts(),
+                exclude,
+                &Budget::unlimited(),
+            )
+            .expect("unlimited budget never aborts")
     }
 }
 
@@ -306,6 +317,11 @@ pub struct MaintainOutcome {
     /// Scratch-rebuild attempts that panicked before one succeeded (0
     /// when the first attempt went through).
     pub rebuild_retries: usize,
+    /// Index shards rebuilt by this pass. On the incremental path only
+    /// shards owning a delta-touched start are rebuilt (the rest share
+    /// their `Arc` with the previous epoch, copy-on-write); scratch
+    /// rebuilds count every shard.
+    pub shards_rebuilt: usize,
 }
 
 /// The shared serving session: one epoch-versioned `(kb, index, frame)`
@@ -358,9 +374,47 @@ impl ServingState {
             "ServingState: the cache's row ceiling disagrees with cfg.row_ceiling"
         );
         let frame = Arc::new(SampleFrame::sample(kb, cfg.global_samples, cfg.seed)?);
-        let index = Arc::new(EdgeIndex::build(kb));
+        let index = Arc::new(ShardedEdgeIndex::build(kb, ShardSpec::new(cfg.shards, cfg.seed)));
         Ok(ServingState {
             current: RwLock::new(Arc::new(PinnedState { kb: kb.snapshot(), index, frame })),
+            cache: Arc::new(cache),
+            writer: Mutex::new(()),
+            admission: None,
+            faults: None,
+            quarantined_epochs: AtomicUsize::new(0),
+            recovery_rebuilds: AtomicUsize::new(0),
+        })
+    }
+
+    /// [`ServingState::build`] around an index built elsewhere — the warm
+    /// start for an on-disk snapshot loaded via
+    /// [`ShardedEdgeIndex::load`](rex_relstore::engine::ShardedEdgeIndex).
+    /// The loaded index must already sit at `kb`'s current epoch;
+    /// otherwise the caller should fall back to a cold
+    /// [`ServingState::build`].
+    pub fn build_with_index(
+        kb: &KnowledgeBase,
+        cfg: &RankPairsConfig,
+        index: ShardedEdgeIndex,
+    ) -> Result<ServingState> {
+        if index.epoch() != kb.epoch() {
+            return Err(CoreError::Durability(format!(
+                "index snapshot is at epoch {} but the KB is at epoch {}; rebuild instead",
+                index.epoch(),
+                kb.epoch()
+            )));
+        }
+        let cache = match cfg.row_ceiling {
+            Some(ceiling) => DistributionCache::with_row_ceiling(ceiling),
+            None => DistributionCache::new(),
+        };
+        let frame = Arc::new(SampleFrame::sample(kb, cfg.global_samples, cfg.seed)?);
+        Ok(ServingState {
+            current: RwLock::new(Arc::new(PinnedState {
+                kb: kb.snapshot(),
+                index: Arc::new(index),
+                frame,
+            })),
             cache: Arc::new(cache),
             writer: Mutex::new(()),
             admission: None,
@@ -429,7 +483,7 @@ impl ServingState {
         }
         shapes
             .into_values()
-            .map(|e| snapshot.index().estimate_starts_rows(&e.pattern.to_spec(), &starts))
+            .map(|e| snapshot.edge_index().estimate_starts_rows(&e.pattern.to_spec(), &starts))
             .fold(0usize, |acc, rows| acc.saturating_add(rows))
             .max(1)
     }
@@ -506,6 +560,7 @@ impl ServingState {
             purged_entries: 0,
             recovered_from_panic: false,
             rebuild_retries: 0,
+            shards_rebuilt: 0,
         };
         if kb.epoch() == from_epoch {
             return Ok(outcome);
@@ -523,11 +578,13 @@ impl ServingState {
                 // index, so even a post-apply_delta panic leaves reads
                 // consistent.)
                 let attempt = catch_unwind(AssertUnwindSafe(
-                    || -> Result<(DeltaMaintenance, bool, Arc<PinnedState>)> {
+                    || -> Result<(DeltaMaintenance, bool, usize, Arc<PinnedState>)> {
                         // Build the next epoch off to the side: COW index
-                        // (only touched partitions copied), frame redraw
-                        // policy.
+                        // (only shards owning a delta-touched start are
+                        // rebuilt; the rest share their Arc), frame
+                        // redraw policy.
                         let next_index = Arc::new(pinned.index.next_epoch(&delta)?);
+                        let shards_rebuilt = next_index.shards_rebuilt_from(&pinned.index);
                         let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
                         self.fire(site::MAINTAIN_APPLY_DELTA);
                         // Maintain the cache BEFORE the flip: while
@@ -543,24 +600,25 @@ impl ServingState {
                         // recomputes *privately* at its pinned epoch (the
                         // install path never lets an old-epoch result
                         // clobber a maintained entry).
-                        let maintenance = self.cache.apply_delta(kb, &next_index, &delta);
+                        let maintenance = self.cache.apply_delta_sharded(kb, &next_index, &delta);
                         self.fire(site::MAINTAIN_BEFORE_FLIP);
                         let next = Arc::new(PinnedState {
                             kb: kb.snapshot(),
                             index: next_index,
                             frame: Arc::new(next_frame),
                         });
-                        Ok((maintenance, frame_redrawn, next))
+                        Ok((maintenance, frame_redrawn, shards_rebuilt, next))
                     },
                 ));
                 match attempt {
-                    Ok(Ok((maintenance, frame_redrawn, next))) => {
+                    Ok(Ok((maintenance, frame_redrawn, shards_rebuilt, next))) => {
                         // The flip: one swap publishes kb/index/frame
                         // together.
                         *self.current.write() = next;
                         outcome.maintenance = maintenance;
                         outcome.frame_redrawn = frame_redrawn;
                         outcome.index_churn = delta.edge_churn();
+                        outcome.shards_rebuilt = shards_rebuilt;
                     }
                     Ok(Err(err)) => return Err(err),
                     Err(_panic) => {
@@ -579,6 +637,7 @@ impl ServingState {
                         outcome.recovered_from_panic = true;
                         outcome.rebuild_retries = retries;
                         outcome.frame_redrawn = frame_redrawn;
+                        outcome.shards_rebuilt = pinned.index.shard_count();
                     }
                 }
             }
@@ -592,6 +651,7 @@ impl ServingState {
                 outcome.frame_redrawn = frame_redrawn;
                 outcome.compaction_fallback = true;
                 outcome.rebuild_retries = retries;
+                outcome.shards_rebuilt = pinned.index.shard_count();
             }
         }
         Ok(outcome)
@@ -616,7 +676,7 @@ impl ServingState {
             }
             let result = catch_unwind(AssertUnwindSafe(|| -> Result<(Arc<PinnedState>, bool)> {
                 self.fire(site::MAINTAIN_REBUILD_ATTEMPT);
-                let next_index = Arc::new(EdgeIndex::build(kb));
+                let next_index = Arc::new(ShardedEdgeIndex::build(kb, pinned.index.spec()));
                 let (next_frame, frame_redrawn) = pinned.frame.refresh(kb)?;
                 let next = Arc::new(PinnedState {
                     kb: kb.snapshot(),
@@ -667,8 +727,14 @@ mod tests {
         let b = kb.require_node("angelina_jolie").unwrap();
         let explanations =
             GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3)).enumerate(&kb, a, b);
-        let cfg =
-            RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 5,
+            global_samples: 10,
+            seed: 3,
+            threads: 1,
+            row_ceiling: None,
+            shards: 2,
+        };
         (kb, explanations.explanations, cfg)
     }
 
@@ -694,6 +760,12 @@ mod tests {
         assert_eq!(m.to_epoch, kb.epoch());
         assert!(!m.compaction_fallback);
         assert_eq!(m.index_churn, 1);
+        // One edge touches at most two shards (and at least one).
+        assert!(
+            (1..=2).contains(&m.shards_rebuilt),
+            "expected 1..=2 shards rebuilt, got {}",
+            m.shards_rebuilt
+        );
 
         // The old snapshot still answers at its pinned epoch.
         assert_eq!(old.epoch(), 0);

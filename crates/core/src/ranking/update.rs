@@ -141,8 +141,14 @@ mod tests {
                 .map(|&(s, e)| (s, e, enumerator.enumerate(kb, s, e).explanations))
                 .collect()
         };
-        let cfg =
-            RankPairsConfig { k: 5, global_samples: 16, seed: 11, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 5,
+            global_samples: 16,
+            seed: 11,
+            threads: 1,
+            row_ceiling: None,
+            shards: 1,
+        };
 
         // Cold session on the pre-update KB.
         let state = ServingState::build(&kb, &cfg).unwrap();
@@ -207,8 +213,14 @@ mod tests {
             b.add_directed_edge(w[0], w[1], "r");
         }
         let mut kb = b.build();
-        let cfg =
-            RankPairsConfig { k: 3, global_samples: 8, seed: 2, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 3,
+            global_samples: 8,
+            seed: 2,
+            threads: 1,
+            row_ceiling: None,
+            shards: 1,
+        };
         let state = ServingState::build(&kb, &cfg).unwrap();
         // Strip a sampled start bare.
         let victim = state.snapshot().frame().starts()[0];
@@ -238,6 +250,7 @@ mod tests {
             seed: 7,
             threads: 1,
             row_ceiling: Some(64),
+            shards: 1,
         };
         let state = ServingState::build(&kb, &cfg).unwrap();
         let ex0 = enumerator.enumerate(&kb, a, b).explanations;
@@ -271,8 +284,14 @@ mod tests {
         let enumerator = GeneralEnumerator::new(EnumConfig::default().with_max_nodes(3));
         let a = kb.require_node("brad_pitt").unwrap();
         let b = kb.require_node("angelina_jolie").unwrap();
-        let cfg =
-            RankPairsConfig { k: 4, global_samples: 10, seed: 7, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 4,
+            global_samples: 10,
+            seed: 7,
+            threads: 1,
+            row_ceiling: None,
+            shards: 1,
+        };
         let state = ServingState::build(&kb, &cfg).unwrap();
         let ex0 = enumerator.enumerate(&kb, a, b).explanations;
         let tasks0 = [PairExplanations { start: a, end: b, explanations: &ex0 }];
@@ -319,8 +338,14 @@ mod tests {
     #[test]
     fn serving_frame_matches_direct_sample() {
         let kb = rex_kb::toy::entertainment();
-        let cfg =
-            RankPairsConfig { k: 3, global_samples: 12, seed: 9, threads: 1, row_ceiling: None };
+        let cfg = RankPairsConfig {
+            k: 3,
+            global_samples: 12,
+            seed: 9,
+            threads: 1,
+            row_ceiling: None,
+            shards: 1,
+        };
         let state = ServingState::build(&kb, &cfg).unwrap();
         let direct = Arc::new(SampleFrame::sample(&kb, 12, 9).unwrap());
         assert_eq!(state.snapshot().frame().starts(), direct.starts());

@@ -57,6 +57,17 @@ impl PartitionPosting {
     pub fn heap_bytes(&self) -> usize {
         self.by_src.heap_bytes() + self.by_dst.heap_bytes()
     }
+
+    /// Both postings, `from` first — the serialization order of the
+    /// on-disk snapshot format (`crate::persist`).
+    pub(crate) fn parts(&self) -> (&ColumnPosting, &ColumnPosting) {
+        (&self.by_src, &self.by_dst)
+    }
+
+    /// Reassembles a posting pair from deserialized parts.
+    pub(crate) fn from_parts(by_src: ColumnPosting, by_dst: ColumnPosting) -> PartitionPosting {
+        PartitionPosting { by_src, by_dst }
+    }
 }
 
 /// Aggregate endpoint-posting statistics of an [`EdgeIndex`] — what
@@ -74,6 +85,10 @@ pub struct PostingStats {
     /// Heap bytes held by all posting arrays.
     pub heap_bytes: usize,
 }
+
+/// One `(label, dir)` partition of an [`EdgeIndex`] with its rows and
+/// posting, as yielded by the snapshot serializer's partition walk.
+pub(crate) type PartitionEntry<'a> = ((u64, u64), &'a Arc<Relation>, &'a Arc<PartitionPosting>);
 
 /// The oriented edge relation pre-partitioned by `(label, dir)` — the
 /// relational analogue of a composite index on `R(rel)`. Pattern-edge
@@ -532,6 +547,273 @@ impl EdgeIndex {
         }
         tiles
     }
+
+    /// The sub-index shard `k` of `spec` holds: every partition row whose
+    /// `from` **or** `to` entity hashes to shard `k`, with fresh endpoint
+    /// postings over the filtered rows. Because a shard keeps *all* rows
+    /// incident to its residents (not just resident→resident rows), a
+    /// probe for a resident start returns exactly what the base index
+    /// would — the completeness invariant the sharded fan-out rests on.
+    /// Non-start pattern edges are *not* evaluated against shards (they
+    /// scan the base index via the split plan), so dropping non-incident
+    /// rows here loses nothing.
+    fn restrict_to_shard(&self, spec: &ShardSpec, k: usize) -> EdgeIndex {
+        let from_col = self.schema.index_of("from").expect("oriented schema");
+        let to_col = self.schema.index_of("to").expect("oriented schema");
+        let mut groups: HashMap<(u64, u64), Arc<Relation>> = HashMap::new();
+        let mut total_rows = 0usize;
+        for (&key, rel) in &self.groups {
+            let rows: Vec<crate::Row> = rel
+                .rows()
+                .iter()
+                .filter(|r| spec.shard_of(r[from_col]) == k || spec.shard_of(r[to_col]) == k)
+                .cloned()
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            total_rows += rows.len();
+            let rel = Relation::from_rows(self.schema.clone(), rows).expect("partition arity");
+            groups.insert(key, Arc::new(rel));
+        }
+        let postings = groups
+            .iter()
+            .map(|(&k, rel)| (k, Arc::new(PartitionPosting::build(rel, from_col, to_col))))
+            .collect();
+        EdgeIndex {
+            groups,
+            postings,
+            schema: self.schema.clone(),
+            total_rows,
+            node_count: self.node_count,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Reassembles an index from its parts — the deserialization path of
+    /// the on-disk snapshot format (`crate::persist`).
+    pub(crate) fn from_parts(
+        groups: HashMap<(u64, u64), Arc<Relation>>,
+        postings: HashMap<(u64, u64), Arc<PartitionPosting>>,
+        schema: Schema,
+        total_rows: usize,
+        node_count: usize,
+        epoch: u64,
+    ) -> EdgeIndex {
+        EdgeIndex { groups, postings, schema, total_rows, node_count, epoch }
+    }
+
+    /// The index's `(label, dir)` partitions with their postings, in
+    /// **sorted key order** (deterministic snapshot bytes).
+    pub(crate) fn partitions(&self) -> Vec<PartitionEntry<'_>> {
+        let mut keys: Vec<(u64, u64)> = self.groups.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| (k, &self.groups[&k], self.postings.get(&k).expect("posting per partition")))
+            .collect()
+    }
+
+    /// Saves this index as a checksummed on-disk snapshot (see
+    /// [`crate::persist`]); returns the snapshot size in bytes.
+    pub fn save(&self, path: &std::path::Path) -> Result<u64> {
+        crate::persist::save_index(self, path)
+    }
+
+    /// Loads an index from an on-disk snapshot written by
+    /// [`EdgeIndex::save`]. Cold start becomes I/O-bound: the flat CSR
+    /// and posting arrays are validated and adopted as-is — no
+    /// re-bucketing, no posting sorts — so a load is strictly cheaper
+    /// than [`EdgeIndex::build`] at any scale.
+    pub fn load(path: &std::path::Path) -> Result<EdgeIndex> {
+        crate::persist::load_index(path)
+    }
+}
+
+/// How start entities are hash-partitioned across index shards: entity
+/// `e` resides on shard `shard_of(e)`, computed with a seeded splitmix64
+/// finalizer so residency is uniform, deterministic, and independent of
+/// insertion order. `shards == 1` is the degenerate spec every unsharded
+/// path uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Hash seed, so disjoint deployments can de-correlate residency.
+    pub seed: u64,
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard spec (the unsharded fast path).
+    pub fn single() -> ShardSpec {
+        ShardSpec { shards: 1, seed: 0 }
+    }
+
+    /// A spec with `shards` shards (clamped to ≥ 1) and the given seed.
+    pub fn new(shards: usize, seed: u64) -> ShardSpec {
+        ShardSpec { shards: shards.max(1), seed }
+    }
+
+    /// The shard entity `e` resides on.
+    #[inline]
+    pub fn shard_of(&self, entity: u64) -> usize {
+        if self.shards <= 1 {
+            return 0;
+        }
+        let mut x = entity.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.shards as u64) as usize
+    }
+
+    /// Whether shard `k` owns any endpoint of a KB edge record — the
+    /// record-level form of the shard residency rule (equivalent to the
+    /// row-level rule for both oriented rows of an undirected edge, since
+    /// those rows share the same endpoint set).
+    #[inline]
+    pub fn owns_record(&self, record: &EdgeRecord, k: usize) -> bool {
+        self.shard_of(record.src.0 as u64) == k || self.shard_of(record.dst.0 as u64) == k
+    }
+}
+
+/// N independent [`EdgeIndex`] shards over one KB epoch, plus the full
+/// **base** index. Shard `k` holds the partition rows incident to the
+/// start entities residing on `k` ([`ShardSpec::shard_of`]), so a batched
+/// `Among` evaluation splits its start set by residency and fans the
+/// per-shard batches out in parallel — each worker probes its shard's
+/// (smaller) postings and scans the shared base for non-start pattern
+/// edges, and the `(start, end)`-keyed grouped counts merge by disjoint
+/// union. The base index also serves every non-`Among` path unchanged.
+///
+/// Copy-on-write across epochs like everything else in this stack:
+/// [`ShardedEdgeIndex::next_epoch`] rebuilds only the shards owning a
+/// delta endpoint; untouched shards share their `Arc` with the previous
+/// version (pointer-equality-testable, like the PR 5 postings).
+#[derive(Debug, Clone)]
+pub struct ShardedEdgeIndex {
+    spec: ShardSpec,
+    base: Arc<EdgeIndex>,
+    shards: Vec<Arc<EdgeIndex>>,
+}
+
+impl ShardedEdgeIndex {
+    /// Builds the base index and its shards from a knowledge base.
+    pub fn build(kb: &KnowledgeBase, spec: ShardSpec) -> ShardedEdgeIndex {
+        ShardedEdgeIndex::from_base(Arc::new(EdgeIndex::build(kb)), spec)
+    }
+
+    /// Shards an existing base index. With `spec.shards == 1` the single
+    /// "shard" *is* the base (`Arc`-shared, zero copies) — the sharded
+    /// paths then degrade to exactly the unsharded evaluation.
+    pub fn from_base(base: Arc<EdgeIndex>, spec: ShardSpec) -> ShardedEdgeIndex {
+        let spec = ShardSpec::new(spec.shards, spec.seed);
+        if spec.shards == 1 {
+            return ShardedEdgeIndex { spec, shards: vec![Arc::clone(&base)], base };
+        }
+        let shards = (0..spec.shards).map(|k| Arc::new(base.restrict_to_shard(&spec, k))).collect();
+        ShardedEdgeIndex { spec, base, shards }
+    }
+
+    /// Assembles a sharded index from already-built parts (the snapshot
+    /// load path); the caller guarantees the shards match the spec.
+    pub(crate) fn from_shards(
+        spec: ShardSpec,
+        base: Arc<EdgeIndex>,
+        shards: Vec<Arc<EdgeIndex>>,
+    ) -> ShardedEdgeIndex {
+        ShardedEdgeIndex { spec, base, shards }
+    }
+
+    /// The shard layout.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The full (unsharded) base index — what every non-`Among` path and
+    /// every non-start pattern-edge scan evaluates against.
+    pub fn base(&self) -> &Arc<EdgeIndex> {
+        &self.base
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `k`'s restricted index.
+    pub fn shard(&self, k: usize) -> &Arc<EdgeIndex> {
+        &self.shards[k]
+    }
+
+    /// The KB epoch of the base index. Untouched shards may **lag** this
+    /// epoch after COW deltas — by construction those deltas carried no
+    /// row a lagging shard owns, so its contents are nonetheless exact.
+    pub fn epoch(&self) -> u64 {
+        self.base.epoch()
+    }
+
+    /// Entities in the indexed KB.
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Splits sorted, deduped start values into per-shard buckets
+    /// (`buckets[k]` sorted; empty for shards with no start).
+    pub fn split_starts(&self, values: &[u64]) -> Vec<Vec<u64>> {
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &v in values {
+            buckets[self.spec.shard_of(v)].push(v);
+        }
+        buckets
+    }
+
+    /// Applies a delta copy-on-write: the base advances as usual, and
+    /// each shard advances **only if the delta touches an edge it owns**
+    /// — the filtered sub-delta is applied on top of the shard's (possibly
+    /// lagging) epoch. Untouched shards share their `Arc` with this
+    /// version, so a small delta rebuilds `O(affected shards)` posting
+    /// sets instead of all `N`.
+    pub fn next_epoch(&self, delta: &KbDelta) -> Result<ShardedEdgeIndex> {
+        let base = Arc::new(self.base.next_epoch(delta)?);
+        if self.spec.shards == 1 {
+            return Ok(ShardedEdgeIndex { spec: self.spec, shards: vec![Arc::clone(&base)], base });
+        }
+        let shards: Vec<Arc<EdgeIndex>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let added: Vec<EdgeRecord> =
+                    delta.added.iter().filter(|e| self.spec.owns_record(e, k)).cloned().collect();
+                let removed: Vec<EdgeRecord> =
+                    delta.removed.iter().filter(|e| self.spec.owns_record(e, k)).cloned().collect();
+                if added.is_empty() && removed.is_empty() {
+                    // Nothing this shard owns changed: share the Arc and
+                    // let the shard's epoch lag (its rows are exact).
+                    return Ok(Arc::clone(shard));
+                }
+                let sub = KbDelta {
+                    from_epoch: shard.epoch(),
+                    to_epoch: delta.to_epoch,
+                    added,
+                    removed,
+                    node_count: delta.node_count,
+                };
+                Ok(Arc::new(shard.next_epoch(&sub)?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedEdgeIndex { spec: self.spec, base, shards })
+    }
+
+    /// How many shards were rebuilt (not `Arc`-shared) relative to a
+    /// previous version — the COW observability hook `MaintainOutcome`
+    /// and the `sharded` bench section report.
+    pub fn shards_rebuilt_from(&self, prev: &ShardedEdgeIndex) -> usize {
+        if self.shards.len() != prev.shards.len() {
+            return self.shards.len();
+        }
+        self.shards.iter().zip(&prev.shards).filter(|(a, b)| !Arc::ptr_eq(a, b)).count()
+    }
 }
 
 /// Materializes the knowledge base's *oriented* edge relation
@@ -741,20 +1023,158 @@ pub fn global_count_distributions(
     };
     let instances = spec.evaluate_indexed_with(index, &binding)?;
     // GROUP BY v_start, v_end → count(*), in one pass over the (distinct,
-    // injective) instance rows.
-    let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::with_capacity(instances.len());
-    for row in instances.rows() {
-        *pair_counts.entry((row[spec.start], row[spec.end])).or_insert(0) += 1;
-    }
-    // Regroup per start into descending count multisets.
-    let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
-    for ((start, _end), count) in pair_counts {
-        per_start.entry(start).or_default().push(count);
-    }
+    // injective) instance rows — through the specialized two-level
+    // accumulator, then regrouped into descending count multisets.
+    let mut per_start = group_pair_counts(&instances, spec.start, spec.end, index.node_count());
     for counts in per_start.values_mut() {
         counts.sort_unstable_by(|a, b| b.cmp(a));
     }
     Ok(per_start)
+}
+
+/// Sort-free two-level accumulator for the hot `(start, end)` group-by:
+/// level 1 maps the start entity through a **dense** slot table over the
+/// interned id domain (entity ids are small consecutive integers — a
+/// `Vec` lookup, no hashing); level 2 is an open-addressed table keyed by
+/// the packed `(slot << 32) | end` word with Fibonacci hashing — one
+/// multiply and a masked probe per instance row, against the generic
+/// `HashMap<(u64, u64), u64>`'s SipHash of a 16-byte tuple key. Entity
+/// ids are `u32`-backed in the KB, so the packed key is exact.
+#[derive(Debug)]
+pub struct PairCounter {
+    /// Dense start → slot + 1 (0 = unassigned), indexed by entity id.
+    start_slot: Vec<u32>,
+    /// Slot → start entity id, in first-seen order.
+    starts: Vec<u64>,
+    /// Open-addressed `(packed_key + 1, count)` entries; 0-key = empty.
+    table: Vec<(u64, u64)>,
+    /// Occupied table entries.
+    len: usize,
+    /// `64 - log2(table capacity)` — the Fibonacci-hash shift.
+    shift: u32,
+}
+
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl PairCounter {
+    /// Creates an accumulator sized for a KB of `domain_hint` entities.
+    pub fn new(domain_hint: usize) -> PairCounter {
+        let cap = 16usize;
+        PairCounter {
+            start_slot: vec![0; domain_hint],
+            starts: Vec::new(),
+            table: vec![(0, 0); cap],
+            len: 0,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&mut self, start: u64) -> u64 {
+        let idx = start as usize;
+        if idx >= self.start_slot.len() {
+            self.start_slot.resize(idx + 1, 0);
+        }
+        let assigned = self.start_slot[idx];
+        if assigned != 0 {
+            return u64::from(assigned - 1);
+        }
+        let slot = self.starts.len() as u32;
+        self.starts.push(start);
+        self.start_slot[idx] = slot + 1;
+        u64::from(slot)
+    }
+
+    #[inline]
+    fn insert_raw(&mut self, key: u64, count: u64) -> bool {
+        let mask = self.table.len() - 1;
+        let mut i = (key.wrapping_mul(FIB_HASH) >> self.shift) as usize;
+        loop {
+            let (stored, _) = self.table[i];
+            if stored == 0 {
+                self.table[i] = (key + 1, count);
+                return true;
+            }
+            if stored == key + 1 {
+                self.table[i].1 += count;
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Counts one `(start, end)` instance row.
+    #[inline]
+    pub fn record(&mut self, start: u64, end: u64) {
+        debug_assert!(end < (1 << 32), "entity ids are u32-backed");
+        // Grow at ~70% load so probe chains stay short.
+        if (self.len + 1) * 10 >= self.table.len() * 7 {
+            let doubled = self.table.len() * 2;
+            let old = std::mem::replace(&mut self.table, vec![(0, 0); doubled]);
+            self.shift = 64 - doubled.trailing_zeros();
+            for (stored, count) in old {
+                if stored != 0 {
+                    self.insert_raw(stored - 1, count);
+                }
+            }
+        }
+        let key = (self.slot_of(start) << 32) | end;
+        if self.insert_raw(key, 1) {
+            self.len += 1;
+        }
+    }
+
+    /// Regroups the pair counts per start — the **unsorted** per-end count
+    /// multiset of every start seen (callers sort descending once, after
+    /// all tiles merged).
+    pub fn finish(self) -> HashMap<u64, Vec<u64>> {
+        let mut per_start: HashMap<u64, Vec<u64>> = HashMap::with_capacity(self.starts.len());
+        for (stored, count) in self.table {
+            if stored == 0 {
+                continue;
+            }
+            let slot = ((stored - 1) >> 32) as usize;
+            per_start.entry(self.starts[slot]).or_default().push(count);
+        }
+        per_start
+    }
+}
+
+/// The specialized `(start, end)` group-by over an instance relation: the
+/// per-start **unsorted** count multisets, computed with [`PairCounter`].
+/// This is the hot-path replacement for [`group_pair_counts_generic`];
+/// the two are answer-identical (pinned by test and measured against each
+/// other in the `sharded` bench section).
+pub fn group_pair_counts(
+    instances: &Relation,
+    start_col: usize,
+    end_col: usize,
+    domain_hint: usize,
+) -> HashMap<u64, Vec<u64>> {
+    let mut counter = PairCounter::new(domain_hint);
+    for row in instances.rows() {
+        counter.record(row[start_col], row[end_col]);
+    }
+    counter.finish()
+}
+
+/// The generic-`HashMap` `(start, end)` group-by the batched pipeline
+/// shipped with before [`PairCounter`] — kept as the reference
+/// implementation (parity tests, bench baseline).
+pub fn group_pair_counts_generic(
+    instances: &Relation,
+    start_col: usize,
+    end_col: usize,
+) -> HashMap<u64, Vec<u64>> {
+    let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::with_capacity(instances.len());
+    for row in instances.rows() {
+        *pair_counts.entry((row[start_col], row[end_col])).or_insert(0) += 1;
+    }
+    let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
+    for ((start, _end), count) in pair_counts {
+        per_start.entry(start).or_default().push(count);
+    }
+    per_start
 }
 
 /// The result of a tiled batched evaluation: the per-start descending
@@ -769,6 +1189,21 @@ pub struct TiledDistributions {
     pub tiles: usize,
     /// Largest intermediate relation (rows) any tile materialized.
     pub peak_rows: usize,
+    /// Largest **estimated** input rows of any tile — the quantity the
+    /// row ceiling actually bounds. Ceiling tiling packs starts by their
+    /// estimated incident rows ([`EdgeIndex::tile_starts_for_ceiling`]),
+    /// so `est_peak_rows ≤ ceiling` holds for every multi-start tile;
+    /// the **measured** [`TiledDistributions::peak_rows`] may legally
+    /// exceed the ceiling when the System-R estimate under-predicts join
+    /// fan-out, or when a single hub start's own weight tops the ceiling
+    /// (a singleton tile no split can shrink — counted in
+    /// [`TiledDistributions::overflow_tiles`]).
+    pub est_peak_rows: usize,
+    /// Tiles whose estimated rows exceeded the requested ceiling —
+    /// necessarily singleton hub tiles under ceiling tiling (multi-start
+    /// tiles are packed under it by construction); always 0 for
+    /// fixed-size tiling, which requests no ceiling.
+    pub overflow_tiles: usize,
 }
 
 /// Memory-bounded variant of [`global_count_distributions`]: the start set
@@ -911,11 +1346,87 @@ pub fn delta_count_distributions_ceiling_budgeted(
 }
 
 /// How a grouped `Among` evaluation splits its start set.
+#[derive(Debug, Clone, Copy)]
 enum Tiling {
     /// Fixed start count per tile (uniform per-start cost assumption).
     FixedSize(usize),
     /// Row ceiling per tile, packed by exact per-start incident rows.
     RowCeiling(usize),
+}
+
+impl TiledDistributions {
+    /// The no-op result of an empty start set.
+    fn empty() -> TiledDistributions {
+        TiledDistributions {
+            per_start: HashMap::new(),
+            tiles: 0,
+            peak_rows: 0,
+            est_peak_rows: 0,
+            overflow_tiles: 0,
+        }
+    }
+
+    /// Merges a disjoint partial result (start sets never overlap across
+    /// shards, so the per-start union has no key collisions).
+    fn absorb(&mut self, other: TiledDistributions) {
+        self.per_start.extend(other.per_start);
+        self.tiles += other.tiles;
+        self.peak_rows = self.peak_rows.max(other.peak_rows);
+        self.est_peak_rows = self.est_peak_rows.max(other.est_peak_rows);
+        self.overflow_tiles += other.overflow_tiles;
+    }
+}
+
+/// The tile loop shared by the unsharded batch and every sharded worker:
+/// evaluates `values` (sorted, deduped, non-empty) tile by tile with
+/// probes against `probe` and non-start scans against `scan`
+/// ([`PatternSpec::evaluate_indexed_tile_budgeted_split`]), grouping each
+/// tile's instances through the specialized [`PairCounter`]. Tiling and
+/// per-start weights are derived from `probe` (a shard's postings count
+/// exactly its residents' incident rows). Records tiles but **not** the
+/// batch-level evaluation, and does no staging — the caller owns both.
+/// Returned count multisets are unsorted; the caller sorts once at the
+/// end of the whole batch.
+fn grouped_tiles(
+    probe: &EdgeIndex,
+    scan: &EdgeIndex,
+    spec: &PatternSpec,
+    values: &[u64],
+    tiling: Tiling,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
+    let chunks: Vec<Vec<u64>> = match tiling {
+        Tiling::FixedSize(tile_size) => {
+            values.chunks(tile_size.max(1)).map(<[u64]>::to_vec).collect()
+        }
+        Tiling::RowCeiling(max_rows) => probe.tile_starts_for_ceiling(spec, values, max_rows),
+    };
+    let ceiling = match tiling {
+        Tiling::FixedSize(_) => None,
+        Tiling::RowCeiling(max_rows) => Some(max_rows),
+    };
+    let mut out = TiledDistributions::empty();
+    for chunk in chunks {
+        if let Some(max_rows) = ceiling {
+            let est = probe.estimate_starts_rows(spec, &chunk);
+            out.est_peak_rows = out.est_peak_rows.max(est);
+            if est > max_rows {
+                out.overflow_tiles += 1;
+            }
+        }
+        let binding = StartBinding::Among(chunk);
+        let (instances, peak) =
+            spec.evaluate_indexed_tile_budgeted_split(probe, scan, &binding, budget)?;
+        crate::metrics::record_tile();
+        out.tiles += 1;
+        out.peak_rows = out.peak_rows.max(peak);
+        for (start, counts) in
+            group_pair_counts(&instances, spec.start, spec.end, scan.node_count())
+        {
+            out.per_start.entry(start).or_default().extend(counts);
+        }
+    }
+    Ok(out)
 }
 
 /// Shared body of the tiled grouped evaluations; `record` is bumped once
@@ -940,40 +1451,201 @@ fn grouped_among_tiled(
     // An empty start set is a no-op, not an evaluation: recording an
     // eval here would break the "every batch is ≥ 1 tile" invariant.
     if values.is_empty() {
-        return Ok(TiledDistributions { per_start: HashMap::new(), tiles: 0, peak_rows: 0 });
+        return Ok(TiledDistributions::empty());
     }
     // Stage the batch's counter traffic: commit on success, drain on any
     // early exit (`?` below drops the guard, which drains).
     let stage = crate::metrics::stage_evaluation();
     record();
-    let chunks: Vec<Vec<u64>> = match tiling {
-        Tiling::FixedSize(tile_size) => {
-            values.chunks(tile_size.max(1)).map(<[u64]>::to_vec).collect()
-        }
-        Tiling::RowCeiling(max_rows) => index.tile_starts_for_ceiling(spec, &values, max_rows),
-    };
-    let mut per_start: HashMap<u64, Vec<u64>> = HashMap::new();
-    let mut tiles = 0usize;
-    let mut peak_rows = 0usize;
-    for chunk in chunks {
-        let binding = StartBinding::Among(chunk);
-        let (instances, peak) = spec.evaluate_indexed_tile_budgeted(index, &binding, budget)?;
-        crate::metrics::record_tile();
-        tiles += 1;
-        peak_rows = peak_rows.max(peak);
-        let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::with_capacity(instances.len());
-        for row in instances.rows() {
-            *pair_counts.entry((row[spec.start], row[spec.end])).or_insert(0) += 1;
-        }
-        for ((start, _end), count) in pair_counts {
-            per_start.entry(start).or_default().push(count);
-        }
-    }
-    for counts in per_start.values_mut() {
+    let mut out = grouped_tiles(index, index, spec, &values, tiling, budget)?;
+    for counts in out.per_start.values_mut() {
         counts.sort_unstable_by(|a, b| b.cmp(a));
     }
     stage.commit();
-    Ok(TiledDistributions { per_start, tiles, peak_rows })
+    Ok(out)
+}
+
+/// The sharded analogue of [`grouped_among_tiled`]: splits the start set
+/// by shard residency, fans the non-empty buckets out across rayon
+/// workers — each probing its shard's restricted postings and scanning
+/// the shared base index for non-start pattern edges — and merges the
+/// per-shard grouped counts by disjoint union (start sets never overlap
+/// across shards). Byte-identical to the unsharded evaluation: every
+/// bucket's probe returns exactly the base index's incident rows
+/// ([`EdgeIndex::restrict_to_shard`]'s completeness invariant), and
+/// 1-shard indexes short-circuit onto the unsharded code path.
+///
+/// Metrics: counter traffic is staged per worker, harvested
+/// ([`crate::metrics::StageGuard::into_traffic`]) and replayed into the
+/// batch's outer stage, so scoped snapshots see one whole batch (one
+/// full/delta eval, all workers' tiles and row traffic) or, on abort,
+/// none of it — exactly the unsharded staging contract.
+fn sharded_grouped(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tiling: Tiling,
+    record: fn(),
+    budget: &Budget,
+) -> Result<TiledDistributions> {
+    if index.shard_count() == 1 {
+        return grouped_among_tiled(index.base(), spec, starts, tiling, record, budget);
+    }
+    spec.validate()?;
+    let mut values: Vec<u64> = starts.to_vec();
+    values.sort_unstable();
+    values.dedup();
+    if values.is_empty() {
+        return Ok(TiledDistributions::empty());
+    }
+    let stage = crate::metrics::stage_evaluation();
+    record();
+    let buckets: Vec<(usize, Vec<u64>)> = index
+        .split_starts(&values)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect();
+    use rayon::prelude::*;
+    let results: Vec<Result<(TiledDistributions, Option<crate::metrics::EvalTraffic>)>> = buckets
+        .par_iter()
+        .map(|(k, bucket)| {
+            // Stage on the worker thread (staging is thread-local) and
+            // hand the harvested traffic back for replay on the batch
+            // thread.
+            let wstage = crate::metrics::stage_evaluation();
+            match grouped_tiles(index.shard(*k), index.base(), spec, bucket, tiling, budget) {
+                Ok(part) => Ok((part, wstage.into_traffic())),
+                Err(e) => {
+                    // Harvest-and-discard so the worker's guard doesn't
+                    // count its own aborted evaluation — the batch's
+                    // outer stage drains (and counts the abort) once.
+                    let _ = wstage.into_traffic();
+                    Err(e)
+                }
+            }
+        })
+        .collect();
+    let mut out = TiledDistributions::empty();
+    for r in results {
+        let (part, traffic) = r?;
+        if let Some(t) = &traffic {
+            crate::metrics::replay_traffic(t);
+        }
+        out.absorb(part);
+    }
+    for counts in out.per_start.values_mut() {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    stage.commit();
+    Ok(out)
+}
+
+/// [`global_count_distributions_tiled`] over a [`ShardedEdgeIndex`]:
+/// identical result, parallel per-shard fan-out (see [`sharded_grouped`]).
+pub fn sharded_count_distributions_tiled(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tile_size: usize,
+) -> Result<TiledDistributions> {
+    sharded_count_distributions_tiled_budgeted(index, spec, starts, tile_size, &Budget::unlimited())
+}
+
+/// [`global_count_distributions_tiled_budgeted`] over a
+/// [`ShardedEdgeIndex`] — the shared [`Budget`] is checked at every tile
+/// boundary on every worker, so deadline/cancel/row-pool aborts preempt
+/// the whole fan-out within one tile per worker.
+pub fn sharded_count_distributions_tiled_budgeted(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    tile_size: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
+    sharded_grouped(
+        index,
+        spec,
+        starts,
+        Tiling::FixedSize(tile_size),
+        crate::metrics::record_full_eval,
+        budget,
+    )
+}
+
+/// [`global_count_distributions_ceiling`] over a [`ShardedEdgeIndex`].
+/// The row ceiling applies **per shard tile**: each worker packs its own
+/// starts under `max_rows` using its shard's exact incident weights.
+pub fn sharded_count_distributions_ceiling(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    max_rows: usize,
+) -> Result<TiledDistributions> {
+    sharded_count_distributions_ceiling_budgeted(
+        index,
+        spec,
+        starts,
+        max_rows,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`global_count_distributions_ceiling_budgeted`] over a
+/// [`ShardedEdgeIndex`] (per-shard row ceilings, shared budget).
+pub fn sharded_count_distributions_ceiling_budgeted(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    starts: &[u64],
+    max_rows: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
+    sharded_grouped(
+        index,
+        spec,
+        starts,
+        Tiling::RowCeiling(max_rows),
+        crate::metrics::record_full_eval,
+        budget,
+    )
+}
+
+/// [`delta_count_distributions`] over a [`ShardedEdgeIndex`] — the
+/// incremental-maintenance path fans out too (affected starts of a large
+/// delta can span many shards).
+pub fn sharded_delta_count_distributions(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    affected_starts: &[u64],
+    tile_size: usize,
+) -> Result<TiledDistributions> {
+    sharded_grouped(
+        index,
+        spec,
+        affected_starts,
+        Tiling::FixedSize(tile_size),
+        crate::metrics::record_delta_eval,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`delta_count_distributions_ceiling_budgeted`] over a
+/// [`ShardedEdgeIndex`].
+pub fn sharded_delta_count_distributions_ceiling_budgeted(
+    index: &ShardedEdgeIndex,
+    spec: &PatternSpec,
+    affected_starts: &[u64],
+    max_rows: usize,
+    budget: &Budget,
+) -> Result<TiledDistributions> {
+    sharded_grouped(
+        index,
+        spec,
+        affected_starts,
+        Tiling::RowCeiling(max_rows),
+        crate::metrics::record_delta_eval,
+        budget,
+    )
 }
 
 /// [`local_position`] over a prebuilt [`EdgeIndex`]. Bounded queries
@@ -1664,5 +2336,280 @@ mod tests {
         // position 0 (nothing beats it), so it outranks co-starring with
         // count 1.
         assert_eq!(local_position(&rel, &spec, bp, 1, usize::MAX).unwrap(), 0);
+    }
+
+    /// The specialized two-level `(start, end)` accumulator must agree
+    /// with the generic `HashMap` group-by on every instance relation.
+    #[test]
+    fn pair_counter_matches_generic_group_by() {
+        let kb = toy::entertainment();
+        let index = EdgeIndex::build(&kb);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let instances = spec.evaluate_indexed_with(&index, &StartBinding::Unbound).unwrap();
+        let fast = group_pair_counts(&instances, spec.start, spec.end, index.node_count());
+        let slow = group_pair_counts_generic(&instances, spec.start, spec.end);
+        assert_eq!(fast.len(), slow.len());
+        for (start, counts) in &slow {
+            let mut a = counts.clone();
+            let mut b = fast.get(start).cloned().unwrap_or_default();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "start {start}");
+        }
+        // Degenerate inputs: empty relation, zero domain hint (the
+        // dense slot table grows on demand past the hint).
+        let empty = Relation::empty(instances.schema().clone());
+        assert!(group_pair_counts(&empty, spec.start, spec.end, 0).is_empty());
+        let hinted_zero = group_pair_counts(&instances, spec.start, spec.end, 0);
+        assert_eq!(hinted_zero.len(), slow.len());
+    }
+
+    /// Entity-hash sharding never changes an answer: for shard counts
+    /// 1, 2, 3, and 7 (including shards that own no start), the sharded
+    /// fan-out is byte-identical to the unsharded batch under fixed-size
+    /// *and* ceiling tiling, and the degenerate 1-shard index shares the
+    /// base outright.
+    #[test]
+    fn sharded_fanout_matches_unsharded() {
+        let kb = toy::entertainment();
+        let base = Arc::new(EdgeIndex::build(&kb));
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spouse = kb.label_by_name("spouse").unwrap().0 as u64;
+        let costar = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let spousal = PatternSpec {
+            var_count: 2,
+            start: 0,
+            end: 1,
+            edges: vec![SpecEdge { u: 0, v: 1, label: spouse, directed: false }],
+        };
+        let all: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let tiny: Vec<u64> = all.iter().copied().take(2).collect();
+        for shards in [1usize, 2, 3, 7] {
+            let sharded =
+                ShardedEdgeIndex::from_base(Arc::clone(&base), ShardSpec::new(shards, 0xD1CE));
+            assert_eq!(sharded.shard_count(), shards);
+            if shards == 1 {
+                assert!(Arc::ptr_eq(sharded.base(), sharded.shard(0)));
+            }
+            for spec in [&costar, &spousal] {
+                for starts in [&all, &tiny] {
+                    let expect = global_count_distributions_tiled(&base, spec, starts, 4).unwrap();
+                    let tiled =
+                        sharded_count_distributions_tiled(&sharded, spec, starts, 4).unwrap();
+                    assert_eq!(tiled.per_start, expect.per_start, "{shards} shards, tiled");
+                    let ceiling =
+                        sharded_count_distributions_ceiling(&sharded, spec, starts, 64).unwrap();
+                    assert_eq!(ceiling.per_start, expect.per_start, "{shards} shards, ceiling");
+                }
+            }
+        }
+        // The empty start set stays a no-op through the sharded path.
+        let sharded = ShardedEdgeIndex::from_base(Arc::clone(&base), ShardSpec::new(3, 1));
+        let none = sharded_count_distributions_tiled(&sharded, &costar, &[], 4).unwrap();
+        assert!(none.per_start.is_empty());
+        assert_eq!(none.tiles, 0);
+    }
+
+    /// Each shard holds **every** row incident to its resident entities,
+    /// so a probe against the shard answers exactly like one against the
+    /// base index — the completeness invariant the fan-out rests on.
+    #[test]
+    fn shard_restriction_is_complete_for_residents() {
+        let kb = toy::entertainment();
+        let base = EdgeIndex::build(&kb);
+        let spec = ShardSpec::new(3, 99);
+        let sharded = ShardedEdgeIndex::build(&kb, spec);
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let mut total_shard_rows = 0usize;
+        for k in 0..3 {
+            total_shard_rows += sharded.shard(k).total_rows();
+        }
+        // Rows incident to two differently-resident endpoints appear in
+        // both shards; nothing is lost.
+        assert!(total_shard_rows >= base.total_rows());
+        for v in 0..kb.node_count() as u64 {
+            let k = spec.shard_of(v);
+            for src in [true, false] {
+                for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
+                    assert_eq!(
+                        sharded.shard(k).incident_len(starring, dir, src, &[v]),
+                        base.incident_len(starring, dir, src, &[v]),
+                        "entity {v} shard {k} src {src} dir {dir}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// COW delta maintenance across shards: only the shards owning a
+    /// delta endpoint are rebuilt; the rest share their `Arc` with the
+    /// previous version, and the advanced sharded index answers like a
+    /// fresh build.
+    #[test]
+    fn sharded_next_epoch_rebuilds_only_owning_shards() {
+        let mut kb = toy::entertainment();
+        let spec = ShardSpec::new(4, 7);
+        let v0 = ShardedEdgeIndex::build(&kb, spec);
+        let epoch0 = kb.epoch();
+
+        let bp = kb.require_node("brad_pitt").unwrap();
+        let m = kb.require_node("oceans_eleven").unwrap();
+        let starring = kb.label_by_name("starring").unwrap();
+        kb.insert_edge(bp, m, starring, true).unwrap();
+        let delta = kb.delta_since(epoch0).into_delta().unwrap();
+
+        let v1 = v0.next_epoch(&delta).unwrap();
+        assert_eq!(v1.epoch(), kb.epoch());
+        // The one added edge touches at most two shards (its endpoints').
+        let owners: HashSet<usize> =
+            [spec.shard_of(bp.0 as u64), spec.shard_of(m.0 as u64)].into_iter().collect();
+        assert_eq!(v1.shards_rebuilt_from(&v0), owners.len());
+        for k in 0..4 {
+            assert_eq!(Arc::ptr_eq(v0.shard(k), v1.shard(k)), !owners.contains(&k), "shard {k}");
+            if !owners.contains(&k) {
+                // A lagging untouched shard still reads epoch0 — safe
+                // because no row it owns changed.
+                assert_eq!(v1.shard(k).epoch(), epoch0);
+            } else {
+                assert_eq!(v1.shard(k).epoch(), kb.epoch());
+            }
+        }
+        // Parity with a fresh build after the delta.
+        let fresh = ShardedEdgeIndex::build(&kb, spec);
+        let costar = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring.0 as u64, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring.0 as u64, directed: true },
+            ],
+        };
+        let all: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let a = sharded_count_distributions_tiled(&v1, &costar, &all, 4).unwrap();
+        let b = sharded_count_distributions_tiled(&fresh, &costar, &all, 4).unwrap();
+        assert_eq!(a.per_start, b.per_start);
+        // The source version is untouched (copy-on-write, not in-place).
+        assert_eq!(v0.epoch(), epoch0);
+    }
+
+    /// Regression for the BENCH row-ceiling reading: the ceiling bounds
+    /// each tile's **estimated input rows** — `est_peak_rows ≤ ceiling`
+    /// for every multi-start tile by construction — while the measured
+    /// `peak_rows` may legally exceed it (join fan-out the System-R
+    /// estimate under-predicts, or a single hub start heavier than the
+    /// ceiling, which no split can shrink). Overweight singletons are
+    /// counted in `overflow_tiles`; answers are always preserved.
+    #[test]
+    fn ceiling_bounds_estimated_tile_input_not_measured_peak() {
+        // Hub KB: 120 spokes into one hub make the hub's co-star join
+        // explode quadratically past any estimate, and make the hub
+        // start itself heavier than a tight ceiling.
+        let mut b = KbBuilder::new();
+        let hub = b.add_node("hub", "T");
+        for i in 0..120 {
+            let x = b.add_node(&format!("x{i}"), "T");
+            b.add_directed_edge(x, hub, "common");
+        }
+        let kb = b.build();
+        let index = EdgeIndex::build(&kb);
+        let common = kb.label_by_name("common").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: common, directed: true },
+                SpecEdge { u: 1, v: 2, label: common, directed: true },
+            ],
+        };
+        let starts: Vec<u64> = (0..kb.node_count() as u64).collect();
+        // Each spoke start alone joins to ~120 rows (every co-spoke pair
+        // through the hub), so a ceiling of 64 makes every spoke an
+        // overweight singleton tile that no split can shrink.
+        let ceiling = 64usize;
+        // The invariant itself, stated on the tiling primitive: every
+        // multi-start tile's estimate fits under the ceiling; only
+        // singleton tiles may exceed it.
+        let tiles = index.tile_starts_for_ceiling(&spec, &starts, ceiling);
+        for tile in &tiles {
+            let est = index.estimate_starts_rows(&spec, tile);
+            assert!(
+                tile.len() == 1 || est <= ceiling,
+                "multi-start tile of {} starts estimated at {est} > {ceiling}",
+                tile.len()
+            );
+        }
+        let result = global_count_distributions_ceiling(&index, &spec, &starts, ceiling).unwrap();
+        // The estimate the ceiling governs stays bounded unless an
+        // overweight singleton overflowed — and those are counted.
+        assert!(
+            result.est_peak_rows <= ceiling || result.overflow_tiles > 0,
+            "est {} over ceiling {ceiling} with no overflow tile recorded",
+            result.est_peak_rows
+        );
+        // The overweight singletons make the *measured* peak legally
+        // exceed the ceiling (~120 joined rows from one spoke's tile).
+        assert!(result.overflow_tiles > 0, "expected overweight singleton tiles");
+        assert!(
+            result.peak_rows > ceiling,
+            "expected a measured overshoot, got peak {}",
+            result.peak_rows
+        );
+        // Answers unchanged by tiling.
+        let untiled = global_count_distributions(&index, &spec, Some(&starts)).unwrap();
+        assert_eq!(result.per_start, untiled);
+        // Fixed-size tiling requests no ceiling, so it never reports
+        // overflow.
+        let fixed = global_count_distributions_tiled(&index, &spec, &starts, 8).unwrap();
+        assert_eq!(fixed.overflow_tiles, 0);
+    }
+
+    /// A sharded batch stages and publishes exactly like an unsharded
+    /// one: scoped counters observe the full eval, every worker's tiles,
+    /// and the probe/scan row traffic (harvested from worker threads and
+    /// replayed on the batch thread).
+    #[test]
+    fn sharded_fanout_publishes_worker_traffic() {
+        let kb = toy::entertainment();
+        let sharded = ShardedEdgeIndex::build(&kb, ShardSpec::new(3, 5));
+        let starring = kb.label_by_name("starring").unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: starring, directed: true },
+                SpecEdge { u: 1, v: 2, label: starring, directed: true },
+            ],
+        };
+        let all: Vec<u64> = (0..kb.node_count() as u64).collect();
+        let buckets = sharded.split_starts(&all).into_iter().filter(|b| !b.is_empty()).count();
+        let scope = crate::metrics::scoped();
+        let before = scope.counts();
+        sharded_count_distributions_tiled(&sharded, &spec, &all, 4).unwrap();
+        let after = scope.counts().since(&before);
+        // `>=` throughout: other tests run concurrently against the same
+        // process-wide counters.
+        assert!(after.full >= 1);
+        assert!(after.tiles >= buckets, "tiles {} < buckets {buckets}", after.tiles);
+        assert!(after.rows_probed >= 1, "worker probe traffic lost");
     }
 }

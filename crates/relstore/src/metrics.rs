@@ -249,7 +249,55 @@ pub fn stage_evaluation() -> StageGuard {
     StageGuard { owner, committed: false, _not_send: std::marker::PhantomData }
 }
 
+/// Counter traffic harvested from a completed worker-thread stage
+/// ([`StageGuard::into_traffic`]), to be replayed into the coordinating
+/// thread's stage ([`replay_traffic`]). Staging buffers are thread-local,
+/// so a parallel shard fan-out would otherwise split one logical batch
+/// across N workers' buffers: the coordinator harvests each worker's
+/// buffer and replays it into its own stage, preserving the whole-batch
+/// commit/drain atomicity scoped snapshots rely on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EvalTraffic {
+    /// Full evaluations recorded while staged.
+    pub full: usize,
+    /// Streaming evaluations recorded while staged.
+    pub streaming: usize,
+    /// Partial (delta) evaluations recorded while staged.
+    pub delta: usize,
+    /// Evaluation tiles recorded while staged.
+    pub tiles: usize,
+    /// Rows materialized by partition scans while staged.
+    pub rows_scanned: usize,
+    /// Rows materialized by posting probes while staged.
+    pub rows_probed: usize,
+    /// Peak intermediate rows observed while staged.
+    pub peak_rows: usize,
+}
+
 impl StageGuard {
+    /// Takes the staged buffer **without publishing it and without the
+    /// abort bump** — the harvesting half of cross-thread staging. The
+    /// caller replays the returned traffic into its own stage
+    /// ([`replay_traffic`]); whether it is ultimately published or
+    /// drained is then that stage's decision, so a parallel fan-out
+    /// still commits or aborts as one batch. Returns `None` for passive
+    /// (nested) guards.
+    pub fn into_traffic(mut self) -> Option<EvalTraffic> {
+        self.committed = true; // suppress the drop-drain abort bump
+        if !self.owner {
+            return None;
+        }
+        STAGED.with(|slot| slot.borrow_mut().take()).map(|s| EvalTraffic {
+            full: s.full,
+            streaming: s.streaming,
+            delta: s.delta,
+            tiles: s.tiles,
+            rows_scanned: s.rows_scanned,
+            rows_probed: s.rows_probed,
+            peak_rows: s.peak_rows,
+        })
+    }
+
     /// Publishes the staged traffic to the process-global counters.
     pub fn commit(mut self) {
         self.committed = true;
@@ -279,6 +327,30 @@ impl Drop for StageGuard {
         if drained.is_some() {
             ABORTED_EVALS.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+/// Replays harvested worker traffic ([`StageGuard::into_traffic`]) into
+/// the calling thread's active stage — or straight into the globals when
+/// no stage is active (the unstaged fallback every `record_*` has).
+pub fn replay_traffic(t: &EvalTraffic) {
+    let applied = staged(|s| {
+        s.full += t.full;
+        s.streaming += t.streaming;
+        s.delta += t.delta;
+        s.tiles += t.tiles;
+        s.rows_scanned += t.rows_scanned;
+        s.rows_probed += t.rows_probed;
+        s.peak_rows = s.peak_rows.max(t.peak_rows);
+    });
+    if !applied {
+        FULL_EVALS.fetch_add(t.full, Ordering::Relaxed);
+        STREAMING_EVALS.fetch_add(t.streaming, Ordering::Relaxed);
+        DELTA_EVALS.fetch_add(t.delta, Ordering::Relaxed);
+        TILES.fetch_add(t.tiles, Ordering::Relaxed);
+        ROWS_SCANNED.fetch_add(t.rows_scanned, Ordering::Relaxed);
+        ROWS_PROBED.fetch_add(t.rows_probed, Ordering::Relaxed);
+        PEAK_ROWS.fetch_max(t.peak_rows, Ordering::Relaxed);
     }
 }
 
@@ -518,6 +590,46 @@ mod tests {
         let before = snapshot();
         outer.commit();
         assert!(snapshot().since(&before).tiles >= 2, "outer commit flushes both tiles");
+    }
+
+    /// Harvested worker traffic replays into the coordinator's stage as
+    /// if recorded there, and the outer commit publishes the combined
+    /// batch wholesale — the cross-thread staging contract the sharded
+    /// fan-out builds on.
+    #[test]
+    fn harvested_traffic_replays_into_outer_stage() {
+        let scope = scoped();
+        let traffic = std::thread::spawn(|| {
+            let stage = stage_evaluation();
+            record_tile();
+            record_rows_probed(7);
+            record_peak_rows(55);
+            stage.into_traffic().expect("worker owns its stage")
+        })
+        .join()
+        .expect("worker");
+        assert_eq!(traffic.tiles, 1);
+        assert_eq!(traffic.rows_probed, 7);
+        assert_eq!(traffic.peak_rows, 55);
+        let outer = stage_evaluation();
+        record_full_eval();
+        replay_traffic(&traffic);
+        outer.commit();
+        let counts = scope.counts();
+        assert!(counts.full >= 1);
+        assert!(counts.tiles >= 1);
+        assert!(counts.rows_probed >= 7);
+        assert!(scope.peak_rows() >= 55);
+    }
+
+    /// Replaying with no active stage falls through to the globals.
+    #[test]
+    fn replay_without_stage_hits_globals() {
+        let before = snapshot();
+        replay_traffic(&EvalTraffic { tiles: 2, rows_scanned: 11, ..EvalTraffic::default() });
+        let delta = snapshot().since(&before);
+        assert!(delta.tiles >= 2);
+        assert!(delta.rows_scanned >= 11);
     }
 
     /// Scopes serialize: each thread's scope sees at least its own

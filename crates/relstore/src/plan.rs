@@ -214,6 +214,24 @@ impl PatternSpec {
         index: &crate::engine::EdgeIndex,
         binding: &StartBinding,
     ) -> Result<Vec<Relation>> {
+        self.indexed_scans_split(index, index, binding)
+    }
+
+    /// [`PatternSpec::indexed_scans`] over a **split** pair of indexes:
+    /// start-incident edges probe `probe`'s endpoint postings, while
+    /// edges not touching the start variable scan `scan`'s full
+    /// partitions. With `probe == scan` this is exactly the unsharded
+    /// path; the sharded `Among` fan-out passes a shard (which holds
+    /// every row incident to its resident starts, so resident probes are
+    /// complete) as `probe` and the full base index as `scan` (non-start
+    /// pattern edges range over the *whole* KB regardless of sharding).
+    fn indexed_scans_split(
+        &self,
+        probe: &crate::engine::EdgeIndex,
+        scan: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+    ) -> Result<Vec<Relation>> {
+        let index = scan;
         let schema = index.schema();
         let from = schema.index_of("from")?;
         let to = schema.index_of("to")?;
@@ -232,7 +250,7 @@ impl PatternSpec {
                             // Probe the start endpoint (`from` when the
                             // start variable is the tail; a self-loop at
                             // the start is covered by the ColEqCol above).
-                            let base = index.probe(
+                            let base = probe.probe(
                                 e.label,
                                 dir,
                                 e.u == self.start,
@@ -257,7 +275,7 @@ impl PatternSpec {
                         // (non-start target-exclusion is per-row and
                         // enforced by the final injectivity filter).
                         if e.u == self.start || e.v == self.start {
-                            index.probe(e.label, dir, e.u == self.start, values)
+                            probe.probe(e.label, dir, e.u == self.start, values)
                         } else {
                             index.scan(e.label, dir)
                         }
@@ -350,8 +368,25 @@ impl PatternSpec {
         binding: &StartBinding,
         budget: &crate::budget::Budget,
     ) -> Result<(Relation, usize)> {
+        self.evaluate_indexed_tile_budgeted_split(index, index, binding, budget)
+    }
+
+    /// [`PatternSpec::evaluate_indexed_tile_budgeted`] over a split
+    /// probe/scan index pair ([`PatternSpec::indexed_scans_split`]) — the
+    /// tile boundary of the **sharded** batched evaluation: start probes
+    /// hit the shard, non-start scans hit the full base index. Identical
+    /// budget semantics (checked before the tile, rows charged after).
+    pub fn evaluate_indexed_tile_budgeted_split(
+        &self,
+        probe: &crate::engine::EdgeIndex,
+        scan: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+        budget: &crate::budget::Budget,
+    ) -> Result<(Relation, usize)> {
         budget.check().map_err(crate::RelError::Aborted)?;
-        let (instances, peak) = self.evaluate_indexed_tracked(index, binding, false)?;
+        self.validate()?;
+        let scans = self.indexed_scans_split(probe, scan, binding)?;
+        let (instances, peak) = self.join_scans(scans)?;
         budget.charge_rows(peak);
         Ok((instances, peak))
     }

@@ -209,6 +209,52 @@ impl ColumnPosting {
         self.keys.len() * std::mem::size_of::<u64>()
             + (self.offsets.len() + self.perm.len()) * std::mem::size_of::<u32>()
     }
+
+    /// The posting's flat arrays `(keys, offsets, perm)` — the exact
+    /// on-disk layout of the index snapshot format (`persist`), exposed
+    /// so serialization is a plain memcpy of three arrays.
+    pub(crate) fn parts(&self) -> (&[u64], &[u32], &[u32]) {
+        (&self.keys, &self.offsets, &self.perm)
+    }
+
+    /// Reassembles a posting from flat arrays (the deserialization path
+    /// of the index snapshot format), validating the CSR invariants
+    /// against `row_count` — sorted strictly-increasing keys, monotone
+    /// offsets starting at 0 and ending at `perm.len()`, and every
+    /// permutation entry in `0..row_count` — so a corrupted snapshot is
+    /// rejected instead of producing out-of-bounds probes. Crucially this
+    /// performs **no sorting**: loading a posting is `O(n)` array
+    /// validation, which is what makes an index load strictly cheaper
+    /// than a rebuild.
+    pub(crate) fn from_parts(
+        keys: Vec<u64>,
+        offsets: Vec<u32>,
+        perm: Vec<u32>,
+        row_count: usize,
+    ) -> Result<ColumnPosting> {
+        let corrupt = |msg: &str| RelError::Corrupt(format!("posting: {msg}"));
+        if offsets.len() != keys.len() + 1 {
+            return Err(corrupt("offsets length must be keys + 1"));
+        }
+        if perm.len() != row_count {
+            return Err(corrupt("permutation length must equal row count"));
+        }
+        if let (Some(&first), Some(&last)) = (offsets.first(), offsets.last()) {
+            if first != 0 || last as usize != perm.len() {
+                return Err(corrupt("offsets must span exactly the permutation"));
+            }
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("offsets must be monotone"));
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("keys must be strictly increasing"));
+        }
+        if perm.iter().any(|&i| i as usize >= row_count) {
+            return Err(corrupt("permutation entry out of range"));
+        }
+        Ok(ColumnPosting { keys, offsets, perm })
+    }
 }
 
 #[cfg(test)]

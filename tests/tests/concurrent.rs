@@ -22,7 +22,7 @@ use rex_core::measures::{DistributionCache, SampleFrame};
 use rex_core::ranking::{rank_pairs_with, PairExplanations, RankPairsConfig, ServingState};
 use rex_core::{EnumConfig, Explanation};
 use rex_kb::{KnowledgeBase, LabelId, NodeId};
-use rex_relstore::engine::EdgeIndex;
+use rex_relstore::engine::{EdgeIndex, ShardSpec, ShardedEdgeIndex};
 use rex_tests::scaffold::{apply_ops, base_kb};
 
 /// The suite's deterministic base KB (distinct tail from the
@@ -64,7 +64,14 @@ fn concurrent_readers_never_observe_torn_epochs() {
     let mut kb = suite_kb(7);
     let explanations = enumerate_core(&kb);
     assert!(!explanations.is_empty());
-    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 5, threads: 1, row_ceiling: None };
+    let cfg = RankPairsConfig {
+        k: 5,
+        global_samples: 12,
+        seed: 5,
+        threads: 1,
+        row_ceiling: None,
+        shards: 1,
+    };
     let state = ServingState::build(&kb, &cfg).unwrap();
     let frame = state.snapshot().frame().clone();
 
@@ -169,7 +176,14 @@ fn injected_maintain_panic_quarantines_and_recovers_without_torn_reads() {
     let mut kb = suite_kb(11);
     let explanations = enumerate_core(&kb);
     assert!(!explanations.is_empty());
-    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 5, threads: 1, row_ceiling: None };
+    let cfg = RankPairsConfig {
+        k: 5,
+        global_samples: 12,
+        seed: 5,
+        threads: 1,
+        row_ceiling: None,
+        shards: 1,
+    };
     let plan = FaultPlan::seeded(11)
         .one_shot(site::MAINTAIN_BEFORE_FLIP, FaultAction::Panic)
         .one_shot(site::MAINTAIN_REBUILD_ATTEMPT, FaultAction::Panic);
@@ -280,7 +294,14 @@ fn injected_maintain_panic_quarantines_and_recovers_without_torn_reads() {
 #[test]
 fn pinned_snapshot_probes_survive_concurrent_flip() {
     let mut kb = suite_kb(21);
-    let cfg = RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None };
+    let cfg = RankPairsConfig {
+        k: 5,
+        global_samples: 10,
+        seed: 3,
+        threads: 1,
+        row_ceiling: None,
+        shards: 1,
+    };
     let state = ServingState::build(&kb, &cfg).unwrap();
     let pinned = state.snapshot();
     let kb_at_pin = kb.clone();
@@ -298,7 +319,7 @@ fn pinned_snapshot_probes_survive_concurrent_flip() {
     for label in 0u64..5 {
         for dir in [dir_code::FORWARD, dir_code::UNDIRECTED] {
             let (Some(old), Some(new)) =
-                (pinned.index().posting(label, dir), current.index().posting(label, dir))
+                (pinned.edge_index().posting(label, dir), current.edge_index().posting(label, dir))
             else {
                 continue;
             };
@@ -313,9 +334,12 @@ fn pinned_snapshot_probes_survive_concurrent_flip() {
     let starts: Vec<u64> = (0..kb.node_count() as u64 + 4).collect();
     for idx in 0..rex_tests::scaffold::shape_count() {
         let spec = rex_tests::scaffold::shape(idx);
-        let via_pinned =
-            rex_relstore::engine::global_count_distributions(pinned.index(), &spec, Some(&starts))
-                .unwrap();
+        let via_pinned = rex_relstore::engine::global_count_distributions(
+            pinned.edge_index(),
+            &spec,
+            Some(&starts),
+        )
+        .unwrap();
         let via_scratch =
             rex_relstore::engine::global_count_distributions(&scratch, &spec, Some(&starts))
                 .unwrap();
@@ -346,7 +370,7 @@ proptest! {
         prop_assert!(!explanations.is_empty());
         let starts: Vec<NodeId> = kb.node_ids().collect();
         let cfg = RankPairsConfig {
-            k: 5, global_samples: 8, seed: 2, threads: 1, row_ceiling: None,
+            k: 5, global_samples: 8, seed: 2, threads: 1, row_ceiling: None, shards: 1,
         };
         let state = ServingState::build(&kb, &cfg).unwrap();
         // Warm epoch 0, advance to epoch E1, pin it.
@@ -367,13 +391,13 @@ proptest! {
 
         // Byte-identical multisets: reads through the pinned snapshot vs
         // a scratch build at E1 (fresh index, cold cache).
-        let scratch_index = EdgeIndex::build(&kb_at_e1);
+        let scratch_index = ShardedEdgeIndex::build(&kb_at_e1, ShardSpec::single());
         prop_assert_eq!(scratch_index.epoch(), pinned.epoch());
         let scratch_cache = DistributionCache::new();
         for e in &explanations {
-            let maintained = pinned.cache().all_starts(pinned.index(), e, &starts);
+            let maintained = pinned.cache().all_starts(pinned.edge_index(), e, &starts);
             prop_assert_eq!(maintained.epoch(), pinned.epoch());
-            let scratch = scratch_cache.all_starts(&scratch_index, e, &starts);
+            let scratch = scratch_cache.all_starts(scratch_index.base(), e, &starts);
             for s in &starts {
                 prop_assert_eq!(
                     maintained.counts_for(s.0 as u64),
@@ -404,7 +428,7 @@ proptest! {
         let final_index = EdgeIndex::build(&kb);
         let final_cache = DistributionCache::new();
         for e in &explanations {
-            let served = current.cache().all_starts(current.index(), e, &starts);
+            let served = current.cache().all_starts(current.edge_index(), e, &starts);
             let scratch = final_cache.all_starts(&final_index, e, &starts);
             for s in &starts {
                 prop_assert_eq!(

@@ -38,7 +38,7 @@ fn enumerate_core(kb: &KnowledgeBase) -> Vec<Explanation> {
 }
 
 fn cfg() -> RankPairsConfig {
-    RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None }
+    RankPairsConfig { k: 5, global_samples: 10, seed: 3, threads: 1, row_ceiling: None, shards: 1 }
 }
 
 /// Everything observable about a [`DistributionCache`] short of walking

@@ -1,0 +1,189 @@
+//! Sharded-index differential suite: the parallel per-shard fan-out and
+//! the on-disk snapshot codec, pinned against the naive reference
+//! evaluator.
+//!
+//! The central property: for ANY knowledge base, pattern shape, start
+//! set, and shard count, the sharded `Among` fan-out returns per-start
+//! count multisets **byte-identical** to both the unsharded probe path
+//! and the unindexed full-scan reference — including starts that hash to
+//! empty shards, starts outside the KB, and the degenerate one-shard
+//! spec. Sharding is a physical layout choice; it must never be
+//! observable in an answer.
+//!
+//! Alongside it: a save → load → evaluate round-trip property (a
+//! reloaded index answers exactly like the one that was saved) and the
+//! corrupt-a-byte sweep from the durability suite applied to the index
+//! snapshot files (every single-byte corruption of any file in the
+//! snapshot directory is rejected by a checksum — never a panic, never
+//! a silently wrong index).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rex_relstore::engine::{
+    global_count_distributions, sharded_count_distributions_ceiling,
+    sharded_count_distributions_tiled, ShardSpec, ShardedEdgeIndex,
+};
+use rex_tests::differential::reference_distributions;
+use rex_tests::scaffold::{apply_ops, base_kb, shape, shape_count};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rex-sharded-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Shard counts every property sweeps: the degenerate single shard, two
+/// coprime counts, and one larger than the scaffold's hot-entity count
+/// so some shards own no start at all.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Start-value universe for a KB: every node id plus a few ids beyond
+/// the KB (no incident rows by definition — they must simply produce no
+/// entry, on every path).
+fn start_universe(node_count: usize) -> Vec<u64> {
+    (0..node_count as u64 + 4).collect()
+}
+
+/// Selects a subset of the universe from a bitmask draw.
+fn select_starts(universe: &[u64], mask: u64) -> Vec<u64> {
+    universe.iter().copied().filter(|&v| (mask >> (v % 64)) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Shard parity: random KBs × shapes × start sets × shard counts,
+    /// tiled and ceiling evaluation, against the unsharded probe path
+    /// AND the unindexed reference.
+    #[test]
+    fn sharded_fanout_matches_reference_and_unsharded(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            0..10,
+        ),
+        shape_idx in 0usize..32,
+        mask in 0u64..u64::MAX,
+    ) {
+        let mut kb = base_kb(seed, 0xC0DE);
+        apply_ops(&mut kb, &ops, "s");
+        let spec = shape(shape_idx % shape_count());
+        let universe = start_universe(kb.node_count());
+        let subset = select_starts(&universe, mask);
+
+        for shards in SHARD_COUNTS {
+            let index = ShardedEdgeIndex::build(&kb, ShardSpec::new(shards, seed ^ 0x5EED));
+            for starts in [&universe, &subset] {
+                let expected = reference_distributions(&kb, &spec, Some(starts));
+                let flat =
+                    global_count_distributions(index.base(), &spec, Some(starts)).unwrap();
+                prop_assert_eq!(&flat, &expected, "unsharded probe path, {shards} shards");
+                let tiled = sharded_count_distributions_tiled(
+                    &index, &spec, starts, starts.len().max(1) / 2 + 1,
+                ).unwrap();
+                prop_assert_eq!(&tiled.per_start, &expected, "tiled fan-out, {shards} shards");
+                let ceiled =
+                    sharded_count_distributions_ceiling(&index, &spec, starts, 64).unwrap();
+                prop_assert_eq!(&ceiled.per_start, &expected, "ceiling fan-out, {shards} shards");
+            }
+        }
+    }
+
+    /// Save → load → evaluate: a reloaded snapshot answers exactly like
+    /// the index that was saved, for every shape over every start.
+    #[test]
+    fn snapshot_round_trip_preserves_every_answer(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..1000, 0usize..1000, 0usize..5, any::<bool>()),
+            0..8,
+        ),
+        shards_idx in 0usize..4,
+    ) {
+        let mut kb = base_kb(seed, 0xD15C);
+        apply_ops(&mut kb, &ops, "p");
+        let shards = SHARD_COUNTS[shards_idx];
+        let index = ShardedEdgeIndex::build(&kb, ShardSpec::new(shards, 7));
+
+        let dir = case_dir("roundtrip");
+        index.save(&dir).unwrap();
+        let loaded = ShardedEdgeIndex::load(&dir).unwrap();
+        prop_assert_eq!(loaded.spec(), index.spec());
+        prop_assert_eq!(loaded.epoch(), index.epoch());
+        prop_assert_eq!(loaded.shard_count(), index.shard_count());
+
+        let starts = start_universe(kb.node_count());
+        for idx in 0..shape_count() {
+            let spec = shape(idx);
+            let before =
+                sharded_count_distributions_tiled(&index, &spec, &starts, 8).unwrap();
+            let after =
+                sharded_count_distributions_tiled(&loaded, &spec, &starts, 8).unwrap();
+            prop_assert_eq!(&before.per_start, &after.per_start, "shape {}", idx);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A start set landing entirely on one shard of many leaves the other
+/// shards' workers with nothing to do — and the answer unchanged.
+#[test]
+fn single_start_on_many_shards_matches_reference() {
+    let kb = base_kb(11, 0xC0DE);
+    let index = ShardedEdgeIndex::build(&kb, ShardSpec::new(7, 0));
+    for start in start_universe(kb.node_count()) {
+        let starts = [start];
+        for idx in 0..shape_count() {
+            let spec = shape(idx);
+            let expected = reference_distributions(&kb, &spec, Some(&starts));
+            let got = sharded_count_distributions_tiled(&index, &spec, &starts, 1).unwrap();
+            assert_eq!(got.per_start, expected, "shape {idx} start {start}");
+        }
+    }
+}
+
+/// Every single-byte corruption of any file in a sharded snapshot
+/// directory — manifest, base, every shard — fails the load with a typed
+/// error. The FNV checksum trailer covers every byte of every file, so
+/// nothing flips silently.
+#[test]
+fn corrupt_a_byte_sweep_over_snapshot_directory() {
+    let kb = base_kb(3, 0xBAD);
+    let index = ShardedEdgeIndex::build(&kb, ShardSpec::new(3, 9));
+    let dir = case_dir("corrupt");
+    index.save(&dir).unwrap();
+    ShardedEdgeIndex::load(&dir).expect("pristine snapshot loads");
+
+    let files: Vec<PathBuf> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+    assert!(files.len() >= 5, "manifest + base + 3 shards, got {}", files.len());
+    for path in &files {
+        let pristine = std::fs::read(path).unwrap();
+        for i in 0..pristine.len() {
+            let mut corrupt = pristine.clone();
+            corrupt[i] ^= 0xFF;
+            std::fs::write(path, &corrupt).unwrap();
+            assert!(
+                ShardedEdgeIndex::load(&dir).is_err(),
+                "{} byte {i}: corruption must be rejected",
+                path.file_name().unwrap().to_string_lossy()
+            );
+        }
+        std::fs::write(path, &pristine).unwrap();
+    }
+
+    // Truncations and a missing manifest are rejected too.
+    for path in &files {
+        let pristine = std::fs::read(path).unwrap();
+        std::fs::write(path, &pristine[..pristine.len() / 2]).unwrap();
+        assert!(ShardedEdgeIndex::load(&dir).is_err(), "truncated {}", path.display());
+        std::fs::write(path, &pristine).unwrap();
+    }
+    ShardedEdgeIndex::load(&dir).expect("restored snapshot loads again");
+    let _ = std::fs::remove_dir_all(&dir);
+}

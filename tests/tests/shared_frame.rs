@@ -25,7 +25,7 @@ use rex_datagen::{generate, sample_pairs, GeneratorConfig};
 use rex_kb::{KnowledgeBase, NodeId};
 use rex_relstore::engine::{
     global_count_distributions, global_count_distributions_tiled, local_count_distribution_indexed,
-    EdgeIndex,
+    EdgeIndex, ShardSpec, ShardedEdgeIndex,
 };
 
 /// One pair's enumerated explanations in the shared workload.
@@ -69,6 +69,7 @@ fn shared_frame_positions_match_private_cache() {
         seed: 5,
         threads: 2,
         row_ceiling: Some(256),
+        shards: 1,
     };
     let outcome = rank_pairs(kb, &tasks, &cfg).unwrap();
     for ((s, e, ex), shared) in prepared.iter().zip(&outcome.rankings) {
@@ -149,7 +150,14 @@ fn workload_budget_beats_per_pair_caches() {
     tasks.push(tasks[0]);
     let distinct: HashSet<_> =
         tasks.iter().flat_map(|t| t.explanations.iter().map(|e| e.key().clone())).collect();
-    let cfg = RankPairsConfig { k: 5, global_samples: 12, seed: 9, threads: 2, row_ceiling: None };
+    let cfg = RankPairsConfig {
+        k: 5,
+        global_samples: 12,
+        seed: 9,
+        threads: 2,
+        row_ceiling: None,
+        shards: 1,
+    };
     let outcome = rank_pairs(kb, &tasks, &cfg).unwrap();
     assert_eq!(outcome.distinct_shapes, distinct.len());
     assert!(outcome.batched_evals <= distinct.len());
@@ -171,7 +179,7 @@ fn workload_budget_beats_per_pair_caches() {
 
     // Re-ranking through the same shared session is eval-free.
     let frame = Arc::new(SampleFrame::sample(kb, 12, 9).unwrap());
-    let index = EdgeIndex::build(kb);
+    let index = ShardedEdgeIndex::build(kb, ShardSpec::single());
     let cache = DistributionCache::new();
     let first = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
     let second = rank_pairs_with(&tasks, &cfg, &index, &frame, &cache);
