@@ -451,6 +451,160 @@ pub fn endpoint_index_bench(w: &Workload, pairs_per_group: usize) -> EndpointInd
     }
 }
 
+/// The join-order comparison behind the cost-based planner: the same
+/// skewed-label pattern evaluated with the naive left-to-right edge
+/// order versus the production selectivity-driven plan.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerBench {
+    /// Edges in the synthetic skewed KB.
+    pub kb_edges: usize,
+    /// Starts in the `Among` binding both sides evaluate under.
+    pub starts: usize,
+    /// Wall time of the naive-order side (all repetitions).
+    pub naive_wall: Duration,
+    /// Wall time of the cost-ordered side (all repetitions).
+    pub cost_wall: Duration,
+    /// Full-partition rows the naive order walked.
+    pub naive_rows_scanned: usize,
+    /// Endpoint-posting rows the naive order probed (start edges only —
+    /// the naive executor has no bound-value probes).
+    pub naive_rows_probed: usize,
+    /// Full-partition rows the planned execution walked.
+    pub cost_rows_scanned: usize,
+    /// Endpoint-posting rows the planned execution probed (start probes
+    /// plus the bound-value probes that replace hub scans).
+    pub cost_rows_probed: usize,
+    /// Both orders produced identical relations.
+    pub parity: bool,
+}
+
+impl PlannerBench {
+    /// Total row traffic of the naive side.
+    pub fn naive_traffic(&self) -> usize {
+        self.naive_rows_scanned + self.naive_rows_probed
+    }
+
+    /// Total row traffic of the planned side.
+    pub fn cost_traffic(&self) -> usize {
+        self.cost_rows_scanned + self.cost_rows_probed
+    }
+
+    /// Row-traffic win of the planner (>1 = planner touches fewer rows).
+    pub fn traffic_ratio(&self) -> f64 {
+        let cost = self.cost_traffic();
+        if cost > 0 {
+            self.naive_traffic() as f64 / cost as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// How many times each side re-evaluates the pattern, so the wall
+/// numbers are above scheduler noise on small hosts.
+const PLANNER_BENCH_REPS: usize = 8;
+
+/// Measures the cost-based join orderer against the naive left-to-right
+/// edge order on a deliberately skewed KB: a 3-step path whose middle
+/// label is a huge hub partition. The naive order must scan that
+/// partition outright; the planner defers it to a bound-value probe fed
+/// by the rare start edge, so its row traffic collapses to the probed
+/// neighborhoods. Must run inside the caller's [`metrics::scoped`]
+/// region: the per-side traffic deltas come from the process-global
+/// counters.
+pub fn planner_bench(w: &Workload) -> PlannerBench {
+    use rex_kb::KbBuilder;
+    use rex_relstore::engine::EdgeIndex;
+    use rex_relstore::plan::{PatternSpec, SpecEdge, StartBinding};
+
+    // start -rare-> m -hub-> h -sel-> end, with `hub` carrying ~50× the
+    // rows of the other labels. Deterministic: no RNG, sizes fixed.
+    let mut b = KbBuilder::new();
+    let mut starts = Vec::new();
+    let hubs: Vec<_> = (0..4).map(|i| b.add_node(&format!("h{i}"), "T")).collect();
+    for i in 0..16 {
+        let s = b.add_node(&format!("s{i}"), "T");
+        let m = b.add_node(&format!("m{i}"), "T");
+        b.add_directed_edge(s, m, "rare");
+        b.add_directed_edge(m, hubs[i % hubs.len()], "hub");
+        starts.push(s.0 as u64);
+    }
+    for (i, h) in hubs.iter().enumerate() {
+        let e = b.add_node(&format!("e{i}"), "T");
+        b.add_directed_edge(*h, e, "sel");
+    }
+    // Hub noise with distinct endpoints on both sides: the naive order
+    // scans every one of these rows, while a bound-value probe of the 4
+    // hub keys (or the 16 bound mids) never touches them.
+    for i in 0..1500 {
+        let x = b.add_node(&format!("x{i}"), "T");
+        let y = b.add_node(&format!("y{i}"), "T");
+        b.add_directed_edge(x, y, "hub");
+    }
+    let kb = b.build();
+    let l = |n: &str| kb.label_by_name(n).unwrap().0 as u64;
+    let spec = PatternSpec {
+        var_count: 4,
+        start: 0,
+        end: 1,
+        edges: vec![
+            SpecEdge { u: 0, v: 2, label: l("rare"), directed: true },
+            SpecEdge { u: 2, v: 3, label: l("hub"), directed: true },
+            SpecEdge { u: 3, v: 1, label: l("sel"), directed: true },
+        ],
+    };
+    let binding = StartBinding::among(starts.iter().copied());
+    let index = EdgeIndex::build(&kb);
+    let order = spec.naive_join_order().expect("path spec is connected left to right");
+    let _ = w.seed; // workload-independent: the skew is the experiment
+
+    let mut naive_rel = None;
+    let before = metrics::snapshot();
+    let ((), naive_wall) = time(|| {
+        for _ in 0..PLANNER_BENCH_REPS {
+            naive_rel = Some(
+                spec.evaluate_indexed_in_order(&index, &binding, &order)
+                    .expect("naive order evaluates")
+                    .0,
+            );
+        }
+    });
+    let naive_traffic = metrics::snapshot().since(&before);
+
+    let mut cost_rel = None;
+    let before = metrics::snapshot();
+    let ((), cost_wall) = time(|| {
+        for _ in 0..PLANNER_BENCH_REPS {
+            cost_rel =
+                Some(spec.evaluate_indexed_with(&index, &binding).expect("planned path evaluates"));
+        }
+    });
+    let cost_traffic = metrics::snapshot().since(&before);
+
+    // Join order is a physical choice: the answers must agree as sets.
+    let sorted_rows = |rel: &rex_relstore::Relation| {
+        let mut rows: Vec<_> = rel.rows().to_vec();
+        rows.sort();
+        rows
+    };
+    let parity = match (&naive_rel, &cost_rel) {
+        (Some(n), Some(c)) => sorted_rows(n) == sorted_rows(c),
+        _ => false,
+    };
+
+    PlannerBench {
+        kb_edges: kb.edge_count(),
+        starts: starts.len(),
+        naive_wall,
+        cost_wall,
+        naive_rows_scanned: naive_traffic.rows_scanned,
+        naive_rows_probed: naive_traffic.rows_probed,
+        cost_rows_scanned: cost_traffic.rows_scanned,
+        cost_rows_probed: cost_traffic.rows_probed,
+        parity,
+    }
+}
+
 /// The snapshot-serving comparison: reader throughput over pinned
 /// [`rex_core::ranking::Snapshot`]s with **no** writer (quiet) versus
 /// with a writer continuously applying deltas through
@@ -1263,6 +1417,9 @@ pub struct RankingBench {
     /// Probed-vs-scanned row traffic of the delta patch pass (the
     /// endpoint-index engine).
     pub endpoint_index: EndpointIndexBench,
+    /// Cost-ordered vs naive left-to-right join ordering on a
+    /// skewed-label pattern (the query planner).
+    pub planner: PlannerBench,
     /// Admission-controlled overload + panic-recovery scenarios (the
     /// serving robustness layers).
     pub robustness: RobustnessBench,
@@ -1360,6 +1517,25 @@ impl RankingBench {
             self.endpoint_index.scan_floor_rows,
             self.endpoint_index.patch_wall.as_secs_f64() * 1e3,
             self.endpoint_index.index_build_wall.as_secs_f64() * 1e3,
+        );
+        let planner = format!(
+            concat!(
+                "{{\"kb_edges\": {}, \"starts\": {}, ",
+                "\"naive_wall_ms\": {:.3}, \"cost_wall_ms\": {:.3}, ",
+                "\"naive_rows_scanned\": {}, \"naive_rows_probed\": {}, ",
+                "\"cost_rows_scanned\": {}, \"cost_rows_probed\": {}, ",
+                "\"traffic_ratio\": {:.3}, \"parity\": {}}}"
+            ),
+            self.planner.kb_edges,
+            self.planner.starts,
+            self.planner.naive_wall.as_secs_f64() * 1e3,
+            self.planner.cost_wall.as_secs_f64() * 1e3,
+            self.planner.naive_rows_scanned,
+            self.planner.naive_rows_probed,
+            self.planner.cost_rows_scanned,
+            self.planner.cost_rows_probed,
+            self.planner.traffic_ratio(),
+            usize::from(self.planner.parity),
         );
         let conc = format!(
             concat!(
@@ -1482,6 +1658,7 @@ impl RankingBench {
                 "  \"incremental\": {},\n",
                 "  \"concurrent\": {},\n",
                 "  \"endpoint_index\": {},\n",
+                "  \"planner\": {},\n",
                 "  \"robustness\": {},\n",
                 "  \"ingest\": {},\n",
                 "  \"sharded\": {},\n",
@@ -1502,6 +1679,7 @@ impl RankingBench {
             inc,
             conc,
             endpoint,
+            planner,
             robust,
             ingest,
             sharded,
@@ -1625,6 +1803,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
     let incremental = incremental_bench(w, pairs_per_group, k, row_ceiling);
     let concurrent = concurrent_bench(w, pairs_per_group, row_ceiling);
     let endpoint_index = endpoint_index_bench(w, pairs_per_group);
+    let planner = planner_bench(w);
     let robustness = robustness_bench(w, pairs_per_group, k, row_ceiling);
     let ingest = ingest_bench(w, pairs_per_group, k, row_ceiling);
     let sharded = sharded_bench(w, pairs_per_group, row_ceiling);
@@ -1642,6 +1821,7 @@ pub fn ranking_bench(w: &Workload, pairs_per_group: usize, k: usize) -> RankingB
         incremental,
         concurrent,
         endpoint_index,
+        planner,
         robustness,
         ingest,
         sharded,

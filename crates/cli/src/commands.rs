@@ -31,14 +31,15 @@ USAGE:
                [--samples S] [--seed S] [--max-nodes N] [--instance-cap C]
                [--threads T] [--row-ceiling R] [--deadline-ms D]
                [--row-budget B] [--shards N] [--index-dir <dir>]
-               [--toy] [--quiet]
+               [--query <file|MATCH string>] [--toy] [--quiet]
+  rex plan     --kb <kb.tsv> | --toy <query string or file> [<start> [<end>]]
   rex update   --kb <kb.tsv> --delta <delta.tsv> [<start> <end>]...
                [--per-group N] [--rebatch-fraction F] [--log-retention N]
                [... rank flags]
   rex generate --nodes N --edges M [--labels L] [--seed S] --out <kb.tsv>
   rex stats    --kb <kb.tsv> | --toy [--shards N] [--index-dir <dir>]
   rex pairs    --kb <kb.tsv> [--per-group N] [--seed S] [--toy]
-  rex ingest   --wal <dir> --delta <delta.tsv> [--kb <kb.tsv> | --toy]
+  rex ingest   --wal <dir> --delta <delta.tsv|-> [--kb <kb.tsv> | --toy]
                [--sync commit|interval[:N]|off] [--batch N] [--queue N]
                [--checkpoint-every N] [--shed]
   rex recover  <dir> [--truncate]
@@ -48,6 +49,26 @@ sharing one sample frame and one distribution cache across all of them
 (one batched evaluation per distinct pattern shape in the workload).
 Pairs come from positional <start> <end> name pairs, or are sampled per
 connectedness group (--per-group) when none are given.
+
+--query replaces shape enumeration with user-written MATCH patterns
+(`;`-separated statements, inline or in a file):
+  MATCH (a)-[:starring]->(m)<-[:starring]-(b)
+  WHERE a = $start AND b = $end RETURN a, b
+Each pattern's instances are matched per pair (patterns with none are
+dropped for that pair) and the patterns flow through the same shared
+frame, distribution cache, budgets, shards, and serving machinery as
+enumerated shapes. Parse errors point at the offending bytes.
+
+`rex plan` compiles a MATCH query and prints the cost-based physical
+plan — canonical form, binding kinds per variable, the join order chosen
+by the selectivity estimates vs the naive left-to-right order, and the
+access path per step (partition scan, start-binding probe, or bound-key
+probe) — without evaluating anything. An optional <start> entity makes
+the start binding Const; otherwise the plan is explained unbound, where
+the orderer anchors on the smallest partition scan.
+
+`rex ingest --delta -` streams the delta grammar from stdin instead of a
+file, for pipeline producers.
 
 --deadline-ms / --row-budget bound the ranking pass (both commands): the
 deadline and intermediate-row budget are checked at every evaluation tile
@@ -341,11 +362,23 @@ pub fn rank_pairs_cmd(argv: &[String]) -> Result<(), String> {
     let (deadline_ms, row_budget) = budget_flags(&args)?;
     let pairs = resolve_pairs(&args, &kb, seed)?;
 
-    let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
-    let enumerator = GeneralEnumerator::new(config);
     let t0 = std::time::Instant::now();
     let prepared: Vec<(rex_kb::NodeId, rex_kb::NodeId, Vec<rex_core::Explanation>)> =
-        pairs.iter().map(|&(s, e)| (s, e, enumerator.enumerate(&kb, s, e).explanations)).collect();
+        if let Some(query_arg) = args.get("query") {
+            // User-written MATCH patterns instead of enumerated shapes:
+            // each statement's instances are matched per pair, then the
+            // patterns flow through the same shared-frame ranking stack.
+            let source = read_query_source(query_arg)?;
+            let queries = compile_queries(&source, &kb)?;
+            query_explanations(&kb, &queries, &pairs, cap)
+        } else {
+            let config = EnumConfig::default().with_max_nodes(max_nodes).with_instance_cap(cap);
+            let enumerator = GeneralEnumerator::new(config);
+            pairs
+                .iter()
+                .map(|&(s, e)| (s, e, enumerator.enumerate(&kb, s, e).explanations))
+                .collect()
+        };
     let enum_elapsed = t0.elapsed();
 
     let tasks: Vec<PairExplanations<'_>> = prepared
@@ -711,6 +744,161 @@ pub fn stats(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads the `--query` argument: the contents of the named file when one
+/// exists at that path, the argument itself otherwise. Returns the MATCH
+/// source text.
+fn read_query_source(arg: &str) -> Result<String, String> {
+    let path = Path::new(arg);
+    if path.exists() {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {arg}: {e}"))
+    } else {
+        Ok(arg.to_string())
+    }
+}
+
+/// Renders a query error with its caret diagnostic, without the
+/// `error: ` prefix `main` adds.
+fn render_query_error(err: &rex_query::QueryError, source: &str) -> String {
+    let rendered = err.render(source);
+    rendered.strip_prefix("error: ").unwrap_or(&rendered).to_string()
+}
+
+/// Compiles `;`-separated MATCH statements against a KB, rendering parse
+/// and compile errors with byte-span caret diagnostics.
+fn compile_queries(
+    source: &str,
+    kb: &KnowledgeBase,
+) -> Result<Vec<rex_core::query::CompiledQuery>, String> {
+    let mut queries = Vec::new();
+    for stmt in source.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        queries.push(
+            rex_core::query::compile_text(stmt, kb).map_err(|e| render_query_error(&e, stmt))?,
+        );
+    }
+    if queries.is_empty() {
+        return Err("no MATCH statement in the query input".into());
+    }
+    Ok(queries)
+}
+
+/// Builds per-pair explanations for a fixed set of user-query patterns:
+/// each pattern's instances are matched per pair, and patterns with no
+/// instance for a pair are dropped from that pair's explanation list.
+fn query_explanations(
+    kb: &KnowledgeBase,
+    queries: &[rex_core::query::CompiledQuery],
+    pairs: &[(rex_kb::NodeId, rex_kb::NodeId)],
+    cap: usize,
+) -> Vec<(rex_kb::NodeId, rex_kb::NodeId, Vec<rex_core::Explanation>)> {
+    use rex_core::matcher::{find_instances, MatchOptions};
+    pairs
+        .iter()
+        .map(|&(s, e)| {
+            let explanations = queries
+                .iter()
+                .filter_map(|q| {
+                    let opts = MatchOptions { cap: Some(cap), ..Default::default() };
+                    let res = find_instances(kb, &q.pattern, s, e, opts);
+                    if res.instances.is_empty() {
+                        return None;
+                    }
+                    Some(if res.saturated {
+                        rex_core::Explanation::new_saturated(q.pattern.clone(), res.instances)
+                    } else {
+                        rex_core::Explanation::new(q.pattern.clone(), res.instances)
+                    })
+                })
+                .collect();
+            (s, e, explanations)
+        })
+        .collect()
+}
+
+/// One human line per plan step: the edge, the access path, and the
+/// cardinality estimates that chose it.
+fn describe_plan_step(
+    step: &rex_relstore::plan::JoinStep,
+    spec: &rex_relstore::plan::PatternSpec,
+    var_names: &[String],
+    kb: &KnowledgeBase,
+) -> String {
+    use rex_relstore::plan::Access;
+    let e = &spec.edges[step.edge];
+    let label = kb.label_name(rex_kb::LabelId(e.label as u32));
+    let name = |v: usize| var_names.get(v).cloned().unwrap_or_else(|| format!("v{v}"));
+    let arrow = if e.directed { "->" } else { "-" };
+    let edge = format!("({})-[:{label}]{arrow}({})", name(e.u), name(e.v));
+    let access = match step.access {
+        Access::Scan => "scan (full partition)".to_string(),
+        Access::StartProbe { src } => {
+            format!("probe start binding on the {} posting", if src { "from" } else { "to" })
+        }
+        Access::BoundProbe { src, var } => format!(
+            "probe keys of `{}` on the {} posting",
+            name(var),
+            if src { "from" } else { "to" }
+        ),
+    };
+    format!(
+        "edge {} {edge}: {access} — est {:.1} rows, est {:.1} out",
+        step.edge, step.est_rows, step.est_out
+    )
+}
+
+/// `rex plan`: compile a MATCH query and explain the cost-based physical
+/// plan — canonical form, binding kinds, join order, access path and
+/// selectivity estimate per step — without evaluating anything.
+pub fn plan_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let kb = load_kb(&args)?;
+    let query_arg = args.positional(0).ok_or("need a MATCH query (string or file path)")?;
+    let source = read_query_source(query_arg)?;
+    let queries = compile_queries(&source, &kb)?;
+    let binding = match args.positional(1) {
+        Some(name) => rex_relstore::plan::StartBinding::Const(
+            kb.require_node(name).map_err(|e| e.to_string())?.0 as u64,
+        ),
+        None => rex_relstore::plan::StartBinding::Unbound,
+    };
+    let index = rex_relstore::engine::EdgeIndex::build(&kb);
+    for (qi, q) in queries.iter().enumerate() {
+        if queries.len() > 1 {
+            println!("-- statement {}", qi + 1);
+        }
+        let canonical = rex_query::pretty(&q.canonical).map_err(|e| e.to_string())?;
+        println!("query:     {}", rex_query::pretty(&q.graph).map_err(|e| e.to_string())?);
+        println!("canonical: {canonical}");
+        let names = &q.compiled.var_names;
+        for (v, name) in names.iter().enumerate() {
+            let kind = match (v, &binding) {
+                (0, rex_relstore::plan::StartBinding::Const(s)) => {
+                    format!("Const({})", kb.node_name(rex_kb::NodeId(*s as u32)))
+                }
+                (0, rex_relstore::plan::StartBinding::Among(vs)) => {
+                    format!("Among({} starts)", vs.len())
+                }
+                (0, rex_relstore::plan::StartBinding::Unbound) => "Unbound (start)".into(),
+                (1, _) => "Unbound (end; filtered post-join)".into(),
+                _ => "Unbound (existential)".into(),
+            };
+            println!("  var {v} `{name}`: {kind}");
+        }
+        let spec = q.pattern.to_spec();
+        let plan = spec.plan(&index, &binding);
+        let naive = spec.naive_join_order().unwrap_or_default();
+        println!("naive order: {naive:?}; cost order: {:?}", plan.order());
+        for (i, step) in plan.steps.iter().enumerate() {
+            println!("  step {i}: {}", describe_plan_step(step, &spec, names, &kb));
+        }
+        println!("estimated cost: {:.1} rows", plan.est_cost);
+    }
+    Ok(())
+}
+
 /// `rex pairs`: sample related pairs stratified by connectedness (§5.1).
 pub fn pairs(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
@@ -848,15 +1036,22 @@ pub fn ingest(argv: &[String]) -> Result<(), String> {
     let cfg = IngestConfig { queue_capacity, checkpoint_interval, ..Default::default() };
     let mut governor = IngestGovernor::new(durable, serving, cfg);
 
-    let file = File::open(delta_path).map_err(|e| format!("cannot open {delta_path}: {e}"))?;
+    // `--delta -` streams ops from stdin — the shape a pipeline producer
+    // (or `tail -f`) feeds the governor.
+    let (reader, source_name): (Box<dyn std::io::BufRead>, &str) = if delta_path == "-" {
+        (Box::new(BufReader::new(std::io::stdin())), "<stdin>")
+    } else {
+        let file = File::open(delta_path).map_err(|e| format!("cannot open {delta_path}: {e}"))?;
+        (Box::new(BufReader::new(file)), delta_path)
+    };
     let mut batch: Vec<IngestOp> = Vec::with_capacity(batch_lines);
     let mut shed_retries = 0u64;
     let mut lines = 0usize;
     {
         use std::io::BufRead;
-        for (lineno, line) in BufReader::new(file).lines().enumerate() {
-            let line = line.map_err(|e| format!("{delta_path}: I/O error: {e}"))?;
-            let context = format!("{delta_path} line {}", lineno + 1);
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("{source_name}: I/O error: {e}"))?;
+            let context = format!("{source_name} line {}", lineno + 1);
             let Some(op) = parse_delta_op(&line, &context)? else { continue };
             lines += 1;
             batch.push(op);
@@ -1252,6 +1447,107 @@ mod tests {
             .is_err());
         assert!(stats(&argv(&[])).is_err()); // no --kb and no --toy
         assert!(generate(&argv(&["--nodes", "10"])).is_err()); // no --out
+    }
+
+    #[test]
+    fn plan_explains_queries_and_rank_accepts_them() {
+        // Plan with a bound start: start probe first, bound probes after.
+        plan_cmd(&argv(&[
+            "--toy",
+            "MATCH (a)-[:starring]->(m)<-[:starring]-(b) WHERE a = $start AND b = $end",
+            "brad_pitt",
+        ]))
+        .expect("plan with bound start");
+        // Unbound plan (no entity): the orderer falls back to a scan.
+        plan_cmd(&argv(&["--toy", "MATCH (a)-[:spouse]-(b) WHERE a = $start AND b = $end"]))
+            .expect("plan unbound");
+        // rank --query flows end to end through the serving stack.
+        rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--query",
+            "MATCH (a)-[:spouse]-(b) WHERE a = $start AND b = $end; \
+             MATCH (a)-[:starring]->(m)<-[:starring]-(b) WHERE a = $start AND b = $end",
+            "--samples",
+            "10",
+            "--quiet",
+        ]))
+        .expect("rank --query");
+        // ... and under a budget + shards (the serving-state path).
+        rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--query",
+            "MATCH (a)-[:starring]->(m)<-[:starring]-(b) WHERE a = $start AND b = $end",
+            "--samples",
+            "10",
+            "--deadline-ms",
+            "60000",
+            "--shards",
+            "2",
+            "--quiet",
+        ]))
+        .expect("rank --query budgeted + sharded");
+        // Query files work too.
+        let dir = std::env::temp_dir().join(format!("rex-cli-query-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("q.match");
+        std::fs::write(&qfile, "MATCH (a)-[:spouse]-(b) WHERE a = $start AND b = $end\n").unwrap();
+        plan_cmd(&argv(&["--toy", qfile.to_str().unwrap()])).expect("plan from file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_errors_carry_caret_diagnostics() {
+        // A parse error points at the offending byte.
+        let err =
+            plan_cmd(&argv(&["--toy", "MATCH (a)-[:spouse]-(b WHERE a = $start AND b = $end"]))
+                .unwrap_err();
+        assert!(err.contains('^'), "caret missing from: {err}");
+        // An unknown label points at the label bytes.
+        let err = plan_cmd(&argv(&[
+            "--toy",
+            "MATCH (a)-[:flies_with]->(b) WHERE a = $start AND b = $end",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("flies_with") && err.contains('^'), "bad diagnostic: {err}");
+        // rank --query surfaces the same diagnostics.
+        let err = rank_pairs_cmd(&argv(&[
+            "--toy",
+            "brad_pitt",
+            "angelina_jolie",
+            "--query",
+            "MATCH (a)-[:spouse]-(b)",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("$start"), "missing-binding error: {err}");
+        // Empty query input is rejected.
+        assert!(plan_cmd(&argv(&["--toy", " ; "])).is_err());
+    }
+
+    #[test]
+    fn ingest_accepts_stdin_sentinel_name() {
+        // `-` must not be treated as a file path; full stdin streaming is
+        // exercised by the integration suite — here we check the sentinel
+        // reaches the reader (empty stdin in tests ⇒ zero ops, which the
+        // governor handles as an empty ingest run).
+        let dir = std::env::temp_dir().join(format!("rex-cli-stdin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_dir = dir.join("state");
+        ingest(&argv(&[
+            "--toy",
+            "--wal",
+            wal_dir.to_str().unwrap(),
+            "--delta",
+            "-",
+            "--sync",
+            "off",
+        ]))
+        .expect("ingest from (empty) stdin");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

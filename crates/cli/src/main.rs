@@ -5,7 +5,9 @@
 //! rex explain  --kb kb.tsv tom_cruise brad_pitt [--top 5] [--measure size+local-dist]
 //!              [--max-nodes 5] [--decorate] [--toy]
 //! rex rank     --kb kb.tsv [start end]... [--per-group 2] [--top 5] [--samples 100]
-//!              [--shards 4] [--index-dir snapshots/]
+//!              [--shards 4] [--index-dir snapshots/] [--query <file|MATCH ...>]
+//! rex plan     --kb kb.tsv "MATCH (a)-[:starring]->(m)<-[:starring]-(b)
+//!              WHERE a = $start AND b = $end" [start [end]]
 //! rex update   --kb kb.tsv --delta delta.tsv [start end]... [--rebatch-fraction 0.25]
 //!              [--log-retention 10000]
 //! rex generate --nodes 10000 --edges 65000 --seed 42 --out kb.tsv
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "explain" => commands::explain(rest),
         "rank" => commands::rank_pairs_cmd(rest),
+        "plan" => commands::plan_cmd(rest),
         "update" => commands::update(rest),
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),

@@ -69,6 +69,7 @@ pub mod matcher;
 pub mod measures;
 pub mod pattern;
 pub mod properties;
+pub mod query;
 pub mod ranking;
 
 pub use config::{EnumConfig, Semantics};

@@ -60,6 +60,16 @@ pub enum EdgeDir {
     Undirected,
 }
 
+impl From<EdgeDir> for rex_query::templates::StepDir {
+    fn from(dir: EdgeDir) -> Self {
+        match dir {
+            EdgeDir::Forward => rex_query::templates::StepDir::Forward,
+            EdgeDir::Backward => rex_query::templates::StepDir::Backward,
+            EdgeDir::Undirected => rex_query::templates::StepDir::Undirected,
+        }
+    }
+}
+
 /// One pattern edge.
 ///
 /// Directed edges point `u → v`; undirected edges are normalized so that
@@ -162,37 +172,55 @@ impl Pattern {
     /// assert!(costar.is_path());
     /// assert_eq!(costar.var_count(), 3);
     /// ```
+    ///
+    /// The shape is produced by the `rex-query` canned path template and
+    /// lowered through the same [`rex_query::compile`] pass as
+    /// user-written MATCH queries — there is exactly one
+    /// variable-numbering convention in the system.
     pub fn path(steps: &[(LabelId, EdgeDir)]) -> Result<Pattern> {
         if steps.is_empty() {
             return Err(CoreError::InvalidPattern("empty path".into()));
         }
-        let len = steps.len();
-        if len > (u8::MAX as usize) - 1 {
-            return Err(CoreError::InvalidPattern("path too long".into()));
+        let template: Vec<(u32, rex_query::templates::StepDir)> =
+            steps.iter().map(|&(label, dir)| (label.0, dir.into())).collect();
+        let graph = rex_query::templates::path(&template);
+        let compiled = rex_query::compile_resolved(&graph)
+            .map_err(|e| CoreError::InvalidPattern(e.to_string()))?;
+        Pattern::from_compiled(&compiled)
+    }
+
+    /// Builds a star pattern — `k` parallel 2-paths through fresh
+    /// intermediates, each spoke `(label_in, dir_in, label_out, dir_out)`
+    /// — via the `rex-query` star template and compiler.
+    pub fn star(spokes: &[(LabelId, EdgeDir, LabelId, EdgeDir)]) -> Result<Pattern> {
+        if spokes.is_empty() {
+            return Err(CoreError::InvalidPattern("empty star".into()));
         }
-        let var_count = (len + 1) as u8; // start, end, len-1 intermediates
-        let node_at = |i: usize| -> VarId {
-            if i == 0 {
-                START_VAR
-            } else if i == len {
-                END_VAR
-            } else {
-                VarId((i + 1) as u8)
-            }
-        };
-        let edges = steps
+        let template: Vec<(
+            u32,
+            rex_query::templates::StepDir,
+            u32,
+            rex_query::templates::StepDir,
+        )> = spokes
             .iter()
-            .enumerate()
-            .map(|(i, &(label, dir))| {
-                let (a, b) = (node_at(i), node_at(i + 1));
-                match dir {
-                    EdgeDir::Forward => PatternEdge::new(a, b, label, true),
-                    EdgeDir::Backward => PatternEdge::new(b, a, label, true),
-                    EdgeDir::Undirected => PatternEdge::new(a, b, label, false),
-                }
-            })
+            .map(|&(l_in, d_in, l_out, d_out)| (l_in.0, d_in.into(), l_out.0, d_out.into()))
             .collect();
-        Pattern::new(var_count, edges)
+        let graph = rex_query::templates::star(&template);
+        let compiled = rex_query::compile_resolved(&graph)
+            .map_err(|e| CoreError::InvalidPattern(e.to_string()))?;
+        Pattern::from_compiled(&compiled)
+    }
+
+    /// Builds a pattern from a compiled `rex-query` pattern — the single
+    /// entry point through which both user-written MATCH queries and the
+    /// canned paper-shape templates become core patterns.
+    pub fn from_compiled(compiled: &rex_query::CompiledPattern) -> Result<Pattern> {
+        let edges = compiled
+            .edges
+            .iter()
+            .map(|e| PatternEdge::new(VarId(e.u), VarId(e.v), LabelId(e.label), e.directed))
+            .collect();
+        Pattern::new(compiled.var_count, edges)
     }
 
     /// Number of variables (pattern nodes), including the targets.

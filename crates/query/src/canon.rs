@@ -1,0 +1,247 @@
+//! Canonicalization and pretty-printing of pattern graphs.
+//!
+//! [`canonicalize`] maps every graph in an isomorphism class (targets
+//! pinned) to one representative: variables renamed `a` (start), `b`
+//! (end), `v2`, `v3`, … and edges sorted and deduplicated. It is the
+//! query-text analogue of `rex-core`'s canonical key — small patterns get
+//! an exact minimum over non-target variable permutations, so
+//! `canonicalize ∘ parse ∘ pretty` is a fixed point on canonical graphs.
+
+use crate::ast::{GraphEdge, GraphNode, LabelRef, PatternGraph, Span};
+use crate::diag::QueryError;
+use crate::Result;
+
+/// Non-target variable count up to which the exact permutation search
+/// runs; larger patterns fall back to first-appearance numbering (still
+/// deterministic, no longer isomorphism-minimal). 8! = 40320 candidates.
+const EXACT_SEARCH_VARS: usize = 8;
+
+/// One edge under a candidate numbering, ordered lexicographically.
+type EdgeKey = (usize, usize, (u8, String, u32), bool);
+
+fn edge_key(e: &GraphEdge, map: &[usize]) -> EdgeKey {
+    let (mut u, mut v) = (map[e.u], map[e.v]);
+    if !e.directed && v < u {
+        std::mem::swap(&mut u, &mut v);
+    }
+    let (tag, name, id) = e.label.sort_key();
+    (u, v, (tag, name.to_string(), id), e.directed)
+}
+
+fn keyed_edges(edges: &[GraphEdge], map: &[usize]) -> Vec<(EdgeKey, usize)> {
+    let mut keyed: Vec<(EdgeKey, usize)> =
+        edges.iter().enumerate().map(|(i, e)| (edge_key(e, map), i)).collect();
+    keyed.sort();
+    keyed.dedup_by(|a, b| a.0 == b.0);
+    keyed
+}
+
+/// Canonicalizes a pattern graph. Requires both targets bound (compile
+/// would reject the graph anyway) and at least one edge.
+pub fn canonicalize(graph: &PatternGraph) -> Result<PatternGraph> {
+    let start = graph
+        .start
+        .ok_or_else(|| QueryError::bare("no `$start` binding: add `WHERE <var> = $start`"))?;
+    let end =
+        graph.end.ok_or_else(|| QueryError::bare("no `$end` binding: add `WHERE <var> = $end`"))?;
+    if graph.edges.is_empty() {
+        return Err(QueryError::bare("the pattern has no edges"));
+    }
+
+    // Non-target variables in first-appearance order over the edge list.
+    let mut others: Vec<usize> = Vec::new();
+    for e in &graph.edges {
+        for node in [e.u, e.v] {
+            if node != start && node != end && !others.contains(&node) {
+                others.push(node);
+            }
+        }
+    }
+
+    // Candidate numbering: node index → dense id, targets pinned.
+    let assign = |perm: &[usize]| -> Vec<usize> {
+        let mut map = vec![usize::MAX; graph.nodes.len()];
+        map[start] = 0;
+        map[end] = 1;
+        for (i, &node) in perm.iter().enumerate() {
+            map[node] = i + 2;
+        }
+        map
+    };
+
+    let mut best_map = assign(&others);
+    if others.len() > 1 && others.len() <= EXACT_SEARCH_VARS {
+        // Heap's algorithm over the non-target variables, keeping the
+        // permutation whose sorted edge-key list is smallest.
+        let mut best_keys: Vec<EdgeKey> =
+            keyed_edges(&graph.edges, &best_map).into_iter().map(|(k, _)| k).collect();
+        let mut perm = others.clone();
+        let n = perm.len();
+        let mut c = vec![0usize; n];
+        let mut i = 0usize;
+        while i < n {
+            if c[i] < i {
+                if i.is_multiple_of(2) {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                let map = assign(&perm);
+                let keys: Vec<EdgeKey> =
+                    keyed_edges(&graph.edges, &map).into_iter().map(|(k, _)| k).collect();
+                if keys < best_keys {
+                    best_keys = keys;
+                    best_map = map;
+                }
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    let var_count = others.len() + 2;
+    let canonical_name = |id: usize| -> String {
+        match id {
+            0 => "a".into(),
+            1 => "b".into(),
+            i => format!("v{i}"),
+        }
+    };
+    let nodes: Vec<GraphNode> = (0..var_count)
+        .map(|id| GraphNode { name: canonical_name(id), anonymous: false, span: Span::default() })
+        .collect();
+    let edges: Vec<GraphEdge> = keyed_edges(&graph.edges, &best_map)
+        .into_iter()
+        .map(|((u, v, _, directed), i)| {
+            let label = match &graph.edges[i].label {
+                LabelRef::Named { name, .. } => {
+                    LabelRef::Named { name: name.clone(), span: Span::default() }
+                }
+                LabelRef::Resolved(id) => LabelRef::Resolved(*id),
+            };
+            GraphEdge { u, v, label, directed, span: Span::default() }
+        })
+        .collect();
+    Ok(PatternGraph { nodes, edges, start: Some(0), end: Some(1), returns: vec![0, 1] })
+}
+
+/// Pretty-prints a pattern graph as parseable MATCH text, one chain per
+/// edge. Labels must be [`LabelRef::Named`]; use [`pretty_with`] to render
+/// resolved label ids through a name lookup.
+pub fn pretty(graph: &PatternGraph) -> Result<String> {
+    pretty_with(graph, &|_| None)
+}
+
+/// [`pretty`] with a resolver mapping resolved label ids back to names.
+pub fn pretty_with(
+    graph: &PatternGraph,
+    label_name: &dyn Fn(u32) -> Option<String>,
+) -> Result<String> {
+    let mut out = String::from("MATCH ");
+    for (i, e) in graph.edges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let label = match &e.label {
+            LabelRef::Named { name, .. } => name.clone(),
+            LabelRef::Resolved(id) => label_name(*id)
+                .ok_or_else(|| QueryError::bare(format!("no name for resolved label id {id}")))?,
+        };
+        let u = quote_ident(&graph.nodes[e.u].name);
+        let v = quote_ident(&graph.nodes[e.v].name);
+        let arrow = if e.directed { ">" } else { "" };
+        out.push_str(&format!("({u})-[:{}]-{arrow}({v})", quote_ident(&label)));
+    }
+    let start = graph
+        .start
+        .ok_or_else(|| QueryError::bare("cannot print a pattern with no `$start` binding"))?;
+    let end = graph
+        .end
+        .ok_or_else(|| QueryError::bare("cannot print a pattern with no `$end` binding"))?;
+    out.push_str(&format!(
+        " WHERE {} = $start AND {} = $end",
+        quote_ident(&graph.nodes[start].name),
+        quote_ident(&graph.nodes[end].name)
+    ));
+    if !graph.returns.is_empty() {
+        out.push_str(" RETURN ");
+        for (i, &node) in graph.returns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&quote_ident(&graph.nodes[node].name));
+        }
+    }
+    Ok(out)
+}
+
+/// Backtick-quotes a name unless it lexes as a plain, non-keyword
+/// identifier.
+fn quote_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !matches!(name.to_ascii_lowercase().as_str(), "match" | "where" | "and" | "return");
+    if plain {
+        name.to_string()
+    } else {
+        format!("`{name}`")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn isomorphic_queries_canonicalize_identically() {
+        let g1 =
+            parse("MATCH (x)-[:starring]->(film)<-[:starring]-(y) WHERE x = $start AND y = $end")
+                .unwrap();
+        let g2 = parse(
+            "MATCH (q)-[:starring]->(movie), (r)-[:starring]->(movie) \
+             WHERE q = $start AND r = $end RETURN *",
+        )
+        .unwrap();
+        assert_eq!(canonicalize(&g1).unwrap(), canonicalize(&g2).unwrap());
+    }
+
+    #[test]
+    fn canonical_form_is_a_pretty_parse_fixed_point() {
+        let g = parse(
+            "MATCH (p)-[:knows]-(q)-[:knows]-(r), (p)-[:rival]->(r) \
+             WHERE p = $start AND r = $end",
+        )
+        .unwrap();
+        let canon = canonicalize(&g).unwrap();
+        let text = pretty(&canon).unwrap();
+        let again = canonicalize(&parse(&text).unwrap()).unwrap();
+        assert_eq!(canon, again);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = parse("MATCH (a)-[:spouse]-(b), (b)-[:spouse]-(a) WHERE a = $start AND b = $end")
+            .unwrap();
+        assert_eq!(canonicalize(&g).unwrap().edges.len(), 1);
+    }
+
+    #[test]
+    fn exotic_labels_round_trip_through_backticks() {
+        let g = parse("MATCH (a)-[:`acted in`]->(b) WHERE a = $start AND b = $end").unwrap();
+        let canon = canonicalize(&g).unwrap();
+        let text = pretty(&canon).unwrap();
+        assert!(text.contains("`acted in`"));
+        assert_eq!(canonicalize(&parse(&text).unwrap()).unwrap(), canon);
+    }
+
+    #[test]
+    fn missing_targets_are_rejected() {
+        let g = parse("MATCH (a)-[:x]->(b) WHERE a = $start").unwrap();
+        assert!(canonicalize(&g).unwrap_err().message.contains("$end"));
+    }
+}

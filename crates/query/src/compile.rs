@@ -1,0 +1,173 @@
+//! Lowering a [`PatternGraph`] to the dense-variable compiled form the
+//! core pattern IR and the relational planner consume.
+
+use crate::ast::{LabelRef, PatternGraph};
+use crate::diag::QueryError;
+use crate::Result;
+
+/// One compiled edge: dense variable ids, resolved label id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledEdge {
+    /// Tail variable (source for directed edges).
+    pub u: u8,
+    /// Head variable.
+    pub v: u8,
+    /// Interned KB label id.
+    pub label: u32,
+    /// Whether the KB edge must be directed `u → v`.
+    pub directed: bool,
+}
+
+/// The compiled pattern: variable 0 is the start target, 1 the end
+/// target, 2… the existential variables in first-appearance order —
+/// exactly the numbering of `rex-core`'s `Pattern` and the relational
+/// `PatternSpec`, so the downstream machinery (indexed scans, tiling,
+/// budgets, delta paths) applies unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    /// Number of variables, targets included.
+    pub var_count: u8,
+    /// The compiled edges, in source order (downstream normalizes).
+    pub edges: Vec<CompiledEdge>,
+    /// Source variable name per dense id, for explain output.
+    pub var_names: Vec<String>,
+}
+
+/// Compiles a pattern graph, resolving named labels through `resolver`
+/// (typically `|name| kb.label_by_name(name).map(|l| l.0)`).
+pub fn compile(
+    graph: &PatternGraph,
+    mut resolver: impl FnMut(&str) -> Option<u32>,
+) -> Result<CompiledPattern> {
+    let start = graph
+        .start
+        .ok_or_else(|| QueryError::bare("no `$start` binding: add `WHERE <var> = $start`"))?;
+    let end =
+        graph.end.ok_or_else(|| QueryError::bare("no `$end` binding: add `WHERE <var> = $end`"))?;
+    if graph.edges.is_empty() {
+        return Err(QueryError::bare("the pattern has no edges"));
+    }
+
+    // Dense numbering: start → 0, end → 1, everything else in order of
+    // first appearance over the edge list.
+    let mut dense = vec![usize::MAX; graph.nodes.len()];
+    dense[start] = 0;
+    dense[end] = 1;
+    let mut next = 2usize;
+    for e in &graph.edges {
+        for node in [e.u, e.v] {
+            if dense[node] == usize::MAX {
+                dense[node] = next;
+                next += 1;
+            }
+        }
+    }
+    if next > u8::MAX as usize {
+        return Err(QueryError::bare(format!(
+            "pattern has {next} variables; at most {} are supported",
+            u8::MAX
+        )));
+    }
+    // Every declared variable — the targets included — must occur in an
+    // edge: patterns denote connection structures.
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        if dense[idx] == usize::MAX {
+            return Err(QueryError::at(
+                node.span,
+                format!("variable `{}` is isolated (appears in no edge)", node.name),
+            ));
+        }
+    }
+
+    let mut edges = Vec::with_capacity(graph.edges.len());
+    for e in &graph.edges {
+        let label = match &e.label {
+            LabelRef::Resolved(id) => *id,
+            LabelRef::Named { name, span } => resolver(name)
+                .ok_or_else(|| QueryError::at(*span, format!("unknown label `{name}`")))?,
+        };
+        edges.push(CompiledEdge {
+            u: dense[e.u] as u8,
+            v: dense[e.v] as u8,
+            label,
+            directed: e.directed,
+        });
+    }
+
+    let mut var_names = vec![String::new(); next];
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        if dense[idx] != usize::MAX {
+            var_names[dense[idx]] = node.name.clone();
+        }
+    }
+    Ok(CompiledPattern { var_count: next as u8, edges, var_names })
+}
+
+/// [`compile`] for graphs whose labels are all pre-resolved (canned
+/// templates); any named label is an error.
+pub fn compile_resolved(graph: &PatternGraph) -> Result<CompiledPattern> {
+    compile(graph, |_| None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn resolver(name: &str) -> Option<u32> {
+        match name {
+            "starring" => Some(0),
+            "directed_by" => Some(1),
+            "spouse" => Some(2),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn dense_numbering_pins_targets_and_orders_existentials() {
+        let g = parse(
+            "MATCH (x)-[:starring]->(m)<-[:starring]-(y), (m)-[:directed_by]->(d) \
+             WHERE x = $start AND y = $end",
+        )
+        .unwrap();
+        let c = compile(&g, resolver).unwrap();
+        assert_eq!(c.var_count, 4);
+        assert_eq!(c.var_names, vec!["x", "y", "m", "d"]);
+        // x→m, y→m, m→d with x=0, y=1, m=2, d=3.
+        assert_eq!(
+            c.edges,
+            vec![
+                CompiledEdge { u: 0, v: 2, label: 0, directed: true },
+                CompiledEdge { u: 1, v: 2, label: 0, directed: true },
+                CompiledEdge { u: 2, v: 3, label: 1, directed: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_labels_fail_with_the_label_span() {
+        let src = "MATCH (a)-[:acted_in]->(b) WHERE a = $start AND b = $end";
+        let g = parse(src).unwrap();
+        let err = compile(&g, resolver).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "acted_in");
+    }
+
+    #[test]
+    fn missing_targets_and_empty_patterns_fail() {
+        let g = parse("MATCH (a)-[:spouse]-(b) WHERE a = $start").unwrap();
+        assert!(compile(&g, resolver).unwrap_err().message.contains("$end"));
+        let g = parse("MATCH (a)-[:spouse]-(b)").unwrap();
+        assert!(compile(&g, resolver).unwrap_err().message.contains("$start"));
+    }
+
+    #[test]
+    fn isolated_variables_fail_with_their_span() {
+        let src = "MATCH (a)-[:spouse]-(b), (c) WHERE a = $start AND b = $end";
+        let g = parse(src).unwrap();
+        let err = compile(&g, resolver).unwrap_err();
+        assert!(err.message.contains("isolated"));
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "(c)");
+    }
+}

@@ -1,0 +1,109 @@
+//! Query-layer errors with byte-span diagnostics.
+
+use crate::ast::Span;
+
+/// A lexing, parsing, or compilation error, optionally anchored to a byte
+/// span of the query source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source, when known.
+    pub span: Option<Span>,
+}
+
+impl QueryError {
+    /// An error anchored at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> QueryError {
+        QueryError { message: message.into(), span: Some(span) }
+    }
+
+    /// An error with no source location.
+    pub fn bare(message: impl Into<String>) -> QueryError {
+        QueryError { message: message.into(), span: None }
+    }
+
+    /// Renders the error against its source: the message, then the
+    /// offending line with a caret run under the bad token —
+    ///
+    /// ```text
+    /// error: unknown label `ActedIn`
+    ///   |
+    /// 1 | MATCH (a)-[:ActedIn]->(m)
+    ///   |             ^^^^^^^
+    /// ```
+    ///
+    /// Falls back to the bare message when the error carries no span or
+    /// the span is out of bounds.
+    pub fn render(&self, source: &str) -> String {
+        let Some(span) = self.span else {
+            return format!("error: {}", self.message);
+        };
+        if span.start > source.len() {
+            return format!("error: {}", self.message);
+        }
+        // Line containing the span start (1-based), and its byte range.
+        let line_start = source[..span.start].rfind('\n').map_or(0, |i| i + 1);
+        let line_no = source[..span.start].matches('\n').count() + 1;
+        let line_end = source[line_start..].find('\n').map_or(source.len(), |i| line_start + i);
+        let line = &source[line_start..line_end];
+        // Caret column in characters, not bytes, so multibyte text aligns.
+        let col = source[line_start..span.start].chars().count();
+        let width =
+            source[span.start..span.end.min(line_end).max(span.start)].chars().count().max(1);
+        let gutter = line_no.to_string().len();
+        format!(
+            "error: {msg}\n{pad} |\n{no} | {line}\n{pad} | {lead}{carets}",
+            msg = self.message,
+            pad = " ".repeat(gutter),
+            no = line_no,
+            line = line,
+            lead = " ".repeat(col),
+            carets = "^".repeat(width),
+        )
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} (at byte {}..{})", self.message, span.start, span.end),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_token() {
+        let source = "MATCH (a)-[:Nope]->(b) WHERE a = $start AND b = $end";
+        let err = QueryError::at(Span::new(12, 16), "unknown label `Nope`");
+        let rendered = err.render(source);
+        assert!(rendered.contains("error: unknown label `Nope`"));
+        assert!(rendered.contains("1 | MATCH (a)-[:Nope]->(b)"));
+        // Caret run sits under `Nope` (column 12, width 4).
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line, &format!("  | {}{}", " ".repeat(12), "^".repeat(4)));
+    }
+
+    #[test]
+    fn render_handles_multiline_sources() {
+        let source = "MATCH (a)-[:x]->(b)\nWHERE a = $begin";
+        let pos = source.find("$begin").unwrap();
+        let err = QueryError::at(Span::new(pos, pos + 6), "unknown parameter");
+        let rendered = err.render(source);
+        assert!(rendered.contains("2 | WHERE a = $begin"));
+        assert!(rendered.ends_with(&format!("  | {}{}", " ".repeat(10), "^".repeat(6))));
+    }
+
+    #[test]
+    fn render_without_span_is_bare() {
+        let err = QueryError::bare("empty query");
+        assert_eq!(err.render("x"), "error: empty query");
+    }
+}

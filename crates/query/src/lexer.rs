@@ -1,0 +1,280 @@
+//! Hand-written lexer for the MATCH dialect. Every token carries its byte
+//! span so parse and compile errors can point back into the source.
+
+use crate::ast::Span;
+use crate::diag::QueryError;
+use crate::Result;
+
+/// Token kinds. Keywords are recognized case-insensitively; backtick-quoted
+/// identifiers lex as [`Tok::Ident`] with the quotes stripped (and are
+/// never keywords).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `MATCH`
+    Match,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `RETURN`
+    Return,
+    /// An identifier (variable or label name).
+    Ident(String),
+    /// A `$`-parameter, e.g. `$start` (the name excludes the `$`).
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `-`
+    Dash,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+}
+
+impl Tok {
+    /// Human name for "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Match => "`MATCH`".into(),
+            Tok::Where => "`WHERE`".into(),
+            Tok::And => "`AND`".into(),
+            Tok::Return => "`RETURN`".into(),
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::Param(name) => format!("parameter `${name}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dash => "`-`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Star => "`*`".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub tok: Tok,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = source.char_indices().collect::<Vec<_>>();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (pos, c) = bytes[i];
+        let single = |tok: Tok| Token { tok, span: Span::new(pos, pos + c.len_utf8()) };
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(single(Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(single(Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                tokens.push(single(Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                tokens.push(single(Tok::RBracket));
+                i += 1;
+            }
+            ':' => {
+                tokens.push(single(Tok::Colon));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(single(Tok::Comma));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(single(Tok::Dash));
+                i += 1;
+            }
+            '<' => {
+                tokens.push(single(Tok::Lt));
+                i += 1;
+            }
+            '>' => {
+                tokens.push(single(Tok::Gt));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(single(Tok::Eq));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(single(Tok::Star));
+                i += 1;
+            }
+            '`' => {
+                // Backtick-quoted identifier: anything up to the closing
+                // backtick (which cannot itself be escaped).
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].1 != '`' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::at(
+                        Span::new(pos, source.len()),
+                        "unterminated backtick-quoted identifier",
+                    ));
+                }
+                let name: String = bytes[i + 1..j].iter().map(|&(_, c)| c).collect();
+                let end = bytes[j].0 + 1;
+                if name.is_empty() {
+                    return Err(QueryError::at(
+                        Span::new(pos, end),
+                        "empty backtick-quoted identifier",
+                    ));
+                }
+                tokens.push(Token { tok: Tok::Ident(name), span: Span::new(pos, end) });
+                i = j + 1;
+            }
+            '$' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j].1) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(QueryError::at(
+                        Span::new(pos, pos + 1),
+                        "expected a parameter name after `$`",
+                    ));
+                }
+                let name: String = bytes[i + 1..j].iter().map(|&(_, c)| c).collect();
+                let end = bytes[j - 1].0 + bytes[j - 1].1.len_utf8();
+                tokens.push(Token { tok: Tok::Param(name), span: Span::new(pos, end) });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < bytes.len() && is_ident_continue(bytes[j].1) {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().map(|&(_, c)| c).collect();
+                let end = bytes[j - 1].0 + bytes[j - 1].1.len_utf8();
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "match" => Tok::Match,
+                    "where" => Tok::Where,
+                    "and" => Tok::And,
+                    "return" => Tok::Return,
+                    _ => Tok::Ident(word),
+                };
+                tokens.push(Token { tok, span: Span::new(pos, end) });
+                i = j;
+            }
+            other => {
+                return Err(QueryError::at(
+                    Span::new(pos, pos + other.len_utf8()),
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = lex("MATCH (a)-[:ActedIn]->(m) WHERE a = $start").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &Tok::Match,
+                &Tok::LParen,
+                &Tok::Ident("a".into()),
+                &Tok::RParen,
+                &Tok::Dash,
+                &Tok::LBracket,
+                &Tok::Colon,
+                &Tok::Ident("ActedIn".into()),
+                &Tok::RBracket,
+                &Tok::Dash,
+                &Tok::Gt,
+                &Tok::LParen,
+                &Tok::Ident("m".into()),
+                &Tok::RParen,
+                &Tok::Where,
+                &Tok::Ident("a".into()),
+                &Tok::Eq,
+                &Tok::Param("start".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let src = "MATCH (ab)";
+        let toks = lex(src).unwrap();
+        let ident = &toks[2];
+        assert_eq!(ident.tok, Tok::Ident("ab".into()));
+        assert_eq!(&src[ident.span.start..ident.span.end], "ab");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_but_quoted_idents_are_not_keywords() {
+        let toks = lex("match WhErE `match`").unwrap();
+        assert_eq!(toks[0].tok, Tok::Match);
+        assert_eq!(toks[1].tok, Tok::Where);
+        assert_eq!(toks[2].tok, Tok::Ident("match".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_take_arbitrary_content() {
+        let toks = lex("`acted in (2009)`").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("acted in (2009)".into()));
+    }
+
+    #[test]
+    fn rejects_garbage_with_spans() {
+        let err = lex("MATCH (a) !").unwrap_err();
+        assert_eq!(err.span, Some(Span::new(10, 11)));
+        let err = lex("`oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = lex("$ x").unwrap_err();
+        assert!(err.message.contains("parameter name"));
+    }
+}

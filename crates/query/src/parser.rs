@@ -1,0 +1,354 @@
+//! Recursive-descent parser: token stream → [`PatternGraph`].
+
+use crate::ast::{GraphEdge, GraphNode, LabelRef, PatternGraph, Span};
+use crate::diag::QueryError;
+use crate::lexer::{lex, Tok, Token};
+use crate::Result;
+
+/// Parses one MATCH query into its logical pattern graph.
+pub fn parse(source: &str) -> Result<PatternGraph> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0, source_len: source.len() }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    source_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::new(self.source_len, self.source_len))
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, context: &str) -> Result<Token> {
+        match self.peek() {
+            Some(t) if *t == tok => Ok(self.bump().expect("peeked")),
+            Some(t) => Err(QueryError::at(
+                self.span(),
+                format!("expected {} {context}, found {}", tok.describe(), t.describe()),
+            )),
+            None => Err(QueryError::at(
+                self.span(),
+                format!("expected {} {context}, found end of query", tok.describe()),
+            )),
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> Result<(String, Span)> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let t = self.bump().expect("peeked");
+                let Tok::Ident(name) = t.tok else { unreachable!() };
+                Ok((name, t.span))
+            }
+            Some(t) => Err(QueryError::at(
+                self.span(),
+                format!("expected an identifier {context}, found {}", t.describe()),
+            )),
+            None => Err(QueryError::at(
+                self.span(),
+                format!("expected an identifier {context}, found end of query"),
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<PatternGraph> {
+        self.expect(Tok::Match, "to begin the query")?;
+        let mut graph = PatternGraph::default();
+        loop {
+            self.chain(&mut graph)?;
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        if self.eat(&Tok::Where) {
+            loop {
+                self.condition(&mut graph)?;
+                if !self.eat(&Tok::And) {
+                    break;
+                }
+            }
+        }
+        if self.eat(&Tok::Return) {
+            self.returns(&mut graph)?;
+        }
+        if let Some(t) = self.peek() {
+            return Err(QueryError::at(
+                self.span(),
+                format!("unexpected {} after the end of the query", t.describe()),
+            ));
+        }
+        Ok(graph)
+    }
+
+    /// `node (edge node)*`
+    fn chain(&mut self, graph: &mut PatternGraph) -> Result<()> {
+        let mut prev = self.node(graph)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Dash) | Some(Tok::Lt) => {
+                    let (label, directed, incoming, span) = self.edge_syntax()?;
+                    let next = self.node(graph)?;
+                    let (u, v) = if incoming { (next, prev) } else { (prev, next) };
+                    graph.edges.push(GraphEdge { u, v, label, directed, span });
+                    prev = next;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// `'(' [ident] ')'` — returns the node index, reusing named nodes.
+    fn node(&mut self, graph: &mut PatternGraph) -> Result<usize> {
+        let open = self.expect(Tok::LParen, "to open a pattern node")?;
+        if let Some(Tok::Ident(_)) = self.peek() {
+            let (name, span) = self.expect_ident("")?;
+            let close = self.expect(Tok::RParen, "to close the pattern node")?;
+            if let Some(idx) = graph.node_by_name(&name) {
+                return Ok(idx);
+            }
+            graph.nodes.push(GraphNode {
+                name,
+                anonymous: false,
+                span: open.span.to(close.span).to(span),
+            });
+            Ok(graph.nodes.len() - 1)
+        } else {
+            let close = self.expect(Tok::RParen, "to close the pattern node")?;
+            // Fresh anonymous variable; pick a `_N` name no user variable
+            // shadows so rendered plans stay unambiguous.
+            let mut n = graph.nodes.iter().filter(|g| g.anonymous).count();
+            let name = loop {
+                let candidate = format!("_{n}");
+                if graph.node_by_name(&candidate).is_none() {
+                    break candidate;
+                }
+                n += 1;
+            };
+            graph.nodes.push(GraphNode { name, anonymous: true, span: open.span.to(close.span) });
+            Ok(graph.nodes.len() - 1)
+        }
+    }
+
+    /// The edge syntax between two nodes. Returns `(label, directed,
+    /// incoming, span)` where `incoming` flags `<-[:L]-` (the KB edge
+    /// points from the *next* node to the previous one).
+    fn edge_syntax(&mut self) -> Result<(LabelRef, bool, bool, Span)> {
+        let first = self.span();
+        let incoming = self.eat(&Tok::Lt);
+        self.expect(Tok::Dash, "to begin an edge")?;
+        self.expect(Tok::LBracket, "to open the edge label")?;
+        self.expect(Tok::Colon, "before the edge label")?;
+        let (name, name_span) = self.expect_ident("as the edge label")?;
+        self.expect(Tok::RBracket, "to close the edge label")?;
+        let dash = self.expect(Tok::Dash, "to end the edge")?;
+        let mut span = first.to(dash.span);
+        let directed;
+        if incoming {
+            if let Some(Tok::Gt) = self.peek() {
+                return Err(QueryError::at(
+                    self.span(),
+                    "an edge cannot point both ways (`<-[…]->`)",
+                ));
+            }
+            directed = true;
+        } else if self.peek() == Some(&Tok::Gt) {
+            let gt = self.bump().expect("peeked");
+            span = span.to(gt.span);
+            directed = true;
+        } else {
+            directed = false;
+        }
+        Ok((LabelRef::Named { name, span: name_span }, directed, incoming, span))
+    }
+
+    /// `ident '=' param` — binds `$start` / `$end` to a named variable.
+    fn condition(&mut self, graph: &mut PatternGraph) -> Result<()> {
+        let (name, span) = self.expect_ident("on the left of a WHERE condition")?;
+        self.expect(Tok::Eq, "in the WHERE condition")?;
+        let param = match self.bump() {
+            Some(Token { tok: Tok::Param(p), span }) => (p, span),
+            Some(t) => {
+                return Err(QueryError::at(
+                    t.span,
+                    format!("expected `$start` or `$end`, found {}", t.tok.describe()),
+                ))
+            }
+            None => {
+                return Err(QueryError::at(
+                    self.span(),
+                    "expected `$start` or `$end`, found end of query",
+                ))
+            }
+        };
+        let Some(node) = graph.node_by_name(&name) else {
+            return Err(QueryError::at(
+                span,
+                format!("unknown variable `{name}` in WHERE (not bound by the MATCH pattern)"),
+            ));
+        };
+        let slot = match param.0.as_str() {
+            "start" => &mut graph.start,
+            "end" => &mut graph.end,
+            other => {
+                return Err(QueryError::at(
+                    param.1,
+                    format!("unknown parameter `${other}`; the targets are `$start` and `$end`"),
+                ))
+            }
+        };
+        match slot {
+            Some(existing) if *existing != node => {
+                return Err(QueryError::at(
+                    span,
+                    format!("`${}` is already bound to a different variable", param.0),
+                ));
+            }
+            _ => *slot = Some(node),
+        }
+        if graph.start.is_some() && graph.start == graph.end {
+            return Err(QueryError::at(
+                span,
+                format!("variable `{name}` cannot be both `$start` and `$end`"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `'*' | ident (',' ident)*`
+    fn returns(&mut self, graph: &mut PatternGraph) -> Result<()> {
+        if self.eat(&Tok::Star) {
+            return Ok(());
+        }
+        loop {
+            let (name, span) = self.expect_ident("in the RETURN clause")?;
+            let Some(node) = graph.node_by_name(&name) else {
+                return Err(QueryError::at(span, format!("unknown variable `{name}` in RETURN")));
+            };
+            if !graph.returns.contains(&node) {
+                graph.returns.push(node);
+            }
+            if !self.eat(&Tok::Comma) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(g: &PatternGraph) -> Vec<&str> {
+        g.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    #[test]
+    fn parses_the_canonical_example() {
+        let g = parse(
+            "MATCH (a)-[:ActedIn]->(m)<-[:Directed]-(b) WHERE a = $start AND b = $end RETURN a, b",
+        )
+        .unwrap();
+        assert_eq!(names(&g), vec!["a", "m", "b"]);
+        assert_eq!(g.edges.len(), 2);
+        // (a)-[:ActedIn]->(m)
+        assert_eq!((g.edges[0].u, g.edges[0].v, g.edges[0].directed), (0, 1, true));
+        // (m)<-[:Directed]-(b): the KB edge points b → m.
+        assert_eq!((g.edges[1].u, g.edges[1].v, g.edges[1].directed), (2, 1, true));
+        assert_eq!((g.start, g.end), (Some(0), Some(2)));
+        assert_eq!(g.returns, vec![0, 2]);
+    }
+
+    #[test]
+    fn undirected_edges_and_anonymous_nodes() {
+        let g = parse("MATCH (a)-[:spouse]-(), (a)-[:knows]->(b) WHERE a = $start AND b = $end")
+            .unwrap();
+        assert_eq!(names(&g), vec!["a", "_0", "b"]);
+        assert!(g.nodes[1].anonymous);
+        assert!(!g.edges[0].directed);
+        assert!(g.edges[1].directed);
+    }
+
+    #[test]
+    fn named_nodes_are_shared_across_chains() {
+        let g = parse("MATCH (a)-[:x]->(m), (b)-[:y]->(m) WHERE a = $start AND b = $end").unwrap();
+        assert_eq!(names(&g), vec!["a", "m", "b"]);
+        assert_eq!(g.edges[1].u, 2);
+        assert_eq!(g.edges[1].v, 1);
+    }
+
+    #[test]
+    fn anonymous_names_dodge_user_collisions() {
+        let g = parse("MATCH (_0)-[:x]->() WHERE _0 = $start").unwrap();
+        assert_eq!(names(&g), vec!["_0", "_1"]);
+        assert!(g.nodes[1].anonymous);
+    }
+
+    #[test]
+    fn rejects_double_headed_edges() {
+        let err = parse("MATCH (a)<-[:x]->(b)").unwrap_err();
+        assert!(err.message.contains("both ways"));
+    }
+
+    #[test]
+    fn rejects_unknown_where_variable_with_span() {
+        let src = "MATCH (a)-[:x]->(b) WHERE c = $start";
+        let err = parse(src).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "c");
+    }
+
+    #[test]
+    fn rejects_unknown_parameter() {
+        let err = parse("MATCH (a)-[:x]->(b) WHERE a = $middle").unwrap_err();
+        assert!(err.message.contains("$middle"));
+    }
+
+    #[test]
+    fn rejects_conflicting_bindings() {
+        let err = parse("MATCH (a)-[:x]->(b) WHERE a = $start AND b = $start").unwrap_err();
+        assert!(err.message.contains("already bound"));
+        let err = parse("MATCH (a)-[:x]->(b) WHERE a = $start AND a = $end").unwrap_err();
+        assert!(err.message.contains("both"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse("MATCH (a)-[:x]->(b) WHERE a = $start (").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn return_star_and_duplicate_returns() {
+        let g = parse("MATCH (a)-[:x]->(b) WHERE a = $start AND b = $end RETURN *").unwrap();
+        assert!(g.returns.is_empty());
+        let g = parse("MATCH (a)-[:x]->(b) WHERE a = $start AND b = $end RETURN a, a, b").unwrap();
+        assert_eq!(g.returns, vec![0, 1]);
+    }
+}

@@ -86,6 +86,66 @@ impl SpecEdge {
     }
 }
 
+/// How one join step materializes its edge's rows — the physical access
+/// path chosen by [`PatternSpec::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Materialize the whole `(label, dir)` partition
+    /// ([`crate::engine::EdgeIndex::scan`]). The fallback when no binding
+    /// restricts either endpoint — in particular the *first* step of an
+    /// all-free pattern, where assuming an indexed probe would be wrong
+    /// (there is nothing to probe with yet).
+    Scan,
+    /// Probe the endpoint posting with the start binding's keys
+    /// ([`crate::engine::EdgeIndex::probe`]); `src` picks the `from`
+    /// column when the start variable is the edge's tail.
+    StartProbe {
+        /// Probe the `from` (true) or `to` (false) posting.
+        src: bool,
+    },
+    /// Probe with the distinct values an earlier join step already bound
+    /// for `var` — the index-nested-loop path that turns a huge partition
+    /// scan into traffic proportional to the intermediate result.
+    BoundProbe {
+        /// Probe the `from` (true) or `to` (false) posting.
+        src: bool,
+        /// The pattern variable whose bound values key the probe.
+        var: usize,
+    },
+}
+
+/// One step of a [`JoinPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStep {
+    /// Index of the pattern edge this step joins.
+    pub edge: usize,
+    /// The access path materializing the edge's rows.
+    pub access: Access,
+    /// Estimated rows materialized by the access path.
+    pub est_rows: f64,
+    /// Estimated intermediate rows after joining this step.
+    pub est_out: f64,
+}
+
+/// A cost-based physical join plan: the edge order, the access path per
+/// step, and the selectivity estimates that chose them — recorded so
+/// `rex plan` can explain the ordering without evaluating anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// The join steps, in execution order.
+    pub steps: Vec<JoinStep>,
+    /// Total estimated cost: rows materialized plus join output, summed
+    /// over the steps.
+    pub est_cost: f64,
+}
+
+impl JoinPlan {
+    /// The edge order the steps follow.
+    pub fn order(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.edge).collect()
+    }
+}
+
 /// The relational shape of an explanation pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternSpec {
@@ -116,16 +176,20 @@ impl PatternSpec {
                 return Err(RelError::BadPattern("edge endpoint out of range".into()));
             }
         }
-        if self.join_order().is_none() {
+        if self.naive_join_order().is_none() {
             return Err(RelError::BadPattern("pattern is not connected".into()));
         }
         Ok(())
     }
 
-    /// A join order in which every edge (after the first) shares a variable
-    /// with the part already joined, starting from an edge incident to the
-    /// start variable. `None` when the pattern is disconnected.
-    fn join_order(&self) -> Option<Vec<usize>> {
+    /// The fixed left-to-right join order: every edge (after the first)
+    /// shares a variable with the part already joined, starting from an
+    /// edge incident to the start variable, ties broken by edge-list
+    /// position. `None` when the pattern is disconnected. This is the
+    /// pre-planner order — kept as the connectivity check and as the
+    /// baseline the `planner` benchmark compares [`PatternSpec::plan`]
+    /// against.
+    pub fn naive_join_order(&self) -> Option<Vec<usize>> {
         let n = self.edges.len();
         let mut order = Vec::with_capacity(n);
         let mut used = vec![false; n];
@@ -311,6 +375,224 @@ impl PatternSpec {
         order
     }
 
+    /// Builds the cost-based physical join plan for evaluating this
+    /// pattern over `index` under `binding` — the selectivity-driven
+    /// replacement for the fixed [`PatternSpec::naive_join_order`].
+    ///
+    /// Greedy System-R ordering: the first step is the edge with the
+    /// fewest estimated *materialized* rows (exact posting counts for
+    /// start-bound edges, exact partition sizes otherwise — never an
+    /// assumed probe when nothing binds an endpoint), and each later step
+    /// is the connected edge minimizing the estimated intermediate after
+    /// the join, with join selectivities read from the endpoint postings'
+    /// distinct-key counts (the statistics behind
+    /// [`crate::engine::EdgeIndex::estimate_instance_rows`]). Steps whose
+    /// estimated incident traffic undercuts their partition size get a
+    /// [`Access::BoundProbe`] access path.
+    pub fn plan(&self, index: &crate::engine::EdgeIndex, binding: &StartBinding) -> JoinPlan {
+        self.plan_split(index, index, binding)
+    }
+
+    /// [`PatternSpec::plan`] over a split probe/scan index pair: start
+    /// probes are estimated (and later executed) against `probe`,
+    /// partition statistics come from `scan` — mirroring
+    /// [`PatternSpec::indexed_scans_split`]'s sharded contract.
+    pub fn plan_split(
+        &self,
+        probe: &crate::engine::EdgeIndex,
+        scan: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+    ) -> JoinPlan {
+        let m = self.edges.len();
+        // Sorted start keys, when the start variable is bound at all.
+        let start_keys: Option<Vec<u64>> = match binding {
+            StartBinding::Unbound => None,
+            StartBinding::Const(s) => Some(vec![*s]),
+            StartBinding::Among(values) => {
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                Some(sorted)
+            }
+        };
+        let distinct = |e: &SpecEdge, src: bool| -> f64 {
+            scan.posting(e.label, e.dir()).map_or(1, |p| p.endpoint(src).distinct_keys()).max(1)
+                as f64
+        };
+        let mut used = vec![false; m];
+        let mut bound = vec![false; self.var_count];
+        let mut steps: Vec<JoinStep> = Vec::with_capacity(m);
+        let mut est_cur = 0.0f64;
+        let mut est_cost = 0.0f64;
+        for step_no in 0..m {
+            let mut best: Option<(f64, f64, usize, Access)> = None;
+            for i in (0..m).filter(|&i| !used[i]) {
+                let e = &self.edges[i];
+                let connected = bound[e.u] || bound[e.v];
+                if step_no > 0 && !connected {
+                    continue;
+                }
+                let dir = e.dir();
+                let rows = scan.scan_len(e.label, dir) as f64;
+                let touches_start = e.u == self.start || e.v == self.start;
+                let (access, est_rows) = if touches_start && start_keys.is_some() {
+                    // Exact incident count from the endpoint postings.
+                    let src = e.u == self.start;
+                    let keys = start_keys.as_deref().expect("checked is_some");
+                    let incident = probe.incident_len(e.label, dir, src, keys) as f64;
+                    (Access::StartProbe { src }, incident)
+                } else if step_no > 0 && connected {
+                    // Index-nested-loop candidate: probe with the values
+                    // already bound for one endpoint. Estimated keys are
+                    // capped by both the intermediate size and the
+                    // posting's distinct keys (containment).
+                    let mut choice = (Access::Scan, rows);
+                    for (side_bound, src, var) in
+                        [(bound[e.u], true, e.u), (bound[e.v] && e.u != e.v, false, e.v)]
+                    {
+                        if !side_bound {
+                            continue;
+                        }
+                        let d = distinct(e, src);
+                        let est_keys = est_cur.min(d);
+                        let est_incident = est_keys * rows / d;
+                        if est_incident < choice.1 {
+                            choice = (Access::BoundProbe { src, var }, est_incident);
+                        }
+                    }
+                    choice
+                } else {
+                    // No binding restricts any endpoint: the smallest
+                    // partition scan is the only honest first step.
+                    (Access::Scan, rows)
+                };
+                let est_out = if step_no == 0 {
+                    est_rows
+                } else {
+                    let mut mult = rows;
+                    if e.u == e.v {
+                        if bound[e.u] {
+                            mult /= distinct(e, true).max(distinct(e, false));
+                        }
+                    } else {
+                        if bound[e.u] {
+                            mult /= distinct(e, true);
+                        }
+                        if bound[e.v] {
+                            mult /= distinct(e, false);
+                        }
+                    }
+                    est_cur * mult
+                };
+                let better = match &best {
+                    None => true,
+                    Some((b_out, b_rows, b_i, _)) => {
+                        (est_out, est_rows, i) < (*b_out, *b_rows, *b_i)
+                    }
+                };
+                if better {
+                    best = Some((est_out, est_rows, i, access));
+                }
+            }
+            // Disconnected specs never validate; stay total anyway by
+            // falling back to any remaining edge as a fresh scan.
+            let (est_out, est_rows, pick, access) = best.unwrap_or_else(|| {
+                let i = (0..m).find(|&i| !used[i]).expect("step_no < m");
+                let e = &self.edges[i];
+                let rows = scan.scan_len(e.label, e.dir()) as f64;
+                (est_cur.max(rows), rows, i, Access::Scan)
+            });
+            used[pick] = true;
+            bound[self.edges[pick].u] = true;
+            bound[self.edges[pick].v] = true;
+            est_cur = est_out;
+            est_cost += est_rows + est_out;
+            steps.push(JoinStep { edge: pick, access, est_rows, est_out });
+        }
+        JoinPlan { steps, est_cost }
+    }
+
+    /// Executes a [`JoinPlan`] over a split probe/scan index pair,
+    /// materializing each step's rows through its planned access path —
+    /// start probes against `probe`, partition scans and bound-value
+    /// probes against `scan` — with the same residual predicates
+    /// (self-loops, `Const` target-exclusion) as
+    /// [`PatternSpec::indexed_scans_split`]. Returns the instance
+    /// relation and the peak intermediate row count.
+    fn join_planned_split(
+        &self,
+        probe: &crate::engine::EdgeIndex,
+        scan: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+        plan: &JoinPlan,
+    ) -> Result<(Relation, usize)> {
+        let schema = scan.schema();
+        let from = schema.index_of("from")?;
+        let to = schema.index_of("to")?;
+        let start_keys: Option<Vec<u64>> = match binding {
+            StartBinding::Unbound => None,
+            StartBinding::Const(s) => Some(vec![*s]),
+            StartBinding::Among(values) => {
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                Some(sorted)
+            }
+        };
+        let mut state = JoinState::new(self.var_count);
+        for step in &plan.steps {
+            let e = self.edges[step.edge];
+            let dir = e.dir();
+            let mut preds = Vec::new();
+            if e.u == e.v {
+                preds.push(Predicate::ColEqCol { a: from, b: to });
+            }
+            let touches_start = e.u == self.start || e.v == self.start;
+            let base = match step.access {
+                Access::StartProbe { src } => {
+                    let keys = start_keys
+                        .as_deref()
+                        .expect("plans emit StartProbe only under a start binding");
+                    probe.probe(e.label, dir, src, keys)
+                }
+                Access::BoundProbe { src, var } => {
+                    let col = state.var_col[var].expect("plans probe only already-bound variables");
+                    let mut keys: Vec<u64> = state
+                        .current
+                        .as_ref()
+                        .expect("bound probes never run on the first step")
+                        .rows()
+                        .iter()
+                        .map(|r| r[col])
+                        .collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    scan.probe(e.label, dir, src, &keys)
+                }
+                Access::Scan => scan.scan(e.label, dir),
+            };
+            // Const target-exclusion residuals, exactly as the scan-based
+            // pipeline applies them: the pinned start value is excluded
+            // from every non-start endpoint. (`Among` exclusion is
+            // per-row and handled by the final injectivity filter.)
+            if let StartBinding::Const(start_val) = binding {
+                if touches_start {
+                    if e.u != self.start {
+                        preds.push(Predicate::ColNeConst { col: from, value: *start_val });
+                    }
+                    if e.v != self.start {
+                        preds.push(Predicate::ColNeConst { col: to, value: *start_val });
+                    }
+                } else {
+                    preds.push(Predicate::ColNeConst { col: from, value: *start_val });
+                    preds.push(Predicate::ColNeConst { col: to, value: *start_val });
+                }
+            }
+            let filtered =
+                if preds.is_empty() { base } else { filter(&base, &Predicate::And(preds)) };
+            state.push(e, project(&filtered, &[from, to]));
+        }
+        state.finish()
+    }
+
     /// Evaluates the pattern over the oriented edge relation, returning a
     /// relation with one column per variable (named `v0..`, in variable
     /// order) and one row per **distinct** variable assignment (instance).
@@ -385,8 +667,8 @@ impl PatternSpec {
     ) -> Result<(Relation, usize)> {
         budget.check().map_err(crate::RelError::Aborted)?;
         self.validate()?;
-        let scans = self.indexed_scans_split(probe, scan, binding)?;
-        let (instances, peak) = self.join_scans(scans)?;
+        let plan = self.plan_split(probe, scan, binding);
+        let (instances, peak) = self.join_planned_split(probe, scan, binding, &plan)?;
         budget.charge_rows(peak);
         Ok((instances, peak))
     }
@@ -619,8 +901,8 @@ impl PatternSpec {
         if record_full_eval {
             crate::metrics::record_full_eval();
         }
-        let scans = self.indexed_scans(index, binding)?;
-        self.join_scans(scans)
+        let plan = self.plan(index, binding);
+        self.join_planned_split(index, index, binding, &plan)
     }
 
     /// Joins prepared per-edge `(from, to)` scans into the instance
@@ -628,68 +910,123 @@ impl PatternSpec {
     /// one column per variable, injectivity filter, distinct — plus peak
     /// intermediate-row tracking.
     fn join_scans(&self, scans: Vec<Relation>) -> Result<(Relation, usize)> {
-        let mut peak = scans.iter().map(Relation::len).max().unwrap_or(0);
         let order = self.join_order_by_cost(&scans);
+        self.join_scans_in_order(scans, &order)
+    }
 
-        let mut current: Option<Relation> = None;
-        // Which variables are bound by the relation built so far, and at
-        // which column position.
-        let mut var_col: Vec<Option<usize>> = vec![None; self.var_count];
+    /// [`PatternSpec::join_scans`] under an explicit edge order (which
+    /// must keep the pattern connected) — the baseline executor the
+    /// `planner` benchmark runs the fixed left-to-right order through.
+    fn join_scans_in_order(
+        &self,
+        scans: Vec<Relation>,
+        order: &[usize],
+    ) -> Result<(Relation, usize)> {
+        let mut state = JoinState::new(self.var_count);
+        // Account every materialized scan against the peak up front, as
+        // the all-scans-first pipeline always did.
+        for scan in &scans {
+            state.peak = state.peak.max(scan.len());
+        }
+        for &ei in order {
+            state.push(self.edges[ei], scans[ei].clone());
+        }
+        state.finish()
+    }
 
-        for ei in order {
-            let e = self.edges[ei];
-            let scan = scans[ei].clone();
+    /// Evaluates the pattern over `index` joining edges in the given
+    /// explicit order, with scans materialized through
+    /// [`PatternSpec::indexed_scans`] (start probes, full partition scans
+    /// otherwise) — no bound-value probes, no cost-based reordering. The
+    /// benchmark baseline for [`PatternSpec::plan`]; counts as a full
+    /// evaluation.
+    pub fn evaluate_indexed_in_order(
+        &self,
+        index: &crate::engine::EdgeIndex,
+        binding: &StartBinding,
+        order: &[usize],
+    ) -> Result<(Relation, usize)> {
+        self.validate()?;
+        crate::metrics::record_full_eval();
+        let scans = self.indexed_scans(index, binding)?;
+        self.join_scans_in_order(scans, order)
+    }
+}
 
-            match current.take() {
-                None => {
-                    // First edge: initialize variable bindings.
-                    let mut rel = scan;
-                    if e.u == e.v {
-                        rel = project(&rel, &[0]);
-                        var_col[e.u] = Some(0);
-                    } else {
-                        var_col[e.u] = Some(0);
-                        var_col[e.v] = Some(1);
-                    }
-                    current = Some(rel);
+/// Incremental left-deep join state shared by the materialize-everything
+/// pipeline ([`PatternSpec::join_scans`]) and the plan-driven executor
+/// (which materializes each step's rows lazily so bound-value probes can
+/// read the intermediate).
+struct JoinState {
+    var_count: usize,
+    current: Option<Relation>,
+    /// Which variables the relation built so far binds, and at which
+    /// column position.
+    var_col: Vec<Option<usize>>,
+    peak: usize,
+}
+
+impl JoinState {
+    fn new(var_count: usize) -> JoinState {
+        JoinState { var_count, current: None, var_col: vec![None; var_count], peak: 0 }
+    }
+
+    /// Joins one edge's prepared `(from, to)` relation into the state.
+    fn push(&mut self, e: SpecEdge, scan: Relation) {
+        self.peak = self.peak.max(scan.len());
+        match self.current.take() {
+            None => {
+                // First edge: initialize variable bindings.
+                let mut rel = scan;
+                if e.u == e.v {
+                    rel = project(&rel, &[0]);
+                    self.var_col[e.u] = Some(0);
+                } else {
+                    self.var_col[e.u] = Some(0);
+                    self.var_col[e.v] = Some(1);
                 }
-                Some(cur) => {
-                    // Join keys: shared variables between `cur` and the scan.
-                    let mut cur_keys = Vec::new();
-                    let mut scan_keys = Vec::new();
-                    if let Some(c) = var_col[e.u] {
+                self.current = Some(rel);
+            }
+            Some(cur) => {
+                // Join keys: shared variables between `cur` and the scan.
+                let mut cur_keys = Vec::new();
+                let mut scan_keys = Vec::new();
+                if let Some(c) = self.var_col[e.u] {
+                    cur_keys.push(c);
+                    scan_keys.push(0);
+                }
+                if e.u != e.v {
+                    if let Some(c) = self.var_col[e.v] {
                         cur_keys.push(c);
-                        scan_keys.push(0);
+                        scan_keys.push(1);
                     }
-                    if e.u != e.v {
-                        if let Some(c) = var_col[e.v] {
-                            cur_keys.push(c);
-                            scan_keys.push(1);
-                        }
-                    }
-                    debug_assert!(!cur_keys.is_empty(), "join order keeps patterns connected");
-                    let joined = hash_join(&cur, &scan, &cur_keys, &scan_keys);
-                    peak = peak.max(joined.len());
-                    // Record columns for newly bound variables; scan columns
-                    // sit after cur's columns.
-                    let base = cur.schema().arity();
-                    if var_col[e.u].is_none() {
-                        var_col[e.u] = Some(base);
-                    }
-                    if e.u != e.v && var_col[e.v].is_none() {
-                        var_col[e.v] = Some(base + 1);
-                    }
-                    current = Some(joined);
                 }
+                debug_assert!(!cur_keys.is_empty(), "join order keeps patterns connected");
+                let joined = hash_join(&cur, &scan, &cur_keys, &scan_keys);
+                self.peak = self.peak.max(joined.len());
+                // Record columns for newly bound variables; scan columns
+                // sit after cur's columns.
+                let base = cur.schema().arity();
+                if self.var_col[e.u].is_none() {
+                    self.var_col[e.u] = Some(base);
+                }
+                if e.u != e.v && self.var_col[e.v].is_none() {
+                    self.var_col[e.v] = Some(base + 1);
+                }
+                self.current = Some(joined);
             }
         }
+    }
 
-        let current = current.expect("at least one edge was joined");
+    /// Projects one column per variable, filters non-injective rows, and
+    /// dedups — the shared tail of every evaluation pipeline.
+    fn finish(mut self) -> Result<(Relation, usize)> {
+        let current = self.current.expect("at least one edge was joined");
         // Project one column per variable, in variable order, then dedup:
         // parallel KB edges with the same label would otherwise multiply
         // join rows without adding distinct instances.
         let cols: Vec<usize> = (0..self.var_count)
-            .map(|v| var_col[v].expect("connected pattern binds every variable"))
+            .map(|v| self.var_col[v].expect("connected pattern binds every variable"))
             .collect();
         let projected = project(&current, &cols);
         // REX instance semantics are injective (see DESIGN.md): distinct
@@ -711,9 +1048,9 @@ impl PatternSpec {
         let renamed =
             Relation::from_rows(Schema::new((0..self.var_count).map(|v| format!("v{v}"))), rows)?;
         let out = distinct(&renamed);
-        peak = peak.max(out.len());
-        crate::metrics::record_peak_rows(peak);
-        Ok((out, peak))
+        self.peak = self.peak.max(out.len());
+        crate::metrics::record_peak_rows(self.peak);
+        Ok((out, self.peak))
     }
 }
 
@@ -924,5 +1261,91 @@ mod cost_order_tests {
         let scans = vec![sized(10), sized(1), sized(5)];
         let order = spec.join_order_by_cost(&scans);
         assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    /// With an all-free pattern (no bound endpoint anywhere) the planner
+    /// must *not* assume an indexed probe exists for its first step: it
+    /// falls back to a full scan, anchored on the smallest partition.
+    #[test]
+    fn all_free_triangle_falls_back_to_smallest_partition_scan() {
+        let mut b = KbBuilder::new();
+        let nodes: Vec<_> = (0..12).map(|i| b.add_node(&format!("n{i}"), "T")).collect();
+        // Three partitions with very different sizes: `big` (30 rows),
+        // `mid` (8 rows), `tiny` (2 rows).
+        for i in 0..10 {
+            for j in 0..3 {
+                b.add_directed_edge(nodes[i], nodes[(i + j + 1) % 12], "big");
+            }
+        }
+        for i in 0..8 {
+            b.add_directed_edge(nodes[i], nodes[(i + 2) % 12], "mid");
+        }
+        b.add_directed_edge(nodes[0], nodes[1], "tiny");
+        b.add_directed_edge(nodes[2], nodes[3], "tiny");
+        let kb = b.build();
+        let l = |n: &str| kb.label_by_name(n).unwrap().0 as u64;
+        // All-free triangle: 0 -big-> 2, 2 -mid-> 1, 1 -tiny-> 0.
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: l("big"), directed: true },
+                SpecEdge { u: 2, v: 1, label: l("mid"), directed: true },
+                SpecEdge { u: 1, v: 0, label: l("tiny"), directed: true },
+            ],
+        };
+        let index = EdgeIndex::build(&kb);
+        let plan = spec.plan(&index, &StartBinding::Unbound);
+        // First step: a Scan (nothing is bound — a probe would have no
+        // keys), and specifically of the smallest partition (`tiny`).
+        assert_eq!(plan.steps[0].access, Access::Scan);
+        assert_eq!(plan.steps[0].edge, 2);
+        assert_eq!(plan.steps[0].est_rows, 2.0);
+        // Later steps have a bound endpoint available and upgrade to
+        // bound probes instead of scanning `big`/`mid` outright.
+        assert!(plan.steps[1..].iter().all(|s| matches!(s.access, Access::BoundProbe { .. })));
+        // And the planned execution agrees with the definitional path.
+        let planned = spec.evaluate_indexed(&index, None).unwrap();
+        let naive = spec
+            .evaluate_with(&crate::engine::oriented_edge_relation(&kb), &StartBinding::Unbound)
+            .unwrap();
+        assert_eq!(planned.len(), naive.len());
+    }
+
+    /// Plan metadata records the chosen order, access paths, and
+    /// estimates — the contract `rex plan` explains to users.
+    #[test]
+    fn plan_metadata_exposes_order_access_and_estimates() {
+        let mut b = KbBuilder::new();
+        let start = b.add_node("start", "T");
+        let hub = b.add_node("hub", "T");
+        for i in 0..200 {
+            let x = b.add_node(&format!("x{i}"), "T");
+            b.add_directed_edge(x, hub, "common");
+        }
+        let mid = b.add_node("mid", "T");
+        b.add_directed_edge(start, mid, "rare");
+        b.add_directed_edge(mid, hub, "common");
+        let kb = b.build();
+        let l = |n: &str| kb.label_by_name(n).unwrap().0 as u64;
+        let spec = PatternSpec {
+            var_count: 3,
+            start: 0,
+            end: 1,
+            edges: vec![
+                SpecEdge { u: 0, v: 2, label: l("rare"), directed: true },
+                SpecEdge { u: 2, v: 1, label: l("common"), directed: true },
+            ],
+        };
+        let index = EdgeIndex::build(&kb);
+        let plan = spec.plan(&index, &StartBinding::Const(start.0 as u64));
+        assert_eq!(plan.order(), vec![0, 1]);
+        // Step 0 probes the start binding on the edge's `from` side;
+        // step 1 avoids the 201-row `common` scan via a bound probe.
+        assert_eq!(plan.steps[0].access, Access::StartProbe { src: true });
+        assert_eq!(plan.steps[1].access, Access::BoundProbe { src: true, var: 2 });
+        assert!(plan.steps[1].est_rows < 201.0);
+        assert!(plan.est_cost > 0.0);
     }
 }

@@ -154,9 +154,11 @@ proptest! {
 
 /// The satellite metrics-regression invariant: after a 16-edge delta on
 /// a KB three orders of magnitude larger than the delta, the patch
-/// pass's `rows_probed` equals the rows incident to the affected starts
-/// — and the total probe traffic stays strictly below the partitions'
-/// full-scan total, which is what every `Among` evaluation used to pay.
+/// pass's traffic is bounded by the rows incident to the affected starts
+/// plus the non-start partitions (which the cost-based planner may
+/// shrink further via bound probes) — and the total probe traffic stays
+/// strictly below the partitions' full-scan total, which is what every
+/// `Among` evaluation used to pay.
 #[test]
 fn patch_pass_rows_probed_bounded_by_incident_rows() {
     let kb0 = rex_datagen::generate(&rex_datagen::GeneratorConfig::tiny(0xE1DE));
@@ -204,8 +206,9 @@ fn patch_pass_rows_probed_bounded_by_incident_rows() {
         drop(scope);
         assert_eq!(counts.delta, 1);
         assert_eq!(counts.tiles, 1);
-        // Exactly the rows incident to the affected starts were probed —
-        // per start-incident pattern edge, counted from the postings.
+        // Probe traffic includes at least the rows incident to the
+        // affected starts (the planner may add *bound* probes of later
+        // edges, keyed by intermediate results, on top).
         let incident: usize = spec
             .edges
             .iter()
@@ -215,11 +218,16 @@ fn patch_pass_rows_probed_bounded_by_incident_rows() {
                 index.incident_len(e.label, dir, e.u == spec.start, &affected)
             })
             .sum();
-        assert_eq!(
-            counts.rows_probed, incident,
-            "shape {idx}: probe traffic must equal rows incident to affected starts"
+        assert!(
+            counts.rows_probed >= incident,
+            "shape {idx}: probe traffic must cover the rows incident to \
+             affected starts ({} < {incident})",
+            counts.rows_probed
         );
-        // The remaining full scans are the non-start edges only.
+        // Full scans can cover at most the non-start edges — the
+        // cost-based planner turns any of them it can into bound probes,
+        // so scanned + probed never exceeds the pre-planner patch-pass
+        // traffic (start-incident probes plus all non-start full scans).
         let non_start_scan: usize = spec
             .edges
             .iter()
@@ -229,7 +237,14 @@ fn patch_pass_rows_probed_bounded_by_incident_rows() {
                 index.scan_len(e.label, dir)
             })
             .sum();
-        assert_eq!(counts.rows_scanned, non_start_scan, "shape {idx}");
+        assert!(counts.rows_scanned <= non_start_scan, "shape {idx}");
+        assert!(
+            counts.rows_scanned + counts.rows_probed <= incident + non_start_scan,
+            "shape {idx}: planned traffic must not exceed the fixed-order \
+             patch pass ({} + {} > {incident} + {non_start_scan})",
+            counts.rows_scanned,
+            counts.rows_probed
+        );
         total_probed += counts.rows_probed;
         total_start_incident_scan += spec
             .edges

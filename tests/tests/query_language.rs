@@ -1,0 +1,80 @@
+//! Property tests for the `rex-query` language layer: the canonical form
+//! is a `parse → canonicalize → pretty-print → parse` fixed point, and
+//! isomorphic spellings of a pattern agree on it.
+
+use proptest::prelude::*;
+use rex_query::{canonicalize, parse, pretty};
+
+/// Raw edge tuples `(u, v, label, directed)` over a small variable and
+/// label universe.
+type RawEdge = (usize, usize, usize, bool);
+
+fn arb_edges() -> impl Strategy<Value = Vec<RawEdge>> {
+    proptest::collection::vec((0usize..6, 0usize..6, 0usize..4, any::<bool>()), 0..=6)
+}
+
+/// Renders edges as MATCH text under the given variable names. A fixed
+/// `(v0)-[:l0]-(v1)` edge is always appended so both targets are
+/// guaranteed to appear (the parser rejects WHERE clauses over unknown
+/// variables).
+fn render(edges: &[RawEdge], names: &[&str]) -> String {
+    let mut out = String::from("MATCH ");
+    for (i, &(u, v, l, directed)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let arrow = if directed { ">" } else { "" };
+        out.push_str(&format!("({})-[:l{l}]-{arrow}({})", names[u], names[v]));
+    }
+    if !edges.is_empty() {
+        out.push_str(", ");
+    }
+    out.push_str(&format!("({})-[:l0]-({})", names[0], names[1]));
+    out.push_str(&format!(" WHERE {} = $start AND {} = $end", names[0], names[1]));
+    out
+}
+
+const BASE_NAMES: [&str; 6] = ["s", "t", "x2", "x3", "x4", "x5"];
+const RENAMED: [&str; 6] = ["u0", "u1", "zz", "q", "w3", "y9"];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `canonicalize ∘ parse ∘ pretty` is the identity on canonical
+    /// graphs, and the pretty text itself is a byte fixed point.
+    #[test]
+    fn canonical_form_is_a_round_trip_fixed_point(edges in arb_edges()) {
+        let text = render(&edges, &BASE_NAMES);
+        let c1 = canonicalize(&parse(&text).unwrap()).unwrap();
+        let printed = pretty(&c1).unwrap();
+        let c2 = canonicalize(&parse(&printed).unwrap()).unwrap();
+        prop_assert_eq!(&c1, &c2, "canonicalize∘parse∘pretty must be a fixed point");
+        prop_assert_eq!(pretty(&c2).unwrap(), printed, "pretty text must be byte-stable");
+    }
+
+    /// Variable renaming and edge-order reversal never change the
+    /// canonical form — isomorphic spellings share one representative.
+    #[test]
+    fn isomorphic_spellings_share_the_canonical_form(edges in arb_edges()) {
+        let base = canonicalize(&parse(&render(&edges, &BASE_NAMES)).unwrap()).unwrap();
+        let renamed = canonicalize(&parse(&render(&edges, &RENAMED)).unwrap()).unwrap();
+        prop_assert_eq!(&base, &renamed, "renaming variables must not change the canon");
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        let rev = canonicalize(&parse(&render(&reversed, &BASE_NAMES)).unwrap()).unwrap();
+        prop_assert_eq!(&base, &rev, "edge order must not change the canon");
+    }
+
+    /// Undirected edges are orientation-free: writing `(u)-[:l]-(v)` or
+    /// `(v)-[:l]-(u)` canonicalizes identically.
+    #[test]
+    fn undirected_edges_forget_their_spelling_order(edges in arb_edges()) {
+        let flipped: Vec<RawEdge> = edges
+            .iter()
+            .map(|&(u, v, l, directed)| if directed { (u, v, l, directed) } else { (v, u, l, directed) })
+            .collect();
+        let base = canonicalize(&parse(&render(&edges, &BASE_NAMES)).unwrap()).unwrap();
+        let flip = canonicalize(&parse(&render(&flipped, &BASE_NAMES)).unwrap()).unwrap();
+        prop_assert_eq!(base, flip);
+    }
+}
